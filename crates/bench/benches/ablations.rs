@@ -1,0 +1,93 @@
+//! Ablation studies for the design choices DESIGN.md calls out: each
+//! variant is timed, and its accuracy against ground truth is printed once
+//! so the cost/quality trade-off is visible in the bench log.
+//!
+//! * ratio aggregation: mean of per-community ratios (paper) vs pooled
+//!   cluster counts;
+//! * sibling (as2org) expansion on/off;
+//! * exclusion rules (private ASN / reserved / never-on-path) on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bgp_experiments::{Scenario, ScenarioConfig};
+use bgp_intent::classify::{classify, InferenceConfig};
+use bgp_intent::eval::evaluate;
+use bgp_intent::stats::PathStats;
+use bgp_relationships::SiblingMap;
+
+fn bench_ablations(c: &mut Criterion) {
+    let scenario = Scenario::build(&ScenarioConfig {
+        scale: 0.2,
+        documented: 20,
+        ..ScenarioConfig::default()
+    });
+    let observations = scenario.collect(2);
+    let stats = PathStats::from_observations(&observations, &scenario.siblings);
+    let no_siblings = SiblingMap::default();
+    let stats_no_sib = PathStats::from_observations(&observations, &no_siblings);
+
+    let variants: Vec<(&str, InferenceConfig, &PathStats, &SiblingMap)> = vec![
+        (
+            "paper_defaults",
+            InferenceConfig::default(),
+            &stats,
+            &scenario.siblings,
+        ),
+        (
+            "pooled_ratio",
+            InferenceConfig {
+                pooled_ratio: true,
+                ..InferenceConfig::default()
+            },
+            &stats,
+            &scenario.siblings,
+        ),
+        (
+            "no_siblings",
+            InferenceConfig {
+                use_siblings: false,
+                ..InferenceConfig::default()
+            },
+            &stats_no_sib,
+            &no_siblings,
+        ),
+        (
+            "no_exclusions",
+            InferenceConfig {
+                apply_exclusions: false,
+                ..InferenceConfig::default()
+            },
+            &stats,
+            &scenario.siblings,
+        ),
+        (
+            "no_clustering",
+            InferenceConfig {
+                min_gap: 0,
+                ..InferenceConfig::default()
+            },
+            &stats,
+            &scenario.siblings,
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+    for (name, cfg, variant_stats, siblings) in &variants {
+        // Report the quality impact once, alongside the timing.
+        let inference = classify(variant_stats, siblings, cfg);
+        let eval = evaluate(&inference, &scenario.dict);
+        println!(
+            "[ablation {name}] accuracy {:.3} over {} covered, {} classified, {} excluded",
+            eval.accuracy(),
+            eval.total,
+            inference.labels.len(),
+            inference.excluded.len(),
+        );
+        group.bench_function(*name, |b| b.iter(|| classify(variant_stats, siblings, cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

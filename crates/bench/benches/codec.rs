@@ -1,0 +1,101 @@
+//! Wire codec throughput: the MRT/BGP encode and parse paths every
+//! experiment exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bgp_mrt::attrs::{decode_attrs, encode_attrs, AttrCtx, EncodeOpts};
+use bgp_mrt::cursor::Cursor;
+use bgp_mrt::obs::{read_observations, write_rib_dump, write_update_stream};
+use bgp_types::{AsPath, Asn, Community, Observation, RouteAttrs};
+
+fn sample_route(communities: usize) -> RouteAttrs {
+    let mut route = RouteAttrs::originated(
+        AsPath::from_sequence([64500, 7018, 1299, 399260].map(Asn::new)),
+        std::net::IpAddr::from([203, 0, 113, 1]),
+    );
+    route.med = Some(70);
+    for i in 0..communities as u16 {
+        route.add_community(Community::new(1299, 20_000 + i));
+    }
+    route
+}
+
+fn sample_observations(n: usize) -> Vec<Observation> {
+    (0..n)
+        .map(|i| Observation {
+            vp: Asn::new(64_500 + (i as u32 % 40)),
+            prefix: format!("10.{}.{}.0/24", (i / 250) % 250, i % 250)
+                .parse()
+                .unwrap(),
+            path: AsPath::from_sequence(
+                [
+                    64_500 + (i as u32 % 40),
+                    7018,
+                    1299,
+                    40_000 + (i as u32 % 500),
+                ]
+                .map(Asn::new),
+            ),
+            communities: (0..8).map(|k| Community::new(1299, 20_000 + k)).collect(),
+            large_communities: Vec::new(),
+            time: 1_682_899_200,
+        })
+        .collect()
+}
+
+fn bench_attrs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attrs");
+    for n_comm in [2usize, 16, 64] {
+        let route = sample_route(n_comm);
+        let wire = encode_attrs(&route, AttrCtx::TABLE_DUMP_V2, &EncodeOpts::default()).unwrap();
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_function(format!("encode/{n_comm}comms"), |b| {
+            b.iter(|| encode_attrs(&route, AttrCtx::TABLE_DUMP_V2, &EncodeOpts::default()).unwrap())
+        });
+        group.bench_function(format!("decode/{n_comm}comms"), |b| {
+            b.iter(|| {
+                let mut cur = Cursor::new(&wire);
+                decode_attrs(&mut cur, AttrCtx::TABLE_DUMP_V2).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mrt_files(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mrt");
+    group.sample_size(20);
+    let observations = sample_observations(10_000);
+
+    let mut rib_wire = Vec::new();
+    write_rib_dump(&mut rib_wire, 0, &observations).unwrap();
+    group.throughput(Throughput::Bytes(rib_wire.len() as u64));
+    group.bench_function("write_rib_dump/10k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(rib_wire.len());
+            write_rib_dump(&mut out, 0, &observations).unwrap();
+            out
+        })
+    });
+    group.bench_function("read_rib_dump/10k", |b| {
+        b.iter(|| read_observations(&rib_wire[..]).unwrap())
+    });
+
+    let mut upd_wire = Vec::new();
+    write_update_stream(&mut upd_wire, Asn::new(6447), &observations).unwrap();
+    group.throughput(Throughput::Bytes(upd_wire.len() as u64));
+    group.bench_function("write_updates/10k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(upd_wire.len());
+            write_update_stream(&mut out, Asn::new(6447), &observations).unwrap();
+            out
+        })
+    });
+    group.bench_function("read_updates/10k", |b| {
+        b.iter(|| read_observations(&upd_wire[..]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attrs, bench_mrt_files);
+criterion_main!(benches);

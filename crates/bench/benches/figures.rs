@@ -1,0 +1,73 @@
+//! One bench per table/figure of the paper: regenerates each result at a
+//! reduced scale and measures its cost. The experiment binaries (`cargo
+//! run -p bgp-experiments --bin figNN`) produce the full-scale numbers;
+//! these benches keep every harness continuously exercised and timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bgp_experiments::figures::{
+    days, fig04, fig06, fig07, fig09, fig10, finegrained, headline, large, overtime, ratio, table1,
+};
+use bgp_experiments::{Scenario, ScenarioConfig};
+
+fn tiny_config() -> ScenarioConfig {
+    ScenarioConfig {
+        scale: 0.12,
+        documented: 15,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = tiny_config();
+    let scenario = Scenario::build(&cfg);
+    let observations = scenario.collect(2);
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("headline", |b| {
+        b.iter(|| headline::run(&scenario, &observations))
+    });
+    group.bench_function("fig04_dictionary_vs_observed", |b| {
+        b.iter(|| fig04::run(&scenario, &observations, 30))
+    });
+    group.bench_function("fig06_onpath_offpath_cdf", |b| {
+        b.iter(|| fig06::run(&scenario, &observations))
+    });
+    group.bench_function("fig07_customer_peer_cdf", |b| {
+        b.iter(|| fig07::run(&scenario, &observations, true))
+    });
+    group.bench_function("fig09_gap_sweep", |b| {
+        // A coarse sweep keeps the bench fast while touching the full path.
+        b.iter(|| fig09::run(&scenario, &observations, &[0, 140, 500, 2000]))
+    });
+    group.bench_function("fig10_vantage_points", |b| {
+        b.iter(|| fig10::run(&scenario, &observations, &[2, 8, 20], 3))
+    });
+    group.bench_function("table1_location_improvement", |b| {
+        b.iter(|| table1::run(&scenario, &observations))
+    });
+    group.bench_function("days_sweep", |b| {
+        b.iter(|| days::run(&scenario, &observations, 2))
+    });
+    group.bench_function("ratio_sweep", |b| {
+        b.iter(|| ratio::run(&scenario, &observations, &[40.0, 160.0, 640.0]))
+    });
+    group.bench_function("ext_finegrained_categories", |b| {
+        b.iter(|| finegrained::run(&scenario, &observations))
+    });
+    group.bench_function("ext_large_communities", |b| {
+        b.iter(|| large::run(&scenario, &observations))
+    });
+    group.finish();
+
+    // The over-time sweep rebuilds worlds; benched separately and briefly.
+    let mut slow = c.benchmark_group("figures-slow");
+    slow.sample_size(10);
+    slow.bench_function("overtime_2_months", |b| b.iter(|| overtime::run(&cfg, 2)));
+    slow.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Inference pipeline stages: statistics, clustering, classification,
+//! evaluation — the per-dataset analysis cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bgp_experiments::{Scenario, ScenarioConfig};
+use bgp_intent::classify::{classify, InferenceConfig};
+use bgp_intent::cluster::gap_clusters;
+use bgp_intent::eval::evaluate;
+use bgp_intent::run_inference;
+use bgp_intent::stats::PathStats;
+
+fn scenario() -> Scenario {
+    Scenario::build(&ScenarioConfig {
+        scale: 0.2,
+        documented: 20,
+        ..ScenarioConfig::default()
+    })
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scenario = scenario();
+    let observations = scenario.collect(1);
+    let stats = PathStats::from_observations(&observations, &scenario.siblings);
+    let cfg = InferenceConfig::default();
+    let inference = classify(&stats, &scenario.siblings, &cfg);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("path_stats", |b| {
+        b.iter(|| PathStats::from_observations(&observations, &scenario.siblings))
+    });
+    group.bench_function("classify", |b| {
+        b.iter(|| classify(&stats, &scenario.siblings, &cfg))
+    });
+    group.bench_function("evaluate", |b| {
+        b.iter(|| evaluate(&inference, &scenario.dict))
+    });
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            run_inference(
+                &observations,
+                &scenario.siblings,
+                &cfg,
+                Some(&scenario.dict),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // Synthetic β populations of operator-like shape.
+    let mut betas: Vec<u16> = Vec::new();
+    for block in 0..40u16 {
+        for i in 0..25u16 {
+            betas.push(block * 1500 + i * 7);
+        }
+    }
+    betas.sort_unstable();
+    betas.dedup();
+
+    let mut group = c.benchmark_group("clustering");
+    for gap in [0u16, 140, 1000] {
+        group.bench_function(format!("gap_{gap}/1k_betas"), |b| {
+            b.iter(|| gap_clusters(1299, &betas, gap))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Route propagation cost: the simulator substrate.
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bgp_policy::{generate_policies, PolicyConfig};
+use bgp_sim::{select_vantage_points, SimConfig, Simulator, VpConfig};
+use bgp_topology::{generate, TopologyConfig};
+
+fn bench_propagation(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig {
+        tier1_count: 5,
+        large_transit_count: 15,
+        mid_transit_count: 40,
+        stub_count: 200,
+        ixp_count: 2,
+        ..TopologyConfig::default()
+    });
+    let policies = generate_policies(&topo, &PolicyConfig::default());
+    let cfg = SimConfig {
+        threads: 1,
+        ..SimConfig::default()
+    };
+    let sim = Simulator::new(&topo, &policies, &cfg);
+    let (prefix, _) = sim.plan().origins[0];
+    let none = HashSet::new();
+
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20);
+    group.bench_function("single_prefix/260as", |b| {
+        b.iter(|| sim.propagate(prefix, &none))
+    });
+
+    let vps = select_vantage_points(
+        &topo,
+        &VpConfig {
+            mid_count: 10,
+            stub_count: 15,
+            ..Default::default()
+        },
+    );
+    group.sample_size(10);
+    group.bench_function("collect_rib/260as_45vps", |b| {
+        b.iter(|| sim.collect_rib(&vps))
+    });
+    group.bench_function("simulator_build/260as", |b| {
+        b.iter(|| Simulator::new(&topo, &policies, &cfg))
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    let topo_cfg = TopologyConfig {
+        tier1_count: 5,
+        large_transit_count: 15,
+        mid_transit_count: 40,
+        stub_count: 200,
+        ixp_count: 2,
+        ..TopologyConfig::default()
+    };
+    group.bench_function("topology/260as", |b| b.iter(|| generate(&topo_cfg)));
+    let topo = generate(&topo_cfg);
+    group.bench_function("policies/260as", |b| {
+        b.iter(|| generate_policies(&topo, &PolicyConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion benchmark crate — all content lives in `benches/`:
+//!
+//! * `codec` — MRT/BGP attribute and file encode/decode throughput.
+//! * `pipeline` — path statistics, clustering, classification, evaluation.
+//! * `propagation` — per-prefix route propagation and world generation.
+//! * `figures` — one bench per table/figure harness (reduced scale),
+//!   including the two beyond-the-paper extensions.
+//! * `ablations` — the design-choice ablation studies from DESIGN.md,
+//!   printing each variant's accuracy alongside its timing.
+//!
+//! Run with `cargo bench -p bgp-bench` (or `--bench <name>`).
+
+#![forbid(unsafe_code)]

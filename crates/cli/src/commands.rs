@@ -1,0 +1,379 @@
+//! Subcommand implementations.
+
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use bgp_dictionary::GroundTruthDictionary;
+use bgp_experiments::{Args, Scenario, ScenarioConfig};
+use bgp_intent::{run_inference, Exclusion, InferenceConfig};
+use bgp_mrt::obs::{read_observations, write_rib_dump, write_update_stream};
+use bgp_relationships::SiblingMap;
+use bgp_types::{Asn, Intent, Observation};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+bgpcomm — BGP community intent inference (IMC'23 reproduction)
+
+USAGE:
+    bgpcomm stats    --mrt FILE [--mrt FILE ...]
+    bgpcomm infer    --mrt FILE [--mrt FILE ...] [--gap N] [--ratio N]
+                     [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
+    bgpcomm validate --mrt FILE [--mrt FILE ...]
+    bgpcomm compare  --old FILE --new FILE
+    bgpcomm generate --out DIR [--scale F] [--seed N] [--days N] [--docs N]
+
+COMMANDS:
+    stats     Summarize MRT archives: records, tuples, paths, communities.
+    infer     Classify observed communities as action or information.
+    validate  Lint MRT archives: per-record-type counts and decode errors.
+    compare   Diff two label files from `infer --json` (drift monitoring).
+    generate  Write a synthetic collector dataset + ground-truth dictionary.
+";
+
+fn mrt_files(args: &Args) -> Result<Vec<String>, String> {
+    // The tiny Args parser keeps one value per key; accept comma-separated
+    // and repeated forms by splitting.
+    let raw = args
+        .get_str("mrt")
+        .ok_or("at least one --mrt FILE is required")?;
+    Ok(raw.split(',').map(str::to_string).collect())
+}
+
+fn load_observations(paths: &[String]) -> Result<Vec<Observation>, String> {
+    let mut observations = Vec::new();
+    for path in paths {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let parsed =
+            read_observations(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))?;
+        eprintln!("{path}: {} observations", parsed.len());
+        observations.extend(parsed);
+    }
+    Ok(observations)
+}
+
+fn load_siblings(args: &Args) -> Result<SiblingMap, String> {
+    match args.get_str("siblings") {
+        None => Ok(SiblingMap::default()),
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            serde_json::from_reader(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+        }
+    }
+}
+
+/// `bgpcomm stats`
+pub fn stats(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let observations = load_observations(&mrt_files(&args)?)?;
+
+    let mut paths = HashSet::new();
+    let mut tuples = HashSet::new();
+    let mut communities = HashSet::new();
+    let mut owners = HashSet::new();
+    let mut vps = HashSet::new();
+    let mut prefixes = HashSet::new();
+    for obs in &observations {
+        paths.insert(obs.path.to_string());
+        tuples.insert((obs.path.to_string(), obs.communities.clone()));
+        for c in &obs.communities {
+            communities.insert(*c);
+            owners.insert(c.asn);
+        }
+        vps.insert(obs.vp);
+        prefixes.insert(obs.prefix);
+    }
+    println!("observations        : {}", observations.len());
+    println!("vantage points      : {}", vps.len());
+    println!("prefixes            : {}", prefixes.len());
+    println!("unique AS paths     : {}", paths.len());
+    println!("unique tuples       : {}", tuples.len());
+    println!("distinct communities: {}", communities.len());
+    println!("community owners    : {}", owners.len());
+    Ok(())
+}
+
+/// `bgpcomm infer`
+pub fn infer(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let observations = load_observations(&mrt_files(&args)?)?;
+    let siblings = load_siblings(&args)?;
+    let cfg = InferenceConfig {
+        min_gap: args.get("gap", 140u16)?,
+        ratio_threshold: args.get("ratio", 160.0f64)?,
+        ..InferenceConfig::default()
+    };
+    let dict = match args.get_str("dict") {
+        None => None,
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            Some(
+                GroundTruthDictionary::from_json(BufReader::new(file))
+                    .map_err(|e| format!("parse {path}: {e}"))?,
+            )
+        }
+    };
+
+    let result = run_inference(&observations, &siblings, &cfg, dict.as_ref());
+    let (action, info) = result.inference.intent_counts();
+    println!("observed communities : {}", result.stats.community_count());
+    println!(
+        "classified           : {} ({info} information, {action} action)",
+        result.inference.labels.len()
+    );
+    println!("owner ASes           : {}", result.inference.owner_count());
+    let count = |e: Exclusion| {
+        result
+            .inference
+            .excluded
+            .values()
+            .filter(|x| **x == e)
+            .count()
+    };
+    println!(
+        "excluded             : {} private-ASN, {} reserved, {} never-on-path",
+        count(Exclusion::PrivateAsn),
+        count(Exclusion::ReservedAsn),
+        count(Exclusion::NeverOnPath),
+    );
+    if let Some(eval) = &result.evaluation {
+        println!(
+            "dictionary evaluation: {}/{} correct ({:.1}%)",
+            eval.correct,
+            eval.total,
+            eval.accuracy() * 100.0
+        );
+    }
+
+    // Human-readable sample, largest owners first.
+    let top: usize = args.get("top", 10)?;
+    if top > 0 {
+        let mut labels: Vec<_> = result.inference.labels.iter().collect();
+        labels.sort_by_key(|(c, _)| **c);
+        println!("\nfirst {} labels:", top.min(labels.len()));
+        for (c, intent) in labels.into_iter().take(top) {
+            println!("  {c:<12} {intent}");
+        }
+    }
+
+    if let Some(path) = args.get_str("json") {
+        let mut labels: Vec<_> = result
+            .inference
+            .labels
+            .iter()
+            .map(|(c, i)| serde_json::json!({ "community": c.to_string(), "intent": i }))
+            .collect();
+        labels.sort_by_key(|v| v["community"].as_str().unwrap_or("").to_string());
+        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        serde_json::to_writer_pretty(BufWriter::new(file), &labels)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {} labels to {path}", result.inference.labels.len());
+    }
+    Ok(())
+}
+
+/// `bgpcomm validate`
+pub fn validate(raw: Vec<String>) -> Result<(), String> {
+    use bgp_mrt::records::MrtRecord;
+    use bgp_mrt::{MrtError, MrtReader};
+
+    let args = Args::parse(raw)?;
+    let mut total_bad = 0u64;
+    for path in mrt_files(&args)? {
+        let file = File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+        let mut reader = MrtReader::new(BufReader::new(file));
+        let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        let mut errors: Vec<String> = Vec::new();
+        let mut aborted = false;
+        for item in reader.by_ref() {
+            match item {
+                Ok(rec) => {
+                    let kind = match rec.record {
+                        MrtRecord::PeerIndexTable(_) => "PEER_INDEX_TABLE",
+                        MrtRecord::Rib(_) => "RIB",
+                        MrtRecord::TableDump(_) => "TABLE_DUMP (legacy)",
+                        MrtRecord::Message(_) => "BGP4MP_MESSAGE",
+                        MrtRecord::StateChange(_) => "BGP4MP_STATE_CHANGE",
+                    };
+                    *counts.entry(kind).or_default() += 1;
+                }
+                Err(e @ (MrtError::Io(_) | MrtError::Truncated { .. })) => {
+                    errors.push(format!("fatal: {e}"));
+                    aborted = true;
+                    break;
+                }
+                Err(e) => {
+                    if errors.len() < 10 {
+                        errors.push(e.to_string());
+                    }
+                }
+            }
+        }
+        println!("{path}:");
+        for (kind, n) in &counts {
+            println!("  {kind:<22} {n}");
+        }
+        println!(
+            "  decoded {} records, skipped {}",
+            reader.records_read(),
+            reader.records_skipped()
+        );
+        for e in &errors {
+            println!("  error: {e}");
+        }
+        if aborted {
+            println!("  (stream aborted before the end)");
+        }
+        total_bad += reader.records_skipped() + u64::from(aborted);
+    }
+    if total_bad > 0 {
+        Err(format!("{total_bad} undecodable record(s)"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Load an `infer --json` label file into a map.
+fn load_labels(path: &str) -> Result<std::collections::BTreeMap<String, String>, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let entries: Vec<serde_json::Value> =
+        serde_json::from_reader(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))?;
+    let mut map = std::collections::BTreeMap::new();
+    for entry in entries {
+        let community = entry["community"]
+            .as_str()
+            .ok_or_else(|| format!("{path}: entry without community"))?;
+        let intent = entry["intent"]
+            .as_str()
+            .ok_or_else(|| format!("{path}: entry without intent"))?;
+        map.insert(community.to_string(), intent.to_string());
+    }
+    Ok(map)
+}
+
+/// `bgpcomm compare`
+pub fn compare(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let old_path = args.get_str("old").ok_or("--old FILE is required")?;
+    let new_path = args.get_str("new").ok_or("--new FILE is required")?;
+    let old = load_labels(old_path)?;
+    let new = load_labels(new_path)?;
+
+    let mut appeared = 0u64;
+    let mut disappeared = 0u64;
+    let mut flipped: Vec<(&String, &String, &String)> = Vec::new();
+    for (c, intent) in &new {
+        match old.get(c) {
+            None => appeared += 1,
+            Some(prev) if prev != intent => flipped.push((c, prev, intent)),
+            Some(_) => {}
+        }
+    }
+    for c in old.keys() {
+        if !new.contains_key(c) {
+            disappeared += 1;
+        }
+    }
+    println!("old labels     : {}", old.len());
+    println!("new labels     : {}", new.len());
+    println!("appeared       : {appeared}");
+    println!("disappeared    : {disappeared}");
+    println!("intent flips   : {}", flipped.len());
+    for (c, prev, now) in flipped.iter().take(20) {
+        println!("  {c:<14} {prev} -> {now}");
+    }
+    if flipped.len() > 20 {
+        println!("  ... and {} more", flipped.len() - 20);
+    }
+    // Flips are the anomaly signal (§4: coarse categories were stable
+    // 2007 -> 2023); surface them in the exit code for scripting.
+    if flipped.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} intent flip(s) detected", flipped.len()))
+    }
+}
+
+/// `bgpcomm generate`
+pub fn generate(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let out = args.get_str("out").ok_or("--out DIR is required")?;
+    let days: u32 = args.get("days", 7)?;
+    let scenario_cfg = ScenarioConfig::from_args(&args)?;
+    std::fs::create_dir_all(out).map_err(|e| format!("create {out}: {e}"))?;
+    let dir = Path::new(out);
+
+    eprintln!(
+        "generating world (seed {}, scale {}) with {} days of data...",
+        scenario_cfg.seed, scenario_cfg.scale, days
+    );
+    let scenario = Scenario::build(&scenario_cfg);
+    let sim = scenario.simulator();
+
+    let rib_path = dir.join("rib.mrt");
+    let rib = sim.collect_rib(&scenario.vps);
+    let file = File::create(&rib_path).map_err(|e| format!("create rib.mrt: {e}"))?;
+    write_rib_dump(BufWriter::new(file), scenario.sim_cfg.base_timestamp, &rib)
+        .map_err(|e| format!("write rib.mrt: {e}"))?;
+    println!("{}: {} routes", rib_path.display(), rib.len());
+
+    for day in 1..days {
+        let path = dir.join(format!("updates.day{day}.mrt"));
+        let updates = sim.collect_churn_day(&scenario.vps, day);
+        let file = File::create(&path).map_err(|e| format!("create updates: {e}"))?;
+        write_update_stream(BufWriter::new(file), Asn::new(6447), &updates)
+            .map_err(|e| format!("write updates: {e}"))?;
+        println!("{}: {} updates", path.display(), updates.len());
+    }
+
+    let dict_path = dir.join("dictionary.json");
+    let file = File::create(&dict_path).map_err(|e| format!("create dictionary: {e}"))?;
+    scenario
+        .dict
+        .to_json(BufWriter::new(file))
+        .map_err(|e| format!("write dictionary: {e}"))?;
+    let (a, i) = scenario.dict.entry_counts();
+    println!(
+        "{}: {} action + {} info patterns",
+        dict_path.display(),
+        a,
+        i
+    );
+
+    let sib_path = dir.join("siblings.json");
+    let file = File::create(&sib_path).map_err(|e| format!("create siblings: {e}"))?;
+    serde_json::to_writer_pretty(BufWriter::new(file), &scenario.siblings)
+        .map_err(|e| format!("write siblings: {e}"))?;
+    println!("{}: as2org sibling map", sib_path.display());
+
+    // Ground-truth intent per defined community, for scoring external tools.
+    let dot_path = dir.join("topology.dot");
+    std::fs::write(&dot_path, bgp_topology::to_dot(&scenario.topo))
+        .map_err(|e| format!("write topology.dot: {e}"))?;
+    println!("{}: Graphviz rendering of the AS graph", dot_path.display());
+
+    let truth_path = dir.join("truth.json");
+    let mut truth: Vec<serde_json::Value> = Vec::new();
+    for asn in scenario.policies.asns_sorted() {
+        let policy = scenario.policies.get(asn).expect("listed");
+        for (&beta, purpose) in &policy.defs {
+            truth.push(serde_json::json!({
+                "community": format!("{}:{}", asn, beta),
+                "intent": match purpose.intent() {
+                    Intent::Action => "action",
+                    Intent::Information => "information",
+                },
+            }));
+        }
+    }
+    let file = File::create(&truth_path).map_err(|e| format!("create truth: {e}"))?;
+    serde_json::to_writer_pretty(BufWriter::new(file), &truth)
+        .map_err(|e| format!("write truth: {e}"))?;
+    println!(
+        "{}: {} ground-truth labels",
+        truth_path.display(),
+        truth.len()
+    );
+    Ok(())
+}

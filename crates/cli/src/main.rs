@@ -1,0 +1,45 @@
+//! `bgpcomm` — BGP community intent inference from the command line.
+//!
+//! ```text
+//! bgpcomm stats    --mrt rib.mrt [--mrt updates.mrt ...]
+//! bgpcomm infer    --mrt rib.mrt [--gap 140] [--ratio 160] [--dict dict.json]
+//!                  [--siblings as2org.json] [--json out.json]
+//! bgpcomm generate --out DIR [--scale 1.0] [--seed N] [--days 7]
+//! ```
+//!
+//! * `stats` — dataset overview: records, unique tuples/paths, communities.
+//! * `infer` — run the IMC'23 method over MRT archives; optionally evaluate
+//!   against a dictionary (JSON, as produced by `generate`) and write the
+//!   inferred labels as JSON.
+//! * `generate` — build a synthetic world and write MRT archives plus the
+//!   ground-truth dictionary, for testing and demos without RouteViews
+//!   access.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = args.next();
+    let rest: Vec<String> = args.collect();
+    let outcome = match command.as_deref() {
+        Some("stats") => commands::stats(rest),
+        Some("infer") => commands::infer(rest),
+        Some("validate") => commands::validate(rest),
+        Some("compare") => commands::compare(rest),
+        Some("generate") => commands::generate(rest),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            eprint!("{}", commands::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bgpcomm: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

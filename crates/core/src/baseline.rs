@@ -1,0 +1,303 @@
+//! Ground-truth regex clusters — the §5.1 baseline behind Fig 6.
+//!
+//! Instead of gap-clustering, group observed communities by the dictionary
+//! patterns that cover them, then examine each cluster's on:off ratio. The
+//! paper: 332 clusters over 6,259 communities; 937 communities in on-path
+//! clusters, 66 in off-path clusters, 5,256 in 183 mixed clusters.
+
+use bgp_dictionary::GroundTruthDictionary;
+use bgp_types::{Community, Intent};
+
+use crate::stats::PathStats;
+
+/// How a baseline cluster's evidence splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// Every member was only ever seen on-path.
+    OnPathOnly,
+    /// Every member was only ever seen off-path.
+    OffPathOnly,
+    /// Both on-path and off-path sightings exist (the Fig 6 population).
+    Mixed,
+}
+
+/// One regex-defined cluster with its path evidence.
+#[derive(Debug, Clone)]
+pub struct BaselineCluster {
+    /// The pattern's textual form (e.g. `1299:[257]\d\d[1-39]`).
+    pub pattern: String,
+    /// Ground-truth intent of the pattern.
+    pub truth: Intent,
+    /// Observed member communities.
+    pub members: Vec<Community>,
+    /// Mean per-community on:off ratio.
+    pub ratio: f64,
+    /// Total on-path unique-path count.
+    pub on_total: u64,
+    /// Total off-path unique-path count.
+    pub off_total: u64,
+}
+
+impl BaselineCluster {
+    /// Classify the evidence split.
+    pub fn kind(&self) -> ClusterKind {
+        match (self.on_total, self.off_total) {
+            (_, 0) => ClusterKind::OnPathOnly,
+            (0, _) => ClusterKind::OffPathOnly,
+            _ => ClusterKind::Mixed,
+        }
+    }
+}
+
+/// Build baseline clusters: one per dictionary pattern with at least one
+/// observed member.
+pub fn baseline_clusters(dict: &GroundTruthDictionary, stats: &PathStats) -> Vec<BaselineCluster> {
+    let mut clusters = Vec::new();
+    for entry in &dict.entries {
+        let mut members: Vec<Community> = stats
+            .per_community
+            .keys()
+            .filter(|c| entry.pattern.matches(**c))
+            .copied()
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        members.sort_unstable();
+        let mut on_total = 0u64;
+        let mut off_total = 0u64;
+        let mut ratio_sum = 0.0;
+        for &c in &members {
+            let counts = stats.counts(c).unwrap_or_default();
+            on_total += counts.on as u64;
+            off_total += counts.off as u64;
+            ratio_sum += counts.ratio();
+        }
+        clusters.push(BaselineCluster {
+            pattern: entry.pattern.to_string(),
+            truth: entry.intent,
+            ratio: ratio_sum / members.len() as f64,
+            members,
+            on_total,
+            off_total,
+        });
+    }
+    clusters
+}
+
+/// Find the threshold maximizing classification accuracy over
+/// `(ratio, truth)` pairs, where ratios at or above the threshold are
+/// labeled `above_label`. Returns `(best_threshold, best_accuracy)`.
+///
+/// Used for the "optimal ratio of 160:1 yields 98%" (Fig 6) and the
+/// "optimal ratio of 5:1 yields 80%" (Fig 7) observations.
+pub fn best_threshold(items: &[(f64, Intent)], above_label: Intent) -> (f64, f64) {
+    if items.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut candidates: Vec<f64> = items.iter().map(|(r, _)| *r).collect();
+    candidates.push(0.0);
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    candidates.dedup();
+    let mut best = (0.0, 0.0);
+    for &t in &candidates {
+        let correct = items
+            .iter()
+            .filter(|(r, truth)| {
+                let label = if *r >= t {
+                    above_label
+                } else {
+                    above_label.opposite()
+                };
+                label == *truth
+            })
+            .count();
+        let acc = correct as f64 / items.len() as f64;
+        if acc > best.1 {
+            best = (t, acc);
+        }
+    }
+    best
+}
+
+/// Like [`best_threshold`], but maximizing *balanced* accuracy (the mean
+/// of per-class accuracies). Immune to the majority-class degeneracy that
+/// plain accuracy suffers when one intent dominates the cluster population.
+pub fn best_threshold_balanced(items: &[(f64, Intent)], above_label: Intent) -> (f64, f64) {
+    if items.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut candidates: Vec<f64> = items.iter().map(|(r, _)| *r).collect();
+    candidates.push(0.0);
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    candidates.dedup();
+    let n_above = items
+        .iter()
+        .filter(|(_, t)| *t == above_label)
+        .count()
+        .max(1) as f64;
+    let n_below = (items.len() - n_above as usize).max(1) as f64;
+    let mut best = (0.0, 0.0);
+    for &t in &candidates {
+        let mut correct_above = 0usize;
+        let mut correct_below = 0usize;
+        for (r, truth) in items {
+            if *truth == above_label && *r >= t {
+                correct_above += 1;
+            } else if *truth != above_label && *r < t {
+                correct_below += 1;
+            }
+        }
+        let balanced = (correct_above as f64 / n_above + correct_below as f64 / n_below) / 2.0;
+        if balanced > best.1 {
+            best = (t, balanced);
+        }
+    }
+    best
+}
+
+/// Accuracy at a fixed threshold over `(ratio, truth)` pairs.
+pub fn threshold_accuracy(items: &[(f64, Intent)], threshold: f64, above_label: Intent) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    let correct = items
+        .iter()
+        .filter(|(r, truth)| {
+            let label = if *r >= threshold {
+                above_label
+            } else {
+                above_label.opposite()
+            };
+            label == *truth
+        })
+        .count();
+    correct as f64 / items.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_dictionary::DictionaryEntry;
+    use bgp_relationships::SiblingMap;
+    use bgp_types::Observation;
+
+    fn obs(path: &str, comms: &[(u16, u16)]) -> Observation {
+        Observation {
+            vp: path.split_whitespace().next().unwrap().parse().unwrap(),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time: 0,
+        }
+    }
+
+    fn dict(entries: &[(&str, Intent)]) -> GroundTruthDictionary {
+        GroundTruthDictionary {
+            entries: entries
+                .iter()
+                .map(|(p, i)| DictionaryEntry {
+                    pattern: p.parse().unwrap(),
+                    intent: *i,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clusters_partition_by_pattern() {
+        let d = dict(&[
+            (r"1299:256[1-39]", Intent::Action),
+            (r"1299:2000[01]", Intent::Information),
+            (r"1299:9999", Intent::Action), // never observed
+        ]);
+        let observations = vec![
+            obs("10 1299 64496", &[(1299, 2561), (1299, 20000)]),
+            obs("11 64496", &[(1299, 2561)]),
+            obs("12 1299 64497", &[(1299, 20001)]),
+        ];
+        let stats = PathStats::from_observations(&observations, &SiblingMap::default());
+        let clusters = baseline_clusters(&d, &stats);
+        assert_eq!(clusters.len(), 2); // unobserved pattern skipped
+        let action = clusters.iter().find(|c| c.truth == Intent::Action).unwrap();
+        assert_eq!(action.members, vec![Community::new(1299, 2561)]);
+        assert_eq!(action.kind(), ClusterKind::Mixed);
+        let info = clusters
+            .iter()
+            .find(|c| c.truth == Intent::Information)
+            .unwrap();
+        assert_eq!(info.members.len(), 2);
+        assert_eq!(info.kind(), ClusterKind::OnPathOnly);
+    }
+
+    #[test]
+    fn kind_classification() {
+        let mk = |on, off| BaselineCluster {
+            pattern: "1:1".into(),
+            truth: Intent::Action,
+            members: vec![],
+            ratio: 0.0,
+            on_total: on,
+            off_total: off,
+        };
+        assert_eq!(mk(5, 0).kind(), ClusterKind::OnPathOnly);
+        assert_eq!(mk(0, 5).kind(), ClusterKind::OffPathOnly);
+        assert_eq!(mk(5, 5).kind(), ClusterKind::Mixed);
+    }
+
+    #[test]
+    fn best_threshold_separates_cleanly() {
+        let items = vec![
+            (500.0, Intent::Information),
+            (300.0, Intent::Information),
+            (2.0, Intent::Action),
+            (0.5, Intent::Action),
+        ];
+        let (t, acc) = best_threshold(&items, Intent::Information);
+        assert_eq!(acc, 1.0);
+        assert!(t > 2.0 && t <= 300.0, "threshold {t}");
+    }
+
+    #[test]
+    fn best_threshold_with_overlap() {
+        let items = vec![
+            (500.0, Intent::Information),
+            (100.0, Intent::Information),
+            (120.0, Intent::Action), // inversion
+            (2.0, Intent::Action),
+        ];
+        let (_, acc) = best_threshold(&items, Intent::Information);
+        assert_eq!(acc, 0.75);
+    }
+
+    #[test]
+    fn fixed_threshold_accuracy() {
+        let items = vec![
+            (500.0, Intent::Information),
+            (100.0, Intent::Information),
+            (2.0, Intent::Action),
+        ];
+        assert_eq!(
+            threshold_accuracy(&items, 160.0, Intent::Information),
+            2.0 / 3.0
+        );
+        assert_eq!(threshold_accuracy(&items, 50.0, Intent::Information), 1.0);
+        assert_eq!(threshold_accuracy(&[], 160.0, Intent::Information), 0.0);
+    }
+
+    #[test]
+    fn inverted_direction_for_customer_peer_feature() {
+        // Fig 7: info clusters have LOW customer:peer ratios ⇒ above_label
+        // is Action.
+        let items = vec![
+            (20.0, Intent::Action),
+            (8.0, Intent::Action),
+            (3.0, Intent::Information),
+            (1.0, Intent::Information),
+        ];
+        let (t, acc) = best_threshold(&items, Intent::Action);
+        assert_eq!(acc, 1.0);
+        assert!(t > 3.0 && t <= 8.0);
+    }
+}

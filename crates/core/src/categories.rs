@@ -1,0 +1,414 @@
+//! Fine-grained category inference — a prototype of the paper's stated
+//! long-term goal (§7: "automated inference of these dictionaries").
+//!
+//! The coarse action/information split is the paper's contribution; this
+//! module takes the next step it motivates, pushing each labeled community
+//! into a sub-category of the Fig 2 taxonomy using observable routing
+//! features:
+//!
+//! * **Prepend** (action): paths through the owner that carry the community
+//!   show the owner's ASN repeated consecutively — the visible footprint of
+//!   community-triggered prepending.
+//! * **Blackhole/NoExport** (action): the owner never propagates routes
+//!   carrying the community at all (zero on-path sightings).
+//! * **Relationship** (information): every on-path sighting enters the
+//!   owner from the same neighbor class (customer, peer, or provider),
+//!   while the ingress geography stays diffuse.
+//! * **Location** (information): ingress geography concentrates well above
+//!   the owner's own baseline.
+//! * **OtherAction / OtherInfo**: everything without a confident signal
+//!   (local-pref overrides, selective suppression, ROV tags, interface
+//!   tags, …).
+//!
+//! This is deliberately conservative: it never contradicts the coarse
+//! label, and falls back to the `Other*` buckets when evidence is weak.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use bgp_relationships::{InferredRelationships, RelView};
+use bgp_types::{AsPath, Asn, Community, Intent, Observation};
+
+use crate::classify::Inference;
+
+/// A fine-grained community category (a coarse cut of Fig 2's leaves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FineCategory {
+    /// Action: AS-path prepending.
+    Prepend,
+    /// Action: blackholing / do-not-export-at-all.
+    Blackhole,
+    /// Action without a distinctive routing footprint (local-pref,
+    /// selective suppression/announcement, …).
+    OtherAction,
+    /// Information: where the route was received.
+    Location,
+    /// Information: what kind of neighbor the route came from.
+    Relationship,
+    /// Information without a distinctive footprint (ROV status, ingress
+    /// interface, …).
+    OtherInfo,
+}
+
+impl FineCategory {
+    /// The coarse label this category belongs to.
+    pub fn intent(self) -> Intent {
+        match self {
+            FineCategory::Prepend | FineCategory::Blackhole | FineCategory::OtherAction => {
+                Intent::Action
+            }
+            FineCategory::Location | FineCategory::Relationship | FineCategory::OtherInfo => {
+                Intent::Information
+            }
+        }
+    }
+}
+
+/// Tuning knobs for the category rules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CategoryConfig {
+    /// Minimum on-path sightings before info sub-categories are attempted.
+    pub min_paths: u32,
+    /// Fraction of on-path sightings that must show consecutive owner
+    /// repeats to call a community Prepend.
+    pub prepend_share: f64,
+    /// Single neighbor-class share required for Relationship.
+    pub relationship_share: f64,
+    /// Modal-region share required for Location.
+    pub location_concentration: f64,
+    /// Required lift of that share over the owner's own geographic
+    /// baseline (a regional network concentrates everything).
+    pub location_lift: f64,
+}
+
+impl Default for CategoryConfig {
+    fn default() -> Self {
+        CategoryConfig {
+            min_paths: 5,
+            prepend_share: 0.10,
+            relationship_share: 0.97,
+            location_concentration: 0.65,
+            location_lift: 0.25,
+        }
+    }
+}
+
+/// Per-community routing features the rules consume.
+#[derive(Debug, Clone, Default)]
+struct Features {
+    on_paths: u32,
+    prepended_paths: u32,
+    rel: [u32; 3], // customer, peer, provider
+    regions: HashMap<Option<u8>, u32>,
+}
+
+/// Whether `asn` appears at least twice consecutively in the collapsed-free
+/// path (i.e. was prepended).
+fn has_owner_prepend(path: &AsPath, asn: Asn) -> bool {
+    let mut run = 0u32;
+    for a in path.iter() {
+        if a == asn {
+            run += 1;
+            if run >= 2 {
+                return true;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    false
+}
+
+/// Infer a fine-grained category for every community the coarse method
+/// labeled. `as_regions` plays the role of public geolocation data.
+pub fn infer_categories(
+    observations: &[Observation],
+    inference: &Inference,
+    relationships: &InferredRelationships,
+    as_regions: &HashMap<Asn, u8>,
+    cfg: &CategoryConfig,
+) -> HashMap<Community, FineCategory> {
+    // Gather features over unique (path, community) pairs where the owner
+    // is on-path.
+    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
+    let mut seen: HashSet<(u32, Community)> = HashSet::new();
+    let mut owner_seen: HashSet<(u32, u16)> = HashSet::new();
+    let mut features: HashMap<Community, Features> = HashMap::new();
+    let mut owner_baseline: HashMap<u16, HashMap<Option<u8>, u32>> = HashMap::new();
+    for obs in observations {
+        let next_id = path_ids.len() as u32;
+        let id = *path_ids.entry(&obs.path).or_insert(next_id);
+        for &c in &obs.communities {
+            if !inference.labels.contains_key(&c) {
+                continue;
+            }
+            let owner = Asn::new(c.asn as u32);
+            if !obs.path.contains(owner) || !seen.insert((id, c)) {
+                continue;
+            }
+            let f = features.entry(c).or_default();
+            f.on_paths += 1;
+            if has_owner_prepend(&obs.path, owner) {
+                f.prepended_paths += 1;
+            }
+            let next = obs.path.next_toward_origin(owner);
+            match next.and_then(|n| relationships.view(owner, n)) {
+                Some(RelView::Customer) => f.rel[0] += 1,
+                Some(RelView::Peer) => f.rel[1] += 1,
+                Some(RelView::Provider) => f.rel[2] += 1,
+                None => {}
+            }
+            let region = next.and_then(|n| as_regions.get(&n).copied());
+            *f.regions.entry(region).or_insert(0) += 1;
+            if owner_seen.insert((id, c.asn)) {
+                *owner_baseline
+                    .entry(c.asn)
+                    .or_default()
+                    .entry(region)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    let modal_share = |hist: &HashMap<Option<u8>, u32>| -> f64 {
+        let total: u32 = hist.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let modal = hist
+            .iter()
+            .filter_map(|(r, n)| r.map(|_| *n))
+            .max()
+            .unwrap_or(0);
+        modal as f64 / total as f64
+    };
+
+    let mut out = HashMap::new();
+    for (&c, &intent) in &inference.labels {
+        let f = features.get(&c);
+        let category = match intent {
+            Intent::Action => {
+                match f {
+                    // Never seen on-path at all: the owner refuses to
+                    // propagate routes carrying it.
+                    None => FineCategory::Blackhole,
+                    Some(f) if f.on_paths == 0 => FineCategory::Blackhole,
+                    Some(f)
+                        if f.prepended_paths as f64 / f.on_paths as f64 >= cfg.prepend_share
+                            && f.prepended_paths >= 2 =>
+                    {
+                        FineCategory::Prepend
+                    }
+                    Some(_) => FineCategory::OtherAction,
+                }
+            }
+            Intent::Information => match f {
+                Some(f) if f.on_paths >= cfg.min_paths => {
+                    let rel_total: u32 = f.rel.iter().sum();
+                    let rel_max = *f.rel.iter().max().expect("three classes");
+                    let rel_share = if rel_total == 0 {
+                        0.0
+                    } else {
+                        rel_max as f64 / rel_total as f64
+                    };
+                    let concentration = modal_share(&f.regions);
+                    let baseline = owner_baseline.get(&c.asn).map(modal_share).unwrap_or(0.0);
+                    let lift = concentration - baseline;
+                    if concentration >= cfg.location_concentration && lift >= cfg.location_lift {
+                        FineCategory::Location
+                    } else if rel_share >= cfg.relationship_share
+                        && rel_total >= cfg.min_paths
+                        && lift < cfg.location_lift
+                    {
+                        FineCategory::Relationship
+                    } else {
+                        FineCategory::OtherInfo
+                    }
+                }
+                _ => FineCategory::OtherInfo,
+            },
+        };
+        out.insert(c, category);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Prefix;
+
+    fn obs(path: &str, comms: &[(u16, u16)]) -> Observation {
+        Observation {
+            vp: path.split_whitespace().next().unwrap().parse().unwrap(),
+            prefix: "10.0.0.0/24".parse::<Prefix>().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time: 0,
+        }
+    }
+
+    fn label(inference: &mut Inference, c: (u16, u16), intent: Intent) {
+        inference.labels.insert(Community::new(c.0, c.1), intent);
+    }
+
+    fn rels() -> InferredRelationships {
+        // 1299's customers 100..120, peers 200..205 — built from paths.
+        let mut paths: Vec<AsPath> = Vec::new();
+        for s in 300..340u32 {
+            paths.push(format!("{s} 1299 {}", 100 + s % 20).parse().unwrap());
+            paths.push(format!("{s} 1299 {}", 100 + (s + 3) % 20).parse().unwrap());
+        }
+        for p in 200..205u32 {
+            paths.push(format!("310 1299 {p} 900").parse().unwrap());
+            paths.push(format!("311 1299 {p} 901").parse().unwrap());
+        }
+        bgp_relationships::infer_relationships(
+            paths.iter(),
+            &bgp_relationships::InferConfig::default(),
+        )
+    }
+
+    #[test]
+    fn prepend_detected_from_repeated_owner() {
+        let mut inference = Inference::default();
+        label(&mut inference, (1299, 2561), Intent::Action);
+        let observations = vec![
+            obs("10 1299 1299 1299 100", &[(1299, 2561)]),
+            obs("11 1299 1299 1299 100", &[(1299, 2561)]),
+            obs("12 1299 101", &[(1299, 2561)]),
+        ];
+        let cats = infer_categories(
+            &observations,
+            &inference,
+            &rels(),
+            &HashMap::new(),
+            &CategoryConfig::default(),
+        );
+        assert_eq!(cats[&Community::new(1299, 2561)], FineCategory::Prepend);
+    }
+
+    #[test]
+    fn never_propagated_is_blackhole() {
+        let mut inference = Inference::default();
+        label(&mut inference, (1299, 666), Intent::Action);
+        // Only off-path sightings (the owner never exports it).
+        let observations = vec![obs("10 100", &[(1299, 666)]), obs("11 101", &[(1299, 666)])];
+        let cats = infer_categories(
+            &observations,
+            &inference,
+            &rels(),
+            &HashMap::new(),
+            &CategoryConfig::default(),
+        );
+        assert_eq!(cats[&Community::new(1299, 666)], FineCategory::Blackhole);
+    }
+
+    #[test]
+    fn plain_action_is_other() {
+        let mut inference = Inference::default();
+        label(&mut inference, (1299, 50), Intent::Action);
+        let observations: Vec<Observation> = (0..6)
+            .map(|i| obs(&format!("{} 1299 10{}", 10 + i, i % 3), &[(1299, 50)]))
+            .collect();
+        let cats = infer_categories(
+            &observations,
+            &inference,
+            &rels(),
+            &HashMap::new(),
+            &CategoryConfig::default(),
+        );
+        assert_eq!(cats[&Community::new(1299, 50)], FineCategory::OtherAction);
+    }
+
+    #[test]
+    fn single_class_diffuse_geo_is_relationship() {
+        let relationships = rels();
+        let mut inference = Inference::default();
+        label(&mut inference, (1299, 40000), Intent::Information);
+        // Always learned from customers (100..110), spread across regions.
+        let observations: Vec<Observation> = (0..10)
+            .map(|i| obs(&format!("{} 1299 {}", 20 + i, 100 + i), &[(1299, 40000)]))
+            .collect();
+        let as_regions: HashMap<Asn, u8> = (100..110u32)
+            .map(|a| (Asn::new(a), (a % 5) as u8))
+            .collect();
+        let cats = infer_categories(
+            &observations,
+            &inference,
+            &relationships,
+            &as_regions,
+            &CategoryConfig::default(),
+        );
+        assert_eq!(
+            cats[&Community::new(1299, 40000)],
+            FineCategory::Relationship
+        );
+    }
+
+    #[test]
+    fn concentrated_geo_with_lift_is_location() {
+        let relationships = rels();
+        let mut inference = Inference::default();
+        label(&mut inference, (1299, 20000), Intent::Information);
+        label(&mut inference, (1299, 1), Intent::Information);
+        // 20000 rides routes from region-0 neighbors; the owner's baseline
+        // is diffuse thanks to community 1299:1 on other-region routes.
+        let mut observations: Vec<Observation> = (0..8)
+            .map(|i| {
+                obs(
+                    &format!("{} 1299 {}", 30 + i, 100 + i % 4),
+                    &[(1299, 20000)],
+                )
+            })
+            .collect();
+        for i in 0..12 {
+            observations.push(obs(&format!("{} 1299 {}", 50 + i, 110 + i), &[(1299, 1)]));
+        }
+        let mut as_regions: HashMap<Asn, u8> = (100..104u32).map(|a| (Asn::new(a), 0u8)).collect();
+        as_regions.extend((110..122u32).map(|a| (Asn::new(a), (a % 5) as u8)));
+        let cats = infer_categories(
+            &observations,
+            &inference,
+            &relationships,
+            &as_regions,
+            &CategoryConfig::default(),
+        );
+        assert_eq!(cats[&Community::new(1299, 20000)], FineCategory::Location);
+    }
+
+    #[test]
+    fn sparse_info_falls_back_to_other() {
+        let mut inference = Inference::default();
+        label(&mut inference, (1299, 430), Intent::Information);
+        let observations = vec![obs("10 1299 100", &[(1299, 430)])];
+        let cats = infer_categories(
+            &observations,
+            &inference,
+            &rels(),
+            &HashMap::new(),
+            &CategoryConfig::default(),
+        );
+        assert_eq!(cats[&Community::new(1299, 430)], FineCategory::OtherInfo);
+    }
+
+    #[test]
+    fn categories_respect_coarse_intent() {
+        let mut inference = Inference::default();
+        label(&mut inference, (1299, 1), Intent::Information);
+        label(&mut inference, (1299, 2), Intent::Action);
+        let observations = vec![obs("10 1299 100", &[(1299, 1), (1299, 2)])];
+        let cats = infer_categories(
+            &observations,
+            &inference,
+            &rels(),
+            &HashMap::new(),
+            &CategoryConfig::default(),
+        );
+        for (c, cat) in &cats {
+            assert_eq!(cat.intent(), inference.labels[c]);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Cluster labeling and exclusion rules — steps (ii) and (iii) of Fig 8.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_relationships::SiblingMap;
+use bgp_types::{Asn, Community, Intent};
+
+use crate::cluster::{gap_clusters, Cluster};
+use crate::stats::PathStats;
+
+/// Method parameters (§5.2 defaults: gap 140, ratio 160:1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Minimum gap between clusters (Fig 9; 0 disables clustering).
+    pub min_gap: u16,
+    /// On-path:off-path ratio above which a cluster is informational
+    /// (Fig 6).
+    pub ratio_threshold: f64,
+    /// Expand the on-path test to sibling ASes (as2org). On by default, as
+    /// in the paper; the ablation bench switches it off.
+    pub use_siblings: bool,
+    /// Aggregate a cluster's ratio as pooled counts
+    /// (`Σon / Σoff`) instead of the paper's mean of per-community ratios.
+    /// Off by default; exists for the ablation study.
+    pub pooled_ratio: bool,
+    /// Apply the private-ASN / reserved / never-on-path exclusion rules.
+    /// On by default (§5.2); the ablation study switches them off to
+    /// measure their contribution.
+    pub apply_exclusions: bool,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            min_gap: 140,
+            ratio_threshold: 160.0,
+            use_siblings: true,
+            pooled_ratio: false,
+            apply_exclusions: true,
+        }
+    }
+}
+
+/// Why a community was not classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// `α` is in the private-use ASN range (RFC 6996).
+    PrivateAsn,
+    /// `α` is reserved (0, AS_TRANS, 65535 — including the RFC 1997
+    /// well-known block, whose meanings are standardized, not inferred).
+    ReservedAsn,
+    /// `α` (and every sibling) never appeared in any AS path — the IXP
+    /// route-server situation where on-path evidence cannot exist.
+    NeverOnPath,
+}
+
+/// A labeled cluster, kept for figures and diagnostics.
+#[derive(Debug, Clone)]
+pub struct LabeledCluster {
+    /// The cluster itself.
+    pub cluster: Cluster,
+    /// Mean per-community on:off ratio.
+    pub ratio: f64,
+    /// Total on-path unique-path count across members.
+    pub on_total: u64,
+    /// Total off-path unique-path count across members.
+    pub off_total: u64,
+    /// The inferred label.
+    pub label: Intent,
+}
+
+/// The output of the method over one dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Inference {
+    /// Label per classified community.
+    pub labels: HashMap<Community, Intent>,
+    /// Communities the method refused to classify, with the reason.
+    pub excluded: HashMap<Community, Exclusion>,
+    /// Every labeled cluster (diagnostics, Fig 4/6/9 material).
+    pub clusters: Vec<LabeledCluster>,
+}
+
+impl Inference {
+    /// The label of a community, if inferred.
+    pub fn label(&self, c: Community) -> Option<Intent> {
+        self.labels.get(&c).copied()
+    }
+
+    /// `(action, information)` counts over classified communities — the
+    /// paper's headline "24,376 action and 54,104 informational".
+    pub fn intent_counts(&self) -> (usize, usize) {
+        let action = self
+            .labels
+            .values()
+            .filter(|i| **i == Intent::Action)
+            .count();
+        (action, self.labels.len() - action)
+    }
+
+    /// Number of distinct owner ASNs with at least one classified
+    /// community (the paper's "5,491 ISPs").
+    pub fn owner_count(&self) -> usize {
+        let mut owners: Vec<u16> = self.labels.keys().map(|c| c.asn).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        owners.len()
+    }
+}
+
+/// Label one cluster from its members' path counts.
+///
+/// §5.2: never off-path ⇒ information; always off-path ⇒ action; otherwise
+/// compare the mean per-community ratio to the threshold.
+pub fn label_cluster(
+    stats: &PathStats,
+    cluster: &Cluster,
+    cfg: &InferenceConfig,
+) -> LabeledCluster {
+    let mut on_total = 0u64;
+    let mut off_total = 0u64;
+    let mut ratio_sum = 0.0f64;
+    let mut members = 0usize;
+    for &beta in &cluster.betas {
+        let c = Community::new(cluster.asn, beta);
+        let counts = stats.counts(c).unwrap_or_default();
+        on_total += counts.on as u64;
+        off_total += counts.off as u64;
+        ratio_sum += counts.ratio();
+        members += 1;
+    }
+    let ratio = if cfg.pooled_ratio {
+        if off_total == 0 {
+            on_total as f64
+        } else {
+            on_total as f64 / off_total as f64
+        }
+    } else if members > 0 {
+        ratio_sum / members as f64
+    } else {
+        0.0
+    };
+    let label = if off_total == 0 {
+        Intent::Information
+    } else if on_total == 0 {
+        Intent::Action
+    } else if ratio >= cfg.ratio_threshold {
+        Intent::Information
+    } else {
+        Intent::Action
+    };
+    LabeledCluster {
+        cluster: cluster.clone(),
+        ratio,
+        on_total,
+        off_total,
+        label,
+    }
+}
+
+/// Run steps (i)–(iii) over precomputed path statistics.
+///
+/// `siblings` must be the same map used to build `stats` (it decides both
+/// the on-path test and the never-on-path exclusion).
+pub fn classify(stats: &PathStats, siblings: &SiblingMap, cfg: &InferenceConfig) -> Inference {
+    let mut inference = Inference::default();
+    for (asn, betas) in stats.by_owner() {
+        let owner = Asn::new(asn as u32);
+        let exclusion = if !cfg.apply_exclusions {
+            None
+        } else if owner.is_private() {
+            Some(Exclusion::PrivateAsn)
+        } else if owner.is_reserved() {
+            Some(Exclusion::ReservedAsn)
+        } else {
+            let family = if cfg.use_siblings {
+                siblings.expand(owner)
+            } else {
+                vec![owner]
+            };
+            if family.iter().any(|a| stats.seen_asns.contains(a)) {
+                None
+            } else {
+                Some(Exclusion::NeverOnPath)
+            }
+        };
+        if let Some(reason) = exclusion {
+            for beta in betas {
+                inference.excluded.insert(Community::new(asn, beta), reason);
+            }
+            continue;
+        }
+        for cluster in gap_clusters(asn, &betas, cfg.min_gap) {
+            let labeled = label_cluster(stats, &cluster, cfg);
+            for &beta in &labeled.cluster.betas {
+                inference
+                    .labels
+                    .insert(Community::new(asn, beta), labeled.label);
+            }
+            inference.clusters.push(labeled);
+        }
+    }
+    inference
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Observation;
+
+    fn obs(path: &str, comms: &[(u16, u16)]) -> Observation {
+        Observation {
+            vp: path.split_whitespace().next().unwrap().parse().unwrap(),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time: 0,
+        }
+    }
+
+    fn run(observations: &[Observation], cfg: &InferenceConfig) -> Inference {
+        let siblings = SiblingMap::default();
+        let stats = PathStats::from_observations(observations, &siblings);
+        classify(&stats, &siblings, cfg)
+    }
+
+    #[test]
+    fn never_off_path_is_information() {
+        let observations = vec![
+            obs("10 1299 64496", &[(1299, 20000)]),
+            obs("11 1299 64496", &[(1299, 20000)]),
+        ];
+        let inf = run(&observations, &InferenceConfig::default());
+        assert_eq!(
+            inf.label(Community::new(1299, 20000)),
+            Some(Intent::Information)
+        );
+    }
+
+    #[test]
+    fn always_off_path_is_action() {
+        let observations = vec![obs("10 64496", &[(1299, 2569)])];
+        // 1299 must appear in *some* path or it is excluded entirely.
+        let mut observations = observations;
+        observations.push(obs("10 1299 64497", &[]));
+        let inf = run(&observations, &InferenceConfig::default());
+        assert_eq!(inf.label(Community::new(1299, 2569)), Some(Intent::Action));
+    }
+
+    #[test]
+    fn clustering_rescues_sparse_action_value() {
+        // 1299:2569 is seen only on-path (would be "never off-path" ⇒ info
+        // in isolation), but sits 3 away from 1299:2566, which is clearly
+        // off-path. With gap 140 they share a cluster and both label action;
+        // with gap 0 the sparse one is mislabeled information.
+        let observations = vec![
+            obs("10 1299 64496", &[(1299, 2569)]),
+            obs("11 64496", &[(1299, 2566)]),
+            obs("12 64497", &[(1299, 2566)]),
+            obs("13 1299 64498", &[(1299, 2566)]),
+        ];
+        let clustered = run(&observations, &InferenceConfig::default());
+        assert_eq!(
+            clustered.label(Community::new(1299, 2569)),
+            Some(Intent::Action)
+        );
+        assert_eq!(
+            clustered.label(Community::new(1299, 2566)),
+            Some(Intent::Action)
+        );
+
+        let isolated = run(
+            &observations,
+            &InferenceConfig {
+                min_gap: 0,
+                ..InferenceConfig::default()
+            },
+        );
+        assert_eq!(
+            isolated.label(Community::new(1299, 2569)),
+            Some(Intent::Information)
+        );
+        assert_eq!(
+            isolated.label(Community::new(1299, 2566)),
+            Some(Intent::Action)
+        );
+    }
+
+    #[test]
+    fn ratio_threshold_splits_mixed_clusters() {
+        // One community on 5 paths on-path, 1 off-path: ratio 5 < 160 ⇒ action.
+        let mut observations = vec![obs("9 64496", &[(1299, 100)])];
+        for vp in 10..15 {
+            observations.push(obs(&format!("{vp} 1299 64496"), &[(1299, 100)]));
+        }
+        let inf = run(&observations, &InferenceConfig::default());
+        assert_eq!(inf.label(Community::new(1299, 100)), Some(Intent::Action));
+
+        // Raise on-path count past 160×off ⇒ information.
+        let mut observations = vec![obs("9 64496", &[(1299, 100)])];
+        for vp in 100..265 {
+            observations.push(obs(&format!("{vp} 1299 64496"), &[(1299, 100)]));
+        }
+        let inf = run(&observations, &InferenceConfig::default());
+        assert_eq!(
+            inf.label(Community::new(1299, 100)),
+            Some(Intent::Information)
+        );
+    }
+
+    #[test]
+    fn private_asn_excluded() {
+        let observations = vec![obs("10 65000 64496", &[(65000, 5)])];
+        let inf = run(&observations, &InferenceConfig::default());
+        assert_eq!(inf.label(Community::new(65000, 5)), None);
+        assert_eq!(
+            inf.excluded.get(&Community::new(65000, 5)),
+            Some(&Exclusion::PrivateAsn)
+        );
+    }
+
+    #[test]
+    fn well_known_block_excluded_as_reserved() {
+        let observations = vec![obs("10 3356 64496", &[(0xFFFF, 0xFF01)])];
+        let inf = run(&observations, &InferenceConfig::default());
+        assert_eq!(
+            inf.excluded.get(&Community::NO_EXPORT),
+            Some(&Exclusion::ReservedAsn)
+        );
+    }
+
+    #[test]
+    fn never_on_path_excluded_like_ixp_route_servers() {
+        // 60001 tags routes but never appears in a path.
+        let observations = vec![
+            obs("10 3356 64496", &[(60001, 1), (60001, 2)]),
+            obs("11 3356 64497", &[(60001, 1)]),
+        ];
+        let inf = run(&observations, &InferenceConfig::default());
+        assert_eq!(inf.labels.len(), 0);
+        assert_eq!(
+            inf.excluded.get(&Community::new(60001, 1)),
+            Some(&Exclusion::NeverOnPath)
+        );
+    }
+
+    #[test]
+    fn sibling_presence_lifts_never_on_path() {
+        let siblings = SiblingMap::from_orgs(vec![vec![Asn::new(60001), Asn::new(3356)]]);
+        let observations = vec![obs("10 3356 64496", &[(60001, 1)])];
+        let stats = PathStats::from_observations(&observations, &siblings);
+        let inf = classify(&stats, &siblings, &InferenceConfig::default());
+        // 3356 (sibling) is in the path ⇒ on-path ⇒ information.
+        assert_eq!(
+            inf.label(Community::new(60001, 1)),
+            Some(Intent::Information)
+        );
+
+        let no_sib = classify(
+            &stats,
+            &siblings,
+            &InferenceConfig {
+                use_siblings: false,
+                ..InferenceConfig::default()
+            },
+        );
+        // Note: stats were built WITH sibling expansion; disabling siblings
+        // at classification still changes the exclusion decision.
+        assert_eq!(no_sib.label(Community::new(60001, 1)), None);
+    }
+
+    #[test]
+    fn pooled_ratio_aggregation_differs_from_mean() {
+        // One member with on=400/off=0 (proxy ratio 400), one with
+        // on=10/off=10 (ratio 1): mean = 200.5 >= 160 -> info; pooled =
+        // 410/10 = 41 < 160 -> action.
+        let mut observations = Vec::new();
+        for vp in 0..400 {
+            observations.push(obs(&format!("{} 1299 64496", 10_000 + vp), &[(1299, 100)]));
+        }
+        for vp in 0..10 {
+            observations.push(obs(&format!("{} 1299 64497", 20_000 + vp), &[(1299, 101)]));
+            observations.push(obs(&format!("{} 64497", 30_000 + vp), &[(1299, 101)]));
+        }
+        let mean = run(&observations, &InferenceConfig::default());
+        assert_eq!(
+            mean.label(Community::new(1299, 100)),
+            Some(Intent::Information)
+        );
+        let pooled = run(
+            &observations,
+            &InferenceConfig {
+                pooled_ratio: true,
+                ..InferenceConfig::default()
+            },
+        );
+        assert_eq!(
+            pooled.label(Community::new(1299, 100)),
+            Some(Intent::Action)
+        );
+    }
+
+    #[test]
+    fn disabling_exclusions_classifies_everything() {
+        let observations = vec![
+            obs("10 65000 64496", &[(65000, 5)]),
+            obs("10 3356 64496", &[(60001, 1)]),
+        ];
+        let cfg = InferenceConfig {
+            apply_exclusions: false,
+            ..InferenceConfig::default()
+        };
+        let inf = run(&observations, &cfg);
+        assert!(inf.excluded.is_empty());
+        assert!(inf.labels.contains_key(&Community::new(65000, 5)));
+        assert!(inf.labels.contains_key(&Community::new(60001, 1)));
+    }
+
+    #[test]
+    fn intent_counts_and_owner_count() {
+        let observations = vec![
+            obs("10 1299 64496", &[(1299, 20000), (1299, 20001)]),
+            obs("10 3356 64496", &[(3356, 5)]),
+            obs("11 64496", &[(3356, 5)]),
+        ];
+        let inf = run(&observations, &InferenceConfig::default());
+        let (action, info) = inf.intent_counts();
+        assert_eq!(action, 1); // 3356:5 mixed with low ratio
+        assert_eq!(info, 2);
+        assert_eq!(inf.owner_count(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimum-gap clustering of `β` values — step (i) of Fig 8.
+//!
+//! §5.2: *"our method identifies sequences of community values where the
+//! gap between any pair of adjacent β values is not more than a defined gap
+//! value."* A gap parameter of 0 puts every value in its own cluster
+//! (the "no clustering" baseline of Fig 9).
+
+/// One cluster of observed `β` values belonging to a single AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// The owning ASN (`α`).
+    pub asn: u16,
+    /// Member values, ascending.
+    pub betas: Vec<u16>,
+}
+
+impl Cluster {
+    /// The numeric span `[first, last]` of the cluster.
+    pub fn span(&self) -> (u16, u16) {
+        (
+            self.betas[0],
+            *self.betas.last().expect("clusters are non-empty"),
+        )
+    }
+}
+
+/// Split one AS's sorted, deduplicated `β` values into clusters where
+/// adjacent members differ by at most `min_gap`.
+pub fn gap_clusters(asn: u16, sorted_betas: &[u16], min_gap: u16) -> Vec<Cluster> {
+    let mut clusters = Vec::new();
+    let mut current: Vec<u16> = Vec::new();
+    for &beta in sorted_betas {
+        match current.last() {
+            Some(&prev) if beta.saturating_sub(prev) <= min_gap => current.push(beta),
+            Some(_) => {
+                clusters.push(Cluster {
+                    asn,
+                    betas: std::mem::take(&mut current),
+                });
+                current.push(beta);
+            }
+            None => current.push(beta),
+        }
+    }
+    if !current.is_empty() {
+        clusters.push(Cluster {
+            asn,
+            betas: current,
+        });
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_gaps() {
+        let betas = [50, 150, 430, 431, 666, 2561, 2562, 2569];
+        let clusters = gap_clusters(1299, &betas, 140);
+        let groups: Vec<Vec<u16>> = clusters.iter().map(|c| c.betas.clone()).collect();
+        assert_eq!(
+            groups,
+            vec![
+                vec![50, 150],          // gap 100 <= 140
+                vec![430, 431],         // gap to 150 is 280 > 140
+                vec![666],              // gap 235 > 140
+                vec![2561, 2562, 2569], // gap 1895 > 140; internal gaps <= 7
+            ]
+        );
+    }
+
+    #[test]
+    fn gap_zero_isolates_everything() {
+        let betas = [1, 2, 3, 10];
+        let clusters = gap_clusters(7, &betas, 0);
+        assert_eq!(clusters.len(), 4);
+        for c in &clusters {
+            assert_eq!(c.betas.len(), 1);
+        }
+    }
+
+    #[test]
+    fn gap_max_merges_everything() {
+        let betas = [0, 30000, 65535];
+        let clusters = gap_clusters(7, &betas, u16::MAX);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].span(), (0, 65535));
+    }
+
+    #[test]
+    fn boundary_gap_is_inclusive() {
+        // "not more than a defined gap value": exactly min_gap stays merged.
+        let clusters = gap_clusters(7, &[100, 240], 140);
+        assert_eq!(clusters.len(), 1);
+        let clusters = gap_clusters(7, &[100, 241], 140);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(gap_clusters(7, &[], 140).is_empty());
+        let clusters = gap_clusters(7, &[9], 140);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].span(), (9, 9));
+    }
+
+    #[test]
+    fn members_cover_input_in_order() {
+        let betas: Vec<u16> = (0..500).map(|i| i * 73 % 9001).collect::<Vec<_>>();
+        let mut sorted = betas.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let clusters = gap_clusters(7, &sorted, 50);
+        let flattened: Vec<u16> = clusters
+            .iter()
+            .flat_map(|c| c.betas.iter().copied())
+            .collect();
+        assert_eq!(flattened, sorted);
+    }
+}

@@ -1,0 +1,211 @@
+//! The customer:peer feature (Fig 7) — demonstrated and rejected.
+//!
+//! §5.1: when a route carries `α:β` and `α` is on the path, the AS
+//! *after* `α` (toward the origin) is usually an inferred customer for
+//! action communities. The paper shows the feature maxes out at ~80%
+//! accuracy, which is why the method uses on:off ratios instead.
+
+use std::collections::{HashMap, HashSet};
+
+use bgp_relationships::{InferredRelationships, RelView};
+use bgp_types::{AsPath, Asn, Community, Intent, Observation};
+
+/// Customer/peer evidence for one cluster of communities.
+#[derive(Debug, Clone, Default)]
+pub struct RelCounts {
+    /// Unique paths where the AS after `α` is an inferred customer.
+    pub customers: u32,
+    /// Unique paths where the AS after `α` is an inferred peer.
+    pub peers: u32,
+    /// Unique paths where it is an inferred provider or unknown.
+    pub other: u32,
+}
+
+impl RelCounts {
+    /// Customer:peer ratio; a zero peer count falls back to the customer
+    /// count (same convention as [`PathCounts::ratio`](crate::stats::PathCounts::ratio)).
+    pub fn ratio(&self) -> f64 {
+        if self.peers == 0 {
+            self.customers as f64
+        } else {
+            self.customers as f64 / self.peers as f64
+        }
+    }
+}
+
+/// Compute per-community customer/peer counts over unique paths where the
+/// owner is on-path.
+pub fn relationship_counts(
+    observations: &[Observation],
+    relationships: &InferredRelationships,
+) -> HashMap<Community, RelCounts> {
+    // Dedupe (path, community) pairs over unique paths.
+    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
+    let mut seen: HashSet<(u32, Community)> = HashSet::new();
+    let mut counts: HashMap<Community, RelCounts> = HashMap::new();
+    for obs in observations {
+        let next_id = path_ids.len() as u32;
+        let id = *path_ids.entry(&obs.path).or_insert(next_id);
+        for &c in &obs.communities {
+            if !seen.insert((id, c)) {
+                continue;
+            }
+            let owner = Asn::new(c.asn as u32);
+            if !obs.path.contains(owner) {
+                continue;
+            }
+            let slot = counts.entry(c).or_default();
+            match obs
+                .path
+                .next_toward_origin(owner)
+                .and_then(|next| relationships.view(owner, next))
+            {
+                Some(RelView::Customer) => slot.customers += 1,
+                Some(RelView::Peer) => slot.peers += 1,
+                _ => slot.other += 1,
+            }
+        }
+    }
+    counts
+}
+
+/// Aggregate per-community counts over a cluster of member communities.
+pub fn cluster_rel_counts(
+    per_community: &HashMap<Community, RelCounts>,
+    members: &[Community],
+) -> RelCounts {
+    let mut total = RelCounts::default();
+    for c in members {
+        if let Some(rc) = per_community.get(c) {
+            total.customers += rc.customers;
+            total.peers += rc.peers;
+            total.other += rc.other;
+        }
+    }
+    total
+}
+
+/// `(ratio, truth)` pairs for clusters, ready for the Fig 7 CDF and the
+/// optimal-threshold search.
+pub fn cluster_ratio_series(
+    clusters: &[(Vec<Community>, Intent)],
+    per_community: &HashMap<Community, RelCounts>,
+) -> Vec<(f64, Intent)> {
+    clusters
+        .iter()
+        .filter_map(|(members, truth)| {
+            let rc = cluster_rel_counts(per_community, members);
+            if rc.customers + rc.peers == 0 {
+                None
+            } else {
+                Some((rc.ratio(), *truth))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_relationships::{infer_relationships, InferConfig};
+
+    fn obs(path: &str, comms: &[(u16, u16)]) -> Observation {
+        Observation {
+            vp: path.split_whitespace().next().unwrap().parse().unwrap(),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time: 0,
+        }
+    }
+
+    fn rels() -> InferredRelationships {
+        // Build a small world: 1 is a big transit; 10,11 its customers;
+        // 2 a comparable transit peering with 1.
+        let mut paths: Vec<AsPath> = Vec::new();
+        for s in 30..40u32 {
+            paths.push(format!("{s} 1 10").parse().unwrap());
+            paths.push(format!("{s} 1 11").parse().unwrap());
+            paths.push(format!("{s} 2 1 10").parse().unwrap());
+            paths.push(format!("{s} 1 2 20").parse().unwrap());
+            paths.push(format!("{s} 2 21").parse().unwrap());
+        }
+        infer_relationships(paths.iter(), &InferConfig::default())
+    }
+
+    #[test]
+    fn counts_split_by_relationship() {
+        let relationships = rels();
+        // Sanity: 1 sees 10 as customer, 2 as peer.
+        assert_eq!(
+            relationships.view(Asn::new(1), Asn::new(10)),
+            Some(RelView::Customer)
+        );
+        assert_eq!(
+            relationships.view(Asn::new(1), Asn::new(2)),
+            Some(RelView::Peer)
+        );
+
+        let observations = vec![
+            obs("30 1 10", &[(1, 100)]),   // next after 1 is customer 10
+            obs("31 1 11", &[(1, 100)]),   // customer 11
+            obs("30 1 2 20", &[(1, 100)]), // peer 2
+            obs("30 99 98", &[(1, 100)]),  // off-path: ignored
+        ];
+        let counts = relationship_counts(&observations, &relationships);
+        let rc = &counts[&Community::new(1, 100)];
+        assert_eq!(rc.customers, 2);
+        assert_eq!(rc.peers, 1);
+        assert_eq!(rc.other, 0);
+        assert_eq!(rc.ratio(), 2.0);
+    }
+
+    #[test]
+    fn owner_at_origin_counts_as_other() {
+        let relationships = rels();
+        let observations = vec![obs("30 2 1", &[(1, 100)])];
+        let counts = relationship_counts(&observations, &relationships);
+        assert_eq!(counts[&Community::new(1, 100)].other, 1);
+    }
+
+    #[test]
+    fn unique_paths_deduplicate() {
+        let relationships = rels();
+        let observations = vec![obs("30 1 10", &[(1, 100)]), obs("30 1 10", &[(1, 100)])];
+        let counts = relationship_counts(&observations, &relationships);
+        assert_eq!(counts[&Community::new(1, 100)].customers, 1);
+    }
+
+    #[test]
+    fn cluster_aggregation_and_series() {
+        let relationships = rels();
+        let observations = vec![
+            obs("30 1 10", &[(1, 100), (1, 101)]),
+            obs("30 1 2 20", &[(1, 200)]),
+        ];
+        let per_community = relationship_counts(&observations, &relationships);
+        let clusters = vec![
+            (
+                vec![Community::new(1, 100), Community::new(1, 101)],
+                Intent::Action,
+            ),
+            (vec![Community::new(1, 200)], Intent::Information),
+            (vec![Community::new(1, 999)], Intent::Action), // no evidence
+        ];
+        let series = cluster_ratio_series(&clusters, &per_community);
+        assert_eq!(series.len(), 2); // evidence-free cluster dropped
+        assert_eq!(series[0], (2.0, Intent::Action));
+        assert_eq!(series[1], (0.0, Intent::Information));
+    }
+
+    #[test]
+    fn ratio_fallback_without_peers() {
+        let rc = RelCounts {
+            customers: 7,
+            peers: 0,
+            other: 3,
+        };
+        assert_eq!(rc.ratio(), 7.0);
+    }
+}

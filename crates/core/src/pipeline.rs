@@ -1,0 +1,104 @@
+//! End-to-end convenience wiring: observations in, labeled communities and
+//! (optionally) an evaluation out.
+
+use bgp_dictionary::GroundTruthDictionary;
+use bgp_relationships::SiblingMap;
+use bgp_types::Observation;
+
+use crate::classify::{classify, Inference, InferenceConfig};
+use crate::eval::{evaluate, Evaluation};
+use crate::stats::PathStats;
+
+/// Everything the pipeline produced for one dataset.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Path statistics (reusable for figures).
+    pub stats: PathStats,
+    /// The inference output.
+    pub inference: Inference,
+    /// Score against ground truth, when a dictionary was supplied.
+    pub evaluation: Option<Evaluation>,
+}
+
+/// Run the full method: statistics → clustering → classification →
+/// (optional) evaluation.
+pub fn run_inference(
+    observations: &[Observation],
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    dict: Option<&GroundTruthDictionary>,
+) -> PipelineResult {
+    let stats = PathStats::from_observations(observations, siblings);
+    let inference = classify(&stats, siblings, cfg);
+    let evaluation = dict.map(|d| evaluate(&inference, d));
+    PipelineResult {
+        stats,
+        inference,
+        evaluation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_dictionary::DictionaryEntry;
+    use bgp_types::{Community, Intent};
+
+    fn obs(path: &str, comms: &[(u16, u16)]) -> Observation {
+        Observation {
+            vp: path.split_whitespace().next().unwrap().parse().unwrap(),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time: 0,
+        }
+    }
+
+    #[test]
+    fn end_to_end_with_evaluation() {
+        let observations = vec![
+            obs("10 1299 64496", &[(1299, 20000), (1299, 20001)]),
+            obs("11 1299 64497", &[(1299, 20000)]),
+            obs("12 64496", &[(1299, 2569)]),
+            obs("13 1299 64498", &[(1299, 2569)]),
+        ];
+        let dict = GroundTruthDictionary {
+            entries: vec![
+                DictionaryEntry {
+                    pattern: "1299:2000[01]".parse().unwrap(),
+                    intent: Intent::Information,
+                },
+                DictionaryEntry {
+                    pattern: "1299:2569".parse().unwrap(),
+                    intent: Intent::Action,
+                },
+            ],
+        };
+        let result = run_inference(
+            &observations,
+            &SiblingMap::default(),
+            &InferenceConfig::default(),
+            Some(&dict),
+        );
+        assert_eq!(result.stats.community_count(), 3);
+        let eval = result.evaluation.unwrap();
+        assert_eq!(eval.total, 3);
+        assert_eq!(eval.accuracy(), 1.0);
+        let (action, info) = result.inference.intent_counts();
+        assert_eq!((action, info), (1, 2));
+    }
+
+    #[test]
+    fn runs_without_dictionary() {
+        let observations = vec![obs("10 1299 64496", &[(1299, 1)])];
+        let result = run_inference(
+            &observations,
+            &SiblingMap::default(),
+            &InferenceConfig::default(),
+            None,
+        );
+        assert!(result.evaluation.is_none());
+        assert_eq!(result.inference.labels.len(), 1);
+    }
+}

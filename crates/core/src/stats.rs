@@ -1,0 +1,240 @@
+//! Per-community path statistics — step 0 of the method.
+//!
+//! §5.1: *"We calculated the on-path:off-path ratio of a community by
+//! counting the number of unique AS paths the community appeared on-path
+//! and off-path, respectively."* The on-path test includes siblings (§5.2:
+//! "the ASN (or a sibling thereof)").
+
+use std::collections::{HashMap, HashSet};
+
+use bgp_relationships::SiblingMap;
+use bgp_types::{AsPath, Asn, Community, Observation};
+
+/// Unique-path counts for one community.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathCounts {
+    /// Unique AS paths containing the owner (or a sibling).
+    pub on: u32,
+    /// Unique AS paths not containing the owner or any sibling.
+    pub off: u32,
+}
+
+impl PathCounts {
+    /// The per-community on:off ratio used inside mixed clusters.
+    ///
+    /// `off == 0` has no finite ratio; the on-count itself is used as a
+    /// conservative proxy (equivalent to assuming one unseen off-path
+    /// sighting), which keeps never-off-path communities strongly on the
+    /// informational side without infinities.
+    pub fn ratio(&self) -> f64 {
+        if self.off == 0 {
+            self.on as f64
+        } else {
+            self.on as f64 / self.off as f64
+        }
+    }
+}
+
+/// Aggregated path statistics over a set of observations.
+#[derive(Debug, Clone, Default)]
+pub struct PathStats {
+    /// Per-community unique-path counts.
+    pub per_community: HashMap<Community, PathCounts>,
+    /// Every ASN appearing in any unique AS path (for the never-on-path
+    /// exclusion rule).
+    pub seen_asns: HashSet<Asn>,
+    /// Number of unique `(AS path, communities)` tuples (the §4 unit:
+    /// "≈174M tuples" in the paper).
+    pub unique_tuples: usize,
+    /// Number of unique AS paths.
+    pub unique_paths: usize,
+}
+
+impl PathStats {
+    /// Reduce observations to statistics. Duplicate `(path, communities)`
+    /// tuples collapse; a community's on/off counts are over unique paths.
+    pub fn from_observations(observations: &[Observation], siblings: &SiblingMap) -> Self {
+        // Intern paths and dedupe tuples.
+        let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
+        let mut tuples: HashSet<(u32, &[Community])> = HashSet::new();
+        for obs in observations {
+            let next = path_ids.len() as u32;
+            let id = *path_ids.entry(&obs.path).or_insert(next);
+            tuples.insert((id, obs.communities.as_slice()));
+        }
+
+        // Membership sets per path, with sibling expansion applied on the
+        // community side (cheaper: expand the owner when testing).
+        let mut members: Vec<HashSet<Asn>> = vec![HashSet::new(); path_ids.len()];
+        let mut seen_asns = HashSet::new();
+        for (path, &id) in &path_ids {
+            let set: HashSet<Asn> = path.iter().collect();
+            seen_asns.extend(set.iter().copied());
+            members[id as usize] = set;
+        }
+
+        // Unique paths per community, split on/off.
+        let mut on_paths: HashMap<Community, HashSet<u32>> = HashMap::new();
+        let mut off_paths: HashMap<Community, HashSet<u32>> = HashMap::new();
+        for &(path_id, communities) in &tuples {
+            for &c in communities {
+                let owner = Asn::new(c.asn as u32);
+                let family = siblings.expand(owner);
+                let on = family.iter().any(|a| members[path_id as usize].contains(a));
+                if on {
+                    on_paths.entry(c).or_default().insert(path_id);
+                } else {
+                    off_paths.entry(c).or_default().insert(path_id);
+                }
+            }
+        }
+
+        let mut per_community: HashMap<Community, PathCounts> = HashMap::new();
+        for (c, set) in on_paths {
+            per_community.entry(c).or_default().on = set.len() as u32;
+        }
+        for (c, set) in off_paths {
+            per_community.entry(c).or_default().off = set.len() as u32;
+        }
+
+        PathStats {
+            per_community,
+            seen_asns,
+            unique_tuples: tuples.len(),
+            unique_paths: path_ids.len(),
+        }
+    }
+
+    /// Observed communities grouped by owner ASN, each group's `β` values
+    /// sorted ascending. Deterministic order (by ASN).
+    pub fn by_owner(&self) -> Vec<(u16, Vec<u16>)> {
+        let mut map: HashMap<u16, Vec<u16>> = HashMap::new();
+        for c in self.per_community.keys() {
+            map.entry(c.asn).or_default().push(c.value);
+        }
+        let mut out: Vec<(u16, Vec<u16>)> = map.into_iter().collect();
+        for (_, betas) in &mut out {
+            betas.sort_unstable();
+            betas.dedup();
+        }
+        out.sort_unstable_by_key(|(asn, _)| *asn);
+        out
+    }
+
+    /// Total distinct communities observed.
+    pub fn community_count(&self) -> usize {
+        self.per_community.len()
+    }
+
+    /// The counts for one community, if observed.
+    pub fn counts(&self, c: Community) -> Option<PathCounts> {
+        self.per_community.get(&c).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(vp: u32, path: &str, comms: &[(u16, u16)]) -> Observation {
+        Observation {
+            vp: Asn::new(vp),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time: 0,
+        }
+    }
+
+    #[test]
+    fn fig5_counting() {
+        // The three collector paths of Fig 5. Community 1299:2569 rides
+        // routes via 65432 (off-path) and via 7018|1299 (on-path);
+        // 1299:35130 is always on-path.
+        let observations = vec![
+            obs(65541, "65541 3356 1299 64496", &[(1299, 35130)]),
+            obs(65432, "65432 64496", &[(1299, 2569)]),
+            obs(
+                65269,
+                "65269 7018 1299 64496",
+                &[(1299, 2569), (1299, 35130)],
+            ),
+        ];
+        let stats = PathStats::from_observations(&observations, &SiblingMap::default());
+        let action = stats.counts(Community::new(1299, 2569)).unwrap();
+        assert_eq!((action.on, action.off), (1, 1));
+        let info = stats.counts(Community::new(1299, 35130)).unwrap();
+        assert_eq!((info.on, info.off), (2, 0));
+        assert_eq!(stats.unique_paths, 3);
+        assert_eq!(stats.unique_tuples, 3);
+        assert!(stats.seen_asns.contains(&Asn::new(1299)));
+        assert!(!stats.seen_asns.contains(&Asn::new(9999)));
+    }
+
+    #[test]
+    fn duplicate_tuples_collapse() {
+        let observations = vec![
+            obs(65541, "65541 1299 64496", &[(1299, 1)]),
+            obs(65541, "65541 1299 64496", &[(1299, 1)]),
+        ];
+        let stats = PathStats::from_observations(&observations, &SiblingMap::default());
+        let counts = stats.counts(Community::new(1299, 1)).unwrap();
+        assert_eq!((counts.on, counts.off), (1, 0));
+        assert_eq!(stats.unique_tuples, 1);
+    }
+
+    #[test]
+    fn same_path_different_communities_counts_path_once() {
+        let observations = vec![
+            obs(65541, "65541 1299 64496", &[(1299, 1)]),
+            obs(65541, "65541 1299 64496", &[(1299, 1), (1299, 2)]),
+        ];
+        let stats = PathStats::from_observations(&observations, &SiblingMap::default());
+        // Two distinct tuples, one unique path; 1299:1 on one unique path.
+        assert_eq!(stats.unique_tuples, 2);
+        assert_eq!(stats.unique_paths, 1);
+        assert_eq!(stats.counts(Community::new(1299, 1)).unwrap().on, 1);
+    }
+
+    #[test]
+    fn sibling_expansion_marks_on_path() {
+        // 64500 is a sibling of 1299: a path containing 64500 counts as
+        // on-path for 1299's communities.
+        let siblings = SiblingMap::from_orgs(vec![vec![Asn::new(1299), Asn::new(64500)]]);
+        let observations = vec![obs(65541, "65541 64500 64496", &[(1299, 7)])];
+        let with = PathStats::from_observations(&observations, &siblings);
+        assert_eq!(with.counts(Community::new(1299, 7)).unwrap().on, 1);
+        let without = PathStats::from_observations(&observations, &SiblingMap::default());
+        assert_eq!(without.counts(Community::new(1299, 7)).unwrap().off, 1);
+    }
+
+    #[test]
+    fn ratio_semantics() {
+        assert_eq!(PathCounts { on: 320, off: 2 }.ratio(), 160.0);
+        assert_eq!(PathCounts { on: 57, off: 0 }.ratio(), 57.0);
+        assert_eq!(PathCounts { on: 0, off: 9 }.ratio(), 0.0);
+    }
+
+    #[test]
+    fn by_owner_groups_and_sorts() {
+        let observations = vec![
+            obs(1, "1 2 3", &[(200, 9), (100, 5), (100, 1)]),
+            obs(1, "1 2 4", &[(100, 5)]),
+        ];
+        let stats = PathStats::from_observations(&observations, &SiblingMap::default());
+        let grouped = stats.by_owner();
+        assert_eq!(grouped, vec![(100, vec![1, 5]), (200, vec![9])]);
+    }
+
+    #[test]
+    fn prepending_does_not_double_count() {
+        let observations = vec![
+            obs(1, "1 1299 1299 1299 64496", &[(1299, 5)]),
+            obs(1, "1 1299 64496", &[(1299, 5)]),
+        ];
+        let stats = PathStats::from_observations(&observations, &SiblingMap::default());
+        // Two distinct paths (prepending makes them different strings).
+        assert_eq!(stats.counts(Community::new(1299, 5)).unwrap().on, 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests: invariants of clustering, statistics, and
+//! classification.
+
+use proptest::prelude::*;
+
+use bgp_intent::classify::{classify, InferenceConfig};
+use bgp_intent::cluster::gap_clusters;
+use bgp_intent::stats::{PathCounts, PathStats};
+use bgp_relationships::SiblingMap;
+use bgp_types::{AsPath, Asn, Community, Observation};
+
+fn arb_betas() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::btree_set(any::<u16>(), 0..80).prop_map(|s| s.into_iter().collect())
+}
+
+fn arb_observations() -> impl Strategy<Value = Vec<Observation>> {
+    prop::collection::vec(
+        (
+            1u32..50,                               // vp
+            prop::collection::vec(2u32..200, 1..5), // path tail
+            prop::collection::vec((1u16..300, any::<u16>()), 0..6),
+        ),
+        0..40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(vp, tail, comms)| {
+                let mut communities: Vec<Community> = comms
+                    .into_iter()
+                    .map(|(a, b)| Community::new(a, b))
+                    .collect();
+                communities.sort_unstable();
+                communities.dedup();
+                Observation {
+                    vp: Asn::new(vp),
+                    prefix: "10.0.0.0/24".parse().unwrap(),
+                    path: AsPath::from_sequence(std::iter::once(vp).chain(tail).map(Asn::new)),
+                    communities,
+                    large_communities: Vec::new(),
+                    time: 0,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn clusters_partition_the_input(betas in arb_betas(), gap in 0u16..2000) {
+        let clusters = gap_clusters(7, &betas, gap);
+        let flattened: Vec<u16> =
+            clusters.iter().flat_map(|c| c.betas.iter().copied()).collect();
+        prop_assert_eq!(flattened, betas);
+    }
+
+    #[test]
+    fn cluster_boundaries_respect_gap(betas in arb_betas(), gap in 0u16..2000) {
+        let clusters = gap_clusters(7, &betas, gap);
+        for c in &clusters {
+            for w in c.betas.windows(2) {
+                prop_assert!(w[1] - w[0] <= gap, "intra-cluster gap exceeds {gap}");
+            }
+        }
+        for w in clusters.windows(2) {
+            let last = *w[0].betas.last().unwrap();
+            let first = w[1].betas[0];
+            prop_assert!(first - last > gap, "adjacent clusters closer than {gap}");
+        }
+    }
+
+    #[test]
+    fn larger_gap_never_more_clusters(betas in arb_betas(), g1 in 0u16..1000, g2 in 0u16..1000) {
+        let (small, large) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let a = gap_clusters(7, &betas, small).len();
+        let b = gap_clusters(7, &betas, large).len();
+        prop_assert!(b <= a, "gap {large} made {b} clusters > gap {small}'s {a}");
+    }
+
+    #[test]
+    fn stats_counts_are_bounded_by_unique_paths(observations in arb_observations()) {
+        let stats = PathStats::from_observations(&observations, &SiblingMap::default());
+        for counts in stats.per_community.values() {
+            prop_assert!((counts.on as usize) <= stats.unique_paths);
+            prop_assert!((counts.off as usize) <= stats.unique_paths);
+            prop_assert!((counts.on + counts.off) as usize <= stats.unique_paths);
+        }
+        prop_assert!(stats.unique_paths <= observations.len().max(1));
+    }
+
+    #[test]
+    fn every_observed_community_is_labeled_or_excluded(observations in arb_observations()) {
+        let siblings = SiblingMap::default();
+        let stats = PathStats::from_observations(&observations, &siblings);
+        let inference = classify(&stats, &siblings, &InferenceConfig::default());
+        for c in stats.per_community.keys() {
+            let labeled = inference.labels.contains_key(c);
+            let excluded = inference.excluded.contains_key(c);
+            prop_assert!(labeled ^ excluded, "{c} labeled={labeled} excluded={excluded}");
+        }
+        prop_assert_eq!(
+            inference.labels.len() + inference.excluded.len(),
+            stats.community_count()
+        );
+    }
+
+    #[test]
+    fn cluster_labels_agree_with_community_labels(observations in arb_observations()) {
+        let siblings = SiblingMap::default();
+        let stats = PathStats::from_observations(&observations, &siblings);
+        let inference = classify(&stats, &siblings, &InferenceConfig::default());
+        for lc in &inference.clusters {
+            for &beta in &lc.cluster.betas {
+                let c = Community::new(lc.cluster.asn, beta);
+                prop_assert_eq!(inference.labels.get(&c), Some(&lc.label));
+            }
+        }
+    }
+
+    #[test]
+    fn gap_zero_yields_singleton_clusters(observations in arb_observations()) {
+        let siblings = SiblingMap::default();
+        let stats = PathStats::from_observations(&observations, &siblings);
+        let cfg = InferenceConfig { min_gap: 0, ..InferenceConfig::default() };
+        let inference = classify(&stats, &siblings, &cfg);
+        for lc in &inference.clusters {
+            prop_assert_eq!(lc.cluster.betas.len(), 1);
+        }
+    }
+
+    #[test]
+    fn ratio_is_finite_and_nonnegative(on in any::<u32>(), off in any::<u32>()) {
+        let r = PathCounts { on, off }.ratio();
+        prop_assert!(r.is_finite());
+        prop_assert!(r >= 0.0);
+    }
+
+    #[test]
+    fn classification_is_deterministic(observations in arb_observations()) {
+        let siblings = SiblingMap::default();
+        let stats = PathStats::from_observations(&observations, &siblings);
+        let a = classify(&stats, &siblings, &InferenceConfig::default());
+        let b = classify(&stats, &siblings, &InferenceConfig::default());
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(a.excluded, b.excluded);
+    }
+}

@@ -1,0 +1,299 @@
+//! The assembled ground-truth dictionary.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use bgp_policy::PolicySet;
+use bgp_types::{Asn, Community, Intent};
+
+use crate::pattern::CommunityPattern;
+use crate::summarize::cover_labeled;
+
+/// One dictionary entry: a community pattern with its intent label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DictionaryEntry {
+    /// The pattern (serialized in its textual `α:...` form).
+    pub pattern: CommunityPattern,
+    /// The coarse-grained label of everything the pattern matches.
+    pub intent: Intent,
+}
+
+/// The validation dictionary: pattern entries for a documented subset of
+/// ASes (the paper's "59 ASes, 199 information and 133 action regexes").
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruthDictionary {
+    /// All entries, grouped by ASN in ascending order.
+    pub entries: Vec<DictionaryEntry>,
+}
+
+impl GroundTruthDictionary {
+    /// Build by summarizing the true policies of the `documented` ASes into
+    /// pattern entries, exactly covering each AS's defined values.
+    pub fn from_policies(policies: &PolicySet, documented: &[Asn]) -> Self {
+        Self::from_policies_partial(policies, documented, 1.0, 0)
+    }
+
+    /// Like [`GroundTruthDictionary::from_policies`], but each contiguous
+    /// same-intent run survives only with probability `completeness` —
+    /// real operator documentation is incomplete, so some values that are
+    /// observed in BGP stay "unknown" (Fig 4) and the validation set covers
+    /// a subset of what each documented AS defines.
+    pub fn from_policies_partial(
+        policies: &PolicySet,
+        documented: &[Asn],
+        completeness: f64,
+        seed: u64,
+    ) -> Self {
+        let mut entries = Vec::new();
+        let mut docs: Vec<Asn> = documented.to_vec();
+        docs.sort_unstable();
+        docs.dedup();
+        for asn in docs {
+            let Some(policy) = policies.get(asn) else {
+                continue;
+            };
+            if !asn.is_16bit() {
+                continue;
+            }
+            let labeled: Vec<(u16, Intent)> =
+                policy.defs.iter().map(|(b, p)| (*b, p.intent())).collect();
+            for (beta_pattern, intent) in cover_labeled(&labeled) {
+                let first = beta_pattern.expand().first().copied().unwrap_or(0);
+                if !keep(seed, asn.value(), first, completeness) {
+                    continue;
+                }
+                entries.push(DictionaryEntry {
+                    pattern: CommunityPattern {
+                        asn: asn.value() as u16,
+                        beta: beta_pattern,
+                    },
+                    intent,
+                });
+            }
+        }
+        GroundTruthDictionary { entries }
+    }
+
+    /// The ground-truth label for a community, if a pattern covers it.
+    pub fn lookup(&self, c: Community) -> Option<Intent> {
+        self.entries
+            .iter()
+            .find(|e| e.pattern.matches(c))
+            .map(|e| e.intent)
+    }
+
+    /// ASNs with at least one entry, ascending.
+    pub fn covered_ases(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.entries.iter().map(|e| e.pattern.asn).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// `(action, information)` entry counts — comparable to the paper's
+    /// 133 action / 199 information regexes.
+    pub fn entry_counts(&self) -> (usize, usize) {
+        let action = self
+            .entries
+            .iter()
+            .filter(|e| e.intent == Intent::Action)
+            .count();
+        (action, self.entries.len() - action)
+    }
+
+    /// Index entries by ASN for faster lookup over large observation sets.
+    pub fn by_asn(&self) -> HashMap<u16, Vec<&DictionaryEntry>> {
+        let mut map: HashMap<u16, Vec<&DictionaryEntry>> = HashMap::new();
+        for e in &self.entries {
+            map.entry(e.pattern.asn).or_default().push(e);
+        }
+        map
+    }
+
+    /// Serialize to pretty JSON (the release format of the data supplement).
+    pub fn to_json<W: Write>(&self, w: W) -> serde_json::Result<()> {
+        serde_json::to_writer_pretty(w, self)
+    }
+
+    /// Load from JSON.
+    pub fn from_json<R: Read>(r: R) -> serde_json::Result<Self> {
+        serde_json::from_reader(r)
+    }
+}
+
+/// Deterministic keep/drop decision without an RNG dependency
+/// (splitmix64 over the run identity).
+fn keep(seed: u64, asn: u32, first_beta: u16, completeness: f64) -> bool {
+    if completeness >= 1.0 {
+        return true;
+    }
+    let mut z = seed ^ ((asn as u64) << 32) ^ (first_beta as u64).wrapping_mul(0x9E37_79B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % 10_000) as f64 / 10_000.0 < completeness
+}
+
+/// Choose which ASes are "documented": the operators whose dictionaries a
+/// researcher could actually collect. Mirrors reality by taking mostly the
+/// largest dictionaries (big carriers document publicly) plus a spread of
+/// smaller ones, deterministically.
+pub fn select_documented(policies: &PolicySet, count: usize) -> Vec<Asn> {
+    let mut by_size: Vec<(usize, Asn)> = policies
+        .asns_sorted()
+        .into_iter()
+        .map(|asn| (policies.get(asn).map(|p| p.len()).unwrap_or(0), asn))
+        .collect();
+    by_size.sort_unstable_by_key(|&(len, asn)| (std::cmp::Reverse(len), asn));
+
+    let head = (count * 2) / 3;
+    let mut documented: Vec<Asn> = by_size
+        .iter()
+        .take(head.min(by_size.len()))
+        .map(|&(_, a)| a)
+        .collect();
+    // Remaining slots: every 3rd of the rest, for tier diversity.
+    let rest: Vec<Asn> = by_size.iter().skip(head).map(|&(_, a)| a).collect();
+    for asn in rest.iter().step_by(3) {
+        if documented.len() >= count {
+            break;
+        }
+        documented.push(*asn);
+    }
+    for asn in rest {
+        if documented.len() >= count {
+            break;
+        }
+        if !documented.contains(&asn) {
+            documented.push(asn);
+        }
+    }
+    documented.sort_unstable();
+    documented
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_policy::{generate_policies, PolicyConfig};
+    use bgp_topology::{generate, TopologyConfig};
+
+    fn world() -> PolicySet {
+        let topo = generate(&TopologyConfig {
+            tier1_count: 4,
+            large_transit_count: 8,
+            mid_transit_count: 16,
+            stub_count: 80,
+            ixp_count: 2,
+            ..TopologyConfig::default()
+        });
+        generate_policies(&topo, &PolicyConfig::default())
+    }
+
+    #[test]
+    fn dictionary_labels_match_policies_exactly() {
+        let policies = world();
+        let documented = select_documented(&policies, 20);
+        let dict = GroundTruthDictionary::from_policies(&policies, &documented);
+        // Every defined community of a documented AS must be labeled, and
+        // labeled correctly.
+        for &asn in &documented {
+            let policy = policies.get(asn).unwrap();
+            for (&beta, purpose) in &policy.defs {
+                let c = Community::new(asn.value() as u16, beta);
+                assert_eq!(
+                    dict.lookup(c),
+                    Some(purpose.intent()),
+                    "wrong/missing label for {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_never_labels_undefined_values() {
+        // Exactness: values the documented ASes did NOT define must not
+        // match any pattern.
+        let policies = world();
+        let documented = select_documented(&policies, 10);
+        let dict = GroundTruthDictionary::from_policies(&policies, &documented);
+        for &asn in &documented {
+            let policy = policies.get(asn).unwrap();
+            for probe in (0..60_000u16).step_by(37) {
+                if !policy.defs.contains_key(&probe) {
+                    let c = Community::new(asn.value() as u16, probe);
+                    assert_eq!(dict.lookup(c), None, "spurious label for {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undocumented_ases_are_uncovered() {
+        let policies = world();
+        let documented = select_documented(&policies, 10);
+        let dict = GroundTruthDictionary::from_policies(&policies, &documented);
+        let covered = dict.covered_ases();
+        assert_eq!(covered.len(), 10);
+        for asn in policies.asns_sorted() {
+            if !documented.contains(&asn) {
+                assert!(!covered.contains(&(asn.value() as u16)));
+            }
+        }
+    }
+
+    #[test]
+    fn entry_counts_have_both_intents() {
+        let policies = world();
+        let documented = select_documented(&policies, 30);
+        let dict = GroundTruthDictionary::from_policies(&policies, &documented);
+        let (action, info) = dict.entry_counts();
+        assert!(action > 10, "only {action} action entries");
+        assert!(info > 10, "only {info} info entries");
+        // The paper's dictionary had more info than action regexes.
+        assert!(info > action, "info {info} <= action {action}");
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_sized() {
+        let policies = world();
+        let a = select_documented(&policies, 25);
+        let b = select_documented(&policies, 25);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 25);
+        // Mostly large dictionaries.
+        let sizes: Vec<usize> = a.iter().map(|x| policies.get(*x).unwrap().len()).collect();
+        let avg: f64 = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let overall: f64 = policies.total_definitions() as f64 / policies.as_count() as f64;
+        assert!(
+            avg > overall,
+            "documented avg {avg:.1} <= overall {overall:.1}"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let policies = world();
+        let documented = select_documented(&policies, 8);
+        let dict = GroundTruthDictionary::from_policies(&policies, &documented);
+        let mut buf = Vec::new();
+        dict.to_json(&mut buf).unwrap();
+        let back = GroundTruthDictionary::from_json(&buf[..]).unwrap();
+        assert_eq!(back, dict);
+    }
+
+    #[test]
+    fn by_asn_index_is_complete() {
+        let policies = world();
+        let documented = select_documented(&policies, 8);
+        let dict = GroundTruthDictionary::from_policies(&policies, &documented);
+        let idx = dict.by_asn();
+        assert_eq!(
+            idx.values().map(Vec::len).sum::<usize>(),
+            dict.entries.len()
+        );
+    }
+}

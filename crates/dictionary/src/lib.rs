@@ -1,0 +1,29 @@
+//! Ground-truth community dictionaries and the pattern engine behind them.
+//!
+//! The paper's validation data is a hand-assembled dictionary for 59 ASes
+//! in which contiguous, same-purpose community ranges are summarized as
+//! regular expressions like `1299:[257]\d\d[1239]` (§4). This crate
+//! provides:
+//!
+//! * [`pattern`] — a small, purpose-built pattern engine over the decimal
+//!   digits of a community's `β` (literals, `\d`, digit classes with
+//!   ranges). No general-regex dependency: community patterns are
+//!   fixed-length digit patterns and nothing more.
+//! * [`summarize`] — exact pattern covers: given the set of labeled `β`
+//!   values of one AS, produce the minimal-ish pattern list in the style
+//!   operators themselves use (last-digit classes, merged digit positions).
+//! * [`dict`] — the assembled ground-truth dictionary: pattern → intent
+//!   entries for a *documented subset* of ASes, lookup of observed
+//!   communities, selection of which ASes are documented, and JSON I/O for
+//!   release as a data supplement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dict;
+pub mod pattern;
+pub mod summarize;
+
+pub use dict::{select_documented, DictionaryEntry, GroundTruthDictionary};
+pub use pattern::{BetaPattern, CommunityPattern};
+pub use summarize::cover_betas;

@@ -1,0 +1,448 @@
+//! Digit patterns over community `β` values.
+//!
+//! Syntax (a strict subset of regular expressions, matched against the
+//! decimal rendering of `β`, full-string, fixed length):
+//!
+//! * a digit matches itself: `2569`
+//! * `\d` matches any digit
+//! * `[257]` matches a digit class; ranges allowed: `[1-39]` = {1,2,3,9}
+//!
+//! A full community pattern pairs an ASN with a β pattern: `1299:[257]\d\d[1239]`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use bgp_types::{Community, ParseError};
+
+/// One digit position of a pattern, as a bitmask over digits 0–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DigitSet(u16);
+
+/// All ten digits.
+const ALL: u16 = 0x3FF;
+
+impl DigitSet {
+    /// A single digit.
+    pub fn literal(d: u8) -> Self {
+        debug_assert!(d < 10);
+        DigitSet(1 << d)
+    }
+
+    /// Any digit (`\d`).
+    pub fn any() -> Self {
+        DigitSet(ALL)
+    }
+
+    /// Empty set (matches nothing; produced only by explicit construction).
+    pub fn empty() -> Self {
+        DigitSet(0)
+    }
+
+    /// Insert a digit.
+    pub fn insert(&mut self, d: u8) {
+        debug_assert!(d < 10);
+        self.0 |= 1 << d;
+    }
+
+    /// Whether `d` is in the set.
+    pub fn contains(self, d: u8) -> bool {
+        d < 10 && self.0 & (1 << d) != 0
+    }
+
+    /// Union of two sets.
+    pub fn union(self, other: Self) -> Self {
+        DigitSet(self.0 | other.0)
+    }
+
+    /// Number of digits in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the set is exactly one digit; returns it.
+    pub fn single(self) -> Option<u8> {
+        if self.len() == 1 {
+            Some(self.0.trailing_zeros() as u8)
+        } else {
+            None
+        }
+    }
+
+    /// Digits in ascending order.
+    pub fn digits(self) -> impl Iterator<Item = u8> {
+        (0..10u8).filter(move |d| self.contains(*d))
+    }
+}
+
+impl fmt::Display for DigitSet {
+    /// Canonical rendering: literal digit, `\d`, or a class with ranges
+    /// compressed (`[1-39]`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == ALL {
+            return write!(f, "\\d");
+        }
+        if let Some(d) = self.single() {
+            return write!(f, "{d}");
+        }
+        write!(f, "[")?;
+        let digits: Vec<u8> = self.digits().collect();
+        let mut i = 0;
+        while i < digits.len() {
+            let start = digits[i];
+            let mut end = start;
+            while i + 1 < digits.len() && digits[i + 1] == end + 1 {
+                i += 1;
+                end = digits[i];
+            }
+            match end - start {
+                0 => write!(f, "{start}")?,
+                1 => write!(f, "{start}{end}")?,
+                _ => write!(f, "{start}-{end}")?,
+            }
+            i += 1;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A fixed-length digit pattern over a `β` value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BetaPattern {
+    positions: Vec<DigitSet>,
+}
+
+impl BetaPattern {
+    /// Build from digit sets (most significant first).
+    pub fn new(positions: Vec<DigitSet>) -> Self {
+        BetaPattern { positions }
+    }
+
+    /// Pattern matching exactly one β value.
+    pub fn exact(beta: u16) -> Self {
+        BetaPattern {
+            positions: beta
+                .to_string()
+                .bytes()
+                .map(|b| DigitSet::literal(b - b'0'))
+                .collect(),
+        }
+    }
+
+    /// The digit positions (most significant first).
+    pub fn positions(&self) -> &[DigitSet] {
+        &self.positions
+    }
+
+    /// Number of digit positions (the decimal length this pattern matches).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the pattern has no positions (matches nothing).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Whether `beta`'s decimal rendering matches.
+    pub fn matches(&self, beta: u16) -> bool {
+        let s = beta.to_string();
+        if s.len() != self.positions.len() {
+            return false;
+        }
+        s.bytes()
+            .zip(&self.positions)
+            .all(|(b, set)| set.contains(b - b'0'))
+    }
+
+    /// Every β value this pattern matches, ascending. Candidates with a
+    /// leading zero (for multi-digit patterns) or above `u16::MAX` are
+    /// excluded — they have no decimal rendering of this length.
+    pub fn expand(&self) -> Vec<u16> {
+        let mut values: Vec<u32> = vec![0];
+        for (i, set) in self.positions.iter().enumerate() {
+            let mut next = Vec::with_capacity(values.len() * set.len());
+            for v in &values {
+                for d in set.digits() {
+                    if i == 0 && d == 0 && self.positions.len() > 1 {
+                        continue; // leading zero
+                    }
+                    next.push(v * 10 + d as u32);
+                }
+            }
+            values = next;
+        }
+        values
+            .into_iter()
+            .filter(|v| *v <= u16::MAX as u32)
+            .map(|v| v as u16)
+            .collect()
+    }
+
+    /// How many β values this pattern matches.
+    pub fn count(&self) -> usize {
+        self.expand().len()
+    }
+}
+
+impl fmt::Display for BetaPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.positions {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for BetaPattern {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut positions = Vec::new();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'0'..=b'9' => {
+                    positions.push(DigitSet::literal(bytes[i] - b'0'));
+                    i += 1;
+                }
+                b'\\' => {
+                    if bytes.get(i + 1) == Some(&b'd') {
+                        positions.push(DigitSet::any());
+                        i += 2;
+                    } else {
+                        return Err(ParseError::new("beta pattern", s, "expected \\d"));
+                    }
+                }
+                b'[' => {
+                    let mut set = DigitSet::empty();
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b']' {
+                        let d = bytes[i];
+                        if !d.is_ascii_digit() {
+                            return Err(ParseError::new(
+                                "beta pattern",
+                                s,
+                                "class may only contain digits and ranges",
+                            ));
+                        }
+                        if bytes.get(i + 1) == Some(&b'-') {
+                            let Some(&e) = bytes.get(i + 2) else {
+                                return Err(ParseError::new("beta pattern", s, "dangling range"));
+                            };
+                            if !e.is_ascii_digit() || e < d {
+                                return Err(ParseError::new("beta pattern", s, "bad range"));
+                            }
+                            for v in (d - b'0')..=(e - b'0') {
+                                set.insert(v);
+                            }
+                            i += 3;
+                        } else {
+                            set.insert(d - b'0');
+                            i += 1;
+                        }
+                    }
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("beta pattern", s, "unterminated class"));
+                    }
+                    i += 1; // past ']'
+                    if set.is_empty() {
+                        return Err(ParseError::new("beta pattern", s, "empty class"));
+                    }
+                    positions.push(set);
+                }
+                other => {
+                    return Err(ParseError::new(
+                        "beta pattern",
+                        s,
+                        format!("unexpected character {:?}", other as char),
+                    ))
+                }
+            }
+        }
+        if positions.is_empty() || positions.len() > 5 {
+            return Err(ParseError::new(
+                "beta pattern",
+                s,
+                "must have 1–5 digit positions",
+            ));
+        }
+        Ok(BetaPattern { positions })
+    }
+}
+
+/// A pattern over full communities: an owner ASN plus a β pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CommunityPattern {
+    /// The owning ASN (`α`).
+    pub asn: u16,
+    /// The β pattern.
+    pub beta: BetaPattern,
+}
+
+impl CommunityPattern {
+    /// Whether an observed community matches.
+    pub fn matches(&self, c: Community) -> bool {
+        c.asn == self.asn && self.beta.matches(c.value)
+    }
+}
+
+impl fmt::Display for CommunityPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn, self.beta)
+    }
+}
+
+impl FromStr for CommunityPattern {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, b) = s
+            .split_once(':')
+            .ok_or_else(|| ParseError::new("community pattern", s, "expected α:pattern"))?;
+        let asn = a
+            .parse::<u16>()
+            .map_err(|e| ParseError::new("community pattern", s, format!("bad α: {e}")))?;
+        Ok(CommunityPattern {
+            asn,
+            beta: b.parse()?,
+        })
+    }
+}
+
+impl Serialize for CommunityPattern {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for CommunityPattern {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_pattern() {
+        // 1299:[257]\d\d[1239] from §4, covering Fig 3.
+        let p: CommunityPattern = r"1299:[257]\d\d[1239]".parse().unwrap();
+        for beta in [2561, 2562, 2563, 2569, 5541, 7693] {
+            assert!(p.matches(Community::new(1299, beta)), "{beta}");
+        }
+        assert!(!p.matches(Community::new(1299, 2564))); // 4 not in class
+        assert!(!p.matches(Community::new(1299, 3561))); // 3 not in [257]
+        assert!(!p.matches(Community::new(1299, 256))); // wrong length
+        assert!(!p.matches(Community::new(1299, 25691))); // wrong length
+        assert!(!p.matches(Community::new(3356, 2561))); // wrong ASN
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        // Display is canonical: classes render with ranges compressed.
+        for s in [
+            r"1299:[257]\d\d[1-39]",
+            "3356:666",
+            r"174:2\d[0-5]",
+            "209:[1-39]00",
+        ] {
+            let p: CommunityPattern = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+            let again: CommunityPattern = p.to_string().parse().unwrap();
+            assert_eq!(again, p);
+        }
+        // Non-canonical spellings parse to the same pattern.
+        let a: CommunityPattern = r"1299:[257]\d\d[1239]".parse().unwrap();
+        let b: CommunityPattern = r"1299:[257]\d\d[1-39]".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_rendering_compresses_ranges() {
+        let mut set = DigitSet::empty();
+        for d in [1, 2, 3, 9] {
+            set.insert(d);
+        }
+        assert_eq!(set.to_string(), "[1-39]");
+        let mut two = DigitSet::empty();
+        two.insert(4);
+        two.insert(5);
+        assert_eq!(two.to_string(), "[45]");
+        assert_eq!(DigitSet::any().to_string(), "\\d");
+        assert_eq!(DigitSet::literal(7).to_string(), "7");
+    }
+
+    #[test]
+    fn exact_pattern() {
+        let p = BetaPattern::exact(2569);
+        assert!(p.matches(2569));
+        assert!(!p.matches(2568));
+        assert_eq!(p.to_string(), "2569");
+        assert_eq!(p.expand(), vec![2569]);
+    }
+
+    #[test]
+    fn expand_excludes_leading_zero_and_overflow() {
+        let p: BetaPattern = r"[04]\d".parse().unwrap();
+        // Two-digit numbers starting 0 don't exist; only 40..49 match.
+        assert_eq!(p.expand(), (40..50).collect::<Vec<u16>>());
+        assert!(!p.matches(4)); // "4" has length 1
+
+        let p: BetaPattern = r"6553[0-9]".parse().unwrap();
+        assert_eq!(p.expand(), (65530..=65535).collect::<Vec<u16>>());
+        assert_eq!(p.count(), 6);
+    }
+
+    #[test]
+    fn expand_matches_are_consistent() {
+        let p: BetaPattern = r"2[05][1-3]".parse().unwrap();
+        let expanded = p.expand();
+        assert_eq!(expanded.len(), 6);
+        for beta in 0..=9999u16 {
+            assert_eq!(p.matches(beta), expanded.contains(&beta), "{beta}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "", "abc", "[12", "[a]", "[]", "[9-1]", r"\x", "123456", "1-2",
+        ] {
+            assert!(
+                bad.parse::<BetaPattern>().is_err(),
+                "{bad} should not parse"
+            );
+        }
+        assert!("70000:1".parse::<CommunityPattern>().is_err());
+        assert!("1299".parse::<CommunityPattern>().is_err());
+    }
+
+    #[test]
+    fn single_digit_any() {
+        let p: BetaPattern = r"\d".parse().unwrap();
+        assert_eq!(p.expand(), (0..10).collect::<Vec<u16>>()); // 0 allowed at length 1
+        assert!(p.matches(0));
+        assert!(p.matches(9));
+        assert!(!p.matches(10));
+    }
+
+    #[test]
+    fn serde_as_string() {
+        let p: CommunityPattern = r"1299:[257]\d\d[1239]".parse().unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, "\"1299:[257]\\\\d\\\\d[1-39]\"");
+        let back: CommunityPattern = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

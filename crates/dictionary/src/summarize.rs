@@ -1,0 +1,244 @@
+//! Exact pattern covers: summarize a set of β values as digit patterns.
+//!
+//! Mirrors how the paper's authors summarized operator dictionaries:
+//! contiguous same-purpose values become compact patterns
+//! (`2561,2562,2563,2569` → `256[1-39]`). The cover is *exact* — a pattern
+//! list produced here matches precisely the input set, never more — so
+//! labels derived from it are sound.
+
+use bgp_types::Intent;
+
+use crate::pattern::{BetaPattern, DigitSet};
+
+/// Produce an exact pattern cover of `betas` (duplicates ignored).
+///
+/// Algorithm: group values by decimal length; within a length, merge values
+/// sharing all but the last digit into a last-digit class; then repeatedly
+/// merge pattern pairs that are identical except at a single literal
+/// position. The result is deterministic and typically within a small
+/// factor of optimal for operator-style contiguous ranges.
+pub fn cover_betas(betas: &[u16]) -> Vec<BetaPattern> {
+    let mut sorted: Vec<u16> = betas.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    let mut out: Vec<BetaPattern> = Vec::new();
+    // Group by decimal length.
+    for len in 1..=5usize {
+        let group: Vec<&u16> = sorted
+            .iter()
+            .filter(|b| b.to_string().len() == len)
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        // Initial patterns: shared prefix + last-digit class.
+        let mut patterns: Vec<Vec<DigitSet>> = Vec::new();
+        let mut current: Option<(Vec<u8>, DigitSet)> = None;
+        for &&beta in &group {
+            let digits: Vec<u8> = beta.to_string().bytes().map(|b| b - b'0').collect();
+            let (prefix, last) = digits.split_at(len - 1);
+            match &mut current {
+                Some((p, set)) if p.as_slice() == prefix => set.insert(last[0]),
+                _ => {
+                    if let Some((p, set)) = current.take() {
+                        patterns.push(finish(p, set));
+                    }
+                    let mut set = DigitSet::empty();
+                    set.insert(last[0]);
+                    current = Some((prefix.to_vec(), set));
+                }
+            }
+        }
+        if let Some((p, set)) = current.take() {
+            patterns.push(finish(p, set));
+        }
+
+        // Iteratively merge patterns identical except at one literal
+        // position (exactness preserved: the union of two cross products
+        // differing in one axis is the cross product with the merged axis).
+        loop {
+            let mut merged = false;
+            'outer: for i in 0..patterns.len() {
+                for j in (i + 1)..patterns.len() {
+                    if let Some(m) = try_merge(&patterns[i], &patterns[j]) {
+                        patterns[i] = m;
+                        patterns.remove(j);
+                        merged = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        out.extend(patterns.into_iter().map(BetaPattern::new));
+    }
+    out
+}
+
+fn finish(prefix: Vec<u8>, last: DigitSet) -> Vec<DigitSet> {
+    let mut v: Vec<DigitSet> = prefix.into_iter().map(DigitSet::literal).collect();
+    v.push(last);
+    v
+}
+
+/// Merge two patterns differing at exactly one position where both sides
+/// are singletons (keeps the cover exact).
+fn try_merge(a: &[DigitSet], b: &[DigitSet]) -> Option<Vec<DigitSet>> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut diff = None;
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            if diff.is_some() {
+                return None;
+            }
+            diff = Some(i);
+        }
+    }
+    let i = diff?;
+    // Merging class positions with different classes would change the cross
+    // product; only merge when the differing position carries the whole
+    // difference and the rest agree — any sets may merge at that single
+    // position because (A×S) ∪ (B×S) = (A∪B)×S.
+    let mut merged: Vec<DigitSet> = a.to_vec();
+    merged[i] = a[i].union(b[i]);
+    Some(merged)
+}
+
+/// Summarize a labeled dictionary: runs of consecutive same-intent values
+/// become pattern groups, returned as `(pattern, intent)` pairs.
+pub fn cover_labeled(defs: &[(u16, Intent)]) -> Vec<(BetaPattern, Intent)> {
+    let mut sorted: Vec<(u16, Intent)> = defs.to_vec();
+    sorted.sort_unstable_by_key(|(b, _)| *b);
+    sorted.dedup();
+
+    let mut out = Vec::new();
+    let mut run: Vec<u16> = Vec::new();
+    let mut run_intent: Option<Intent> = None;
+    for (beta, intent) in sorted {
+        if run_intent == Some(intent) {
+            run.push(beta);
+        } else {
+            if let Some(prev) = run_intent {
+                out.extend(cover_betas(&run).into_iter().map(|p| (p, prev)));
+            }
+            run = vec![beta];
+            run_intent = Some(intent);
+        }
+    }
+    if let Some(prev) = run_intent {
+        out.extend(cover_betas(&run).into_iter().map(|p| (p, prev)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn expand_all(patterns: &[BetaPattern]) -> BTreeSet<u16> {
+        patterns.iter().flat_map(BetaPattern::expand).collect()
+    }
+
+    fn assert_exact(betas: &[u16]) {
+        let patterns = cover_betas(betas);
+        let expanded = expand_all(&patterns);
+        let expected: BTreeSet<u16> = betas.iter().copied().collect();
+        assert_eq!(expanded, expected, "cover not exact for {betas:?}");
+    }
+
+    #[test]
+    fn arelion_style_run() {
+        let betas = [2561, 2562, 2563, 2569];
+        let patterns = cover_betas(&betas);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].to_string(), "256[1-39]");
+        assert_exact(&betas);
+    }
+
+    #[test]
+    fn contiguous_block_merges_positions() {
+        // 20000..=20029: 3 ten-blocks merge into 200[0-2]\d.
+        let betas: Vec<u16> = (20000..20030).collect();
+        let patterns = cover_betas(&betas);
+        assert_eq!(patterns.len(), 1, "{patterns:?}");
+        assert_eq!(patterns[0].to_string(), "200[0-2]\\d");
+        assert_exact(&betas);
+    }
+
+    #[test]
+    fn mixed_lengths_stay_separate() {
+        let betas = [50, 150, 151];
+        let patterns = cover_betas(&betas);
+        assert_exact(&betas);
+        assert!(patterns.iter().any(|p| p.len() == 2));
+        assert!(patterns.iter().any(|p| p.len() == 3));
+    }
+
+    #[test]
+    fn fig3_structured_block() {
+        // Region digits {2,5,7}, targets 54/56/57/69, actions 1-3 and 9 —
+        // the exact Fig 3 value set.
+        let mut betas = Vec::new();
+        for r in [2u16, 5, 7] {
+            for t in [54u16, 56, 57, 69] {
+                for x in [1u16, 2, 3, 9] {
+                    betas.push(r * 1000 + t * 10 + x);
+                }
+            }
+        }
+        let patterns = cover_betas(&betas);
+        assert_exact(&betas);
+        // The merge pass should compress this far below one pattern per
+        // ten-block (12 prefix groups × nothing merged would be 12).
+        assert!(
+            patterns.len() <= 6,
+            "{} patterns: {patterns:?}",
+            patterns.len()
+        );
+    }
+
+    #[test]
+    fn sparse_values_stay_exact() {
+        assert_exact(&[1, 7, 19, 300, 4242, 65535]);
+        assert_exact(&[666]);
+        assert_exact(&[]);
+    }
+
+    #[test]
+    fn cover_labeled_splits_on_intent_change() {
+        let defs = vec![
+            (430u16, Intent::Information),
+            (431, Intent::Information),
+            (666, Intent::Action),
+            (667, Intent::Action),
+            (700, Intent::Information),
+        ];
+        let covered = cover_labeled(&defs);
+        // Info run {430,431}, action run {666,667}, info run {700}.
+        let action: Vec<u16> = covered
+            .iter()
+            .filter(|(_, i)| *i == Intent::Action)
+            .flat_map(|(p, _)| p.expand())
+            .collect();
+        assert_eq!(action, vec![666, 667]);
+        let info: BTreeSet<u16> = covered
+            .iter()
+            .filter(|(_, i)| *i == Intent::Information)
+            .flat_map(|(p, _)| p.expand())
+            .collect();
+        assert_eq!(info, BTreeSet::from([430, 431, 700]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let betas = [9, 10, 11, 12, 100, 110, 120, 20001, 20002, 20011];
+        assert_eq!(cover_betas(&betas), cover_betas(&betas));
+        assert_exact(&betas);
+    }
+}

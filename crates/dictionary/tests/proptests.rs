@@ -1,0 +1,109 @@
+//! Property-based tests: the pattern engine and the exactness of covers.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use bgp_dictionary::{cover_betas, BetaPattern};
+
+fn arb_betas() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(any::<u16>(), 0..60)
+}
+
+/// Operator-style value sets: a few contiguous runs with strides.
+fn arb_structured_betas() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec((0u16..60_000, 1u16..40, 1u16..10, 1u16..15), 1..5).prop_map(|blocks| {
+        let mut out = Vec::new();
+        for (base, count, stride, width) in blocks {
+            for i in 0..count {
+                for k in 0..width.min(stride) {
+                    let v = base as u32 + i as u32 * stride as u32 + k as u32;
+                    if v <= u16::MAX as u32 {
+                        out.push(v as u16);
+                    }
+                }
+            }
+        }
+        out
+    })
+}
+
+fn arb_pattern_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..10).prop_map(|d| d.to_string()),
+            Just("\\d".to_string()),
+            prop::collection::btree_set(0u8..10, 1..5).prop_map(|set| {
+                let digits: String = set.into_iter().map(|d| d.to_string()).collect();
+                format!("[{digits}]")
+            }),
+        ],
+        1..5,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn cover_is_exact_on_arbitrary_sets(betas in arb_betas()) {
+        let patterns = cover_betas(&betas);
+        let expanded: BTreeSet<u16> = patterns.iter().flat_map(BetaPattern::expand).collect();
+        let expected: BTreeSet<u16> = betas.iter().copied().collect();
+        prop_assert_eq!(expanded, expected);
+    }
+
+    #[test]
+    fn cover_is_exact_on_structured_sets(betas in arb_structured_betas()) {
+        let patterns = cover_betas(&betas);
+        let expanded: BTreeSet<u16> = patterns.iter().flat_map(BetaPattern::expand).collect();
+        let expected: BTreeSet<u16> = betas.iter().copied().collect();
+        prop_assert_eq!(expanded, expected);
+    }
+
+    #[test]
+    fn cover_compresses_structured_sets(betas in arb_structured_betas()) {
+        let distinct: BTreeSet<u16> = betas.iter().copied().collect();
+        let patterns = cover_betas(&betas);
+        // Never more patterns than values; structured inputs compress.
+        prop_assert!(patterns.len() <= distinct.len());
+    }
+
+    #[test]
+    fn parsed_patterns_roundtrip_display(s in arb_pattern_string()) {
+        if let Ok(p) = s.parse::<BetaPattern>() {
+            let canonical = p.to_string();
+            let again: BetaPattern = canonical.parse().unwrap();
+            prop_assert_eq!(again.to_string(), canonical);
+            prop_assert_eq!(again, p);
+        }
+    }
+
+    #[test]
+    fn expand_agrees_with_matches(s in arb_pattern_string(), probe in any::<u16>()) {
+        if let Ok(p) = s.parse::<BetaPattern>() {
+            let expanded = p.expand();
+            prop_assert_eq!(p.matches(probe), expanded.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn expand_values_all_match(s in arb_pattern_string()) {
+        if let Ok(p) = s.parse::<BetaPattern>() {
+            for v in p.expand() {
+                prop_assert!(p.matches(v), "{} does not match {}", p, v);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_pattern_matches_exactly_one(beta in any::<u16>()) {
+        let p = BetaPattern::exact(beta);
+        prop_assert_eq!(p.expand(), vec![beta]);
+        prop_assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[0-9dDxX\\\\\\[\\]\\-]{0,12}") {
+        let _ = s.parse::<BetaPattern>();
+    }
+}

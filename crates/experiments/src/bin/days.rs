@@ -1,0 +1,16 @@
+//! §6 days-of-data harness.
+use bgp_experiments::figures::days;
+use bgp_experiments::{Args, Scenario, ScenarioConfig};
+
+fn main() {
+    let args = Args::from_env().expect("usage: days [--seed N] [--scale F] [--days N]");
+    let cfg = ScenarioConfig::from_args(&args).expect("valid scenario flags");
+    let max_days: u32 = args.get("days", 7).expect("--days N");
+    let scenario = Scenario::build(&cfg);
+    let observations = scenario.collect(max_days);
+    let result = days::run(&scenario, &observations, max_days);
+    days::print(&result);
+    if let Some(path) = args.get_str("json") {
+        std::fs::write(path, serde_json::to_string_pretty(&result).unwrap()).unwrap();
+    }
+}

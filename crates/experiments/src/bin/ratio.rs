@@ -1,0 +1,16 @@
+//! Sensitivity harness: the on-path:off-path ratio threshold.
+use bgp_experiments::figures::ratio;
+use bgp_experiments::{Args, Scenario, ScenarioConfig};
+
+fn main() {
+    let args = Args::from_env().expect("usage: ratio [--seed N] [--scale F] [--days N]");
+    let cfg = ScenarioConfig::from_args(&args).expect("valid scenario flags");
+    let days: u32 = args.get("days", 2).expect("--days N");
+    let scenario = Scenario::build(&cfg);
+    let observations = scenario.collect(days);
+    let result = ratio::run(&scenario, &observations, &ratio::default_thresholds());
+    ratio::print(&result);
+    if let Some(path) = args.get_str("json") {
+        std::fs::write(path, serde_json::to_string_pretty(&result).unwrap()).unwrap();
+    }
+}

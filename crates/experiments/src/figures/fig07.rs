@@ -1,0 +1,116 @@
+//! Fig 7: CDF of customer:peer ratios of baseline clusters — the feature
+//! the paper demonstrates is *insufficient* (optimal 5:1 threshold reaches
+//! only ~80% accuracy).
+
+use serde::{Deserialize, Serialize};
+
+use bgp_intent::baseline::{
+    baseline_clusters, best_threshold, best_threshold_balanced, threshold_accuracy,
+};
+use bgp_intent::features::{cluster_ratio_series, relationship_counts};
+use bgp_intent::PathStats;
+use bgp_relationships::{infer_relationships, InferConfig, InferredRelationships};
+use bgp_types::{AsPath, Intent, Observation};
+
+use crate::report::{cdf, pct, thin_cdf};
+use crate::scenario::Scenario;
+
+/// Fig 7 outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig07Result {
+    /// Clusters with relationship evidence.
+    pub clusters: usize,
+    /// Customer:peer ratio CDF for information clusters.
+    pub info_cdf: Vec<(f64, f64)>,
+    /// Customer:peer ratio CDF for action clusters.
+    pub action_cdf: Vec<(f64, f64)>,
+    /// Best threshold (action if ratio at/above) and its accuracy.
+    pub best_threshold: f64,
+    /// Accuracy at the best threshold.
+    pub best_accuracy: f64,
+    /// Best balanced-accuracy threshold (robust to class imbalance).
+    pub best_balanced_threshold: f64,
+    /// Balanced accuracy at that threshold.
+    pub best_balanced_accuracy: f64,
+    /// Accuracy at the paper's quoted 5:1.
+    pub accuracy_at_5: f64,
+    /// Whether ground-truth (oracle) relationships were used instead of
+    /// path-inferred ones.
+    pub oracle: bool,
+}
+
+/// Compute the customer:peer feature over baseline clusters.
+///
+/// `oracle = false` infers relationships from the observed paths (as the
+/// paper does with CAIDA's serial-1); `oracle = true` reads the synthetic
+/// topology, isolating the feature's own weakness from relationship
+/// inference error.
+pub fn run(scenario: &Scenario, observations: &[Observation], oracle: bool) -> Fig07Result {
+    let relationships: InferredRelationships = if oracle {
+        InferredRelationships::from_topology(&scenario.topo)
+    } else {
+        let paths: Vec<&AsPath> = observations.iter().map(|o| &o.path).collect();
+        infer_relationships(paths, &InferConfig::default())
+    };
+    let stats = PathStats::from_observations(observations, &scenario.siblings);
+    let clusters = baseline_clusters(&scenario.dict, &stats);
+    let per_community = relationship_counts(observations, &relationships);
+    let members: Vec<(Vec<bgp_types::Community>, Intent)> = clusters
+        .iter()
+        .map(|c| (c.members.clone(), c.truth))
+        .collect();
+    let series = cluster_ratio_series(&members, &per_community);
+
+    let info: Vec<f64> = series
+        .iter()
+        .filter(|(_, t)| *t == Intent::Information)
+        .map(|(r, _)| *r)
+        .collect();
+    let action: Vec<f64> = series
+        .iter()
+        .filter(|(_, t)| *t == Intent::Action)
+        .map(|(r, _)| *r)
+        .collect();
+    // Action clusters skew to HIGH customer:peer ratios.
+    let (t, acc) = best_threshold(&series, Intent::Action);
+    let (tb, accb) = best_threshold_balanced(&series, Intent::Action);
+    Fig07Result {
+        clusters: series.len(),
+        info_cdf: cdf(&info),
+        action_cdf: cdf(&action),
+        best_threshold: t,
+        best_accuracy: acc,
+        best_balanced_threshold: tb,
+        best_balanced_accuracy: accb,
+        accuracy_at_5: threshold_accuracy(&series, 5.0, Intent::Action),
+        oracle,
+    }
+}
+
+/// Print the Fig 7 series and summary.
+pub fn print(r: &Fig07Result) {
+    println!(
+        "== Fig 7: customer:peer ratios of baseline clusters ({}) ==",
+        if r.oracle {
+            "oracle relationships"
+        } else {
+            "inferred relationships"
+        }
+    );
+    println!("{} clusters with relationship evidence", r.clusters);
+    for (name, series) in [("action", &r.action_cdf), ("info", &r.info_cdf)] {
+        println!("CDF [{name}] (ratio  cumfrac):");
+        for (v, f) in thin_cdf(series, 16) {
+            println!("  {v:>10.3}  {f:.3}");
+        }
+    }
+    println!(
+        "optimal threshold {:.1}:1 -> accuracy {}; balanced optimum {:.1}:1 -> {}; fixed 5:1 -> {}",
+        r.best_threshold,
+        pct(r.best_accuracy),
+        r.best_balanced_threshold,
+        pct(r.best_balanced_accuracy),
+        pct(r.accuracy_at_5)
+    );
+    println!("[paper: optimal 5:1 yields only ~80% — the feature is rejected]");
+}

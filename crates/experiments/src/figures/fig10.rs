@@ -1,0 +1,187 @@
+//! Fig 10: accuracy and coverage as vantage points accumulate.
+//! Paper: 50 random draws per size; with 20 vantage points the median
+//! accuracy stabilizes above 93%, covering 76.5% of the communities seen
+//! with all vantage points.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use bgp_intent::{run_inference, InferenceConfig};
+use bgp_types::{Asn, Observation};
+
+use crate::report::{pct, percentiles, table};
+use crate::scenario::Scenario;
+
+/// One vantage-point-count row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VpPoint {
+    /// Number of vantage points drawn.
+    pub vps: usize,
+    /// 10th percentile accuracy over trials.
+    pub acc_p10: f64,
+    /// Median accuracy.
+    pub acc_p50: f64,
+    /// 90th percentile accuracy.
+    pub acc_p90: f64,
+    /// Median coverage: fraction of the all-VP observed communities also
+    /// observed with this draw.
+    pub coverage_p50: f64,
+}
+
+/// Fig 10 outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Result {
+    /// One row per vantage-point count.
+    pub points: Vec<VpPoint>,
+    /// Trials per row.
+    pub trials: usize,
+    /// Accuracy with every vantage point.
+    pub full_accuracy: f64,
+    /// Communities observed with every vantage point.
+    pub full_communities: usize,
+}
+
+/// Default VP-count ladder, clipped to the available count.
+pub fn default_sizes(available: usize) -> Vec<usize> {
+    let ladder = [1, 2, 3, 5, 8, 12, 16, 20, 30, 40, 60, 80, 120, 160];
+    let mut sizes: Vec<usize> = ladder.into_iter().filter(|&s| s < available).collect();
+    sizes.push(available);
+    sizes
+}
+
+/// Run the sweep: for each size, `trials` random VP subsets, each scored
+/// end to end. Trials run in parallel.
+pub fn run(
+    scenario: &Scenario,
+    observations: &[Observation],
+    sizes: &[usize],
+    trials: usize,
+) -> Fig10Result {
+    // Pre-split observations by vantage point.
+    let mut all_vps: Vec<Asn> = observations.iter().map(|o| o.vp).collect();
+    all_vps.sort_unstable();
+    all_vps.dedup();
+
+    let full = run_inference(
+        observations,
+        &scenario.siblings,
+        &InferenceConfig::default(),
+        Some(&scenario.dict),
+    );
+    let full_accuracy = full.evaluation.as_ref().expect("dict supplied").accuracy();
+    let full_communities = full.stats.community_count();
+
+    // Job list: (size, trial) pairs.
+    let jobs: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&s| (0..trials).map(move |t| (s, t)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let chunk = jobs.len().div_ceil(threads);
+    let all_vps = &all_vps;
+    let results: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {
+        jobs.chunks(chunk.max(1))
+            .map(|chunk_jobs| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for &(size, trial) in chunk_jobs {
+                        let mut rng =
+                            StdRng::seed_from_u64(0xF1610u64 ^ (size as u64) << 32 ^ trial as u64);
+                        let mut vps = all_vps.clone();
+                        vps.shuffle(&mut rng);
+                        vps.truncate(size);
+                        vps.sort_unstable();
+                        let subset: Vec<Observation> = observations
+                            .iter()
+                            .filter(|o| vps.binary_search(&o.vp).is_ok())
+                            .cloned()
+                            .collect();
+                        let res = run_inference(
+                            &subset,
+                            &scenario.siblings,
+                            &InferenceConfig::default(),
+                            Some(&scenario.dict),
+                        );
+                        let acc = res.evaluation.as_ref().expect("dict").accuracy();
+                        let coverage =
+                            res.stats.community_count() as f64 / full_communities.max(1) as f64;
+                        out.push((size, acc, coverage));
+                    }
+                    out
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("trial worker panicked"))
+            .collect()
+    });
+
+    let mut points = Vec::new();
+    for &size in sizes {
+        let accs: Vec<f64> = results
+            .iter()
+            .flatten()
+            .filter(|(s, _, _)| *s == size)
+            .map(|(_, a, _)| *a)
+            .collect();
+        let covs: Vec<f64> = results
+            .iter()
+            .flatten()
+            .filter(|(s, _, _)| *s == size)
+            .map(|(_, _, c)| *c)
+            .collect();
+        let (p10, p50, p90) = percentiles(&accs);
+        let (_, cov50, _) = percentiles(&covs);
+        points.push(VpPoint {
+            vps: size,
+            acc_p10: p10,
+            acc_p50: p50,
+            acc_p90: p90,
+            coverage_p50: cov50,
+        });
+    }
+    Fig10Result {
+        points,
+        trials,
+        full_accuracy,
+        full_communities,
+    }
+}
+
+/// Print the sweep as a table.
+pub fn print(r: &Fig10Result) {
+    println!(
+        "== Fig 10: accuracy vs number of vantage points ({} trials) ==",
+        r.trials
+    );
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.vps.to_string(),
+                pct(p.acc_p10),
+                pct(p.acc_p50),
+                pct(p.acc_p90),
+                pct(p.coverage_p50),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["VPs", "acc p10", "acc p50", "acc p90", "coverage p50"],
+            &rows
+        )
+    );
+    println!(
+        "all {} communities, full-set accuracy {}",
+        r.full_communities,
+        pct(r.full_accuracy)
+    );
+    println!("[paper: median accuracy stabilizes >93% at 20 VPs, coverage 76.5%]");
+}

@@ -1,0 +1,14 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod days;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod finegrained;
+pub mod headline;
+pub mod large;
+pub mod overtime;
+pub mod ratio;
+pub mod table1;

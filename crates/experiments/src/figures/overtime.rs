@@ -1,0 +1,120 @@
+//! §6 "Accuracy of inferences over time": one day of data from each of 12
+//! consecutive months over an evolving Internet. Paper: accuracy stable
+//! (92.6%–95.4%); inferred communities grow ≈5% over the year.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_dictionary::{select_documented, GroundTruthDictionary};
+use bgp_intent::{run_inference, InferenceConfig};
+use bgp_policy::{generate_policies, PolicyConfig};
+use bgp_relationships::SiblingMap;
+use bgp_sim::Simulator;
+use bgp_topology::evolve::{grow_one_month, GrowthConfig};
+
+use crate::report::{pct, table};
+use crate::scenario::{Scenario, ScenarioConfig};
+
+/// One month's row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonthPoint {
+    /// Month index (0 = the base world).
+    pub month: u32,
+    /// ASes in the world.
+    pub ases: usize,
+    /// Communities observed.
+    pub communities: usize,
+    /// Communities classified.
+    pub classified: usize,
+    /// Accuracy vs that month's ground truth.
+    pub accuracy: f64,
+}
+
+/// Over-time outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OvertimeResult {
+    /// One row per month.
+    pub points: Vec<MonthPoint>,
+}
+
+/// Run the monthly sweep: the world grows in place; dictionaries, the
+/// documented subset, and the collector snapshot are re-derived each month
+/// (operators keep their assignments — §4 notes coarse categories were
+/// stable 2007→2023 — but new ASes appear and add values).
+pub fn run(cfg: &ScenarioConfig, months: u32) -> OvertimeResult {
+    let mut scenario = Scenario::build(cfg);
+    let mut points = Vec::new();
+    for month in 0..months {
+        if month > 0 {
+            grow_one_month(
+                &mut scenario.topo,
+                cfg.seed,
+                month,
+                &GrowthConfig::default(),
+            );
+            scenario.policies = generate_policies(
+                &scenario.topo,
+                &PolicyConfig {
+                    seed: cfg.seed ^ 0x9_011C1E5,
+                    ..PolicyConfig::default()
+                },
+            );
+            scenario.siblings = SiblingMap::from_topology(&scenario.topo);
+            scenario.documented = select_documented(&scenario.policies, cfg.documented);
+            scenario.dict = GroundTruthDictionary::from_policies_partial(
+                &scenario.policies,
+                &scenario.documented,
+                cfg.doc_completeness,
+                cfg.seed ^ 0xD0C5,
+            );
+        }
+        let sim = Simulator::new(&scenario.topo, &scenario.policies, &scenario.sim_cfg);
+        let observations = scenario.collect_with(&sim, 1);
+        let res = run_inference(
+            &observations,
+            &scenario.siblings,
+            &InferenceConfig::default(),
+            Some(&scenario.dict),
+        );
+        points.push(MonthPoint {
+            month,
+            ases: scenario.topo.as_count(),
+            communities: res.stats.community_count(),
+            classified: res.inference.labels.len(),
+            accuracy: res.evaluation.expect("dict").accuracy(),
+        });
+    }
+    OvertimeResult { points }
+}
+
+/// Print the sweep.
+pub fn print(r: &OvertimeResult) {
+    println!("== §6: accuracy over time (monthly snapshots) ==");
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.month.to_string(),
+                p.ases.to_string(),
+                p.communities.to_string(),
+                p.classified.to_string(),
+                pct(p.accuracy),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["month", "ASes", "communities", "classified", "accuracy"],
+            &rows
+        )
+    );
+    if let (Some(first), Some(last)) = (r.points.first(), r.points.last()) {
+        let growth = last.classified as f64 / first.classified.max(1) as f64 - 1.0;
+        println!(
+            "classified communities grew {} over the period",
+            pct(growth)
+        );
+    }
+    println!("[paper: accuracy 92.6%-95.4% across 12 months; inferred communities +5%]");
+}

@@ -1,0 +1,113 @@
+//! Sensitivity sweep over the on-path:off-path ratio threshold — the
+//! companion analysis to Fig 9 for the method's *other* parameter.
+//!
+//! The paper derives 160:1 as the optimum over the ground-truth baseline
+//! clusters (Fig 6) and uses it as a fixed constant everywhere else. This
+//! harness sweeps the threshold through the full inference and reports
+//! end-to-end accuracy, showing how wide the safe plateau is.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_intent::classify::{classify, InferenceConfig};
+use bgp_intent::eval::evaluate;
+use bgp_intent::stats::PathStats;
+use bgp_types::Observation;
+
+use crate::report::{pct, table};
+use crate::scenario::Scenario;
+
+/// One threshold point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioPoint {
+    /// The on:off ratio threshold.
+    pub threshold: f64,
+    /// End-to-end accuracy at that threshold.
+    pub accuracy: f64,
+    /// Communities classified action.
+    pub action: usize,
+    /// Communities classified information.
+    pub information: usize,
+}
+
+/// Sweep outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioResult {
+    /// One row per threshold.
+    pub points: Vec<RatioPoint>,
+    /// Accuracy at the paper's 160:1.
+    pub at_160: f64,
+    /// The best threshold in the sweep and its accuracy.
+    pub best: (f64, f64),
+}
+
+/// Default sweep: logarithmic ladder around the paper's 160.
+pub fn default_thresholds() -> Vec<f64> {
+    vec![
+        1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 120.0, 160.0, 240.0, 320.0, 640.0, 1280.0, 2560.0,
+        5120.0,
+    ]
+}
+
+/// Run the sweep (statistics computed once).
+pub fn run(scenario: &Scenario, observations: &[Observation], thresholds: &[f64]) -> RatioResult {
+    let stats = PathStats::from_observations(observations, &scenario.siblings);
+    let mut points = Vec::with_capacity(thresholds.len());
+    for &threshold in thresholds {
+        let cfg = InferenceConfig {
+            ratio_threshold: threshold,
+            ..InferenceConfig::default()
+        };
+        let inference = classify(&stats, &scenario.siblings, &cfg);
+        let eval = evaluate(&inference, &scenario.dict);
+        let (action, information) = inference.intent_counts();
+        points.push(RatioPoint {
+            threshold,
+            accuracy: eval.accuracy(),
+            action,
+            information,
+        });
+    }
+    let at_160 = points
+        .iter()
+        .find(|p| p.threshold == 160.0)
+        .map(|p| p.accuracy)
+        .unwrap_or(0.0);
+    let best = points
+        .iter()
+        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+        .map(|p| (p.threshold, p.accuracy))
+        .unwrap_or((0.0, 0.0));
+    RatioResult {
+        points,
+        at_160,
+        best,
+    }
+}
+
+/// Print the sweep.
+pub fn print(r: &RatioResult) {
+    println!("== Sensitivity: accuracy vs on-path:off-path ratio threshold ==");
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.threshold),
+                pct(p.accuracy),
+                p.action.to_string(),
+                p.information.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(&["threshold", "accuracy", "action", "info"], &rows)
+    );
+    println!(
+        "paper's 160:1 -> {}; best in sweep: {}:1 -> {}",
+        pct(r.at_160),
+        r.best.0,
+        pct(r.best.1)
+    );
+    println!("[the paper derives 160:1 from its Fig 6 baseline clusters and fixes it]");
+}

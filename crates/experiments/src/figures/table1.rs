@@ -1,0 +1,80 @@
+//! Table 1: improving location-community inference by filtering out
+//! inferred action communities. Paper: precision 68.2% → 94.8%; traffic
+//! engineering false positives drop from 206 to 12.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_intent::{run_inference, InferenceConfig};
+use bgp_loccomm::{improvement_table, infer_location_communities, ImprovementTable, LocCommConfig};
+use bgp_topology::RegionId;
+use bgp_types::{Asn, Observation};
+
+use crate::report::{pct, table};
+use crate::scenario::Scenario;
+
+/// Table 1 outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// The before/after category table.
+    pub table: ImprovementTable,
+    /// Location communities inferred by the baseline.
+    pub inferred_locations: usize,
+}
+
+/// Run the baseline location inference and the intent filter.
+pub fn run(scenario: &Scenario, observations: &[Observation]) -> Table1Result {
+    // The geolocated-AS input the original method takes from public geo
+    // data: each AS's home region.
+    let as_regions: HashMap<Asn, RegionId> = scenario
+        .topo
+        .ases
+        .values()
+        .map(|n| (n.asn, scenario.topo.geography.region_of(n.home)))
+        .collect();
+    let locations =
+        infer_location_communities(observations, &as_regions, &LocCommConfig::default());
+    let intent = run_inference(
+        observations,
+        &scenario.siblings,
+        &InferenceConfig::default(),
+        None,
+    );
+    let table = improvement_table(&locations, &intent.inference, &scenario.policies);
+    Table1Result {
+        inferred_locations: locations.locations.len(),
+        table,
+    }
+}
+
+/// Print in the paper's Table 1 layout.
+pub fn print(r: &Table1Result) {
+    println!("== Table 1: location-community inference, before/after intent filter ==");
+    let rows: Vec<Vec<String>> = r
+        .table
+        .rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.class.clone(),
+                row.category.clone(),
+                row.before.to_string(),
+                row.after.to_string(),
+            ]
+        })
+        .collect();
+    print!("{}", table(&["Class", "Type", "Before", "After"], &rows));
+    println!(
+        "Total: {} -> {}   (unlabeled: {})",
+        r.table.total_before(),
+        r.table.total_after(),
+        r.table.unlabeled
+    );
+    println!(
+        "precision: {} -> {}",
+        pct(r.table.precision_before()),
+        pct(r.table.precision_after())
+    );
+    println!("[paper: 476/698 = 68.2% -> 472/498 = 94.8%; TE false positives 206 -> 12]");
+}

@@ -1,0 +1,169 @@
+//! Output helpers shared by the experiment binaries: aligned tables,
+//! percentiles, and CDF quantile series.
+
+use std::fmt::Write as _;
+
+/// Render rows as an aligned text table with a header.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, "{cell:>w$}  ");
+        }
+        out.pop();
+        out.pop();
+        out.push('\n');
+    };
+    fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// The `q`-quantile (0–1) of already-sorted data (linear interpolation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile summary of unsorted data: `(p10, p50, p90)`.
+pub fn percentiles(data: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    (
+        quantile_sorted(&sorted, 0.10),
+        quantile_sorted(&sorted, 0.50),
+        quantile_sorted(&sorted, 0.90),
+    )
+}
+
+/// A CDF as `(value, cumulative_fraction)` points at each distinct value —
+/// printable as the series behind Fig 6/7.
+pub fn cdf(data: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, v) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == *v => last.1 = frac,
+            _ => out.push((*v, frac)),
+        }
+    }
+    out
+}
+
+/// Downsample a CDF to at most `max_points` evenly spaced points for
+/// terminal display (endpoints always kept).
+pub fn thin_cdf(points: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
+    if points.len() <= max_points || max_points < 2 {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(max_points);
+    for i in 0..max_points {
+        let idx = i * (points.len() - 1) / (max_points - 1);
+        out.push(points[idx]);
+    }
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let out = table(
+            &["gap", "accuracy"],
+            &[
+                vec!["0".into(), "73.7%".into()],
+                vec!["140".into(), "96.5%".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("gap"));
+        assert!(lines[3].contains("140"));
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile_sorted(&data, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&data, 0.5), 3.0);
+        assert_eq!(quantile_sorted(&data, 1.0), 5.0);
+        assert_eq!(quantile_sorted(&data, 0.25), 2.0);
+        assert!(quantile_sorted(&[], 0.5).is_nan());
+        assert_eq!(quantile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn percentile_summary() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (p10, p50, p90) = percentiles(&data);
+        assert!((p10 - 10.9).abs() < 0.11);
+        assert!((p50 - 50.5).abs() < 0.01);
+        assert!((p90 - 90.1).abs() < 0.11);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let data = [3.0, 1.0, 2.0, 2.0];
+        let c = cdf(&data);
+        assert_eq!(c.len(), 3); // distinct values
+        assert_eq!(c.last().unwrap().1, 1.0);
+        for w in c.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        // duplicate value 2.0 accumulates both observations.
+        assert_eq!(c[1], (2.0, 0.75));
+    }
+
+    #[test]
+    fn thinning_keeps_endpoints() {
+        let points: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 / 99.0)).collect();
+        let thin = thin_cdf(&points, 10);
+        assert!(thin.len() <= 10);
+        assert_eq!(thin.first().unwrap().0, 0.0);
+        assert_eq!(thin.last().unwrap().0, 99.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.965), "96.5%");
+    }
+}

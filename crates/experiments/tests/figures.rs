@@ -1,0 +1,227 @@
+//! Harness-level tests: every figure/table module produces sane output on
+//! a shared tiny scenario.
+
+use std::sync::OnceLock;
+
+use bgp_experiments::figures::{
+    days, fig04, fig06, fig07, fig09, fig10, finegrained, headline, large, overtime, ratio, table1,
+};
+use bgp_experiments::{Scenario, ScenarioConfig};
+use bgp_types::Observation;
+
+fn world() -> &'static (Scenario, Vec<Observation>) {
+    static WORLD: OnceLock<(Scenario, Vec<Observation>)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let cfg = ScenarioConfig {
+            scale: 0.15,
+            documented: 15,
+            ..ScenarioConfig::default()
+        };
+        let scenario = Scenario::build(&cfg);
+        let observations = scenario.collect(2);
+        (scenario, observations)
+    })
+}
+
+#[test]
+fn headline_counts_are_consistent() {
+    let (scenario, observations) = world();
+    let r = headline::run(scenario, observations);
+    assert_eq!(r.classified, r.action + r.information);
+    assert!(r.classified <= r.observed);
+    assert_eq!(
+        r.observed,
+        r.classified + r.excluded_private + r.excluded_reserved + r.excluded_never_on_path
+    );
+    assert!(r.accuracy > 0.7 && r.accuracy <= 1.0);
+    assert!(r.unique_paths <= r.unique_tuples);
+    headline::print(&r); // must not panic
+}
+
+#[test]
+fn fig04_rows_have_both_span_kinds() {
+    let (scenario, observations) = world();
+    let r = fig04::run(scenario, observations, 10);
+    assert!(!r.rows.is_empty());
+    for row in &r.rows {
+        let has_action = row
+            .dict_spans
+            .iter()
+            .any(|s| s.intent == bgp_types::Intent::Action);
+        let has_info = row
+            .dict_spans
+            .iter()
+            .any(|s| s.intent == bgp_types::Intent::Information);
+        assert!(has_action && has_info, "AS{} missing a span kind", row.asn);
+        for span in &row.dict_spans {
+            assert!(span.from <= span.to);
+            assert!(span.count >= 1);
+        }
+    }
+    fig04::print(&r);
+}
+
+#[test]
+fn fig06_population_sums() {
+    let (scenario, observations) = world();
+    let r = fig06::run(scenario, observations);
+    assert_eq!(
+        r.communities,
+        r.on_only_communities + r.off_only_communities + r.mixed_communities
+    );
+    assert!(r.best_accuracy >= r.accuracy_at_160 - 1e-9);
+    // CDFs end at 1.0.
+    for cdf in [&r.info_cdf, &r.action_cdf] {
+        if let Some(last) = cdf.last() {
+            assert!((last.1 - 1.0).abs() < 1e-9);
+        }
+    }
+    fig06::print(&r);
+}
+
+#[test]
+fn fig07_runs_in_both_relationship_modes() {
+    let (scenario, observations) = world();
+    let inferred = fig07::run(scenario, observations, false);
+    let oracle = fig07::run(scenario, observations, true);
+    assert!(inferred.clusters > 0);
+    assert!(oracle.clusters > 0);
+    assert!(oracle.best_accuracy <= 1.0);
+    assert!(!inferred.oracle && oracle.oracle);
+    fig07::print(&oracle);
+}
+
+#[test]
+fn fig09_sweep_covers_requested_gaps() {
+    let (scenario, observations) = world();
+    let gaps = [0u16, 140, 600];
+    let r = fig09::run(scenario, observations, &gaps);
+    assert_eq!(r.points.len(), 3);
+    assert_eq!(r.points[0].gap, 0);
+    assert!(r.best_accuracy >= r.no_clustering);
+    assert!(r.best_accuracy >= r.at_140 - 1e-9);
+    // Smaller gaps mean at least as many clusters.
+    assert!(r.points[0].clusters >= r.points[1].clusters);
+    fig09::print(&r);
+}
+
+#[test]
+fn fig10_percentiles_are_ordered() {
+    let (scenario, observations) = world();
+    let r = fig10::run(scenario, observations, &[2, 6], 4);
+    assert_eq!(r.points.len(), 2);
+    assert_eq!(r.trials, 4);
+    for p in &r.points {
+        assert!(p.acc_p10 <= p.acc_p50 + 1e-9);
+        assert!(p.acc_p50 <= p.acc_p90 + 1e-9);
+        assert!(p.coverage_p50 <= 1.0 + 1e-9);
+    }
+    // More vantage points never reduce median coverage on this ladder.
+    assert!(r.points[1].coverage_p50 >= r.points[0].coverage_p50 - 1e-9);
+    fig10::print(&r);
+}
+
+#[test]
+fn table1_filter_only_removes() {
+    let (scenario, observations) = world();
+    let r = table1::run(scenario, observations);
+    for row in &r.table.rows {
+        assert!(
+            row.after <= row.before,
+            "{}: {} -> {}",
+            row.category,
+            row.before,
+            row.after
+        );
+    }
+    assert!(r.table.precision_after() >= r.table.precision_before());
+    assert_eq!(
+        r.inferred_locations,
+        r.table.total_before() + r.table.unlabeled
+    );
+    table1::print(&r);
+}
+
+#[test]
+fn days_points_accumulate() {
+    let (scenario, observations) = world();
+    let r = days::run(scenario, observations, 2);
+    assert_eq!(r.points.len(), 2);
+    assert!(r.points[1].observations >= r.points[0].observations);
+    assert!(r.points[1].tuples >= r.points[0].tuples);
+    days::print(&r);
+}
+
+#[test]
+fn finegrained_confusion_is_block_diagonal_by_intent() {
+    // The fine pass never crosses the coarse boundary: action truths are
+    // never inferred as info categories and vice versa.
+    let (scenario, observations) = world();
+    let r = finegrained::run(scenario, observations);
+    for t in 0..3 {
+        for i in 3..6 {
+            assert_eq!(r.confusion[t][i], 0, "action truth inferred as info");
+            assert_eq!(r.confusion[i][t], 0, "info truth inferred as action");
+        }
+    }
+    assert!(r.total > 50);
+    let sum: usize = r.confusion.iter().flatten().sum();
+    assert_eq!(sum, r.total);
+    assert!(
+        r.correct as f64 / r.total as f64 > 0.3,
+        "worse than chance-ish"
+    );
+    finegrained::print(&r);
+}
+
+#[test]
+fn large_communities_classify_accurately() {
+    let (scenario, observations) = world();
+    let r = large::run(scenario, observations);
+    assert!(
+        r.observed > 10,
+        "only {} large communities observed",
+        r.observed
+    );
+    assert_eq!(r.classified + r.excluded, r.observed);
+    assert_eq!(r.classified, r.action + r.information);
+    assert!(r.action > 0 && r.information > 0);
+    assert!(r.accuracy() > 0.8, "accuracy {:.3}", r.accuracy());
+    large::print(&r);
+}
+
+#[test]
+fn ratio_sweep_brackets_the_optimum() {
+    let (scenario, observations) = world();
+    let thresholds = [1.0, 40.0, 160.0, 2560.0];
+    let r = ratio::run(scenario, observations, &thresholds);
+    assert_eq!(r.points.len(), 4);
+    // Extreme thresholds degrade toward all-info / all-action labeling.
+    let extreme_low = &r.points[0];
+    let extreme_high = &r.points[3];
+    assert!(r.best.1 >= extreme_low.accuracy);
+    assert!(r.best.1 >= extreme_high.accuracy);
+    // Monotone label shift: higher threshold => more action labels.
+    for w in r.points.windows(2) {
+        assert!(w[1].action >= w[0].action);
+        assert_eq!(
+            w[0].action + w[0].information,
+            w[1].action + w[1].information
+        );
+    }
+    ratio::print(&r);
+}
+
+#[test]
+fn overtime_worlds_grow() {
+    let cfg = ScenarioConfig {
+        scale: 0.1,
+        documented: 10,
+        ..ScenarioConfig::default()
+    };
+    let r = overtime::run(&cfg, 2);
+    assert_eq!(r.points.len(), 2);
+    assert!(r.points[1].ases > r.points[0].ases);
+    assert!(r.points[0].accuracy > 0.5);
+    overtime::print(&r);
+}

@@ -1,0 +1,223 @@
+//! The Table 1 study: filter location inferences with intent labels.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_intent::Inference;
+use bgp_policy::{PolicySet, Purpose};
+use bgp_types::{Community, Intent};
+
+use crate::infer::LocationInference;
+
+/// The ground-truth category names used in the paper's Table 1 (taken from
+/// Da Silva et al.'s released dictionary labels).
+pub fn dasilva_category(purpose: &Purpose) -> &'static str {
+    match purpose {
+        p if p.is_location_info() => "Geolocation",
+        p if p.intent() == Intent::Action => "Traffic Engineering",
+        Purpose::RelationshipTag(_) | Purpose::RovTag(_) => "Route Type",
+        Purpose::IngressInterface(_) => "Internal Routes",
+        _ => "Other",
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CategoryRow {
+    /// Intent class of the category ("Info" / "Action").
+    pub class: String,
+    /// Category name.
+    pub category: String,
+    /// Location inferences in this category before filtering.
+    pub before: usize,
+    /// Remaining after removing inferred-action communities.
+    pub after: usize,
+}
+
+/// The full Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct ImprovementTable {
+    /// Per-category rows, Geolocation first.
+    pub rows: Vec<CategoryRow>,
+    /// Location-community inferences with no ground-truth label (not
+    /// tabulated, reported for completeness).
+    pub unlabeled: usize,
+}
+
+impl ImprovementTable {
+    /// Total labeled inferences before filtering.
+    pub fn total_before(&self) -> usize {
+        self.rows.iter().map(|r| r.before).sum()
+    }
+
+    /// Total labeled inferences after filtering.
+    pub fn total_after(&self) -> usize {
+        self.rows.iter().map(|r| r.after).sum()
+    }
+
+    /// Precision of "is a location community" before filtering
+    /// (Geolocation = true positive).
+    pub fn precision_before(&self) -> f64 {
+        precision(self.rows.iter().map(|r| (r.category.as_str(), r.before)))
+    }
+
+    /// Precision after filtering.
+    pub fn precision_after(&self) -> f64 {
+        precision(self.rows.iter().map(|r| (r.category.as_str(), r.after)))
+    }
+}
+
+fn precision<'a>(rows: impl Iterator<Item = (&'a str, usize)>) -> f64 {
+    let mut tp = 0usize;
+    let mut total = 0usize;
+    for (category, n) in rows {
+        total += n;
+        if category == "Geolocation" {
+            tp += n;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        tp as f64 / total as f64
+    }
+}
+
+/// Build Table 1: tabulate the location inferences per ground-truth
+/// category, before and after removing communities the intent method
+/// labels *action*.
+pub fn improvement_table(
+    locations: &LocationInference,
+    intent: &Inference,
+    truth: &PolicySet,
+) -> ImprovementTable {
+    const CATEGORIES: [(&str, &str); 4] = [
+        ("Info", "Geolocation"),
+        ("Action", "Traffic Engineering"),
+        ("Info", "Route Type"),
+        ("Info", "Internal Routes"),
+    ];
+    let mut table = ImprovementTable {
+        rows: CATEGORIES
+            .iter()
+            .map(|&(class, category)| CategoryRow {
+                class: class.to_string(),
+                category: category.to_string(),
+                before: 0,
+                after: 0,
+            })
+            .collect(),
+        unlabeled: 0,
+    };
+    let mut communities: Vec<Community> = locations.locations.keys().copied().collect();
+    communities.sort_unstable();
+    for c in communities {
+        let Some(purpose) = truth.purpose_of(c) else {
+            table.unlabeled += 1;
+            continue;
+        };
+        let category = dasilva_category(purpose);
+        let Some(row) = table.rows.iter_mut().find(|r| r.category == category) else {
+            table.unlabeled += 1;
+            continue;
+        };
+        row.before += 1;
+        // The §6 filter: drop communities our method infers to be action.
+        if intent.label(c) != Some(Intent::Action) {
+            row.after += 1;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_policy::AsPolicy;
+    use bgp_types::Asn;
+    use std::collections::BTreeMap;
+
+    fn truth() -> PolicySet {
+        let mut defs = BTreeMap::new();
+        defs.insert(100u16, Purpose::IngressCity(0));
+        defs.insert(200, Purpose::SuppressInRegion(0));
+        defs.insert(
+            300,
+            Purpose::RelationshipTag(bgp_policy::RelClass::Customer),
+        );
+        defs.insert(400, Purpose::IngressInterface(1));
+        let mut set = PolicySet::default();
+        set.policies
+            .insert(Asn::new(1299), AsPolicy::new(Asn::new(1299), defs));
+        set
+    }
+
+    fn locations(betas: &[u16]) -> LocationInference {
+        let mut inf = LocationInference::default();
+        for &b in betas {
+            inf.locations.insert(Community::new(1299, b), 0.9);
+        }
+        inf
+    }
+
+    #[test]
+    fn category_mapping() {
+        assert_eq!(dasilva_category(&Purpose::IngressCity(0)), "Geolocation");
+        assert_eq!(dasilva_category(&Purpose::IngressRegion(0)), "Geolocation");
+        assert_eq!(
+            dasilva_category(&Purpose::SuppressInRegion(0)),
+            "Traffic Engineering"
+        );
+        assert_eq!(dasilva_category(&Purpose::Blackhole), "Traffic Engineering");
+        assert_eq!(
+            dasilva_category(&Purpose::RovTag(bgp_policy::RovStatus::Valid)),
+            "Route Type"
+        );
+        assert_eq!(
+            dasilva_category(&Purpose::IngressInterface(0)),
+            "Internal Routes"
+        );
+    }
+
+    #[test]
+    fn filter_removes_inferred_actions() {
+        let locs = locations(&[100, 200, 300]);
+        let mut intent = Inference::default();
+        intent
+            .labels
+            .insert(Community::new(1299, 100), Intent::Information);
+        intent
+            .labels
+            .insert(Community::new(1299, 200), Intent::Action); // filtered
+                                                                // 300 unlabeled by intent method: kept.
+        let table = improvement_table(&locs, &intent, &truth());
+        let geo = &table.rows[0];
+        assert_eq!((geo.before, geo.after), (1, 1));
+        let te = &table.rows[1];
+        assert_eq!((te.before, te.after), (1, 0));
+        let rt = &table.rows[2];
+        assert_eq!((rt.before, rt.after), (1, 1));
+        assert_eq!(table.total_before(), 3);
+        assert_eq!(table.total_after(), 2);
+        assert!((table.precision_before() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((table.precision_after() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlabeled_ground_truth_is_counted_separately() {
+        let locs = locations(&[100, 999]); // 999 undefined
+        let table = improvement_table(&locs, &Inference::default(), &truth());
+        assert_eq!(table.unlabeled, 1);
+        assert_eq!(table.total_before(), 1);
+    }
+
+    #[test]
+    fn empty_table_precision_is_zero() {
+        let table = improvement_table(
+            &LocationInference::default(),
+            &Inference::default(),
+            &truth(),
+        );
+        assert_eq!(table.precision_before(), 0.0);
+        assert_eq!(table.total_before(), 0);
+    }
+}

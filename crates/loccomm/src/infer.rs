@@ -1,0 +1,238 @@
+//! Isolation-based location-community inference.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_topology::RegionId;
+use bgp_types::{AsPath, Asn, Community, Observation};
+
+/// Classifier parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocCommConfig {
+    /// Minimum unique on-path sightings before a community is considered
+    /// (sparse evidence is unclassifiable).
+    pub min_paths: u32,
+    /// Fraction of sightings that must fall in the modal region for the
+    /// community to be called a location community.
+    pub concentration_threshold: f64,
+    /// The community's concentration must also exceed its owner's overall
+    /// geographic concentration by this much — a regional network's values
+    /// are all "concentrated" without any of them signaling a location.
+    pub min_lift: f64,
+}
+
+impl Default for LocCommConfig {
+    fn default() -> Self {
+        LocCommConfig {
+            min_paths: 5,
+            concentration_threshold: 0.65,
+            min_lift: 0.25,
+        }
+    }
+}
+
+/// Output of the classifier.
+#[derive(Debug, Clone, Default)]
+pub struct LocationInference {
+    /// Communities inferred to signal a location, with the measured
+    /// geographic concentration (0–1].
+    pub locations: HashMap<Community, f64>,
+    /// Communities considered (enough evidence) but rejected.
+    pub rejected: usize,
+    /// Communities skipped for insufficient evidence.
+    pub insufficient: usize,
+}
+
+impl LocationInference {
+    /// Whether a community was inferred to be a location community.
+    pub fn is_location(&self, c: Community) -> bool {
+        self.locations.contains_key(&c)
+    }
+}
+
+/// Infer location communities in isolation.
+///
+/// For each community `α:β` on routes where `α` is on-path, take the AS
+/// from which `α` learned the route (the next AS toward the origin) and
+/// look up its region in `as_regions` — the substitute for the geolocation
+/// data the original method consumes. A genuine ingress-location tag is
+/// attached only at one city, so its neighbor regions concentrate; so do
+/// geo-targeted action communities, which is exactly the false-positive
+/// mode the intent filter later removes.
+pub fn infer_location_communities(
+    observations: &[Observation],
+    as_regions: &HashMap<Asn, RegionId>,
+    cfg: &LocCommConfig,
+) -> LocationInference {
+    // region histogram per community over unique paths.
+    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
+    let mut seen: std::collections::HashSet<(u32, Community)> = std::collections::HashSet::new();
+    let mut histograms: HashMap<Community, HashMap<Option<RegionId>, u32>> = HashMap::new();
+    // Per-owner null model: region mix over every unique path through the
+    // owner, regardless of community.
+    let mut owner_seen: std::collections::HashSet<(u32, u16)> = std::collections::HashSet::new();
+    let mut baselines: HashMap<u16, HashMap<Option<RegionId>, u32>> = HashMap::new();
+    for obs in observations {
+        let next_id = path_ids.len() as u32;
+        let id = *path_ids.entry(&obs.path).or_insert(next_id);
+        for &c in &obs.communities {
+            let owner = Asn::new(c.asn as u32);
+            if !obs.path.contains(owner) || !seen.insert((id, c)) {
+                continue;
+            }
+            let region = obs
+                .path
+                .next_toward_origin(owner)
+                .and_then(|n| as_regions.get(&n).copied());
+            *histograms.entry(c).or_default().entry(region).or_insert(0) += 1;
+            if owner_seen.insert((id, c.asn)) {
+                *baselines
+                    .entry(c.asn)
+                    .or_default()
+                    .entry(region)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    let modal_share = |hist: &HashMap<Option<RegionId>, u32>| -> f64 {
+        let total: u32 = hist.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        // Unknown-region sightings count against concentration.
+        let modal = hist
+            .iter()
+            .filter_map(|(r, n)| r.map(|_| *n))
+            .max()
+            .unwrap_or(0);
+        modal as f64 / total as f64
+    };
+
+    let mut out = LocationInference::default();
+    for (c, hist) in histograms {
+        let total: u32 = hist.values().sum();
+        if total < cfg.min_paths {
+            out.insufficient += 1;
+            continue;
+        }
+        let concentration = modal_share(&hist);
+        let baseline = baselines.get(&c.asn).map(modal_share).unwrap_or(0.0);
+        if concentration >= cfg.concentration_threshold && concentration - baseline >= cfg.min_lift
+        {
+            out.locations.insert(c, concentration);
+        } else {
+            out.rejected += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(path: &str, comms: &[(u16, u16)]) -> Observation {
+        Observation {
+            vp: path.split_whitespace().next().unwrap().parse().unwrap(),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time: 0,
+        }
+    }
+
+    fn regions(pairs: &[(u32, u8)]) -> HashMap<Asn, RegionId> {
+        pairs.iter().map(|&(a, r)| (Asn::new(a), r)).collect()
+    }
+
+    #[test]
+    fn concentrated_community_is_location() {
+        // 1299:20000 always learned from EU neighbors (region 0), while
+        // 1299 itself carries routes from neighbors across regions (so its
+        // geographic baseline is diffuse).
+        let mut observations: Vec<Observation> = (0..6)
+            .map(|i| obs(&format!("{} 1299 {}", 50 + i, 100 + i), &[(1299, 20000)]))
+            .collect();
+        for i in 0..12 {
+            observations.push(obs(&format!("{} 1299 {}", 70 + i, 200 + i), &[(1299, 1)]));
+        }
+        let mut pairs: Vec<(u32, u8)> = (100..106).map(|a| (a, 0u8)).collect();
+        pairs.extend((200..212).map(|a| (a, (a % 5) as u8)));
+        let as_regions = regions(&pairs);
+        let inf = infer_location_communities(&observations, &as_regions, &LocCommConfig::default());
+        assert!(inf.is_location(Community::new(1299, 20000)));
+        assert!(inf.locations[&Community::new(1299, 20000)] >= 0.99);
+    }
+
+    #[test]
+    fn regional_owner_baseline_suppresses_false_locations() {
+        // Every route through 1299 comes from region 0 neighbors: a
+        // concentrated community is indistinguishable from the owner's
+        // footprint and must NOT be called a location community.
+        let observations: Vec<Observation> = (0..8)
+            .map(|i| obs(&format!("{} 1299 {}", 50 + i, 100 + i), &[(1299, 7)]))
+            .collect();
+        let as_regions = regions(&(100..108).map(|a| (a, 0u8)).collect::<Vec<_>>());
+        let inf = infer_location_communities(&observations, &as_regions, &LocCommConfig::default());
+        assert!(!inf.is_location(Community::new(1299, 7)));
+        assert_eq!(inf.rejected, 1);
+    }
+
+    #[test]
+    fn dispersed_community_is_rejected() {
+        // Learned from neighbors across 5 regions.
+        let observations: Vec<Observation> = (0..10)
+            .map(|i| obs(&format!("{} 1299 {}", 50 + i, 100 + i), &[(1299, 40000)]))
+            .collect();
+        let as_regions = regions(&(100..110).map(|a| (a, (a % 5) as u8)).collect::<Vec<_>>());
+        let inf = infer_location_communities(&observations, &as_regions, &LocCommConfig::default());
+        assert!(!inf.is_location(Community::new(1299, 40000)));
+        assert_eq!(inf.rejected, 1);
+    }
+
+    #[test]
+    fn sparse_evidence_is_skipped() {
+        let observations = vec![obs("50 1299 100", &[(1299, 1)])];
+        let as_regions = regions(&[(100, 0)]);
+        let inf = infer_location_communities(&observations, &as_regions, &LocCommConfig::default());
+        assert_eq!(inf.insufficient, 1);
+        assert!(inf.locations.is_empty());
+    }
+
+    #[test]
+    fn off_path_sightings_do_not_count() {
+        let observations: Vec<Observation> = (0..10)
+            .map(|i| obs(&format!("{} {}", 50 + i, 100 + i), &[(1299, 1)]))
+            .collect();
+        let as_regions = regions(&(100..110).map(|a| (a, 0u8)).collect::<Vec<_>>());
+        let inf = infer_location_communities(&observations, &as_regions, &LocCommConfig::default());
+        assert!(inf.locations.is_empty());
+        assert_eq!(inf.insufficient, 0); // never even histogrammed
+    }
+
+    #[test]
+    fn unknown_regions_count_against() {
+        // 6 sightings, 3 with unknown next-AS region: concentration 0.5.
+        let mut observations = Vec::new();
+        for i in 0..3 {
+            observations.push(obs(&format!("{} 1299 {}", 50 + i, 100 + i), &[(1299, 9)]));
+        }
+        for i in 0..3 {
+            observations.push(obs(&format!("{} 1299 {}", 60 + i, 200 + i), &[(1299, 9)]));
+        }
+        let as_regions = regions(&[(100, 0), (101, 0), (102, 0)]); // 200s unknown
+        let inf = infer_location_communities(
+            &observations,
+            &as_regions,
+            &LocCommConfig {
+                min_paths: 5,
+                concentration_threshold: 0.8,
+                min_lift: 0.0,
+            },
+        );
+        assert!(!inf.is_location(Community::new(1299, 9)));
+    }
+}

@@ -1,0 +1,25 @@
+//! Location-community inference and its improvement — the Table 1 study.
+//!
+//! Da Silva Jr. et al. (SIGMETRICS 2022) infer whether a community signals
+//! a *location*. Their method examines each community **in isolation** and,
+//! per the paper reproduced here, suffers "a high number of false positives
+//! for action communities": geo-targeted traffic engineering values
+//! correlate with geography just like genuine location tags do.
+//!
+//! * [`infer`] — a faithful-in-spirit isolation-based classifier: a
+//!   community is a location community when the geography of the routes
+//!   carrying it (the region of the neighbor the owner learned each route
+//!   from) is sufficiently concentrated.
+//! * [`improve`] — the paper's §6 fix: filter out communities the
+//!   intent method labels *action*, and tabulate before/after per
+//!   ground-truth category (Geolocation / Traffic Engineering / Route
+//!   Type / Internal Routes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod improve;
+pub mod infer;
+
+pub use improve::{dasilva_category, improvement_table, CategoryRow, ImprovementTable};
+pub use infer::{infer_location_communities, LocCommConfig, LocationInference};

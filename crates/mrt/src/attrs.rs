@@ -1,0 +1,716 @@
+//! BGP path attribute codec (RFC 4271 §4.3, RFC 1997, RFC 8092, RFC 4760).
+//!
+//! Attributes appear in two framings in MRT data:
+//!
+//! * inside `BGP4MP` UPDATE messages — AS_PATH ASN width depends on the
+//!   subtype (2-byte for `MESSAGE`, 4-byte for `MESSAGE_AS4`);
+//! * inside `TABLE_DUMP_V2` RIB entries — always 4-byte ASNs, and RFC 6396
+//!   §4.3.4 abbreviates `MP_REACH_NLRI` to just the next-hop (the AFI/SAFI
+//!   and NLRI are implied by the record subtype).
+//!
+//! [`AttrCtx`] carries those two context bits through encode and decode.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use bytes::BufMut;
+
+use bgp_types::{AsPath, Asn, Community, LargeCommunity, Origin, PathSegment, Prefix, RouteAttrs};
+
+use crate::cursor::Cursor;
+use crate::error::MrtError;
+use crate::nlri::{self, Afi};
+
+/// Attribute type codes used by this implementation.
+pub mod type_code {
+    /// ORIGIN (RFC 4271).
+    pub const ORIGIN: u8 = 1;
+    /// AS_PATH (RFC 4271).
+    pub const AS_PATH: u8 = 2;
+    /// NEXT_HOP (RFC 4271).
+    pub const NEXT_HOP: u8 = 3;
+    /// MULTI_EXIT_DISC (RFC 4271).
+    pub const MED: u8 = 4;
+    /// LOCAL_PREF (RFC 4271).
+    pub const LOCAL_PREF: u8 = 5;
+    /// ATOMIC_AGGREGATE (RFC 4271).
+    pub const ATOMIC_AGGREGATE: u8 = 6;
+    /// AGGREGATOR (RFC 4271/6793).
+    pub const AGGREGATOR: u8 = 7;
+    /// COMMUNITIES (RFC 1997).
+    pub const COMMUNITIES: u8 = 8;
+    /// MP_REACH_NLRI (RFC 4760).
+    pub const MP_REACH_NLRI: u8 = 14;
+    /// MP_UNREACH_NLRI (RFC 4760).
+    pub const MP_UNREACH_NLRI: u8 = 15;
+    /// LARGE_COMMUNITIES (RFC 8092).
+    pub const LARGE_COMMUNITIES: u8 = 32;
+}
+
+/// Attribute flag bits (RFC 4271 §4.3).
+pub mod flag {
+    /// Attribute is optional (not well-known).
+    pub const OPTIONAL: u8 = 0x80;
+    /// Attribute is transitive.
+    pub const TRANSITIVE: u8 = 0x40;
+    /// Partial bit.
+    pub const PARTIAL: u8 = 0x20;
+    /// Two-byte length field follows.
+    pub const EXTENDED_LENGTH: u8 = 0x10;
+}
+
+/// Framing context for the attribute codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrCtx {
+    /// AS_PATH and AGGREGATOR carry 4-byte ASNs (`BGP4MP_MESSAGE_AS4`,
+    /// `TABLE_DUMP_V2`). When false, 2-byte (`BGP4MP_MESSAGE`).
+    pub as4: bool,
+    /// RFC 6396 §4.3.4 `TABLE_DUMP_V2` abbreviation of MP_REACH_NLRI.
+    pub tdv2: bool,
+}
+
+impl AttrCtx {
+    /// Context for `TABLE_DUMP_V2` RIB entries.
+    pub const TABLE_DUMP_V2: AttrCtx = AttrCtx {
+        as4: true,
+        tdv2: true,
+    };
+    /// Context for `BGP4MP_MESSAGE_AS4` updates.
+    pub const BGP4MP_AS4: AttrCtx = AttrCtx {
+        as4: true,
+        tdv2: false,
+    };
+    /// Context for legacy 2-byte-ASN `BGP4MP_MESSAGE` updates.
+    pub const BGP4MP_AS2: AttrCtx = AttrCtx {
+        as4: false,
+        tdv2: false,
+    };
+}
+
+/// Everything decoded from one attribute block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodedAttrs {
+    /// The analytical attribute set (origin, path, next hop, communities…).
+    pub route: RouteAttrs,
+    /// Prefixes announced via MP_REACH_NLRI (IPv6 announcements).
+    pub mp_announced: Vec<Prefix>,
+    /// Prefixes withdrawn via MP_UNREACH_NLRI.
+    pub mp_withdrawn: Vec<Prefix>,
+    /// AGGREGATOR attribute, if present.
+    pub aggregator: Option<(Asn, Ipv4Addr)>,
+    /// Type codes of attributes this implementation skipped.
+    pub unknown_types: Vec<u8>,
+}
+
+/// Options for encoding an attribute block.
+#[derive(Debug, Clone, Default)]
+pub struct EncodeOpts {
+    /// Announce these prefixes via MP_REACH_NLRI instead of plain NLRI
+    /// (IPv6 or multiprotocol announcements). Ignored in TDV2 context
+    /// (where MP_REACH carries only the next hop).
+    pub mp_announced: Vec<Prefix>,
+    /// Withdraw these prefixes via MP_UNREACH_NLRI.
+    pub mp_withdrawn: Vec<Prefix>,
+    /// Emit an AGGREGATOR attribute.
+    pub aggregator: Option<(Asn, Ipv4Addr)>,
+}
+
+fn put_attr(out: &mut Vec<u8>, flags: u8, code: u8, body: &[u8]) -> Result<(), MrtError> {
+    if body.len() > u16::MAX as usize {
+        return Err(MrtError::TooLong {
+            context: "path attribute body",
+            len: body.len(),
+        });
+    }
+    if body.len() > u8::MAX as usize {
+        out.put_u8(flags | flag::EXTENDED_LENGTH);
+        out.put_u8(code);
+        out.put_u16(body.len() as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(code);
+        out.put_u8(body.len() as u8);
+    }
+    out.extend_from_slice(body);
+    Ok(())
+}
+
+fn encode_as_path(path: &AsPath, ctx: AttrCtx) -> Result<Vec<u8>, MrtError> {
+    let mut body = Vec::new();
+    for seg in path.segments() {
+        let (ty, asns) = match seg {
+            PathSegment::Set(v) => (1u8, v),
+            PathSegment::Sequence(v) => (2u8, v),
+        };
+        // RFC 4271: segment ASN count is one byte; split long sequences.
+        for chunk in asns.chunks(255) {
+            if chunk.is_empty() {
+                continue;
+            }
+            body.put_u8(ty);
+            body.put_u8(chunk.len() as u8);
+            for asn in chunk {
+                if ctx.as4 {
+                    body.put_u32(asn.value());
+                } else {
+                    if !asn.is_16bit() {
+                        return Err(MrtError::malformed(
+                            "AS_PATH",
+                            format!("ASN {asn} does not fit 2-byte encoding"),
+                        ));
+                    }
+                    body.put_u16(asn.value() as u16);
+                }
+            }
+        }
+    }
+    Ok(body)
+}
+
+fn decode_as_path(cur: &mut Cursor<'_>, ctx: AttrCtx) -> Result<AsPath, MrtError> {
+    let mut segments = Vec::new();
+    while !cur.is_empty() {
+        let ty = cur.u8("AS_PATH segment type")?;
+        let count = cur.u8("AS_PATH segment count")? as usize;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let v = if ctx.as4 {
+                cur.u32("AS_PATH ASN")?
+            } else {
+                cur.u16("AS_PATH ASN")? as u32
+            };
+            asns.push(Asn::new(v));
+        }
+        match ty {
+            1 => segments.push(PathSegment::Set(asns)),
+            2 => segments.push(PathSegment::Sequence(asns)),
+            other => {
+                return Err(MrtError::malformed(
+                    "AS_PATH",
+                    format!("unknown segment type {other}"),
+                ))
+            }
+        }
+    }
+    Ok(AsPath::from_segments(segments))
+}
+
+/// Encode a path attribute block.
+///
+/// IPv4 next hops emit a NEXT_HOP attribute; IPv6 next hops emit MP_REACH
+/// (abbreviated in TDV2 context per RFC 6396 §4.3.4, full form with
+/// `opts.mp_announced` otherwise).
+pub fn encode_attrs(
+    route: &RouteAttrs,
+    ctx: AttrCtx,
+    opts: &EncodeOpts,
+) -> Result<Vec<u8>, MrtError> {
+    let mut out = Vec::new();
+
+    put_attr(
+        &mut out,
+        flag::TRANSITIVE,
+        type_code::ORIGIN,
+        &[route.origin.to_u8()],
+    )?;
+    put_attr(
+        &mut out,
+        flag::TRANSITIVE,
+        type_code::AS_PATH,
+        &encode_as_path(&route.as_path, ctx)?,
+    )?;
+
+    let needs_mp_reach = !route.next_hop.is_ipv4() || !opts.mp_announced.is_empty();
+    if !needs_mp_reach {
+        if let IpAddr::V4(nh) = route.next_hop {
+            put_attr(
+                &mut out,
+                flag::TRANSITIVE,
+                type_code::NEXT_HOP,
+                &nh.octets(),
+            )?;
+        }
+    }
+
+    if let Some(med) = route.med {
+        put_attr(&mut out, flag::OPTIONAL, type_code::MED, &med.to_be_bytes())?;
+    }
+    if let Some(lp) = route.local_pref {
+        put_attr(
+            &mut out,
+            flag::TRANSITIVE,
+            type_code::LOCAL_PREF,
+            &lp.to_be_bytes(),
+        )?;
+    }
+    if route.atomic_aggregate {
+        put_attr(&mut out, flag::TRANSITIVE, type_code::ATOMIC_AGGREGATE, &[])?;
+    }
+    if let Some((asn, id)) = opts.aggregator {
+        let mut body = Vec::new();
+        if ctx.as4 {
+            body.put_u32(asn.value());
+        } else {
+            if !asn.is_16bit() {
+                return Err(MrtError::malformed(
+                    "AGGREGATOR",
+                    "ASN does not fit 2 bytes",
+                ));
+            }
+            body.put_u16(asn.value() as u16);
+        }
+        body.extend_from_slice(&id.octets());
+        put_attr(
+            &mut out,
+            flag::OPTIONAL | flag::TRANSITIVE,
+            type_code::AGGREGATOR,
+            &body,
+        )?;
+    }
+    if !route.communities.is_empty() {
+        let mut body = Vec::with_capacity(route.communities.len() * 4);
+        for c in &route.communities {
+            body.put_u32(c.to_u32());
+        }
+        put_attr(
+            &mut out,
+            flag::OPTIONAL | flag::TRANSITIVE,
+            type_code::COMMUNITIES,
+            &body,
+        )?;
+    }
+    if !route.large_communities.is_empty() {
+        let mut body = Vec::with_capacity(route.large_communities.len() * 12);
+        for lc in &route.large_communities {
+            body.put_u32(lc.global);
+            body.put_u32(lc.local1);
+            body.put_u32(lc.local2);
+        }
+        put_attr(
+            &mut out,
+            flag::OPTIONAL | flag::TRANSITIVE,
+            type_code::LARGE_COMMUNITIES,
+            &body,
+        )?;
+    }
+
+    if needs_mp_reach {
+        let mut body = Vec::new();
+        if ctx.tdv2 {
+            // RFC 6396 §4.3.4: next-hop length + next-hop only.
+            let mut nh = Vec::new();
+            nlri::encode_addr(&mut nh, route.next_hop);
+            body.put_u8(nh.len() as u8);
+            body.extend_from_slice(&nh);
+        } else {
+            // The AFI describes the NLRI; fall back to the next hop's family
+            // when MP_REACH is carrying only a non-IPv4 next hop.
+            let afi = match opts.mp_announced.first() {
+                Some(p) => Afi::of(p),
+                None => {
+                    if route.next_hop.is_ipv4() {
+                        Afi::Ipv4
+                    } else {
+                        Afi::Ipv6
+                    }
+                }
+            };
+            if opts.mp_announced.iter().any(|p| Afi::of(p) != afi) {
+                return Err(MrtError::malformed(
+                    "MP_REACH NLRI",
+                    "announced prefixes mix address families",
+                ));
+            }
+            body.put_u16(afi.to_u16());
+            body.put_u8(1); // SAFI unicast
+            let mut nh = Vec::new();
+            nlri::encode_addr(&mut nh, route.next_hop);
+            body.put_u8(nh.len() as u8);
+            body.extend_from_slice(&nh);
+            body.put_u8(0); // reserved
+            for p in &opts.mp_announced {
+                nlri::encode_prefix(&mut body, p);
+            }
+        }
+        put_attr(&mut out, flag::OPTIONAL, type_code::MP_REACH_NLRI, &body)?;
+    }
+    if !opts.mp_withdrawn.is_empty() {
+        let afi = Afi::of(&opts.mp_withdrawn[0]);
+        let mut body = Vec::new();
+        body.put_u16(afi.to_u16());
+        body.put_u8(1);
+        for p in &opts.mp_withdrawn {
+            nlri::encode_prefix(&mut body, p);
+        }
+        put_attr(&mut out, flag::OPTIONAL, type_code::MP_UNREACH_NLRI, &body)?;
+    }
+
+    Ok(out)
+}
+
+fn decode_mp_reach(
+    cur: &mut Cursor<'_>,
+    ctx: AttrCtx,
+    decoded: &mut DecodedAttrs,
+) -> Result<(), MrtError> {
+    if ctx.tdv2 {
+        let nh_len = cur.u8("MP_REACH next-hop length")? as usize;
+        let afi = match nh_len {
+            4 => Afi::Ipv4,
+            16 | 32 => Afi::Ipv6, // 32 = global + link-local
+            other => {
+                return Err(MrtError::malformed(
+                    "MP_REACH next-hop",
+                    format!("unexpected length {other}"),
+                ))
+            }
+        };
+        decoded.route.next_hop = nlri::decode_addr(cur, afi)?;
+        if nh_len == 32 {
+            let _ = nlri::decode_addr(cur, Afi::Ipv6)?; // discard link-local
+        }
+        return Ok(());
+    }
+    let afi_raw = cur.u16("MP_REACH AFI")?;
+    let afi = Afi::from_u16(afi_raw).ok_or(MrtError::Unsupported {
+        context: "MP_REACH AFI",
+        value: afi_raw as u32,
+    })?;
+    let safi = cur.u8("MP_REACH SAFI")?;
+    if safi != 1 {
+        return Err(MrtError::Unsupported {
+            context: "MP_REACH SAFI",
+            value: safi as u32,
+        });
+    }
+    let nh_len = cur.u8("MP_REACH next-hop length")? as usize;
+    let mut nh_cur = cur.slice(nh_len, "MP_REACH next-hop")?;
+    decoded.route.next_hop = match nh_len {
+        4 => nlri::decode_addr(&mut nh_cur, Afi::Ipv4)?,
+        16 | 32 => nlri::decode_addr(&mut nh_cur, Afi::Ipv6)?,
+        other => {
+            return Err(MrtError::malformed(
+                "MP_REACH next-hop",
+                format!("unexpected length {other}"),
+            ))
+        }
+    };
+    let _ = cur.u8("MP_REACH reserved")?;
+    decoded.mp_announced = nlri::decode_prefix_run(cur, afi)?;
+    Ok(())
+}
+
+/// Decode a full attribute block of `len` bytes from `cur`.
+pub fn decode_attrs(cur: &mut Cursor<'_>, ctx: AttrCtx) -> Result<DecodedAttrs, MrtError> {
+    let mut decoded = DecodedAttrs::default();
+    let mut saw_next_hop = false;
+    while !cur.is_empty() {
+        let flags = cur.u8("attribute flags")?;
+        let code = cur.u8("attribute type")?;
+        let len = if flags & flag::EXTENDED_LENGTH != 0 {
+            cur.u16("attribute extended length")? as usize
+        } else {
+            cur.u8("attribute length")? as usize
+        };
+        let mut body = cur.slice(len, "attribute body")?;
+        match code {
+            type_code::ORIGIN => {
+                let v = body.u8("ORIGIN")?;
+                decoded.route.origin = Origin::from_u8(v)
+                    .ok_or_else(|| MrtError::malformed("ORIGIN", format!("value {v}")))?;
+            }
+            type_code::AS_PATH => {
+                decoded.route.as_path = decode_as_path(&mut body, ctx)?;
+            }
+            type_code::NEXT_HOP => {
+                decoded.route.next_hop = nlri::decode_addr(&mut body, Afi::Ipv4)?;
+                saw_next_hop = true;
+            }
+            type_code::MED => {
+                decoded.route.med = Some(body.u32("MED")?);
+            }
+            type_code::LOCAL_PREF => {
+                decoded.route.local_pref = Some(body.u32("LOCAL_PREF")?);
+            }
+            type_code::ATOMIC_AGGREGATE => {
+                decoded.route.atomic_aggregate = true;
+            }
+            type_code::AGGREGATOR => {
+                let asn = if ctx.as4 {
+                    body.u32("AGGREGATOR ASN")?
+                } else {
+                    body.u16("AGGREGATOR ASN")? as u32
+                };
+                let ip = match nlri::decode_addr(&mut body, Afi::Ipv4)? {
+                    IpAddr::V4(v4) => v4,
+                    IpAddr::V6(_) => unreachable!("decode_addr(Ipv4) returns V4"),
+                };
+                decoded.aggregator = Some((Asn::new(asn), ip));
+            }
+            type_code::COMMUNITIES => {
+                if len % 4 != 0 {
+                    return Err(MrtError::malformed(
+                        "COMMUNITIES",
+                        format!("length {len} not a multiple of 4"),
+                    ));
+                }
+                while !body.is_empty() {
+                    decoded
+                        .route
+                        .communities
+                        .push(Community::from_u32(body.u32("COMMUNITIES")?));
+                }
+            }
+            type_code::LARGE_COMMUNITIES => {
+                if len % 12 != 0 {
+                    return Err(MrtError::malformed(
+                        "LARGE_COMMUNITIES",
+                        format!("length {len} not a multiple of 12"),
+                    ));
+                }
+                while !body.is_empty() {
+                    decoded.route.large_communities.push(LargeCommunity::new(
+                        body.u32("LARGE_COMMUNITIES global")?,
+                        body.u32("LARGE_COMMUNITIES local1")?,
+                        body.u32("LARGE_COMMUNITIES local2")?,
+                    ));
+                }
+            }
+            type_code::MP_REACH_NLRI => {
+                decode_mp_reach(&mut body, ctx, &mut decoded)?;
+            }
+            type_code::MP_UNREACH_NLRI => {
+                let afi_raw = body.u16("MP_UNREACH AFI")?;
+                let afi = Afi::from_u16(afi_raw).ok_or(MrtError::Unsupported {
+                    context: "MP_UNREACH AFI",
+                    value: afi_raw as u32,
+                })?;
+                let safi = body.u8("MP_UNREACH SAFI")?;
+                if safi != 1 {
+                    return Err(MrtError::Unsupported {
+                        context: "MP_UNREACH SAFI",
+                        value: safi as u32,
+                    });
+                }
+                decoded.mp_withdrawn = nlri::decode_prefix_run(&mut body, afi)?;
+            }
+            other => {
+                // Tolerate unknown optional attributes the way deployed
+                // parsers do; remember the type for diagnostics.
+                decoded.unknown_types.push(other);
+            }
+        }
+    }
+    // Suppress an unused warning while keeping the variable for clarity:
+    // NEXT_HOP and MP_REACH both set route.next_hop; nothing to reconcile.
+    let _ = saw_next_hop;
+    Ok(decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Prefix;
+
+    fn sample_route(v6: bool) -> RouteAttrs {
+        let mut r = RouteAttrs::originated(
+            AsPath::from_sequence([
+                Asn::new(65269),
+                Asn::new(7018),
+                Asn::new(1299),
+                Asn::new(399260),
+            ]),
+            if v6 {
+                "2001:db8::1".parse().unwrap()
+            } else {
+                IpAddr::from([203, 0, 113, 1])
+            },
+        );
+        r.med = Some(70);
+        r.local_pref = Some(120);
+        r.atomic_aggregate = true;
+        r.add_community(Community::new(1299, 2569));
+        r.add_community(Community::new(1299, 35130));
+        r.large_communities
+            .push(LargeCommunity::new(206499, 1, 4000));
+        r
+    }
+
+    fn roundtrip(route: &RouteAttrs, ctx: AttrCtx, opts: &EncodeOpts) -> DecodedAttrs {
+        let buf = encode_attrs(route, ctx, opts).unwrap();
+        let mut cur = Cursor::new(&buf);
+        let out = decode_attrs(&mut cur, ctx).unwrap();
+        assert!(cur.is_empty());
+        out
+    }
+
+    #[test]
+    fn v4_roundtrip_as4() {
+        let route = sample_route(false);
+        let out = roundtrip(&route, AttrCtx::BGP4MP_AS4, &EncodeOpts::default());
+        assert_eq!(out.route, route);
+        assert!(out.unknown_types.is_empty());
+    }
+
+    #[test]
+    fn v4_roundtrip_tdv2() {
+        let route = sample_route(false);
+        let out = roundtrip(&route, AttrCtx::TABLE_DUMP_V2, &EncodeOpts::default());
+        assert_eq!(out.route, route);
+    }
+
+    #[test]
+    fn as2_roundtrip_requires_16bit_asns() {
+        let mut route = sample_route(false);
+        route.as_path = AsPath::from_sequence([Asn::new(7018), Asn::new(1299)]);
+        let out = roundtrip(&route, AttrCtx::BGP4MP_AS2, &EncodeOpts::default());
+        assert_eq!(out.route, route);
+
+        // A 32-bit ASN cannot be 2-byte encoded.
+        let route32 = sample_route(false);
+        assert!(matches!(
+            encode_attrs(&route32, AttrCtx::BGP4MP_AS2, &EncodeOpts::default()),
+            Err(MrtError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn v6_nexthop_uses_mp_reach_tdv2_abbreviation() {
+        let route = sample_route(true);
+        let buf = encode_attrs(&route, AttrCtx::TABLE_DUMP_V2, &EncodeOpts::default()).unwrap();
+        let mut cur = Cursor::new(&buf);
+        let out = decode_attrs(&mut cur, AttrCtx::TABLE_DUMP_V2).unwrap();
+        assert_eq!(out.route.next_hop, route.next_hop);
+        assert_eq!(out.route.communities, route.communities);
+        assert!(out.mp_announced.is_empty()); // TDV2 MP_REACH has no NLRI
+    }
+
+    #[test]
+    fn v6_announcement_full_mp_reach() {
+        let route = sample_route(true);
+        let p: Prefix = "2001:db8:100::/48".parse().unwrap();
+        let opts = EncodeOpts {
+            mp_announced: vec![p],
+            ..Default::default()
+        };
+        let out = roundtrip(&route, AttrCtx::BGP4MP_AS4, &opts);
+        assert_eq!(out.mp_announced, vec![p]);
+        assert_eq!(out.route.next_hop, route.next_hop);
+    }
+
+    #[test]
+    fn mp_unreach_roundtrip() {
+        let route = sample_route(false);
+        let p: Prefix = "2001:db8:dead::/48".parse().unwrap();
+        let opts = EncodeOpts {
+            mp_withdrawn: vec![p],
+            ..Default::default()
+        };
+        let out = roundtrip(&route, AttrCtx::BGP4MP_AS4, &opts);
+        assert_eq!(out.mp_withdrawn, vec![p]);
+    }
+
+    #[test]
+    fn aggregator_roundtrip_both_widths() {
+        let route = sample_route(false);
+        let agg = (Asn::new(64500), Ipv4Addr::new(192, 0, 2, 9));
+        let opts = EncodeOpts {
+            aggregator: Some(agg),
+            ..Default::default()
+        };
+        let out = roundtrip(&route, AttrCtx::BGP4MP_AS4, &opts);
+        assert_eq!(out.aggregator, Some(agg));
+
+        let mut r2 = route.clone();
+        r2.as_path = AsPath::from_sequence([Asn::new(7018)]);
+        let out = roundtrip(&r2, AttrCtx::BGP4MP_AS2, &opts);
+        assert_eq!(out.aggregator, Some(agg));
+    }
+
+    #[test]
+    fn extended_length_attribute() {
+        // >255 communities forces the extended-length flag.
+        let mut route = RouteAttrs::originated(
+            AsPath::from_sequence([Asn::new(1299)]),
+            IpAddr::from([203, 0, 113, 1]),
+        );
+        for v in 0..300u16 {
+            route.add_community(Community::new(1299, v));
+        }
+        let out = roundtrip(&route, AttrCtx::BGP4MP_AS4, &EncodeOpts::default());
+        assert_eq!(out.route.communities.len(), 300);
+        assert_eq!(out.route.communities, route.communities);
+    }
+
+    #[test]
+    fn long_as_path_splits_segments() {
+        let asns: Vec<Asn> = (1..=300u32).map(Asn::new).collect();
+        let route = RouteAttrs::originated(
+            AsPath::from_sequence(asns.clone()),
+            IpAddr::from([203, 0, 113, 1]),
+        );
+        let out = roundtrip(&route, AttrCtx::BGP4MP_AS4, &EncodeOpts::default());
+        // Segment split at 255 is a wire detail; the ASN sequence is intact.
+        let decoded: Vec<Asn> = out.route.as_path.iter().collect();
+        assert_eq!(decoded, asns);
+    }
+
+    #[test]
+    fn as_set_roundtrip() {
+        let path = AsPath::from_segments(vec![
+            PathSegment::Sequence(vec![Asn::new(3356)]),
+            PathSegment::Set(vec![Asn::new(64496), Asn::new(64497)]),
+        ]);
+        let route = RouteAttrs::originated(path.clone(), IpAddr::from([203, 0, 113, 1]));
+        let out = roundtrip(&route, AttrCtx::BGP4MP_AS4, &EncodeOpts::default());
+        assert_eq!(out.route.as_path, path);
+    }
+
+    #[test]
+    fn unknown_attribute_is_skipped_not_fatal() {
+        let route = sample_route(false);
+        let mut buf = encode_attrs(&route, AttrCtx::BGP4MP_AS4, &EncodeOpts::default()).unwrap();
+        // Append an unknown optional attribute type 200 with 3-byte body.
+        buf.extend_from_slice(&[flag::OPTIONAL, 200, 3, 1, 2, 3]);
+        let mut cur = Cursor::new(&buf);
+        let out = decode_attrs(&mut cur, AttrCtx::BGP4MP_AS4).unwrap();
+        assert_eq!(out.route, route);
+        assert_eq!(out.unknown_types, vec![200]);
+    }
+
+    #[test]
+    fn malformed_communities_length() {
+        let buf = [
+            flag::OPTIONAL | flag::TRANSITIVE,
+            type_code::COMMUNITIES,
+            3,
+            0,
+            0,
+            0,
+        ];
+        let mut cur = Cursor::new(&buf);
+        assert!(matches!(
+            decode_attrs(&mut cur, AttrCtx::BGP4MP_AS4),
+            Err(MrtError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_attribute_body() {
+        let buf = [flag::TRANSITIVE, type_code::ORIGIN, 5, 0];
+        let mut cur = Cursor::new(&buf);
+        assert!(matches!(
+            decode_attrs(&mut cur, AttrCtx::BGP4MP_AS4),
+            Err(MrtError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_origin_value() {
+        let buf = [flag::TRANSITIVE, type_code::ORIGIN, 1, 9];
+        let mut cur = Cursor::new(&buf);
+        assert!(matches!(
+            decode_attrs(&mut cur, AttrCtx::BGP4MP_AS4),
+            Err(MrtError::Malformed { .. })
+        ));
+    }
+}

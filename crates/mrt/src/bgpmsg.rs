@@ -1,0 +1,452 @@
+//! BGP message framing (RFC 4271 §4) and the UPDATE body.
+//!
+//! `BGP4MP` MRT records embed complete BGP messages — marker, length, type,
+//! body. This module encodes and decodes the four message types, with full
+//! support for UPDATE (the only one carrying routes) and enough of
+//! OPEN/NOTIFICATION/KEEPALIVE to round-trip session traces.
+
+use std::net::Ipv4Addr;
+
+use bytes::BufMut;
+
+use bgp_types::{Prefix, RouteAttrs};
+
+use crate::attrs::{self, AttrCtx, DecodedAttrs, EncodeOpts};
+use crate::cursor::Cursor;
+use crate::error::MrtError;
+use crate::nlri::{self, Afi};
+
+/// BGP message header length: 16-byte marker + 2-byte length + 1-byte type.
+pub const HEADER_LEN: usize = 19;
+/// Maximum message size with RFC 8654 extended messages.
+pub const MAX_MESSAGE_LEN: usize = 65535;
+
+/// A decoded BGP message.
+///
+/// UPDATE dominates the size (it carries routes) and also dominates the
+/// population — boxing it would add a pointer chase to the hot path for no
+/// practical memory win, so the size-difference lint is waived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum BgpMessage {
+    /// OPEN (type 1).
+    Open(BgpOpen),
+    /// UPDATE (type 2).
+    Update(BgpUpdate),
+    /// NOTIFICATION (type 3).
+    Notification(BgpNotification),
+    /// KEEPALIVE (type 4).
+    Keepalive,
+}
+
+/// A BGP OPEN message (RFC 4271 §4.2), without optional parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpOpen {
+    /// Protocol version; always 4.
+    pub version: u8,
+    /// The sender's ASN (AS_TRANS when the real ASN needs 4 bytes).
+    pub asn: u16,
+    /// Proposed hold time in seconds.
+    pub hold_time: u16,
+    /// The sender's BGP identifier.
+    pub bgp_id: Ipv4Addr,
+}
+
+/// A BGP NOTIFICATION message (RFC 4271 §4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpNotification {
+    /// Error code.
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+/// A decoded BGP UPDATE.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BgpUpdate {
+    /// IPv4 prefixes withdrawn in the fixed withdrawn-routes field.
+    pub withdrawn: Vec<Prefix>,
+    /// Decoded path attributes (absent in a pure-withdrawal UPDATE).
+    pub attrs: Option<DecodedAttrs>,
+    /// IPv4 prefixes announced in the trailing NLRI field.
+    pub announced: Vec<Prefix>,
+}
+
+impl BgpUpdate {
+    /// All announced prefixes: plain NLRI plus MP_REACH (IPv6).
+    pub fn all_announced(&self) -> impl Iterator<Item = &Prefix> {
+        self.announced
+            .iter()
+            .chain(self.attrs.iter().flat_map(|a| a.mp_announced.iter()))
+    }
+
+    /// All withdrawn prefixes: fixed field plus MP_UNREACH.
+    pub fn all_withdrawn(&self) -> impl Iterator<Item = &Prefix> {
+        self.withdrawn
+            .iter()
+            .chain(self.attrs.iter().flat_map(|a| a.mp_withdrawn.iter()))
+    }
+}
+
+fn frame(msg_type: u8, body: &[u8]) -> Result<Vec<u8>, MrtError> {
+    let total = HEADER_LEN + body.len();
+    if total > MAX_MESSAGE_LEN {
+        return Err(MrtError::TooLong {
+            context: "BGP message",
+            len: total,
+        });
+    }
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&[0xFF; 16]);
+    out.put_u16(total as u16);
+    out.put_u8(msg_type);
+    out.extend_from_slice(body);
+    Ok(out)
+}
+
+/// Encode an UPDATE announcing `announced` (IPv4, via NLRI; put IPv6 in
+/// `opts.mp_announced`) with the given attributes, withdrawing `withdrawn`.
+pub fn encode_update(
+    route: &RouteAttrs,
+    ctx: AttrCtx,
+    opts: &EncodeOpts,
+    announced: &[Prefix],
+    withdrawn: &[Prefix],
+) -> Result<Vec<u8>, MrtError> {
+    let mut body = Vec::new();
+    let mut w = Vec::new();
+    for p in withdrawn {
+        if !p.is_ipv4() {
+            return Err(MrtError::malformed(
+                "withdrawn routes",
+                "IPv6 withdrawals must use MP_UNREACH (opts.mp_withdrawn)",
+            ));
+        }
+        nlri::encode_prefix(&mut w, p);
+    }
+    if w.len() > u16::MAX as usize {
+        return Err(MrtError::TooLong {
+            context: "withdrawn routes",
+            len: w.len(),
+        });
+    }
+    body.put_u16(w.len() as u16);
+    body.extend_from_slice(&w);
+
+    let attr_block =
+        if announced.is_empty() && opts.mp_announced.is_empty() && opts.mp_withdrawn.is_empty() {
+            Vec::new() // pure withdrawal: no attributes at all
+        } else {
+            attrs::encode_attrs(route, ctx, opts)?
+        };
+    if attr_block.len() > u16::MAX as usize {
+        return Err(MrtError::TooLong {
+            context: "path attributes",
+            len: attr_block.len(),
+        });
+    }
+    body.put_u16(attr_block.len() as u16);
+    body.extend_from_slice(&attr_block);
+
+    for p in announced {
+        if !p.is_ipv4() {
+            return Err(MrtError::malformed(
+                "NLRI",
+                "IPv6 announcements must use MP_REACH (opts.mp_announced)",
+            ));
+        }
+        nlri::encode_prefix(&mut body, p);
+    }
+    frame(2, &body)
+}
+
+/// Encode an UPDATE that only withdraws IPv4 prefixes.
+pub fn encode_withdrawal(withdrawn: &[Prefix]) -> Result<Vec<u8>, MrtError> {
+    encode_update(
+        &RouteAttrs::default(),
+        AttrCtx::BGP4MP_AS4,
+        &EncodeOpts::default(),
+        &[],
+        withdrawn,
+    )
+}
+
+/// Encode a KEEPALIVE message.
+pub fn encode_keepalive() -> Vec<u8> {
+    frame(4, &[]).expect("keepalive fits")
+}
+
+/// Encode an OPEN message (no optional parameters).
+pub fn encode_open(open: &BgpOpen) -> Vec<u8> {
+    let mut body = Vec::with_capacity(10);
+    body.put_u8(open.version);
+    body.put_u16(open.asn);
+    body.put_u16(open.hold_time);
+    body.extend_from_slice(&open.bgp_id.octets());
+    body.put_u8(0); // optional parameters length
+    frame(1, &body).expect("open fits")
+}
+
+/// Encode a NOTIFICATION message.
+pub fn encode_notification(n: &BgpNotification) -> Result<Vec<u8>, MrtError> {
+    let mut body = Vec::with_capacity(2 + n.data.len());
+    body.put_u8(n.code);
+    body.put_u8(n.subcode);
+    body.extend_from_slice(&n.data);
+    frame(3, &body)
+}
+
+/// Decode one complete BGP message from `cur`.
+pub fn decode_message(cur: &mut Cursor<'_>, ctx: AttrCtx) -> Result<BgpMessage, MrtError> {
+    let marker = cur.take(16, "BGP marker")?;
+    if marker != [0xFF; 16] {
+        return Err(MrtError::malformed("BGP marker", "not all-ones"));
+    }
+    let length = cur.u16("BGP length")? as usize;
+    if length < HEADER_LEN {
+        return Err(MrtError::malformed(
+            "BGP length",
+            format!("{length} < {HEADER_LEN}"),
+        ));
+    }
+    let msg_type = cur.u8("BGP type")?;
+    let mut body = cur.slice(length - HEADER_LEN, "BGP body")?;
+    match msg_type {
+        1 => {
+            let version = body.u8("OPEN version")?;
+            let asn = body.u16("OPEN ASN")?;
+            let hold_time = body.u16("OPEN hold time")?;
+            let id = body.take(4, "OPEN BGP id")?;
+            let opt_len = body.u8("OPEN optional parameter length")? as usize;
+            let _ = body.take(opt_len, "OPEN optional parameters")?;
+            Ok(BgpMessage::Open(BgpOpen {
+                version,
+                asn,
+                hold_time,
+                bgp_id: Ipv4Addr::new(id[0], id[1], id[2], id[3]),
+            }))
+        }
+        2 => {
+            let wlen = body.u16("withdrawn routes length")? as usize;
+            let mut wcur = body.slice(wlen, "withdrawn routes")?;
+            let withdrawn = nlri::decode_prefix_run(&mut wcur, Afi::Ipv4)?;
+            let alen = body.u16("path attribute length")? as usize;
+            let mut acur = body.slice(alen, "path attributes")?;
+            let attrs = if alen == 0 {
+                None
+            } else {
+                Some(attrs::decode_attrs(&mut acur, ctx)?)
+            };
+            let announced = nlri::decode_prefix_run(&mut body, Afi::Ipv4)?;
+            Ok(BgpMessage::Update(BgpUpdate {
+                withdrawn,
+                attrs,
+                announced,
+            }))
+        }
+        3 => {
+            let code = body.u8("NOTIFICATION code")?;
+            let subcode = body.u8("NOTIFICATION subcode")?;
+            let data = body.take(body.remaining(), "NOTIFICATION data")?.to_vec();
+            Ok(BgpMessage::Notification(BgpNotification {
+                code,
+                subcode,
+                data,
+            }))
+        }
+        4 => {
+            if !body.is_empty() {
+                return Err(MrtError::malformed("KEEPALIVE", "non-empty body"));
+            }
+            Ok(BgpMessage::Keepalive)
+        }
+        other => Err(MrtError::Unsupported {
+            context: "BGP message type",
+            value: other as u32,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Asn, Community};
+    use std::net::IpAddr;
+
+    fn sample_route() -> RouteAttrs {
+        let mut r = RouteAttrs::originated(
+            AsPath::from_sequence([Asn::new(7018), Asn::new(1299), Asn::new(64496)]),
+            IpAddr::from([203, 0, 113, 1]),
+        );
+        r.add_community(Community::new(1299, 2569));
+        r
+    }
+
+    #[test]
+    fn update_roundtrip() {
+        let route = sample_route();
+        let announced = vec!["192.0.2.0/24".parse().unwrap()];
+        let withdrawn = vec!["198.51.100.0/24".parse().unwrap()];
+        let wire = encode_update(
+            &route,
+            AttrCtx::BGP4MP_AS4,
+            &EncodeOpts::default(),
+            &announced,
+            &withdrawn,
+        )
+        .unwrap();
+        let mut cur = Cursor::new(&wire);
+        match decode_message(&mut cur, AttrCtx::BGP4MP_AS4).unwrap() {
+            BgpMessage::Update(u) => {
+                assert_eq!(u.announced, announced);
+                assert_eq!(u.withdrawn, withdrawn);
+                assert_eq!(u.attrs.unwrap().route, route);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn pure_withdrawal_has_no_attributes() {
+        let withdrawn: Vec<Prefix> = vec!["192.0.2.0/24".parse().unwrap()];
+        let wire = encode_withdrawal(&withdrawn).unwrap();
+        let mut cur = Cursor::new(&wire);
+        match decode_message(&mut cur, AttrCtx::BGP4MP_AS4).unwrap() {
+            BgpMessage::Update(u) => {
+                assert_eq!(u.withdrawn, withdrawn);
+                assert!(u.attrs.is_none());
+                assert!(u.announced.is_empty());
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ipv6_update_via_mp_reach() {
+        let mut route = sample_route();
+        route.next_hop = "2001:db8::1".parse().unwrap();
+        let p: Prefix = "2001:db8:100::/48".parse().unwrap();
+        let opts = EncodeOpts {
+            mp_announced: vec![p],
+            ..Default::default()
+        };
+        let wire = encode_update(&route, AttrCtx::BGP4MP_AS4, &opts, &[], &[]).unwrap();
+        let mut cur = Cursor::new(&wire);
+        match decode_message(&mut cur, AttrCtx::BGP4MP_AS4).unwrap() {
+            BgpMessage::Update(u) => {
+                assert!(u.announced.is_empty());
+                assert_eq!(u.all_announced().collect::<Vec<_>>(), vec![&p]);
+                assert_eq!(u.attrs.unwrap().route.next_hop, route.next_hop);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ipv6_in_plain_nlri_is_an_encode_error() {
+        let route = sample_route();
+        let p: Prefix = "2001:db8::/32".parse().unwrap();
+        assert!(encode_update(
+            &route,
+            AttrCtx::BGP4MP_AS4,
+            &EncodeOpts::default(),
+            &[p],
+            &[]
+        )
+        .is_err());
+        assert!(encode_update(
+            &route,
+            AttrCtx::BGP4MP_AS4,
+            &EncodeOpts::default(),
+            &[],
+            &[p]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn keepalive_roundtrip() {
+        let wire = encode_keepalive();
+        assert_eq!(wire.len(), HEADER_LEN);
+        let mut cur = Cursor::new(&wire);
+        assert_eq!(
+            decode_message(&mut cur, AttrCtx::BGP4MP_AS4).unwrap(),
+            BgpMessage::Keepalive
+        );
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let open = BgpOpen {
+            version: 4,
+            asn: 23456,
+            hold_time: 180,
+            bgp_id: Ipv4Addr::new(192, 0, 2, 33),
+        };
+        let wire = encode_open(&open);
+        let mut cur = Cursor::new(&wire);
+        assert_eq!(
+            decode_message(&mut cur, AttrCtx::BGP4MP_AS4).unwrap(),
+            BgpMessage::Open(open)
+        );
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let n = BgpNotification {
+            code: 6,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        };
+        let wire = encode_notification(&n).unwrap();
+        let mut cur = Cursor::new(&wire);
+        assert_eq!(
+            decode_message(&mut cur, AttrCtx::BGP4MP_AS4).unwrap(),
+            BgpMessage::Notification(n)
+        );
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut wire = encode_keepalive();
+        wire[0] = 0;
+        let mut cur = Cursor::new(&wire);
+        assert!(matches!(
+            decode_message(&mut cur, AttrCtx::BGP4MP_AS4),
+            Err(MrtError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn short_length_rejected() {
+        let mut wire = encode_keepalive();
+        wire[16] = 0;
+        wire[17] = 5; // length < 19
+        let mut cur = Cursor::new(&wire);
+        assert!(matches!(
+            decode_message(&mut cur, AttrCtx::BGP4MP_AS4),
+            Err(MrtError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut wire = encode_keepalive();
+        wire[18] = 9;
+        let mut cur = Cursor::new(&wire);
+        assert!(matches!(
+            decode_message(&mut cur, AttrCtx::BGP4MP_AS4),
+            Err(MrtError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn nonempty_keepalive_rejected() {
+        let wire = frame(4, &[0]).unwrap();
+        let mut cur = Cursor::new(&wire);
+        assert!(decode_message(&mut cur, AttrCtx::BGP4MP_AS4).is_err());
+    }
+}

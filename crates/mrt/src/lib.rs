@@ -1,0 +1,62 @@
+//! MRT (RFC 6396) and BGP (RFC 4271) wire codecs.
+//!
+//! The paper's pipeline consumes MRT archives published by RouteViews and
+//! RIPE RIS: `TABLE_DUMP_V2` RIB snapshots and `BGP4MP` update streams. This
+//! crate implements both directions — the simulator *writes* MRT files and
+//! the analysis pipeline *reads* them back — so the reproduction exercises
+//! the same parse path a real deployment would (cf. `bgpkit-parser`).
+//!
+//! Layout:
+//!
+//! * [`nlri`] — RFC 4271 prefix (NLRI) encoding for IPv4 and IPv6.
+//! * [`attrs`] — path attribute codec: ORIGIN, AS_PATH (4-byte ASNs),
+//!   NEXT_HOP, MED, LOCAL_PREF, ATOMIC_AGGREGATE, AGGREGATOR, COMMUNITIES
+//!   (RFC 1997), LARGE_COMMUNITIES (RFC 8092), MP_REACH/MP_UNREACH_NLRI
+//!   (RFC 4760) for IPv6.
+//! * [`bgpmsg`] — BGP message framing and the UPDATE body.
+//! * [`records`] — MRT record model: `PEER_INDEX_TABLE`, `RIB_IPV4_UNICAST`,
+//!   `RIB_IPV6_UNICAST`, `BGP4MP_MESSAGE_AS4`, `BGP4MP_STATE_CHANGE_AS4`.
+//! * [`reader`] / [`writer`] — streaming record I/O over `std::io`.
+//!
+//! # Example
+//!
+//! ```
+//! use bgp_mrt::{records::MrtRecord, writer::MrtWriter, reader::MrtReader};
+//! use bgp_mrt::records::{PeerEntry, PeerIndexTable};
+//! use std::net::IpAddr;
+//!
+//! let table = PeerIndexTable {
+//!     collector_bgp_id: [192, 0, 2, 1].into(),
+//!     view_name: String::new(),
+//!     peers: vec![PeerEntry {
+//!         bgp_id: [192, 0, 2, 2].into(),
+//!         addr: IpAddr::from([192, 0, 2, 2]),
+//!         asn: bgp_types::Asn::new(64500),
+//!     }],
+//! };
+//! let mut buf = Vec::new();
+//! MrtWriter::new(&mut buf)
+//!     .write_record(0, &MrtRecord::PeerIndexTable(table.clone()))
+//!     .unwrap();
+//! let parsed: Vec<_> = MrtReader::new(&buf[..]).map(Result::unwrap).collect();
+//! assert_eq!(parsed.len(), 1);
+//! assert_eq!(parsed[0].record, MrtRecord::PeerIndexTable(table));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attrs;
+pub mod bgpmsg;
+pub mod cursor;
+pub mod error;
+pub mod nlri;
+pub mod obs;
+pub mod reader;
+pub mod records;
+pub mod writer;
+
+pub use error::MrtError;
+pub use reader::MrtReader;
+pub use records::{MrtRecord, TimestampedRecord};
+pub use writer::MrtWriter;

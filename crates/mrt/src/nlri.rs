@@ -1,0 +1,252 @@
+//! NLRI (prefix) wire encoding, RFC 4271 §4.3.
+//!
+//! A prefix is encoded as one length byte (in bits) followed by the minimum
+//! number of octets holding that many bits. Whether the bytes are IPv4 or
+//! IPv6 is context the caller supplies (from the MRT subtype or the
+//! MP_REACH AFI).
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bytes::BufMut;
+
+use bgp_types::Prefix;
+
+use crate::cursor::Cursor;
+use crate::error::MrtError;
+
+/// Address family identifiers (RFC 4760 / IANA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Afi {
+    /// IPv4 (AFI 1).
+    Ipv4,
+    /// IPv6 (AFI 2).
+    Ipv6,
+}
+
+impl Afi {
+    /// IANA AFI number.
+    pub const fn to_u16(self) -> u16 {
+        match self {
+            Afi::Ipv4 => 1,
+            Afi::Ipv6 => 2,
+        }
+    }
+
+    /// Decode an IANA AFI number.
+    pub const fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(Afi::Ipv4),
+            2 => Some(Afi::Ipv6),
+            _ => None,
+        }
+    }
+
+    /// The AFI of a prefix.
+    pub fn of(prefix: &Prefix) -> Self {
+        if prefix.is_ipv4() {
+            Afi::Ipv4
+        } else {
+            Afi::Ipv6
+        }
+    }
+
+    /// Maximum prefix length for this family.
+    pub const fn max_len(self) -> u8 {
+        match self {
+            Afi::Ipv4 => 32,
+            Afi::Ipv6 => 128,
+        }
+    }
+}
+
+/// Encode one prefix into `out`.
+pub fn encode_prefix(out: &mut Vec<u8>, prefix: &Prefix) {
+    out.put_u8(prefix.len());
+    let nbytes = (prefix.len() as usize).div_ceil(8);
+    match prefix.addr() {
+        IpAddr::V4(a) => out.extend_from_slice(&a.octets()[..nbytes]),
+        IpAddr::V6(a) => out.extend_from_slice(&a.octets()[..nbytes]),
+    }
+}
+
+/// Decode one prefix of the given family from `cur`.
+pub fn decode_prefix(cur: &mut Cursor<'_>, afi: Afi) -> Result<Prefix, MrtError> {
+    let len = cur.u8("NLRI prefix length")?;
+    if len > afi.max_len() {
+        return Err(MrtError::malformed(
+            "NLRI prefix length",
+            format!("{len} bits exceeds {} for {afi:?}", afi.max_len()),
+        ));
+    }
+    let nbytes = (len as usize).div_ceil(8);
+    let raw = cur.take(nbytes, "NLRI prefix bytes")?;
+    let addr = match afi {
+        Afi::Ipv4 => {
+            let mut o = [0u8; 4];
+            o[..nbytes].copy_from_slice(raw);
+            IpAddr::V4(Ipv4Addr::from(o))
+        }
+        Afi::Ipv6 => {
+            let mut o = [0u8; 16];
+            o[..nbytes].copy_from_slice(raw);
+            IpAddr::V6(Ipv6Addr::from(o))
+        }
+    };
+    // RFC 4271 requires trailing pad bits be ignored; Prefix::new masks them.
+    Ok(Prefix::new(addr, len).expect("length validated above"))
+}
+
+/// Decode a run of prefixes filling the remainder of `cur` (the NLRI field
+/// of an UPDATE, or an MP_REACH/MP_UNREACH body tail).
+pub fn decode_prefix_run(cur: &mut Cursor<'_>, afi: Afi) -> Result<Vec<Prefix>, MrtError> {
+    let mut prefixes = Vec::new();
+    while !cur.is_empty() {
+        prefixes.push(decode_prefix(cur, afi)?);
+    }
+    Ok(prefixes)
+}
+
+/// Encode an IP address as fixed-width bytes (for next-hops and peer
+/// addresses, which are not length-prefixed).
+pub fn encode_addr(out: &mut Vec<u8>, addr: IpAddr) {
+    match addr {
+        IpAddr::V4(a) => out.extend_from_slice(&a.octets()),
+        IpAddr::V6(a) => out.extend_from_slice(&a.octets()),
+    }
+}
+
+/// Decode a fixed-width IP address of the given family.
+pub fn decode_addr(cur: &mut Cursor<'_>, afi: Afi) -> Result<IpAddr, MrtError> {
+    match afi {
+        Afi::Ipv4 => {
+            let b = cur.take(4, "IPv4 address")?;
+            Ok(IpAddr::V4(Ipv4Addr::new(b[0], b[1], b[2], b[3])))
+        }
+        Afi::Ipv6 => {
+            let b = cur.take(16, "IPv6 address")?;
+            let mut o = [0u8; 16];
+            o.copy_from_slice(b);
+            Ok(IpAddr::V6(Ipv6Addr::from(o)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: &str) -> Prefix {
+        let prefix: Prefix = p.parse().unwrap();
+        let mut buf = Vec::new();
+        encode_prefix(&mut buf, &prefix);
+        let mut cur = Cursor::new(&buf);
+        let out = decode_prefix(&mut cur, Afi::of(&prefix)).unwrap();
+        assert!(cur.is_empty());
+        out
+    }
+
+    #[test]
+    fn v4_roundtrips() {
+        for p in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "192.0.2.0/24",
+            "192.0.2.128/25",
+            "198.51.100.7/32",
+        ] {
+            assert_eq!(roundtrip(p), p.parse::<Prefix>().unwrap());
+        }
+    }
+
+    #[test]
+    fn v6_roundtrips() {
+        for p in [
+            "::/0",
+            "2001:db8::/32",
+            "2001:db8:1234:5678::/64",
+            "2001:db8::1/128",
+        ] {
+            assert_eq!(roundtrip(p), p.parse::<Prefix>().unwrap());
+        }
+    }
+
+    #[test]
+    fn minimal_byte_count() {
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        let mut buf = Vec::new();
+        encode_prefix(&mut buf, &p);
+        assert_eq!(buf.len(), 1 + 3); // len byte + 3 prefix bytes
+
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        buf.clear();
+        encode_prefix(&mut buf, &p);
+        assert_eq!(buf.len(), 1 + 1);
+
+        let p: Prefix = "0.0.0.0/0".parse().unwrap();
+        buf.clear();
+        encode_prefix(&mut buf, &p);
+        assert_eq!(buf, vec![0]);
+    }
+
+    #[test]
+    fn pad_bits_are_masked() {
+        // /20 with nonzero bits in the pad portion of the third byte.
+        let raw = [20u8, 192, 0, 0x2F];
+        let mut cur = Cursor::new(&raw);
+        let p = decode_prefix(&mut cur, Afi::Ipv4).unwrap();
+        assert_eq!(p.to_string(), "192.0.32.0/20");
+    }
+
+    #[test]
+    fn overlong_length_rejected() {
+        let raw = [33u8, 0, 0, 0, 0];
+        let mut cur = Cursor::new(&raw);
+        assert!(matches!(
+            decode_prefix(&mut cur, Afi::Ipv4),
+            Err(MrtError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_prefix_bytes_rejected() {
+        let raw = [24u8, 192, 0]; // promises 3 bytes, has 2
+        let mut cur = Cursor::new(&raw);
+        assert!(matches!(
+            decode_prefix(&mut cur, Afi::Ipv4),
+            Err(MrtError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_run() {
+        let a: Prefix = "192.0.2.0/24".parse().unwrap();
+        let b: Prefix = "198.51.100.0/24".parse().unwrap();
+        let mut buf = Vec::new();
+        encode_prefix(&mut buf, &a);
+        encode_prefix(&mut buf, &b);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(decode_prefix_run(&mut cur, Afi::Ipv4).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn addr_roundtrip() {
+        for (addr, afi) in [
+            (IpAddr::from([203, 0, 113, 9]), Afi::Ipv4),
+            ("2001:db8::9".parse::<IpAddr>().unwrap(), Afi::Ipv6),
+        ] {
+            let mut buf = Vec::new();
+            encode_addr(&mut buf, addr);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(decode_addr(&mut cur, afi).unwrap(), addr);
+        }
+    }
+
+    #[test]
+    fn afi_numbers() {
+        assert_eq!(Afi::Ipv4.to_u16(), 1);
+        assert_eq!(Afi::Ipv6.to_u16(), 2);
+        assert_eq!(Afi::from_u16(1), Some(Afi::Ipv4));
+        assert_eq!(Afi::from_u16(2), Some(Afi::Ipv6));
+        assert_eq!(Afi::from_u16(3), None);
+    }
+}

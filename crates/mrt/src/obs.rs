@@ -1,0 +1,344 @@
+//! Bridging [`Observation`]s and MRT files.
+//!
+//! The simulator serializes its collector state through these functions and
+//! the analysis pipeline reads it back, so every experiment exercises the
+//! full wire path (RIB dumps like RouteViews `rib.*.bz2` files, update
+//! streams like `updates.*.bz2`).
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{IpAddr, Ipv4Addr};
+
+use bgp_types::{Asn, Observation, Prefix, RouteAttrs};
+
+use crate::bgpmsg::BgpMessage;
+use crate::error::MrtError;
+use crate::reader::MrtReader;
+use crate::records::{MrtRecord, PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
+use crate::writer::MrtWriter;
+
+/// Synthesize a stable address for vantage point number `idx`.
+fn vp_addr(idx: usize) -> Ipv4Addr {
+    // 172.16.0.0/12 private space: room for ~1M vantage points.
+    let n = idx as u32;
+    Ipv4Addr::new(
+        172,
+        (16 + (n >> 16)) as u8,
+        ((n >> 8) & 0xFF) as u8,
+        (n & 0xFF) as u8,
+    )
+}
+
+/// Write a `TABLE_DUMP_V2` RIB dump of the observations: one
+/// `PEER_INDEX_TABLE` followed by one RIB record per prefix.
+///
+/// If several observations share a `(vantage point, prefix)` pair, the
+/// latest by timestamp wins — exactly how a RIB snapshot collapses updates.
+/// Returns the number of MRT records written.
+pub fn write_rib_dump<W: Write>(
+    out: W,
+    timestamp: u32,
+    observations: &[Observation],
+) -> Result<u64, MrtError> {
+    let mut vps: Vec<Asn> = observations.iter().map(|o| o.vp).collect();
+    vps.sort_unstable();
+    vps.dedup();
+    let vp_index: BTreeMap<Asn, u16> = vps
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, i as u16))
+        .collect();
+
+    let table = PeerIndexTable {
+        collector_bgp_id: Ipv4Addr::new(192, 0, 2, 1),
+        view_name: String::new(),
+        peers: vps
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| PeerEntry {
+                bgp_id: vp_addr(i),
+                addr: IpAddr::V4(vp_addr(i)),
+                asn,
+            })
+            .collect(),
+    };
+
+    // Latest observation per (prefix, vp); BTreeMap gives deterministic
+    // prefix order for the RIB records.
+    let mut by_prefix: BTreeMap<Prefix, BTreeMap<u16, &Observation>> = BTreeMap::new();
+    for obs in observations {
+        let idx = vp_index[&obs.vp];
+        let slot = by_prefix
+            .entry(obs.prefix)
+            .or_default()
+            .entry(idx)
+            .or_insert(obs);
+        if obs.time >= slot.time {
+            *slot = obs;
+        }
+    }
+
+    let mut writer = MrtWriter::new(out);
+    writer.write_record(timestamp, &MrtRecord::PeerIndexTable(table))?;
+    for (sequence, (prefix, entries)) in by_prefix.into_iter().enumerate() {
+        let rib = RibSnapshot {
+            sequence: sequence as u32,
+            prefix,
+            entries: entries
+                .into_iter()
+                .map(|(peer_index, obs)| {
+                    let mut route = RouteAttrs::originated(
+                        obs.path.clone(),
+                        IpAddr::V4(vp_addr(peer_index as usize)),
+                    );
+                    route.communities = obs.communities.clone();
+                    route.large_communities = obs.large_communities.clone();
+                    RibEntry {
+                        peer_index,
+                        originated_time: obs.time,
+                        route,
+                    }
+                })
+                .collect(),
+        };
+        writer.write_record(timestamp, &MrtRecord::Rib(rib))?;
+    }
+    writer.flush()?;
+    Ok(writer.records_written())
+}
+
+/// Write a `BGP4MP` update stream: one UPDATE record per observation, in
+/// input order (callers sort by time for realistic archives).
+pub fn write_update_stream<W: Write>(
+    out: W,
+    collector_asn: Asn,
+    observations: &[Observation],
+) -> Result<u64, MrtError> {
+    let mut vps: Vec<Asn> = observations.iter().map(|o| o.vp).collect();
+    vps.sort_unstable();
+    vps.dedup();
+    let vp_index: BTreeMap<Asn, usize> = vps.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+
+    let collector_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1));
+    let mut writer = MrtWriter::new(out);
+    for obs in observations {
+        let mut route =
+            RouteAttrs::originated(obs.path.clone(), IpAddr::V4(vp_addr(vp_index[&obs.vp])));
+        route.communities = obs.communities.clone();
+        route.large_communities = obs.large_communities.clone();
+        writer.write_update(
+            obs.time,
+            obs.vp,
+            collector_asn,
+            IpAddr::V4(vp_addr(vp_index[&obs.vp])),
+            collector_addr,
+            &route,
+            std::slice::from_ref(&obs.prefix),
+            &[],
+        )?;
+    }
+    writer.flush()?;
+    Ok(writer.records_written())
+}
+
+/// Read observations back from an MRT stream containing RIB dumps and/or
+/// update streams. Unsupported or malformed records are skipped (the
+/// reader can continue past a well-framed body it cannot decode), matching
+/// how measurement pipelines treat archives; I/O and truncation errors
+/// still abort.
+pub fn read_observations<R: Read>(input: R) -> Result<Vec<Observation>, MrtError> {
+    let mut peers: Vec<PeerEntry> = Vec::new();
+    let mut observations = Vec::new();
+    for item in MrtReader::new(input) {
+        let rec = match item {
+            Ok(rec) => rec,
+            Err(e @ (MrtError::Io(_) | MrtError::Truncated { .. })) => return Err(e),
+            Err(_) => continue, // skip undecodable record bodies
+        };
+        match rec.record {
+            MrtRecord::PeerIndexTable(t) => peers = t.peers,
+            MrtRecord::Rib(rib) => {
+                for entry in rib.entries {
+                    let peer = peers.get(entry.peer_index as usize).ok_or_else(|| {
+                        MrtError::malformed(
+                            "RIB entry",
+                            format!("peer index {} out of range", entry.peer_index),
+                        )
+                    })?;
+                    observations.push(Observation {
+                        vp: peer.asn,
+                        prefix: rib.prefix,
+                        path: entry.route.as_path,
+                        communities: entry.route.communities,
+                        large_communities: entry.route.large_communities,
+                        time: entry.originated_time,
+                    });
+                }
+            }
+            MrtRecord::Message(m) => {
+                if let BgpMessage::Update(u) = m.message {
+                    if let Some(attrs) = u.attrs {
+                        for prefix in u.announced.iter().chain(attrs.mp_announced.iter()) {
+                            observations.push(Observation {
+                                vp: m.peer_asn,
+                                prefix: *prefix,
+                                path: attrs.route.as_path.clone(),
+                                communities: attrs.route.communities.clone(),
+                                large_communities: attrs.route.large_communities.clone(),
+                                time: rec.timestamp,
+                            });
+                        }
+                    }
+                }
+            }
+            MrtRecord::TableDump(t) => {
+                observations.push(Observation {
+                    vp: t.peer_asn,
+                    prefix: t.prefix,
+                    path: t.route.as_path,
+                    communities: t.route.communities,
+                    large_communities: t.route.large_communities,
+                    time: t.originated_time,
+                });
+            }
+            MrtRecord::StateChange(_) => {}
+        }
+    }
+    Ok(observations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Community;
+
+    fn obs(vp: u32, prefix: &str, path: &str, comms: &[(u16, u16)], time: u32) -> Observation {
+        Observation {
+            vp: Asn::new(vp),
+            prefix: prefix.parse().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time,
+        }
+    }
+
+    fn sample() -> Vec<Observation> {
+        vec![
+            obs(
+                64500,
+                "10.0.0.0/24",
+                "64500 1299 64496",
+                &[(1299, 2569)],
+                100,
+            ),
+            obs(
+                64501,
+                "10.0.0.0/24",
+                "64501 7018 1299 64496",
+                &[(1299, 2569), (7018, 100)],
+                100,
+            ),
+            obs(
+                64500,
+                "10.0.1.0/24",
+                "64500 3356 64497",
+                &[(3356, 35130)],
+                100,
+            ),
+            obs(64501, "2001:db8:5::/48", "64501 3356 64498", &[], 100),
+        ]
+    }
+
+    #[test]
+    fn rib_dump_roundtrip() {
+        let observations = sample();
+        let mut buf = Vec::new();
+        let n = write_rib_dump(&mut buf, 100, &observations).unwrap();
+        assert_eq!(n, 1 + 3); // peer table + 3 prefixes
+        let mut back = read_observations(&buf[..]).unwrap();
+        let mut expected = observations;
+        let key = |o: &Observation| (o.prefix, o.vp);
+        back.sort_by_key(key);
+        expected.sort_by_key(key);
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn rib_dump_keeps_latest_per_vp_prefix() {
+        let mut observations = sample();
+        let mut newer = observations[0].clone();
+        newer.time = 200;
+        newer.communities = vec![Community::new(1299, 666)];
+        observations.push(newer.clone());
+        let mut buf = Vec::new();
+        write_rib_dump(&mut buf, 200, &observations).unwrap();
+        let back = read_observations(&buf[..]).unwrap();
+        let hit: Vec<&Observation> = back
+            .iter()
+            .filter(|o| o.vp == newer.vp && o.prefix == newer.prefix)
+            .collect();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].communities, newer.communities);
+        assert_eq!(hit[0].time, 200);
+    }
+
+    #[test]
+    fn update_stream_roundtrip() {
+        let observations = sample();
+        let mut buf = Vec::new();
+        let n = write_update_stream(&mut buf, Asn::new(6447), &observations).unwrap();
+        assert_eq!(n, 4);
+        let back = read_observations(&buf[..]).unwrap();
+        assert_eq!(back, observations);
+    }
+
+    #[test]
+    fn mixed_stream_concatenates() {
+        let observations = sample();
+        let mut buf = Vec::new();
+        write_rib_dump(&mut buf, 100, &observations[..2]).unwrap();
+        write_update_stream(&mut buf, Asn::new(6447), &observations[2..]).unwrap();
+        let back = read_observations(&buf[..]).unwrap();
+        assert_eq!(back.len(), 4);
+    }
+
+    #[test]
+    fn legacy_table_dump_records_become_observations() {
+        use crate::records::{MrtRecord, TableDumpEntry};
+        use crate::writer::MrtWriter;
+        use bgp_types::RouteAttrs;
+        use std::net::IpAddr;
+
+        let mut route = RouteAttrs::originated(
+            "7018 1299 64496".parse().unwrap(),
+            IpAddr::from([192, 0, 2, 9]),
+        );
+        route.communities.push(Community::new(1299, 35130));
+        let rec = MrtRecord::TableDump(TableDumpEntry {
+            view: 0,
+            sequence: 1,
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            status: 1,
+            originated_time: 777,
+            peer_addr: IpAddr::from([192, 0, 2, 9]),
+            peer_asn: Asn::new(7018),
+            route,
+        });
+        let mut wire = Vec::new();
+        MrtWriter::new(&mut wire).write_record(777, &rec).unwrap();
+        let back = read_observations(&wire[..]).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].vp, Asn::new(7018));
+        assert_eq!(back[0].prefix, "10.0.0.0/24".parse().unwrap());
+        assert_eq!(back[0].communities, vec![Community::new(1299, 35130)]);
+        assert_eq!(back[0].time, 777);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let mut buf = Vec::new();
+        write_rib_dump(&mut buf, 1, &[]).unwrap();
+        assert_eq!(read_observations(&buf[..]).unwrap(), vec![]);
+    }
+}

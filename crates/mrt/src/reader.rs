@@ -1,0 +1,258 @@
+//! Streaming MRT reader.
+
+use std::io::Read;
+
+use crate::error::MrtError;
+use crate::records::{self, TimestampedRecord};
+
+/// Reads MRT records from any [`Read`], yielding them as an iterator.
+///
+/// A clean end-of-stream (EOF exactly at a record boundary) ends iteration;
+/// EOF inside a header or body surfaces as [`MrtError::Truncated`] and ends
+/// the stream (the position is unrecoverable). Records with unsupported
+/// type/subtype or malformed bodies surface as errors **without** ending
+/// the stream — the record is framed by its header length, so the reader
+/// can continue past it, the way deployed pipelines skip the record types
+/// they do not understand (e.g. `GEO_PEER_TABLE`).
+#[derive(Debug)]
+pub struct MrtReader<R> {
+    inner: R,
+    records_read: u64,
+    records_skipped: u64,
+    fused: bool,
+}
+
+impl<R: Read> MrtReader<R> {
+    /// Wrap an input stream.
+    pub fn new(inner: R) -> Self {
+        MrtReader {
+            inner,
+            records_read: 0,
+            records_skipped: 0,
+            fused: false,
+        }
+    }
+
+    /// Number of records successfully decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Number of well-framed records whose bodies could not be decoded
+    /// (unsupported types, semantic errors) — reported then skipped.
+    pub fn records_skipped(&self) -> u64 {
+        self.records_skipped
+    }
+
+    fn read_exact_or_eof(&mut self, buf: &mut [u8]) -> Result<bool, MrtError> {
+        // Distinguish "no more records" from "record cut short".
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    if filled == 0 {
+                        return Ok(false);
+                    }
+                    return Err(MrtError::Truncated {
+                        context: "MRT header",
+                        needed: buf.len() - filled,
+                    });
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+
+    fn read_record(&mut self) -> Result<Option<TimestampedRecord>, MrtError> {
+        let mut header = [0u8; 12];
+        if !self.read_exact_or_eof(&mut header)? {
+            return Ok(None);
+        }
+        let timestamp = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        let mrt_type = u16::from_be_bytes([header[4], header[5]]);
+        let subtype = u16::from_be_bytes([header[6], header[7]]);
+        let length = u32::from_be_bytes([header[8], header[9], header[10], header[11]]) as usize;
+        let mut body = vec![0u8; length];
+        self.inner.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                MrtError::Truncated {
+                    context: "MRT record body",
+                    needed: length,
+                }
+            } else {
+                MrtError::Io(e)
+            }
+        })?;
+        match records::decode_body(mrt_type, subtype, &body) {
+            Ok(record) => {
+                self.records_read += 1;
+                Ok(Some(TimestampedRecord { timestamp, record }))
+            }
+            Err(e) => {
+                // The body was fully consumed, so the stream position is
+                // still sound: report the error but stay usable.
+                self.records_skipped += 1;
+                Err(e)
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for MrtReader<R> {
+    type Item = Result<TimestampedRecord, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => {
+                self.fused = true;
+                None
+            }
+            Err(e @ (MrtError::Io(_) | MrtError::Truncated { .. })) => {
+                // An I/O or framing error leaves the stream position
+                // unknown; stop after reporting it rather than spinning.
+                self.fused = true;
+                Some(Err(e))
+            }
+            Err(e) => Some(Err(e)), // body-level error: skippable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{Bgp4mpStateChange, BgpState, MrtRecord};
+    use crate::writer::MrtWriter;
+    use bgp_types::Asn;
+    use std::net::IpAddr;
+
+    fn state_change() -> MrtRecord {
+        MrtRecord::StateChange(Bgp4mpStateChange {
+            peer_asn: Asn::new(64500),
+            local_asn: Asn::new(6447),
+            if_index: 0,
+            peer_addr: IpAddr::from([192, 0, 2, 2]),
+            local_addr: IpAddr::from([192, 0, 2, 1]),
+            old_state: BgpState::Idle,
+            new_state: BgpState::Established,
+        })
+    }
+
+    #[test]
+    fn multiple_records_in_order() {
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        for ts in [10, 20, 30] {
+            w.write_record(ts, &state_change()).unwrap();
+        }
+        let recs: Vec<_> = MrtReader::new(&buf[..]).map(Result::unwrap).collect();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.timestamp).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let recs: Vec<_> = MrtReader::new(&[][..]).collect();
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let mut buf = Vec::new();
+        MrtWriter::new(&mut buf)
+            .write_record(1, &state_change())
+            .unwrap();
+        buf.truncate(6); // mid-header
+        let mut r = MrtReader::new(&buf[..]);
+        assert!(matches!(r.next(), Some(Err(MrtError::Truncated { .. }))));
+        assert!(r.next().is_none()); // fused after error
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let mut buf = Vec::new();
+        MrtWriter::new(&mut buf)
+            .write_record(1, &state_change())
+            .unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = MrtReader::new(&buf[..]);
+        assert!(matches!(r.next(), Some(Err(MrtError::Truncated { .. }))));
+    }
+
+    #[test]
+    fn unsupported_record_is_skippable() {
+        // A good record, an unknown-type record, then another good one:
+        // the reader reports the middle error and keeps going.
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        w.write_record(1, &state_change()).unwrap();
+        // Hand-craft an unsupported record: type 99, subtype 0, 4-byte body.
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&99u16.to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(&[0xAA; 4]);
+        let tail_start = buf.len();
+        MrtWriter::new(&mut buf)
+            .write_record(3, &state_change())
+            .unwrap();
+        assert!(buf.len() > tail_start);
+
+        let mut r = MrtReader::new(&buf[..]);
+        assert!(r.next().unwrap().is_ok());
+        assert!(matches!(r.next(), Some(Err(MrtError::Unsupported { .. }))));
+        let third = r.next().unwrap().unwrap();
+        assert_eq!(third.timestamp, 3);
+        assert!(r.next().is_none());
+        assert_eq!(r.records_read(), 2);
+        assert_eq!(r.records_skipped(), 1);
+    }
+
+    #[test]
+    fn read_observations_skips_undecodable_records() {
+        use crate::obs::{read_observations, write_rib_dump};
+        use bgp_types::Observation;
+
+        let observations = vec![Observation {
+            vp: Asn::new(64500),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: "64500 1299 64496".parse().unwrap(),
+            communities: vec![],
+            large_communities: vec![],
+            time: 9,
+        }];
+        let mut buf = Vec::new();
+        // Unsupported record first, then a valid dump.
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&99u16.to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        write_rib_dump(&mut buf, 9, &observations).unwrap();
+        let back = read_observations(&buf[..]).unwrap();
+        assert_eq!(back, observations);
+    }
+
+    #[test]
+    fn records_read_counts() {
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        w.write_record(1, &state_change()).unwrap();
+        w.write_record(2, &state_change()).unwrap();
+        let mut r = MrtReader::new(&buf[..]);
+        for rec in r.by_ref() {
+            rec.unwrap();
+        }
+        assert_eq!(r.records_read(), 2);
+    }
+}

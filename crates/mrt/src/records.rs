@@ -1,0 +1,778 @@
+//! MRT record model and body codecs (RFC 6396).
+//!
+//! Supported records — the ones RouteViews/RIS archives consist of and the
+//! paper's pipeline consumes:
+//!
+//! | MRT type | subtype | model |
+//! |---|---|---|
+//! | `TABLE_DUMP` (12) | AFI (1 = IPv4, 2 = IPv6) | [`TableDumpEntry`] |
+//! | `TABLE_DUMP_V2` (13) | `PEER_INDEX_TABLE` (1) | [`PeerIndexTable`] |
+//! | `TABLE_DUMP_V2` (13) | `RIB_IPV4_UNICAST` (2) | [`RibSnapshot`] |
+//! | `TABLE_DUMP_V2` (13) | `RIB_IPV6_UNICAST` (4) | [`RibSnapshot`] |
+//! | `BGP4MP` (16) | `BGP4MP_MESSAGE` (1, 2-byte ASNs, decode only) | [`Bgp4mpMessage`] |
+//! | `BGP4MP` (16) | `BGP4MP_MESSAGE_AS4` (4) | [`Bgp4mpMessage`] |
+//! | `BGP4MP` (16) | `BGP4MP_STATE_CHANGE_AS4` (5) | [`Bgp4mpStateChange`] |
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use bytes::BufMut;
+
+use bgp_types::{Asn, Prefix, RouteAttrs};
+
+use crate::attrs::{self, AttrCtx, EncodeOpts};
+use crate::bgpmsg::{self, BgpMessage};
+use crate::cursor::Cursor;
+use crate::error::MrtError;
+use crate::nlri::{self, Afi};
+
+/// MRT type `TABLE_DUMP` (legacy, pre-2008 archives).
+pub const TYPE_TABLE_DUMP: u16 = 12;
+/// MRT type `TABLE_DUMP_V2`.
+pub const TYPE_TABLE_DUMP_V2: u16 = 13;
+/// MRT type `BGP4MP`.
+pub const TYPE_BGP4MP: u16 = 16;
+
+/// `TABLE_DUMP_V2` subtype `PEER_INDEX_TABLE`.
+pub const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
+/// `TABLE_DUMP_V2` subtype `RIB_IPV4_UNICAST`.
+pub const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
+/// `TABLE_DUMP_V2` subtype `RIB_IPV6_UNICAST`.
+pub const SUBTYPE_RIB_IPV6_UNICAST: u16 = 4;
+/// `BGP4MP` subtype `BGP4MP_MESSAGE` (legacy 2-byte ASNs).
+pub const SUBTYPE_BGP4MP_MESSAGE: u16 = 1;
+/// `BGP4MP` subtype `BGP4MP_MESSAGE_AS4`.
+pub const SUBTYPE_BGP4MP_MESSAGE_AS4: u16 = 4;
+/// `BGP4MP` subtype `BGP4MP_STATE_CHANGE_AS4`.
+pub const SUBTYPE_BGP4MP_STATE_CHANGE_AS4: u16 = 5;
+
+/// One peer of the collector, from the `PEER_INDEX_TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// The peer's BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// The peer's address (IPv4 or IPv6).
+    pub addr: IpAddr,
+    /// The peer's ASN (always encoded 4-byte).
+    pub asn: Asn,
+}
+
+/// The `PEER_INDEX_TABLE` record that must precede RIB entries in a
+/// `TABLE_DUMP_V2` dump; RIB entries refer to peers by index into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerIndexTable {
+    /// The collector's BGP identifier.
+    pub collector_bgp_id: Ipv4Addr,
+    /// Optional view name (usually empty).
+    pub view_name: String,
+    /// The peers, in index order.
+    pub peers: Vec<PeerEntry>,
+}
+
+/// One peer's path for the prefix of a [`RibSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Index into the preceding [`PeerIndexTable`].
+    pub peer_index: u16,
+    /// When the route was last changed (Unix seconds).
+    pub originated_time: u32,
+    /// The route's attributes.
+    pub route: RouteAttrs,
+}
+
+/// A `RIB_IPV4_UNICAST`/`RIB_IPV6_UNICAST` record: every collector peer's
+/// best path for one prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibSnapshot {
+    /// Record sequence number within the dump.
+    pub sequence: u32,
+    /// The prefix all entries describe.
+    pub prefix: Prefix,
+    /// Per-peer entries.
+    pub entries: Vec<RibEntry>,
+}
+
+/// A `BGP4MP_MESSAGE[_AS4]` record: one BGP message between the collector
+/// and a peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// The peer's ASN.
+    pub peer_asn: Asn,
+    /// The collector-side ASN.
+    pub local_asn: Asn,
+    /// Interface index (0 when unknown).
+    pub if_index: u16,
+    /// The peer's address.
+    pub peer_addr: IpAddr,
+    /// The collector's address (same family as `peer_addr`).
+    pub local_addr: IpAddr,
+    /// The embedded BGP message.
+    pub message: BgpMessage,
+}
+
+/// BGP FSM states for `BGP4MP_STATE_CHANGE` (RFC 6396 §4.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BgpState {
+    /// Idle.
+    Idle,
+    /// Connect.
+    Connect,
+    /// Active.
+    Active,
+    /// OpenSent.
+    OpenSent,
+    /// OpenConfirm.
+    OpenConfirm,
+    /// Established.
+    Established,
+}
+
+impl BgpState {
+    /// RFC 6396 numeric encoding (1-based).
+    pub const fn to_u16(self) -> u16 {
+        match self {
+            BgpState::Idle => 1,
+            BgpState::Connect => 2,
+            BgpState::Active => 3,
+            BgpState::OpenSent => 4,
+            BgpState::OpenConfirm => 5,
+            BgpState::Established => 6,
+        }
+    }
+
+    /// Decode from the wire value.
+    pub const fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(BgpState::Idle),
+            2 => Some(BgpState::Connect),
+            3 => Some(BgpState::Active),
+            4 => Some(BgpState::OpenSent),
+            5 => Some(BgpState::OpenConfirm),
+            6 => Some(BgpState::Established),
+            _ => None,
+        }
+    }
+}
+
+/// A `BGP4MP_STATE_CHANGE_AS4` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpStateChange {
+    /// The peer's ASN.
+    pub peer_asn: Asn,
+    /// The collector-side ASN.
+    pub local_asn: Asn,
+    /// Interface index.
+    pub if_index: u16,
+    /// The peer's address.
+    pub peer_addr: IpAddr,
+    /// The collector's address.
+    pub local_addr: IpAddr,
+    /// FSM state before the transition.
+    pub old_state: BgpState,
+    /// FSM state after the transition.
+    pub new_state: BgpState,
+}
+
+/// One legacy `TABLE_DUMP` record: a single peer's path for one prefix
+/// (RFC 6396 §4.2). Used by archives collected before 2008; AS_PATH ASNs
+/// are 2 bytes wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDumpEntry {
+    /// View number (usually 0).
+    pub view: u16,
+    /// Sequence number, wrapping at 65535.
+    pub sequence: u16,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Status octet (undefined in RFC 6396; preserved verbatim).
+    pub status: u8,
+    /// When the route was last changed (Unix seconds).
+    pub originated_time: u32,
+    /// The peer's address.
+    pub peer_addr: IpAddr,
+    /// The peer's (16-bit) ASN.
+    pub peer_asn: Asn,
+    /// The route's attributes.
+    pub route: RouteAttrs,
+}
+
+/// Any supported MRT record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtRecord {
+    /// `TABLE_DUMP_V2` / `PEER_INDEX_TABLE`.
+    PeerIndexTable(PeerIndexTable),
+    /// `TABLE_DUMP_V2` / `RIB_IPV4_UNICAST` or `RIB_IPV6_UNICAST`.
+    Rib(RibSnapshot),
+    /// Legacy `TABLE_DUMP` (one peer, one prefix).
+    TableDump(TableDumpEntry),
+    /// `BGP4MP` / `BGP4MP_MESSAGE[_AS4]`.
+    Message(Bgp4mpMessage),
+    /// `BGP4MP` / `BGP4MP_STATE_CHANGE_AS4`.
+    StateChange(Bgp4mpStateChange),
+}
+
+/// A record together with its MRT header timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimestampedRecord {
+    /// Unix seconds from the MRT common header.
+    pub timestamp: u32,
+    /// The decoded record.
+    pub record: MrtRecord,
+}
+
+fn afi_of_pair(peer: IpAddr, local: IpAddr) -> Result<Afi, MrtError> {
+    match (peer.is_ipv4(), local.is_ipv4()) {
+        (true, true) => Ok(Afi::Ipv4),
+        (false, false) => Ok(Afi::Ipv6),
+        _ => Err(MrtError::malformed(
+            "BGP4MP addresses",
+            "mixed address families",
+        )),
+    }
+}
+
+/// Encode a record body, returning `(mrt_type, subtype, body)`.
+pub fn encode_body(record: &MrtRecord) -> Result<(u16, u16, Vec<u8>), MrtError> {
+    match record {
+        MrtRecord::PeerIndexTable(t) => {
+            let mut out = Vec::new();
+            out.extend_from_slice(&t.collector_bgp_id.octets());
+            if t.view_name.len() > u16::MAX as usize {
+                return Err(MrtError::TooLong {
+                    context: "view name",
+                    len: t.view_name.len(),
+                });
+            }
+            out.put_u16(t.view_name.len() as u16);
+            out.extend_from_slice(t.view_name.as_bytes());
+            if t.peers.len() > u16::MAX as usize {
+                return Err(MrtError::TooLong {
+                    context: "peer table",
+                    len: t.peers.len(),
+                });
+            }
+            out.put_u16(t.peers.len() as u16);
+            for p in &t.peers {
+                // Bit 0: peer address is IPv6. Bit 1: ASN is 4 bytes (always).
+                let ty = if p.addr.is_ipv4() { 0b10 } else { 0b11 };
+                out.put_u8(ty);
+                out.extend_from_slice(&p.bgp_id.octets());
+                nlri::encode_addr(&mut out, p.addr);
+                out.put_u32(p.asn.value());
+            }
+            Ok((TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE, out))
+        }
+        MrtRecord::Rib(rib) => {
+            let subtype = if rib.prefix.is_ipv4() {
+                SUBTYPE_RIB_IPV4_UNICAST
+            } else {
+                SUBTYPE_RIB_IPV6_UNICAST
+            };
+            let mut out = Vec::new();
+            out.put_u32(rib.sequence);
+            nlri::encode_prefix(&mut out, &rib.prefix);
+            if rib.entries.len() > u16::MAX as usize {
+                return Err(MrtError::TooLong {
+                    context: "RIB entries",
+                    len: rib.entries.len(),
+                });
+            }
+            out.put_u16(rib.entries.len() as u16);
+            for e in &rib.entries {
+                out.put_u16(e.peer_index);
+                out.put_u32(e.originated_time);
+                let attrs =
+                    attrs::encode_attrs(&e.route, AttrCtx::TABLE_DUMP_V2, &EncodeOpts::default())?;
+                if attrs.len() > u16::MAX as usize {
+                    return Err(MrtError::TooLong {
+                        context: "RIB entry attributes",
+                        len: attrs.len(),
+                    });
+                }
+                out.put_u16(attrs.len() as u16);
+                out.extend_from_slice(&attrs);
+            }
+            Ok((TYPE_TABLE_DUMP_V2, subtype, out))
+        }
+        MrtRecord::Message(m) => {
+            let afi = afi_of_pair(m.peer_addr, m.local_addr)?;
+            let mut out = Vec::new();
+            out.put_u32(m.peer_asn.value());
+            out.put_u32(m.local_asn.value());
+            out.put_u16(m.if_index);
+            out.put_u16(afi.to_u16());
+            nlri::encode_addr(&mut out, m.peer_addr);
+            nlri::encode_addr(&mut out, m.local_addr);
+            let msg = match &m.message {
+                BgpMessage::Update(_) => return Err(MrtError::malformed(
+                    "BGP4MP message",
+                    "encode updates via MrtWriter::write_update, which owns the attribute context",
+                )),
+                BgpMessage::Keepalive => bgpmsg::encode_keepalive(),
+                BgpMessage::Open(o) => bgpmsg::encode_open(o),
+                BgpMessage::Notification(n) => bgpmsg::encode_notification(n)?,
+            };
+            out.extend_from_slice(&msg);
+            Ok((TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE_AS4, out))
+        }
+        MrtRecord::TableDump(t) => {
+            let afi = Afi::of(&t.prefix);
+            if t.peer_addr.is_ipv4() != t.prefix.is_ipv4() {
+                return Err(MrtError::malformed(
+                    "TABLE_DUMP",
+                    "peer address family must match the prefix (the subtype encodes both)",
+                ));
+            }
+            if !t.peer_asn.is_16bit() {
+                return Err(MrtError::malformed(
+                    "TABLE_DUMP",
+                    "peer ASN must fit 16 bits",
+                ));
+            }
+            let mut out = Vec::new();
+            out.put_u16(t.view);
+            out.put_u16(t.sequence);
+            nlri::encode_addr(&mut out, t.prefix.addr());
+            out.put_u8(t.prefix.len());
+            out.put_u8(t.status);
+            out.put_u32(t.originated_time);
+            nlri::encode_addr(&mut out, t.peer_addr);
+            out.put_u16(t.peer_asn.value() as u16);
+            let attrs = attrs::encode_attrs(&t.route, AttrCtx::BGP4MP_AS2, &EncodeOpts::default())?;
+            if attrs.len() > u16::MAX as usize {
+                return Err(MrtError::TooLong {
+                    context: "TABLE_DUMP attributes",
+                    len: attrs.len(),
+                });
+            }
+            out.put_u16(attrs.len() as u16);
+            out.extend_from_slice(&attrs);
+            Ok((TYPE_TABLE_DUMP, afi.to_u16(), out))
+        }
+        MrtRecord::StateChange(s) => {
+            let afi = afi_of_pair(s.peer_addr, s.local_addr)?;
+            let mut out = Vec::new();
+            out.put_u32(s.peer_asn.value());
+            out.put_u32(s.local_asn.value());
+            out.put_u16(s.if_index);
+            out.put_u16(afi.to_u16());
+            nlri::encode_addr(&mut out, s.peer_addr);
+            nlri::encode_addr(&mut out, s.local_addr);
+            out.put_u16(s.old_state.to_u16());
+            out.put_u16(s.new_state.to_u16());
+            Ok((TYPE_BGP4MP, SUBTYPE_BGP4MP_STATE_CHANGE_AS4, out))
+        }
+    }
+}
+
+/// Encode a `BGP4MP_MESSAGE_AS4` body holding a raw, already-encoded BGP
+/// message (used by the writer's update path).
+pub(crate) fn encode_message_body(
+    peer_asn: Asn,
+    local_asn: Asn,
+    if_index: u16,
+    peer_addr: IpAddr,
+    local_addr: IpAddr,
+    raw_message: &[u8],
+) -> Result<Vec<u8>, MrtError> {
+    let afi = afi_of_pair(peer_addr, local_addr)?;
+    let mut out = Vec::new();
+    out.put_u32(peer_asn.value());
+    out.put_u32(local_asn.value());
+    out.put_u16(if_index);
+    out.put_u16(afi.to_u16());
+    nlri::encode_addr(&mut out, peer_addr);
+    nlri::encode_addr(&mut out, local_addr);
+    out.extend_from_slice(raw_message);
+    Ok(out)
+}
+
+fn decode_peer_index_table(cur: &mut Cursor<'_>) -> Result<PeerIndexTable, MrtError> {
+    let id = cur.take(4, "collector BGP id")?;
+    let collector_bgp_id = Ipv4Addr::new(id[0], id[1], id[2], id[3]);
+    let name_len = cur.u16("view name length")? as usize;
+    let name_bytes = cur.take(name_len, "view name")?;
+    let view_name = String::from_utf8(name_bytes.to_vec())
+        .map_err(|e| MrtError::malformed("view name", e.to_string()))?;
+    let count = cur.u16("peer count")? as usize;
+    let mut peers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ty = cur.u8("peer type")?;
+        let id = cur.take(4, "peer BGP id")?;
+        let bgp_id = Ipv4Addr::new(id[0], id[1], id[2], id[3]);
+        let addr = if ty & 0b01 != 0 {
+            nlri::decode_addr(cur, Afi::Ipv6)?
+        } else {
+            nlri::decode_addr(cur, Afi::Ipv4)?
+        };
+        let asn = if ty & 0b10 != 0 {
+            Asn::new(cur.u32("peer ASN")?)
+        } else {
+            Asn::new(cur.u16("peer ASN")? as u32)
+        };
+        peers.push(PeerEntry { bgp_id, addr, asn });
+    }
+    Ok(PeerIndexTable {
+        collector_bgp_id,
+        view_name,
+        peers,
+    })
+}
+
+fn decode_rib(cur: &mut Cursor<'_>, afi: Afi) -> Result<RibSnapshot, MrtError> {
+    let sequence = cur.u32("RIB sequence")?;
+    let prefix = nlri::decode_prefix(cur, afi)?;
+    let count = cur.u16("RIB entry count")? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let peer_index = cur.u16("RIB peer index")?;
+        let originated_time = cur.u32("RIB originated time")?;
+        let alen = cur.u16("RIB attribute length")? as usize;
+        let mut acur = cur.slice(alen, "RIB attributes")?;
+        let decoded = attrs::decode_attrs(&mut acur, AttrCtx::TABLE_DUMP_V2)?;
+        entries.push(RibEntry {
+            peer_index,
+            originated_time,
+            route: decoded.route,
+        });
+    }
+    Ok(RibSnapshot {
+        sequence,
+        prefix,
+        entries,
+    })
+}
+
+fn decode_bgp4mp_endpoints(
+    cur: &mut Cursor<'_>,
+    as4: bool,
+) -> Result<(Asn, Asn, u16, IpAddr, IpAddr), MrtError> {
+    let peer_asn = if as4 {
+        Asn::new(cur.u32("peer ASN")?)
+    } else {
+        Asn::new(cur.u16("peer ASN")? as u32)
+    };
+    let local_asn = if as4 {
+        Asn::new(cur.u32("local ASN")?)
+    } else {
+        Asn::new(cur.u16("local ASN")? as u32)
+    };
+    let if_index = cur.u16("interface index")?;
+    let afi_raw = cur.u16("BGP4MP AFI")?;
+    let afi = Afi::from_u16(afi_raw).ok_or(MrtError::Unsupported {
+        context: "BGP4MP AFI",
+        value: afi_raw as u32,
+    })?;
+    let peer_addr = nlri::decode_addr(cur, afi)?;
+    let local_addr = nlri::decode_addr(cur, afi)?;
+    Ok((peer_asn, local_asn, if_index, peer_addr, local_addr))
+}
+
+/// Decode a record body given its MRT type and subtype.
+pub fn decode_body(mrt_type: u16, subtype: u16, body: &[u8]) -> Result<MrtRecord, MrtError> {
+    let mut cur = Cursor::new(body);
+    let record = match (mrt_type, subtype) {
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE) => {
+            MrtRecord::PeerIndexTable(decode_peer_index_table(&mut cur)?)
+        }
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST) => {
+            MrtRecord::Rib(decode_rib(&mut cur, Afi::Ipv4)?)
+        }
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST) => {
+            MrtRecord::Rib(decode_rib(&mut cur, Afi::Ipv6)?)
+        }
+        (TYPE_TABLE_DUMP, afi_raw) => {
+            let afi = Afi::from_u16(afi_raw).ok_or(MrtError::Unsupported {
+                context: "TABLE_DUMP subtype (AFI)",
+                value: afi_raw as u32,
+            })?;
+            let view = cur.u16("TABLE_DUMP view")?;
+            let sequence = cur.u16("TABLE_DUMP sequence")?;
+            let addr = nlri::decode_addr(&mut cur, afi)?;
+            let len = cur.u8("TABLE_DUMP prefix length")?;
+            let prefix = Prefix::new(addr, len)
+                .ok_or_else(|| MrtError::malformed("TABLE_DUMP prefix", format!("/{len}")))?;
+            let status = cur.u8("TABLE_DUMP status")?;
+            let originated_time = cur.u32("TABLE_DUMP originated time")?;
+            let peer_addr = nlri::decode_addr(&mut cur, afi)?;
+            let peer_asn = Asn::new(cur.u16("TABLE_DUMP peer ASN")? as u32);
+            let alen = cur.u16("TABLE_DUMP attribute length")? as usize;
+            let mut acur = cur.slice(alen, "TABLE_DUMP attributes")?;
+            let decoded = attrs::decode_attrs(&mut acur, AttrCtx::BGP4MP_AS2)?;
+            MrtRecord::TableDump(TableDumpEntry {
+                view,
+                sequence,
+                prefix,
+                status,
+                originated_time,
+                peer_addr,
+                peer_asn,
+                route: decoded.route,
+            })
+        }
+        (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE_AS4 | SUBTYPE_BGP4MP_MESSAGE) => {
+            let as4 = subtype == SUBTYPE_BGP4MP_MESSAGE_AS4;
+            let (peer_asn, local_asn, if_index, peer_addr, local_addr) =
+                decode_bgp4mp_endpoints(&mut cur, as4)?;
+            let ctx = if as4 {
+                AttrCtx::BGP4MP_AS4
+            } else {
+                AttrCtx::BGP4MP_AS2
+            };
+            let message = bgpmsg::decode_message(&mut cur, ctx)?;
+            MrtRecord::Message(Bgp4mpMessage {
+                peer_asn,
+                local_asn,
+                if_index,
+                peer_addr,
+                local_addr,
+                message,
+            })
+        }
+        (TYPE_BGP4MP, SUBTYPE_BGP4MP_STATE_CHANGE_AS4) => {
+            let (peer_asn, local_asn, if_index, peer_addr, local_addr) =
+                decode_bgp4mp_endpoints(&mut cur, true)?;
+            let old = cur.u16("old state")?;
+            let new = cur.u16("new state")?;
+            let old_state = BgpState::from_u16(old)
+                .ok_or_else(|| MrtError::malformed("BGP state", format!("value {old}")))?;
+            let new_state = BgpState::from_u16(new)
+                .ok_or_else(|| MrtError::malformed("BGP state", format!("value {new}")))?;
+            MrtRecord::StateChange(Bgp4mpStateChange {
+                peer_asn,
+                local_asn,
+                if_index,
+                peer_addr,
+                local_addr,
+                old_state,
+                new_state,
+            })
+        }
+        (t, s) => {
+            return Err(MrtError::Unsupported {
+                context: "MRT type/subtype",
+                value: ((t as u32) << 16) | s as u32,
+            })
+        }
+    };
+    if !cur.is_empty() {
+        return Err(MrtError::malformed(
+            "MRT record body",
+            format!("{} trailing byte(s)", cur.remaining()),
+        ));
+    }
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Community};
+
+    fn sample_rib(v6: bool) -> RibSnapshot {
+        let mut route = RouteAttrs::originated(
+            AsPath::from_sequence([Asn::new(7018), Asn::new(1299), Asn::new(64496)]),
+            if v6 {
+                "2001:db8::9".parse().unwrap()
+            } else {
+                IpAddr::from([203, 0, 113, 1])
+            },
+        );
+        route.add_community(Community::new(1299, 35130));
+        RibSnapshot {
+            sequence: 7,
+            prefix: if v6 {
+                "2001:db8:100::/48".parse().unwrap()
+            } else {
+                "192.0.2.0/24".parse().unwrap()
+            },
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated_time: 1_682_899_200,
+                route,
+            }],
+        }
+    }
+
+    fn roundtrip(record: &MrtRecord) -> MrtRecord {
+        let (t, s, body) = encode_body(record).unwrap();
+        decode_body(t, s, &body).unwrap()
+    }
+
+    #[test]
+    fn peer_index_table_roundtrip_mixed_families() {
+        let table = PeerIndexTable {
+            collector_bgp_id: Ipv4Addr::new(192, 0, 2, 1),
+            view_name: "view".into(),
+            peers: vec![
+                PeerEntry {
+                    bgp_id: Ipv4Addr::new(192, 0, 2, 2),
+                    addr: IpAddr::from([192, 0, 2, 2]),
+                    asn: Asn::new(64500),
+                },
+                PeerEntry {
+                    bgp_id: Ipv4Addr::new(192, 0, 2, 3),
+                    addr: "2001:db8::3".parse().unwrap(),
+                    asn: Asn::new(399260),
+                },
+            ],
+        };
+        let rec = MrtRecord::PeerIndexTable(table);
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn rib_v4_roundtrip() {
+        let rec = MrtRecord::Rib(sample_rib(false));
+        let (t, s, _) = encode_body(&rec).unwrap();
+        assert_eq!((t, s), (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST));
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn rib_v6_roundtrip_uses_v6_subtype() {
+        let rec = MrtRecord::Rib(sample_rib(true));
+        let (t, s, _) = encode_body(&rec).unwrap();
+        assert_eq!((t, s), (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST));
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn state_change_roundtrip() {
+        let rec = MrtRecord::StateChange(Bgp4mpStateChange {
+            peer_asn: Asn::new(64500),
+            local_asn: Asn::new(6447),
+            if_index: 0,
+            peer_addr: IpAddr::from([192, 0, 2, 2]),
+            local_addr: IpAddr::from([192, 0, 2, 1]),
+            old_state: BgpState::OpenConfirm,
+            new_state: BgpState::Established,
+        });
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn keepalive_message_roundtrip() {
+        let rec = MrtRecord::Message(Bgp4mpMessage {
+            peer_asn: Asn::new(64500),
+            local_asn: Asn::new(6447),
+            if_index: 0,
+            peer_addr: IpAddr::from([192, 0, 2, 2]),
+            local_addr: IpAddr::from([192, 0, 2, 1]),
+            message: BgpMessage::Keepalive,
+        });
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn mixed_families_rejected() {
+        let rec = MrtRecord::Message(Bgp4mpMessage {
+            peer_asn: Asn::new(64500),
+            local_asn: Asn::new(6447),
+            if_index: 0,
+            peer_addr: IpAddr::from([192, 0, 2, 2]),
+            local_addr: "2001:db8::1".parse().unwrap(),
+            message: BgpMessage::Keepalive,
+        });
+        assert!(encode_body(&rec).is_err());
+    }
+
+    #[test]
+    fn bgp_state_wire_values() {
+        assert_eq!(BgpState::Idle.to_u16(), 1);
+        assert_eq!(BgpState::Established.to_u16(), 6);
+        for v in 1..=6 {
+            assert_eq!(BgpState::from_u16(v).unwrap().to_u16(), v);
+        }
+        assert_eq!(BgpState::from_u16(0), None);
+        assert_eq!(BgpState::from_u16(7), None);
+    }
+
+    #[test]
+    fn legacy_table_dump_roundtrip() {
+        let mut route = RouteAttrs::originated(
+            AsPath::from_sequence([Asn::new(7018), Asn::new(1299)]),
+            IpAddr::from([192, 0, 2, 9]),
+        );
+        route.add_community(Community::new(1299, 35130));
+        let rec = MrtRecord::TableDump(TableDumpEntry {
+            view: 0,
+            sequence: 42,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            status: 1,
+            originated_time: 1_000_000_000,
+            peer_addr: IpAddr::from([192, 0, 2, 9]),
+            peer_asn: Asn::new(7018),
+            route,
+        });
+        let (t, s, _) = encode_body(&rec).unwrap();
+        assert_eq!((t, s), (TYPE_TABLE_DUMP, 1));
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn legacy_table_dump_v6_roundtrip() {
+        let route = RouteAttrs::originated(
+            AsPath::from_sequence([Asn::new(7018)]),
+            "2001:db8::9".parse().unwrap(),
+        );
+        let rec = MrtRecord::TableDump(TableDumpEntry {
+            view: 1,
+            sequence: 7,
+            prefix: "2001:db8:100::/48".parse().unwrap(),
+            status: 0,
+            originated_time: 5,
+            peer_addr: "2001:db8::9".parse().unwrap(),
+            peer_asn: Asn::new(7018),
+            route,
+        });
+        let (t, s, _) = encode_body(&rec).unwrap();
+        assert_eq!((t, s), (TYPE_TABLE_DUMP, 2));
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn legacy_table_dump_rejects_wide_asn_and_mixed_family() {
+        let route = RouteAttrs::originated(AsPath::empty(), IpAddr::from([192, 0, 2, 9]));
+        let wide = MrtRecord::TableDump(TableDumpEntry {
+            view: 0,
+            sequence: 0,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            status: 0,
+            originated_time: 0,
+            peer_addr: IpAddr::from([192, 0, 2, 9]),
+            peer_asn: Asn::new(400_000),
+            route: route.clone(),
+        });
+        assert!(encode_body(&wide).is_err());
+        let mixed = MrtRecord::TableDump(TableDumpEntry {
+            view: 0,
+            sequence: 0,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            status: 0,
+            originated_time: 0,
+            peer_addr: "2001:db8::9".parse().unwrap(),
+            peer_asn: Asn::new(7018),
+            route,
+        });
+        assert!(encode_body(&mixed).is_err());
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        assert!(matches!(
+            decode_body(99, 1, &[]),
+            Err(MrtError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let rec = MrtRecord::Rib(sample_rib(false));
+        let (t, s, mut body) = encode_body(&rec).unwrap();
+        body.push(0);
+        assert!(matches!(
+            decode_body(t, s, &body),
+            Err(MrtError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests: arbitrary routes and records survive the wire.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use proptest::prelude::*;
+
+use bgp_mrt::attrs::{decode_attrs, encode_attrs, AttrCtx, EncodeOpts};
+use bgp_mrt::cursor::Cursor;
+use bgp_mrt::obs::{read_observations, write_rib_dump, write_update_stream};
+use bgp_mrt::records::{decode_body, encode_body, MrtRecord, RibEntry, RibSnapshot};
+use bgp_types::{
+    AsPath, Asn, Community, LargeCommunity, Observation, Origin, PathSegment, Prefix, RouteAttrs,
+};
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    any::<u32>().prop_map(Asn::new)
+}
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
+        Prefix::new(Ipv4Addr::from(addr).into(), len).expect("valid v4 length")
+    })
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| {
+        Prefix::new(Ipv6Addr::from(addr).into(), len).expect("valid v6 length")
+    })
+}
+
+fn arb_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(arb_asn(), 1..6).prop_map(PathSegment::Sequence),
+            prop::collection::vec(arb_asn(), 1..4).prop_map(PathSegment::Set),
+        ],
+        0..3,
+    )
+    .prop_map(AsPath::from_segments)
+}
+
+fn arb_route(v4_next_hop: bool) -> impl Strategy<Value = RouteAttrs> {
+    (
+        arb_path(),
+        if v4_next_hop {
+            any::<u32>()
+                .prop_map(|a| IpAddr::V4(Ipv4Addr::from(a)))
+                .boxed()
+        } else {
+            any::<u128>()
+                .prop_map(|a| IpAddr::V6(Ipv6Addr::from(a)))
+                .boxed()
+        },
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..12),
+        prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..4),
+        any::<bool>(),
+        prop_oneof![
+            Just(Origin::Igp),
+            Just(Origin::Egp),
+            Just(Origin::Incomplete)
+        ],
+    )
+        .prop_map(
+            |(as_path, next_hop, med, local_pref, comms, large, atomic, origin)| {
+                let mut r = RouteAttrs::originated(as_path, next_hop);
+                r.med = med;
+                r.local_pref = local_pref;
+                for (a, b) in comms {
+                    r.add_community(Community::new(a, b));
+                }
+                for (g, l1, l2) in large {
+                    let lc = LargeCommunity::new(g, l1, l2);
+                    if !r.large_communities.contains(&lc) {
+                        r.large_communities.push(lc);
+                    }
+                }
+                r.atomic_aggregate = atomic;
+                r.origin = origin;
+                r
+            },
+        )
+}
+
+fn arb_observation() -> impl Strategy<Value = Observation> {
+    (
+        1u32..100_000,
+        prop_oneof![arb_v4_prefix(), arb_v6_prefix()],
+        prop::collection::vec(arb_asn(), 1..6),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..8),
+        any::<u32>(),
+    )
+        .prop_map(|(vp, prefix, asns, comms, time)| {
+            let mut communities: Vec<Community> = comms
+                .into_iter()
+                .map(|(a, b)| Community::new(a, b))
+                .collect();
+            communities.sort_unstable();
+            communities.dedup();
+            // Derive a couple of large communities deterministically so the
+            // roundtrips cover both attribute kinds.
+            let large_communities: Vec<LargeCommunity> = communities
+                .iter()
+                .take(2)
+                .map(|c| LargeCommunity::new(c.asn as u32, c.value as u32, 7))
+                .collect();
+            Observation {
+                vp: Asn::new(vp),
+                prefix,
+                path: AsPath::from_sequence(asns),
+                communities,
+                large_communities,
+                time,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn attrs_roundtrip_tdv2(route in arb_route(true)) {
+        let ctx = AttrCtx::TABLE_DUMP_V2;
+        let wire = encode_attrs(&route, ctx, &EncodeOpts::default()).unwrap();
+        let mut cur = Cursor::new(&wire);
+        let decoded = decode_attrs(&mut cur, ctx).unwrap();
+        prop_assert!(cur.is_empty());
+        prop_assert_eq!(decoded.route, route);
+    }
+
+    #[test]
+    fn attrs_roundtrip_v6_nexthop(route in arb_route(false)) {
+        let ctx = AttrCtx::TABLE_DUMP_V2;
+        let wire = encode_attrs(&route, ctx, &EncodeOpts::default()).unwrap();
+        let mut cur = Cursor::new(&wire);
+        let decoded = decode_attrs(&mut cur, ctx).unwrap();
+        prop_assert_eq!(decoded.route, route);
+    }
+
+    #[test]
+    fn rib_record_roundtrip(
+        route in arb_route(true),
+        prefix in arb_v4_prefix(),
+        seq in any::<u32>(),
+        time in any::<u32>(),
+    ) {
+        let rec = MrtRecord::Rib(RibSnapshot {
+            sequence: seq,
+            prefix,
+            entries: vec![RibEntry { peer_index: 0, originated_time: time, route }],
+        });
+        let (t, s, body) = encode_body(&rec).unwrap();
+        prop_assert_eq!(decode_body(t, s, &body).unwrap(), rec);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_junk(t in any::<u16>(), s in any::<u16>(), body in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Errors are fine; panics are not.
+        let _ = decode_body(t, s, &body);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_truncated_valid_record(
+        route in arb_route(true),
+        prefix in arb_v4_prefix(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let rec = MrtRecord::Rib(RibSnapshot {
+            sequence: 1,
+            prefix,
+            entries: vec![RibEntry { peer_index: 0, originated_time: 0, route }],
+        });
+        let (t, s, body) = encode_body(&rec).unwrap();
+        let cut = (body.len() as f64 * cut_fraction) as usize;
+        let _ = decode_body(t, s, &body[..cut]);
+    }
+
+    #[test]
+    fn rib_dump_roundtrips_observations(mut observations in prop::collection::vec(arb_observation(), 0..20)) {
+        // RIB dumps keep the latest entry per (vp, prefix): dedupe input the
+        // same way before comparing.
+        observations.sort_by_key(|o| (o.prefix, o.vp, o.time));
+        observations.dedup_by_key(|o| (o.prefix, o.vp));
+        let mut wire = Vec::new();
+        write_rib_dump(&mut wire, 0, &observations).unwrap();
+        let mut back = read_observations(&wire[..]).unwrap();
+        back.sort_by_key(|o| (o.prefix, o.vp, o.time));
+        prop_assert_eq!(back, observations);
+    }
+
+    #[test]
+    fn update_stream_roundtrips_observations(observations in prop::collection::vec(arb_observation(), 0..20)) {
+        let mut wire = Vec::new();
+        write_update_stream(&mut wire, Asn::new(6447), &observations).unwrap();
+        let back = read_observations(&wire[..]).unwrap();
+        prop_assert_eq!(back, observations);
+    }
+}

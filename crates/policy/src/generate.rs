@@ -1,0 +1,496 @@
+//! Dictionary generation: assign every community-using AS a realistic,
+//! contiguously-numbered dictionary.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bgp_topology::{RegionId, Tier, Topology};
+use bgp_types::Asn;
+
+use crate::policy::{AsPolicy, PolicySet};
+use crate::purpose::{Purpose, RelClass, RovStatus};
+
+/// Parameters of dictionary generation.
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    /// RNG seed (independent of the topology seed).
+    pub seed: u64,
+    /// Fraction of mid-transit ASes that define communities.
+    pub mid_transit_fraction: f64,
+    /// Fraction of stubs that define (small, informational) dictionaries.
+    pub stub_fraction: f64,
+    /// Whether IXP route servers define communities (they do in the wild;
+    /// the paper excludes them from classification because the route-server
+    /// ASN never appears in paths).
+    pub rs_defines_communities: bool,
+    /// Minimum gap between blocks of different purpose. Must exceed the
+    /// method's default minimum-gap parameter (140) for the plateau of
+    /// Fig 9 to reproduce.
+    pub min_inter_block_gap: u16,
+    /// Maximum gap between blocks of different purpose. Gaps are drawn
+    /// uniformly from `[min, max]`; the spread below 2000 produces the
+    /// gradual right-side accuracy decline of Fig 9.
+    pub max_inter_block_gap: u16,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            seed: 0xBEEF_2023,
+            mid_transit_fraction: 0.85,
+            stub_fraction: 0.12,
+            rs_defines_communities: true,
+            min_inter_block_gap: 260,
+            max_inter_block_gap: 1800,
+        }
+    }
+}
+
+/// Appends purpose blocks at increasing `β`, enforcing inter-block gaps.
+struct Layout<'r> {
+    rng: &'r mut StdRng,
+    cursor: u32,
+    defs: BTreeMap<u16, Purpose>,
+    min_gap: u16,
+    max_gap: u16,
+}
+
+impl<'r> Layout<'r> {
+    fn new(rng: &'r mut StdRng, min_gap: u16, max_gap: u16) -> Self {
+        let start = rng.random_range(20..200);
+        Layout {
+            rng,
+            cursor: start,
+            defs: BTreeMap::new(),
+            min_gap,
+            max_gap,
+        }
+    }
+
+    /// Advance past an inter-block gap.
+    fn gap(&mut self) {
+        self.cursor += self
+            .rng
+            .random_range(self.min_gap as u32..=self.max_gap as u32);
+    }
+
+    /// Room left in the 16-bit β space (with safety margin).
+    fn has_room(&self, need: u32) -> bool {
+        self.cursor + need < 60_000
+    }
+
+    /// Define `purpose` at the cursor and advance by one.
+    fn put(&mut self, purpose: Purpose) {
+        self.put_at(self.cursor, purpose);
+        self.cursor += 1;
+    }
+
+    /// Define `purpose` at an explicit β (for structured-digit blocks);
+    /// the cursor advances past it.
+    fn put_at(&mut self, beta: u32, purpose: Purpose) {
+        debug_assert!(beta <= u16::MAX as u32);
+        self.defs.insert(beta as u16, purpose);
+        self.cursor = self.cursor.max(beta + 1);
+    }
+
+    fn finish(self) -> BTreeMap<u16, Purpose> {
+        self.defs
+    }
+}
+
+/// Distinct regions of an AS's footprint, in presence order.
+fn regions_of(topo: &Topology, asn: Asn) -> Vec<RegionId> {
+    let node = &topo.ases[&asn];
+    let mut regions = Vec::new();
+    for &city in &node.presence {
+        let r = topo.geography.region_of(city);
+        if !regions.contains(&r) {
+            regions.push(r);
+        }
+    }
+    regions
+}
+
+/// Export-policy targets for an AS: its settlement-free peers (like
+/// Arelion's Level3/Orange/Verizon/GTT in Fig 3), falling back to providers
+/// for networks without peers.
+fn export_targets(topo: &Topology, asn: Asn, max: usize) -> Vec<Asn> {
+    let mut targets = topo.peers(asn);
+    if targets.is_empty() {
+        targets = topo.providers(asn);
+    }
+    targets.sort_unstable();
+    targets.truncate(max);
+    targets
+}
+
+fn rich_dictionary(layout: &mut Layout<'_>, topo: &Topology, asn: Asn) {
+    // 1. Standalone local-pref actions (Arelion's 1299:50 / 1299:150).
+    layout.put(Purpose::SetLocalPref(50));
+    layout.cursor += 99;
+    layout.put(Purpose::SetLocalPref(150));
+
+    // 2. ROV status info block.
+    layout.gap();
+    layout.put(Purpose::RovTag(RovStatus::Valid));
+    layout.put(Purpose::RovTag(RovStatus::Invalid));
+    if layout.rng.random_bool(0.5) {
+        layout.put(Purpose::RovTag(RovStatus::NotFound));
+    }
+
+    // 3. Blackhole / graceful shutdown action block.
+    layout.gap();
+    layout.put(Purpose::Blackhole);
+    layout.put(Purpose::GracefulShutdown);
+
+    // 4. Per-region traffic-engineering blocks with structured digits
+    //    (Fig 3): region digit in thousands, target in tens, action in
+    //    ones; regional local-pref and region-wide suppression pack into
+    //    the same range the way operators group per-region machinery.
+    layout.gap();
+    let regions = regions_of(topo, asn);
+    let targets = export_targets(topo, asn, 3);
+    if !targets.is_empty() && layout.has_room(regions.len() as u32 * 1000 + 1100) {
+        let block_base = (layout.cursor / 1000 + 1) * 1000;
+        for (ri, &region) in regions.iter().take(3).enumerate() {
+            let region_base = block_base + (ri as u32) * 1000;
+            for (ti, &target) in targets.iter().enumerate() {
+                let ten = 50 + (ti as u32) * 3;
+                for times in 1..=3u8 {
+                    layout.put_at(
+                        region_base + ten * 10 + times as u32,
+                        Purpose::PrependToAs {
+                            asn: target,
+                            region,
+                            times,
+                        },
+                    );
+                }
+                layout.put_at(region_base + ten * 10 + 9, Purpose::SuppressToAs(target));
+            }
+            for (vi, value) in [70u32, 90, 110].into_iter().enumerate() {
+                layout.put_at(
+                    region_base + 620 + (vi as u32) * 10,
+                    Purpose::SetLocalPrefInRegion { region, value },
+                );
+            }
+            layout.put_at(region_base + 700, Purpose::SuppressInRegion(region));
+        }
+    }
+
+    // 6. Location info: city-level tags, one sub-block of 2–3 per PoP,
+    //    PoPs spaced 10 apart (Arelion's 1299:2xxxx "learned in Boston").
+    layout.gap();
+    let presence = topo.ases[&asn].presence.clone();
+    if layout.has_room(presence.len() as u32 * 90 + 90) {
+        let base = layout.cursor;
+        for (ci, &city) in presence.iter().enumerate() {
+            let routers = layout.rng.random_range(3..=5);
+            for k in 0..routers {
+                layout.put_at(base + (ci as u32) * 90 + k, Purpose::IngressCity(city));
+            }
+        }
+    }
+
+    // 7. Country + region info blocks.
+    layout.gap();
+    let mut countries = Vec::new();
+    for &city in &presence {
+        let c = topo.geography.country_of(city);
+        if !countries.contains(&c) {
+            countries.push(c);
+        }
+    }
+    for (region, country) in countries {
+        layout.put(Purpose::IngressCountry { region, country });
+    }
+    layout.cursor += 5;
+    for &region in regions.iter() {
+        layout.put(Purpose::IngressRegion(region));
+    }
+
+    // 8. Relationship info block.
+    layout.gap();
+    layout.put(Purpose::RelationshipTag(RelClass::Customer));
+    layout.put(Purpose::RelationshipTag(RelClass::Peer));
+    layout.put(Purpose::RelationshipTag(RelClass::Provider));
+
+    // 9. Ingress interface info block.
+    layout.gap();
+    let n_ifaces = layout.rng.random_range(4..=10);
+    for i in 0..n_ifaces {
+        layout.put(Purpose::IngressInterface(i as u16));
+    }
+}
+
+fn mid_dictionary(layout: &mut Layout<'_>, topo: &Topology, asn: Asn) {
+    // One compact action range, the way small operators lay out their
+    // traffic-engineering values: blackhole/suppress/prepend, per-target
+    // suppression, and local-pref overrides a few values apart.
+    layout.put(Purpose::Blackhole);
+    layout.put(Purpose::SuppressAll);
+    for times in 1..=3u8 {
+        layout.put(Purpose::PrependAll(times));
+    }
+    layout.cursor += 15;
+    let targets = export_targets(topo, asn, 3);
+    for target in targets {
+        layout.put(Purpose::SuppressToAs(target));
+    }
+    if layout.rng.random_bool(0.6) {
+        layout.cursor += 15;
+        layout.put(Purpose::SetLocalPref(80));
+        layout.put(Purpose::SetLocalPref(120));
+    }
+    // Location info at country/region granularity.
+    layout.gap();
+    let node = &topo.ases[&asn];
+    let mut countries = Vec::new();
+    for &city in &node.presence {
+        let c = topo.geography.country_of(city);
+        if !countries.contains(&c) {
+            countries.push(c);
+        }
+    }
+    for (region, country) in countries {
+        layout.put(Purpose::IngressCountry { region, country });
+    }
+    let regions = regions_of(topo, asn);
+    layout.cursor += 3;
+    for region in regions {
+        layout.put(Purpose::IngressRegion(region));
+    }
+    // Relationship tags.
+    layout.gap();
+    layout.put(Purpose::RelationshipTag(RelClass::Customer));
+    layout.put(Purpose::RelationshipTag(RelClass::Peer));
+    if layout.rng.random_bool(0.7) {
+        layout.put(Purpose::RelationshipTag(RelClass::Provider));
+    }
+}
+
+fn stub_dictionary(layout: &mut Layout<'_>, topo: &Topology, asn: Asn) {
+    // Edge networks define small informational dictionaries (if any):
+    // typically a city tag for their home PoP and a few interface notes.
+    let home = topo.ases[&asn].home;
+    layout.put(Purpose::IngressCity(home));
+    if layout.rng.random_bool(0.4) {
+        layout.gap();
+        for i in 0..layout.rng.random_range(2..=4) {
+            layout.put(Purpose::IngressInterface(i as u16));
+        }
+    }
+}
+
+fn rs_dictionary(layout: &mut Layout<'_>) {
+    // Route servers tag member routes with per-member metadata; all of it
+    // is informational, and all of it appears off-path because the route
+    // server never enters the AS path.
+    for i in 0..layout.rng.random_range(6..=12) {
+        layout.put(Purpose::IngressInterface(i as u16));
+    }
+    layout.gap();
+    layout.put(Purpose::RelationshipTag(RelClass::Peer));
+}
+
+/// Generate dictionaries for every community-defining AS in `topo`.
+pub fn generate_policies(topo: &Topology, cfg: &PolicyConfig) -> PolicySet {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut set = PolicySet::default();
+    for asn in topo.asns_sorted() {
+        let node = &topo.ases[&asn];
+        // 32-bit ASNs cannot own regular communities.
+        if !asn.is_16bit() {
+            continue;
+        }
+        let defines = match node.tier {
+            Tier::Tier1 | Tier::LargeTransit => true,
+            Tier::MidTransit => rng.random_bool(cfg.mid_transit_fraction),
+            Tier::Stub => rng.random_bool(cfg.stub_fraction),
+            Tier::IxpRouteServer => cfg.rs_defines_communities,
+        };
+        if !defines {
+            continue;
+        }
+        let mut layout = Layout::new(&mut rng, cfg.min_inter_block_gap, cfg.max_inter_block_gap);
+        match node.tier {
+            Tier::Tier1 | Tier::LargeTransit => rich_dictionary(&mut layout, topo, asn),
+            Tier::MidTransit => mid_dictionary(&mut layout, topo, asn),
+            Tier::Stub => stub_dictionary(&mut layout, topo, asn),
+            Tier::IxpRouteServer => rs_dictionary(&mut layout),
+        }
+        let defs = layout.finish();
+        if !defs.is_empty() {
+            set.policies.insert(asn, AsPolicy::new(asn, defs));
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_topology::{generate as gen_topo, TopologyConfig};
+    use bgp_types::Intent;
+
+    fn world() -> (Topology, PolicySet) {
+        let topo = gen_topo(&TopologyConfig {
+            tier1_count: 4,
+            large_transit_count: 8,
+            mid_transit_count: 16,
+            stub_count: 80,
+            ixp_count: 2,
+            ..TopologyConfig::default()
+        });
+        let set = generate_policies(&topo, &PolicyConfig::default());
+        (topo, set)
+    }
+
+    #[test]
+    fn all_tier1_and_large_define_communities() {
+        let (topo, set) = world();
+        for asn in topo
+            .asns_of_tier(Tier::Tier1)
+            .into_iter()
+            .chain(topo.asns_of_tier(Tier::LargeTransit))
+        {
+            assert!(set.get(asn).is_some(), "AS {asn} should define communities");
+        }
+    }
+
+    #[test]
+    fn rich_dictionaries_have_both_intents() {
+        let (topo, set) = world();
+        for asn in topo.asns_of_tier(Tier::Tier1) {
+            let p = set.get(asn).unwrap();
+            let (action, info) = p.intent_counts();
+            assert!(action >= 10, "AS {asn}: only {action} action defs");
+            assert!(info >= 10, "AS {asn}: only {info} info defs");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (topo, _) = world();
+        let a = generate_policies(&topo, &PolicyConfig::default());
+        let b = generate_policies(&topo, &PolicyConfig::default());
+        assert_eq!(a, b);
+        let c = generate_policies(
+            &topo,
+            &PolicyConfig {
+                seed: 1,
+                ..PolicyConfig::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn blocks_of_different_intent_are_separated_by_min_gap() {
+        // The central structural property: scanning each dictionary in β
+        // order, an intent flip implies a numeric gap of at least
+        // min_inter_block_gap... except inside the structured export-control
+        // block, where prepend (action) and suppress (action) interleave —
+        // same intent, so flips never happen there. Verify on ground truth.
+        let (_, set) = world();
+        let cfg = PolicyConfig::default();
+        let mut flips_checked = 0;
+        for asn in set.asns_sorted() {
+            let p = set.get(asn).unwrap();
+            let defs: Vec<(u16, Intent)> =
+                p.defs.iter().map(|(b, pur)| (*b, pur.intent())).collect();
+            for w in defs.windows(2) {
+                let (b0, i0) = w[0];
+                let (b1, i1) = w[1];
+                if i0 != i1 {
+                    flips_checked += 1;
+                    assert!(
+                        b1 - b0 >= cfg.min_inter_block_gap,
+                        "AS {asn}: intent flip {b0}->{b1} with gap {}",
+                        b1 - b0
+                    );
+                }
+            }
+        }
+        assert!(
+            flips_checked > 20,
+            "too few intent boundaries to be meaningful"
+        );
+    }
+
+    #[test]
+    fn export_control_blocks_reference_real_neighbors() {
+        let (topo, set) = world();
+        for asn in set.asns_sorted() {
+            for purpose in set.get(asn).unwrap().defs.values() {
+                if let Purpose::SuppressToAs(t) | Purpose::PrependToAs { asn: t, .. } = purpose {
+                    assert!(topo.ases.contains_key(t), "AS {asn} targets unknown AS {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn city_tags_reference_presence() {
+        let (topo, set) = world();
+        for asn in set.asns_sorted() {
+            let node = &topo.ases[&asn];
+            for purpose in set.get(asn).unwrap().defs.values() {
+                if let Purpose::IngressCity(c) = purpose {
+                    assert!(
+                        node.presence.contains(c),
+                        "AS {asn} tags city {c} outside its footprint"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_servers_define_only_info() {
+        let (topo, set) = world();
+        for rs in topo.asns_of_tier(Tier::IxpRouteServer) {
+            let p = set.get(rs).expect("route servers define communities");
+            let (action, info) = p.intent_counts();
+            assert_eq!(action, 0);
+            assert!(info > 0);
+        }
+    }
+
+    #[test]
+    fn no_32bit_owner_policies() {
+        let (_, set) = world();
+        for asn in set.asns_sorted() {
+            assert!(asn.is_16bit());
+        }
+    }
+
+    #[test]
+    fn fractions_control_coverage() {
+        let (topo, _) = world();
+        let none = generate_policies(
+            &topo,
+            &PolicyConfig {
+                mid_transit_fraction: 0.0,
+                stub_fraction: 0.0,
+                rs_defines_communities: false,
+                ..PolicyConfig::default()
+            },
+        );
+        let expected =
+            topo.asns_of_tier(Tier::Tier1).len() + topo.asns_of_tier(Tier::LargeTransit).len();
+        assert_eq!(none.as_count(), expected);
+    }
+
+    #[test]
+    fn total_scale_is_plausible() {
+        let (_, set) = world();
+        // ~30 rich + ~14 mid + ~10 stub + 2 RS dictionaries: expect a few
+        // hundred to a few thousand definitions.
+        let total = set.total_definitions();
+        assert!(total > 300, "only {total} definitions");
+        assert!(total < 20_000, "{total} definitions is implausibly many");
+    }
+}

@@ -1,0 +1,30 @@
+//! Per-AS BGP community dictionaries (the Fig 2 taxonomy).
+//!
+//! Every operator that uses communities maintains an internal dictionary
+//! mapping each `β` value to a meaning. This crate generates those
+//! dictionaries for the synthetic Internet, following the conventions the
+//! paper observes in the wild (§2, §5.1):
+//!
+//! * **contiguous numbering** — values with a similar outcome are grouped
+//!   into numeric ranges ("1299:256x involve Level3 in Europe in some way"),
+//!   with structured digits for region/target/action (Fig 3);
+//! * **gaps between ranges** of different purpose — the property the
+//!   minimum-gap clustering step (Fig 9) exploits;
+//! * **per-tier richness** — big transit providers offer export control,
+//!   regional local-pref and fine-grained location tagging, while small
+//!   networks define little or nothing.
+//!
+//! The [`Purpose`] of each value determines both its ground-truth
+//! [`Intent`](bgp_types::Intent) label and its behaviour inside the
+//! simulator (what a router does when it sees the community).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod policy;
+pub mod purpose;
+
+pub use generate::{generate_policies, PolicyConfig};
+pub use policy::{AsPolicy, PolicySet};
+pub use purpose::{Purpose, RelClass, RovStatus};

@@ -1,0 +1,355 @@
+//! An AS's community dictionary and fast lookups into it.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use bgp_topology::{CityId, RegionId};
+use bgp_types::{Asn, Community, Intent};
+
+use crate::purpose::{Purpose, RelClass, RovStatus};
+
+/// The community dictionary of one AS: every `β` it defines and what that
+/// value means. This is the simulator's *ground truth*; the inference
+/// pipeline never sees it (except through the partial, regex-summarized
+/// dictionaries the `bgp-dictionary` crate derives for the documented ASes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsPolicy {
+    /// The AS that owns (assigns meaning to) these values.
+    pub asn: Asn,
+    /// `β` → meaning, in ascending `β` order.
+    pub defs: BTreeMap<u16, Purpose>,
+    #[serde(skip)]
+    index: ReverseIndex,
+}
+
+/// Reverse lookups the simulator needs on every route it processes.
+#[derive(Debug, Clone, Default)]
+struct ReverseIndex {
+    city: HashMap<CityId, Vec<u16>>,
+    country: HashMap<(RegionId, u16), u16>,
+    region: HashMap<RegionId, u16>,
+    rel: HashMap<RelClass, u16>,
+    rov: HashMap<RovStatus, u16>,
+    interfaces: Vec<u16>,
+    actions: Vec<u16>,
+    infos: Vec<u16>,
+    region_actions: HashMap<RegionId, Vec<u16>>,
+}
+
+impl PartialEq for AsPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        self.asn == other.asn && self.defs == other.defs
+    }
+}
+impl Eq for AsPolicy {}
+
+impl AsPolicy {
+    /// Build a policy from definitions.
+    pub fn new(asn: Asn, defs: BTreeMap<u16, Purpose>) -> Self {
+        let mut p = AsPolicy {
+            asn,
+            defs,
+            index: ReverseIndex::default(),
+        };
+        p.rebuild_index();
+        p
+    }
+
+    /// Rebuild reverse lookups (needed after deserialization or mutation).
+    pub fn rebuild_index(&mut self) {
+        let mut idx = ReverseIndex::default();
+        for (&beta, purpose) in &self.defs {
+            match *purpose {
+                Purpose::IngressCity(c) => idx.city.entry(c).or_default().push(beta),
+                Purpose::IngressCountry { region, country } => {
+                    idx.country.insert((region, country), beta);
+                }
+                Purpose::IngressRegion(r) => {
+                    idx.region.insert(r, beta);
+                }
+                Purpose::RelationshipTag(r) => {
+                    idx.rel.insert(r, beta);
+                }
+                Purpose::RovTag(r) => {
+                    idx.rov.insert(r, beta);
+                }
+                Purpose::IngressInterface(_) => idx.interfaces.push(beta),
+                _ => {}
+            }
+            match purpose.intent() {
+                Intent::Action => {
+                    idx.actions.push(beta);
+                    if let Some(region) = geo_target_region(purpose) {
+                        idx.region_actions.entry(region).or_default().push(beta);
+                    }
+                }
+                Intent::Information => idx.infos.push(beta),
+            }
+        }
+        self.index = idx;
+    }
+
+    /// Number of defined values.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The meaning of `β`, if defined.
+    pub fn purpose_of(&self, beta: u16) -> Option<&Purpose> {
+        self.defs.get(&beta)
+    }
+
+    /// Ground-truth intent of `β`, if defined.
+    pub fn intent_of(&self, beta: u16) -> Option<Intent> {
+        self.defs.get(&beta).map(Purpose::intent)
+    }
+
+    /// The full community for a `β` of this AS. Returns `None` when the
+    /// owner has a 32-bit ASN (regular communities cannot express it).
+    pub fn community(&self, beta: u16) -> Option<Community> {
+        if self.asn.is_16bit() {
+            Some(Community::new(self.asn.value() as u16, beta))
+        } else {
+            None
+        }
+    }
+
+    /// All action `β` values (what a customer can choose from).
+    pub fn action_betas(&self) -> &[u16] {
+        &self.index.actions
+    }
+
+    /// All information `β` values (what a misconfigured customer might echo).
+    pub fn info_betas(&self) -> &[u16] {
+        &self.index.infos
+    }
+
+    /// Action `β` values that target the given region (suppress/prepend/
+    /// local-pref scoped to it) — what a customer engineering traffic for
+    /// that region would pick.
+    pub fn geo_action_betas(&self, region: RegionId) -> &[u16] {
+        self.index
+            .region_actions
+            .get(&region)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Info communities to attach to a route received at `city` — the
+    /// city tag (one of possibly several per-router tags, selected by
+    /// `router_salt`), plus country and region tags when defined.
+    pub fn ingress_location_betas(
+        &self,
+        city: CityId,
+        geography: &bgp_topology::Geography,
+        router_salt: u64,
+    ) -> Vec<u16> {
+        let mut out = Vec::with_capacity(3);
+        if let Some(tags) = self.index.city.get(&city) {
+            if !tags.is_empty() {
+                out.push(tags[(router_salt % tags.len() as u64) as usize]);
+            }
+        }
+        let (region, country) = geography.country_of(city);
+        if let Some(&b) = self.index.country.get(&(region, country)) {
+            out.push(b);
+        }
+        if let Some(&b) = self.index.region.get(&region) {
+            out.push(b);
+        }
+        out
+    }
+
+    /// The relationship tag for a neighbor class, if defined.
+    pub fn relationship_beta(&self, rel: RelClass) -> Option<u16> {
+        self.index.rel.get(&rel).copied()
+    }
+
+    /// The ROV tag for a validation outcome, if defined.
+    pub fn rov_beta(&self, rov: RovStatus) -> Option<u16> {
+        self.index.rov.get(&rov).copied()
+    }
+
+    /// An interface tag chosen by `salt`, if any interface tags exist.
+    pub fn interface_beta(&self, salt: u64) -> Option<u16> {
+        if self.index.interfaces.is_empty() {
+            None
+        } else {
+            Some(self.index.interfaces[(salt % self.index.interfaces.len() as u64) as usize])
+        }
+    }
+
+    /// Count of definitions per intent: `(action, information)`.
+    pub fn intent_counts(&self) -> (usize, usize) {
+        let actions = self.index.actions.len();
+        (actions, self.defs.len() - actions)
+    }
+}
+
+/// The region an action purpose targets, if it is geo-scoped.
+fn geo_target_region(p: &Purpose) -> Option<RegionId> {
+    match p {
+        Purpose::SuppressInRegion(r) => Some(*r),
+        Purpose::PrependToAs { region, .. } => Some(*region),
+        Purpose::SetLocalPrefInRegion { region, .. } => Some(*region),
+        _ => None,
+    }
+}
+
+/// All generated dictionaries, keyed by owner ASN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PolicySet {
+    /// One policy per AS that defines communities.
+    pub policies: HashMap<Asn, AsPolicy>,
+}
+
+impl PolicySet {
+    /// The policy of `asn`, if it defines communities.
+    pub fn get(&self, asn: Asn) -> Option<&AsPolicy> {
+        self.policies.get(&asn)
+    }
+
+    /// Number of ASes with dictionaries.
+    pub fn as_count(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Total community definitions across all ASes.
+    pub fn total_definitions(&self) -> usize {
+        self.policies.values().map(AsPolicy::len).sum()
+    }
+
+    /// Ground-truth intent of a full community, if its owner defined it.
+    pub fn intent_of(&self, c: Community) -> Option<Intent> {
+        self.policies
+            .get(&Asn::new(c.asn as u32))
+            .and_then(|p| p.intent_of(c.value))
+    }
+
+    /// Ground-truth purpose of a full community, if its owner defined it.
+    pub fn purpose_of(&self, c: Community) -> Option<&Purpose> {
+        self.policies
+            .get(&Asn::new(c.asn as u32))
+            .and_then(|p| p.purpose_of(c.value))
+    }
+
+    /// Rebuild all reverse indices (after deserialization).
+    pub fn rebuild_indices(&mut self) {
+        for p in self.policies.values_mut() {
+            p.rebuild_index();
+        }
+    }
+
+    /// Owner ASNs sorted ascending (deterministic iteration).
+    pub fn asns_sorted(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.policies.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_topology::Geography;
+
+    fn sample() -> AsPolicy {
+        let mut defs = BTreeMap::new();
+        defs.insert(50, Purpose::SetLocalPref(50));
+        defs.insert(430, Purpose::RovTag(RovStatus::Valid));
+        defs.insert(431, Purpose::RovTag(RovStatus::Invalid));
+        defs.insert(666, Purpose::Blackhole);
+        defs.insert(2569, Purpose::SuppressToAs(Asn::new(3356)));
+        defs.insert(20000, Purpose::IngressCity(0));
+        defs.insert(20001, Purpose::IngressCity(0));
+        defs.insert(20010, Purpose::IngressCity(1));
+        defs.insert(
+            30000,
+            Purpose::IngressCountry {
+                region: 0,
+                country: 0,
+            },
+        );
+        defs.insert(31000, Purpose::IngressRegion(0));
+        defs.insert(40000, Purpose::RelationshipTag(RelClass::Customer));
+        defs.insert(40002, Purpose::IngressInterface(7));
+        AsPolicy::new(Asn::new(1299), defs)
+    }
+
+    #[test]
+    fn intent_lookup() {
+        let p = sample();
+        assert_eq!(p.intent_of(666), Some(Intent::Action));
+        assert_eq!(p.intent_of(20000), Some(Intent::Information));
+        assert_eq!(p.intent_of(9), None);
+        assert_eq!(p.intent_counts(), (3, 9));
+    }
+
+    #[test]
+    fn action_betas_are_actions_only() {
+        let p = sample();
+        assert_eq!(p.action_betas(), &[50, 666, 2569]);
+    }
+
+    #[test]
+    fn ingress_location_tags() {
+        let p = sample();
+        let geo = Geography::build(1, 2); // region 0 has cities 0,1
+        let tags = p.ingress_location_betas(0, &geo, 0);
+        assert_eq!(tags, vec![20000, 30000, 31000]);
+        // Different router salt picks the other city-0 tag.
+        let tags = p.ingress_location_betas(0, &geo, 1);
+        assert_eq!(tags, vec![20001, 30000, 31000]);
+        // City 1 has a city tag but same country/region.
+        let tags = p.ingress_location_betas(1, &geo, 0);
+        assert_eq!(tags, vec![20010, 30000, 31000]);
+    }
+
+    #[test]
+    fn relationship_rov_interface_lookup() {
+        let p = sample();
+        assert_eq!(p.relationship_beta(RelClass::Customer), Some(40000));
+        assert_eq!(p.relationship_beta(RelClass::Peer), None);
+        assert_eq!(p.rov_beta(RovStatus::Valid), Some(430));
+        assert_eq!(p.rov_beta(RovStatus::NotFound), None);
+        assert_eq!(p.interface_beta(5), Some(40002));
+    }
+
+    #[test]
+    fn community_requires_16bit_owner() {
+        let p = sample();
+        assert_eq!(p.community(666), Some(Community::new(1299, 666)));
+        let p32 = AsPolicy::new(Asn::new(400_000), BTreeMap::new());
+        assert_eq!(p32.community(1), None);
+    }
+
+    #[test]
+    fn policy_set_lookups() {
+        let mut set = PolicySet::default();
+        set.policies.insert(Asn::new(1299), sample());
+        assert_eq!(set.as_count(), 1);
+        assert_eq!(set.total_definitions(), 12);
+        assert_eq!(
+            set.intent_of(Community::new(1299, 666)),
+            Some(Intent::Action)
+        );
+        assert_eq!(set.intent_of(Community::new(1299, 9)), None);
+        assert_eq!(set.intent_of(Community::new(3356, 666)), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_defs_and_index_rebuilds() {
+        let p = sample();
+        let json = serde_json::to_string(&p).unwrap();
+        let mut back: AsPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        back.rebuild_index();
+        assert_eq!(back.action_betas(), p.action_betas());
+    }
+}

@@ -1,0 +1,214 @@
+//! The meaning of one community value, per the paper's Fig 2 taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_topology::{CityId, RegionId};
+use bgp_types::{Asn, Intent};
+
+/// The relationship class an information community can record
+/// ("learned from customer/peer/provider").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelClass {
+    /// Route learned from a customer.
+    Customer,
+    /// Route learned from a settlement-free peer.
+    Peer,
+    /// Route learned from a provider.
+    Provider,
+}
+
+/// Route Origin Validation outcome an information community can record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RovStatus {
+    /// Origin matches a published ROA.
+    Valid,
+    /// Origin conflicts with a published ROA.
+    Invalid,
+    /// No covering ROA.
+    NotFound,
+}
+
+/// What one `α:β` community means to AS `α`.
+///
+/// Each variant corresponds to a leaf of the paper's Fig 2 taxonomy. The
+/// split into action and information is exactly [`Purpose::intent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Purpose {
+    // --- Action communities (set by neighbors to influence AS α) ---
+    /// Do not export the route to the given AS ("Suppress to AS X").
+    SuppressToAs(Asn),
+    /// Do not export the route to neighbors in the given region
+    /// ("Suppress in Location Y").
+    SuppressInRegion(RegionId),
+    /// Do not export the route anywhere (provider-scoped NO_EXPORT).
+    SuppressAll,
+    /// Prepend α `times` times when exporting to the given AS in the given
+    /// region (the Fig 3 pattern: `1299:2561` = prepend once to Level3 in
+    /// Europe).
+    PrependToAs {
+        /// Export target the prepend applies to.
+        asn: Asn,
+        /// Region the export target is in.
+        region: RegionId,
+        /// How many times to prepend (1–3).
+        times: u8,
+    },
+    /// Prepend α `times` times on every export.
+    PrependAll(u8),
+    /// Set the route's local preference inside α to this value.
+    SetLocalPref(u32),
+    /// Set local preference in one region only.
+    SetLocalPrefInRegion {
+        /// Region whose routers apply the override.
+        region: RegionId,
+        /// The local preference value.
+        value: u32,
+    },
+    /// Drop traffic to the prefix (provider-scoped RFC 7999 blackhole).
+    Blackhole,
+    /// RFC 8326 graceful shutdown: depreference before maintenance.
+    GracefulShutdown,
+    /// Announce only to the given AS (inverse of suppress).
+    AnnounceToAs(Asn),
+
+    // --- Information communities (set by AS α itself) ---
+    /// Route was received in this city.
+    IngressCity(CityId),
+    /// Route was received in this country.
+    IngressCountry {
+        /// Region the country is in.
+        region: RegionId,
+        /// Country index within the region.
+        country: u16,
+    },
+    /// Route was received in this region.
+    IngressRegion(RegionId),
+    /// Route was learned from this class of neighbor.
+    RelationshipTag(RelClass),
+    /// ROV validation outcome for the route.
+    RovTag(RovStatus),
+    /// Route was received on this (abstract) ingress interface.
+    IngressInterface(u16),
+}
+
+impl Purpose {
+    /// The ground-truth coarse label of this purpose — the quantity the
+    /// whole pipeline infers.
+    pub fn intent(&self) -> Intent {
+        match self {
+            Purpose::SuppressToAs(_)
+            | Purpose::SuppressInRegion(_)
+            | Purpose::SuppressAll
+            | Purpose::PrependToAs { .. }
+            | Purpose::PrependAll(_)
+            | Purpose::SetLocalPref(_)
+            | Purpose::SetLocalPrefInRegion { .. }
+            | Purpose::Blackhole
+            | Purpose::GracefulShutdown
+            | Purpose::AnnounceToAs(_) => Intent::Action,
+            Purpose::IngressCity(_)
+            | Purpose::IngressCountry { .. }
+            | Purpose::IngressRegion(_)
+            | Purpose::RelationshipTag(_)
+            | Purpose::RovTag(_)
+            | Purpose::IngressInterface(_) => Intent::Information,
+        }
+    }
+
+    /// Whether this purpose names a geographic location (the sub-category
+    /// Da Silva et al. infer; used by the Table 1 experiment).
+    pub fn is_location_info(&self) -> bool {
+        matches!(
+            self,
+            Purpose::IngressCity(_) | Purpose::IngressCountry { .. } | Purpose::IngressRegion(_)
+        )
+    }
+
+    /// Whether this is a geo-*targeted* action (traffic engineering that
+    /// correlates with geography — the false-positive class of Table 1).
+    pub fn is_geo_targeted_action(&self) -> bool {
+        matches!(
+            self,
+            Purpose::SuppressInRegion(_)
+                | Purpose::PrependToAs { .. }
+                | Purpose::SetLocalPrefInRegion { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intent_split_matches_fig2() {
+        let actions = [
+            Purpose::SuppressToAs(Asn::new(3356)),
+            Purpose::SuppressInRegion(0),
+            Purpose::SuppressAll,
+            Purpose::PrependToAs {
+                asn: Asn::new(3356),
+                region: 0,
+                times: 2,
+            },
+            Purpose::PrependAll(1),
+            Purpose::SetLocalPref(50),
+            Purpose::SetLocalPrefInRegion {
+                region: 1,
+                value: 80,
+            },
+            Purpose::Blackhole,
+            Purpose::GracefulShutdown,
+            Purpose::AnnounceToAs(Asn::new(174)),
+        ];
+        for p in actions {
+            assert_eq!(p.intent(), Intent::Action, "{p:?}");
+        }
+        let infos = [
+            Purpose::IngressCity(3),
+            Purpose::IngressCountry {
+                region: 0,
+                country: 1,
+            },
+            Purpose::IngressRegion(2),
+            Purpose::RelationshipTag(RelClass::Customer),
+            Purpose::RovTag(RovStatus::Valid),
+            Purpose::IngressInterface(9),
+        ];
+        for p in infos {
+            assert_eq!(p.intent(), Intent::Information, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn location_info_classification() {
+        assert!(Purpose::IngressCity(1).is_location_info());
+        assert!(Purpose::IngressRegion(1).is_location_info());
+        assert!(!Purpose::RovTag(RovStatus::Valid).is_location_info());
+        assert!(!Purpose::SuppressInRegion(1).is_location_info());
+    }
+
+    #[test]
+    fn geo_targeted_actions() {
+        assert!(Purpose::SuppressInRegion(0).is_geo_targeted_action());
+        assert!(Purpose::PrependToAs {
+            asn: Asn::new(1),
+            region: 0,
+            times: 1
+        }
+        .is_geo_targeted_action());
+        assert!(!Purpose::Blackhole.is_geo_targeted_action());
+        assert!(!Purpose::IngressCity(0).is_geo_targeted_action());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Purpose::PrependToAs {
+            asn: Asn::new(3356),
+            region: 2,
+            times: 3,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Purpose>(&json).unwrap(), p);
+    }
+}

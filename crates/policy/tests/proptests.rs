@@ -1,0 +1,130 @@
+//! Property-based tests: dictionary-generation invariants hold for
+//! arbitrary seeds and world shapes.
+
+use proptest::prelude::*;
+
+use bgp_policy::{generate_policies, PolicyConfig, Purpose};
+use bgp_topology::{generate, Tier, TopologyConfig};
+use bgp_types::Intent;
+
+fn arb_world() -> impl Strategy<Value = (TopologyConfig, PolicyConfig)> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        3usize..5,
+        4usize..8,
+        6usize..12,
+        20usize..50,
+    )
+        .prop_map(|(topo_seed, policy_seed, t1, large, mid, stub)| {
+            (
+                TopologyConfig {
+                    seed: topo_seed,
+                    tier1_count: t1,
+                    large_transit_count: large,
+                    mid_transit_count: mid,
+                    stub_count: stub,
+                    ixp_count: 1,
+                    ..TopologyConfig::default()
+                },
+                PolicyConfig {
+                    seed: policy_seed,
+                    ..PolicyConfig::default()
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn intent_boundaries_respect_min_gap((topo_cfg, policy_cfg) in arb_world()) {
+        // The structural contract the whole method rests on: scanning any
+        // dictionary in β order, intent flips only happen across gaps of at
+        // least min_inter_block_gap.
+        let topo = generate(&topo_cfg);
+        let set = generate_policies(&topo, &policy_cfg);
+        for asn in set.asns_sorted() {
+            let policy = set.get(asn).expect("listed");
+            let defs: Vec<(u16, Intent)> =
+                policy.defs.iter().map(|(b, p)| (*b, p.intent())).collect();
+            for w in defs.windows(2) {
+                if w[0].1 != w[1].1 {
+                    prop_assert!(
+                        w[1].0 - w[0].0 >= policy_cfg.min_inter_block_gap,
+                        "AS {asn}: intent flip {} -> {} with gap {}",
+                        w[0].0,
+                        w[1].0,
+                        w[1].0 - w[0].0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn targets_and_cities_are_grounded((topo_cfg, policy_cfg) in arb_world()) {
+        let topo = generate(&topo_cfg);
+        let set = generate_policies(&topo, &policy_cfg);
+        for asn in set.asns_sorted() {
+            let node = &topo.ases[&asn];
+            for purpose in set.get(asn).expect("listed").defs.values() {
+                match purpose {
+                    Purpose::SuppressToAs(t) | Purpose::PrependToAs { asn: t, .. } => {
+                        prop_assert!(topo.ases.contains_key(t));
+                    }
+                    Purpose::IngressCity(c) => {
+                        prop_assert!(node.presence.contains(c));
+                    }
+                    Purpose::IngressRegion(r) | Purpose::SuppressInRegion(r) => {
+                        prop_assert!((*r as usize) < topo.geography.region_count());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indices_agree_with_defs((topo_cfg, policy_cfg) in arb_world()) {
+        let topo = generate(&topo_cfg);
+        let set = generate_policies(&topo, &policy_cfg);
+        for asn in set.asns_sorted() {
+            let policy = set.get(asn).expect("listed");
+            let (action, info) = policy.intent_counts();
+            prop_assert_eq!(action + info, policy.len());
+            prop_assert_eq!(policy.action_betas().len(), action);
+            prop_assert_eq!(policy.info_betas().len(), info);
+            for &beta in policy.action_betas() {
+                prop_assert_eq!(policy.intent_of(beta), Some(Intent::Action));
+            }
+            for &beta in policy.info_betas() {
+                prop_assert_eq!(policy.intent_of(beta), Some(Intent::Information));
+            }
+            // Geo-targeted action lookups are a subset of the action list.
+            for region in 0..topo.geography.region_count() as u8 {
+                for beta in policy.geo_action_betas(region) {
+                    prop_assert!(policy.action_betas().contains(beta));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rich_dictionaries_stay_within_beta_space((topo_cfg, policy_cfg) in arb_world()) {
+        let topo = generate(&topo_cfg);
+        let set = generate_policies(&topo, &policy_cfg);
+        // Every tier-1/large-transit AS gets a dictionary; all betas fit u16
+        // (guaranteed by types, but the layout must not wrap or collide).
+        for asn in topo
+            .asns_of_tier(Tier::Tier1)
+            .into_iter()
+            .chain(topo.asns_of_tier(Tier::LargeTransit))
+        {
+            let policy = set.get(asn);
+            prop_assert!(policy.is_some(), "AS {asn} missing dictionary");
+            prop_assert!(policy.unwrap().len() >= 10);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Customer cones over an inferred relationship graph.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use bgp_types::Asn;
+
+use crate::infer::{InfRel, InferredRelationships};
+
+/// The customer cone of `asn`: itself plus every AS reachable by walking
+/// provider→customer links downward (CAIDA's AS-Rank definition,
+/// relationship-closure variant).
+pub fn customer_cone(rels: &InferredRelationships, asn: Asn) -> HashSet<Asn> {
+    // Build a provider → customers adjacency once per call; callers doing
+    // bulk ranking should use `all_cone_sizes`.
+    let mut down: HashMap<Asn, Vec<Asn>> = HashMap::new();
+    for (&(a, b), rel) in rels.iter() {
+        if let InfRel::P2c(provider) = rel {
+            let customer = if *provider == a { b } else { a };
+            down.entry(*provider).or_default().push(customer);
+        }
+    }
+    let mut cone = HashSet::new();
+    let mut queue = VecDeque::new();
+    cone.insert(asn);
+    queue.push_back(asn);
+    while let Some(next) = queue.pop_front() {
+        if let Some(customers) = down.get(&next) {
+            for &c in customers {
+                if cone.insert(c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// Cone sizes for every AS in the graph, sorted descending by size then
+/// ascending by ASN (an AS-Rank-style ranking).
+pub fn all_cone_sizes(rels: &InferredRelationships) -> Vec<(Asn, usize)> {
+    let mut asns: HashSet<Asn> = HashSet::new();
+    for (&(a, b), _) in rels.iter() {
+        asns.insert(a);
+        asns.insert(b);
+    }
+    let mut sizes: Vec<(Asn, usize)> = asns
+        .into_iter()
+        .map(|a| (a, customer_cone(rels, a).len()))
+        .collect();
+    sizes.sort_unstable_by_key(|&(a, s)| (std::cmp::Reverse(s), a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_topology::{generate, Rel, Topology, TopologyConfig};
+
+    fn oracle() -> (Topology, InferredRelationships) {
+        let topo = generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 5,
+            mid_transit_count: 8,
+            stub_count: 40,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        });
+        let rels = InferredRelationships::from_topology(&topo);
+        (topo, rels)
+    }
+
+    #[test]
+    fn stub_cone_is_itself() {
+        let (topo, rels) = oracle();
+        for s in topo
+            .asns_of_tier(bgp_topology::Tier::Stub)
+            .into_iter()
+            .take(10)
+        {
+            assert_eq!(customer_cone(&rels, s), HashSet::from([s]));
+        }
+    }
+
+    #[test]
+    fn provider_cone_contains_customer_cones() {
+        let (topo, rels) = oracle();
+        for link in topo
+            .links
+            .iter()
+            .filter(|l| l.rel == Rel::ProviderCustomer)
+            .take(40)
+        {
+            let pc = customer_cone(&rels, link.a);
+            let cc = customer_cone(&rels, link.b);
+            assert!(
+                cc.is_subset(&pc),
+                "cone of {} not within cone of {}",
+                link.b,
+                link.a
+            );
+        }
+    }
+
+    #[test]
+    fn tier1_cones_are_largest() {
+        let (topo, rels) = oracle();
+        let ranking = all_cone_sizes(&rels);
+        let tier1: HashSet<Asn> = topo
+            .asns_of_tier(bgp_topology::Tier::Tier1)
+            .into_iter()
+            .collect();
+        // All tier-1s rank in the top (tier1 + large) positions.
+        let top: Vec<Asn> = ranking
+            .iter()
+            .take(tier1.len() + topo.asns_of_tier(bgp_topology::Tier::LargeTransit).len())
+            .map(|&(a, _)| a)
+            .collect();
+        for t in &tier1 {
+            assert!(top.contains(t), "tier-1 {t} not in top of cone ranking");
+        }
+    }
+
+    #[test]
+    fn cone_membership_is_reflexive() {
+        let (topo, rels) = oracle();
+        for asn in topo.asns_sorted().into_iter().take(20) {
+            assert!(customer_cone(&rels, asn).contains(&asn));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Gao-style AS relationship inference from observed AS paths.
+//!
+//! The classic heuristic (Gao 2001, refined by CAIDA's AS-Rank): the
+//! highest-degree AS on a valley-free path is its apex; links between the
+//! observer side and the apex are provider→customer descents, links between
+//! the apex and the origin are customer→provider ascents. Votes accumulate
+//! across paths; links with balanced votes between comparably-sized ASes
+//! are settlement-free peers, and the densely interconnected top of the
+//! degree distribution forms the clique.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use bgp_topology::{Rel, Topology};
+use bgp_types::{AsPath, Asn};
+
+/// An inferred link relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InfRel {
+    /// Provider→customer; the payload is the provider.
+    P2c(Asn),
+    /// Settlement-free peering.
+    P2p,
+}
+
+/// How one AS sees a neighbor (mirrors CAIDA serial-1 semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RelView {
+    /// The neighbor is a customer.
+    Customer,
+    /// The neighbor is a peer.
+    Peer,
+    /// The neighbor is a provider.
+    Provider,
+}
+
+/// The inferred relationship graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InferredRelationships {
+    links: HashMap<(Asn, Asn), InfRel>,
+    /// The inferred settlement-free clique, sorted.
+    pub clique: Vec<Asn>,
+}
+
+fn key(a: Asn, b: Asn) -> (Asn, Asn) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl InferredRelationships {
+    /// The relationship on link `a–b`, if the link was observed.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<InfRel> {
+        self.links.get(&key(a, b)).copied()
+    }
+
+    /// How `a` sees `b`, if they are linked.
+    pub fn view(&self, a: Asn, b: Asn) -> Option<RelView> {
+        match self.relationship(a, b)? {
+            InfRel::P2p => Some(RelView::Peer),
+            InfRel::P2c(provider) => {
+                if provider == a {
+                    Some(RelView::Customer)
+                } else {
+                    Some(RelView::Provider)
+                }
+            }
+        }
+    }
+
+    /// Number of inferred links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterate all links.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Asn, Asn), &InfRel)> {
+        self.links.iter()
+    }
+
+    /// All inferred customers of `asn`.
+    pub fn customers(&self, asn: Asn) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self
+            .links
+            .iter()
+            .filter_map(|(&(a, b), rel)| match rel {
+                InfRel::P2c(p) if *p == asn => Some(if a == asn { b } else { a }),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ground-truth oracle: read relationships straight from the synthetic
+    /// topology (route-server links count as peering).
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut links = HashMap::new();
+        for link in &topo.links {
+            let rel = match link.rel {
+                Rel::ProviderCustomer => InfRel::P2c(link.a),
+                Rel::PeerPeer | Rel::RouteServerMember => InfRel::P2p,
+            };
+            links.insert(key(link.a, link.b), rel);
+        }
+        let mut clique = topo.asns_of_tier(bgp_topology::Tier::Tier1);
+        clique.sort_unstable();
+        InferredRelationships { links, clique }
+    }
+}
+
+/// Tuning knobs for the inference.
+#[derive(Debug, Clone)]
+pub struct InferConfig {
+    /// How many of the highest-transit-degree ASes to seed the clique from.
+    pub clique_candidates: usize,
+    /// A link is p2c only when one direction out-votes the other by this
+    /// factor; otherwise it is p2p.
+    pub vote_dominance: f64,
+    /// Clique members must have at least this fraction of the maximum
+    /// observed degree (keeps well-connected stubs out of the clique).
+    pub clique_degree_ratio: f64,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        InferConfig {
+            clique_candidates: 12,
+            vote_dominance: 2.0,
+            clique_degree_ratio: 0.25,
+        }
+    }
+}
+
+/// Infer relationships from observed paths (deduplicated internally).
+pub fn infer_relationships<'a, I>(paths: I, cfg: &InferConfig) -> InferredRelationships
+where
+    I: IntoIterator<Item = &'a AsPath>,
+{
+    // Collapse prepending and dedupe identical paths.
+    let mut unique: HashSet<Vec<Asn>> = HashSet::new();
+    for p in paths {
+        let collapsed = p.unique_asns();
+        if collapsed.len() >= 2 {
+            unique.insert(collapsed);
+        }
+    }
+    let mut paths: Vec<Vec<Asn>> = unique.into_iter().collect();
+    paths.sort_unstable();
+
+    // Degrees over the observed adjacency.
+    let mut neighbors: HashMap<Asn, HashSet<Asn>> = HashMap::new();
+    for p in &paths {
+        for w in p.windows(2) {
+            neighbors.entry(w[0]).or_default().insert(w[1]);
+            neighbors.entry(w[1]).or_default().insert(w[0]);
+        }
+    }
+    let degree = |a: Asn| neighbors.get(&a).map(HashSet::len).unwrap_or(0);
+
+    // Clique: greedily grow from the highest-degree AS, requiring direct
+    // observed adjacency to every member so far.
+    let mut by_degree: Vec<Asn> = neighbors.keys().copied().collect();
+    by_degree.sort_unstable_by_key(|a| (std::cmp::Reverse(degree(*a)), *a));
+    let max_degree = by_degree.first().map(|a| degree(*a)).unwrap_or(0);
+    let mut clique: Vec<Asn> = Vec::new();
+    for &cand in by_degree.iter().take(cfg.clique_candidates) {
+        // Clique members must be comparable in size to the biggest AS —
+        // a small multihomed stub can be adjacent to every tier-1 without
+        // being one.
+        if (degree(cand) as f64) < max_degree as f64 * cfg.clique_degree_ratio {
+            continue;
+        }
+        let adjacent_to_all = clique
+            .iter()
+            .all(|m| neighbors.get(&cand).map(|n| n.contains(m)).unwrap_or(false));
+        if adjacent_to_all {
+            clique.push(cand);
+        }
+    }
+    clique.sort_unstable();
+    let clique_set: HashSet<Asn> = clique.iter().copied().collect();
+
+    // Vote per path: apex = highest degree (clique members always beat
+    // non-members); left of apex the route descended, right of it ascended.
+    let mut votes: HashMap<(Asn, Asn), (u32, u32)> = HashMap::new();
+    for p in &paths {
+        let apex = p
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, a)| (clique_set.contains(a), degree(**a), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        for (i, w) in p.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            // i < apex: route went b -> a downhill, so b is the provider.
+            // i >= apex: route went b -> a uphill, so a is the provider.
+            let provider = if i < apex { b } else { a };
+            let k = key(a, b);
+            let slot = votes.entry(k).or_default();
+            if provider == k.0 {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
+    }
+
+    let mut links = HashMap::new();
+    for (k, (va, vb)) in votes {
+        let rel = if clique_set.contains(&k.0) && clique_set.contains(&k.1) {
+            InfRel::P2p
+        } else if va as f64 >= vb as f64 * cfg.vote_dominance && va > 0 {
+            InfRel::P2c(k.0)
+        } else if vb as f64 >= va as f64 * cfg.vote_dominance && vb > 0 {
+            InfRel::P2c(k.1)
+        } else {
+            InfRel::P2p
+        };
+        links.insert(k, rel);
+    }
+    InferredRelationships { links, clique }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(asns: &[u32]) -> AsPath {
+        AsPath::from_sequence(asns.iter().copied().map(Asn::new))
+    }
+
+    #[test]
+    fn simple_hierarchy() {
+        // 1 and 2 are big transits (high degree), customers 10..15 below
+        // them, observer stubs above. Paths: stub -> transit -> origin.
+        let mut paths = Vec::new();
+        for s in 10..16u32 {
+            for o in 20..26u32 {
+                if s != o {
+                    paths.push(path(&[s, 1, o]));
+                    paths.push(path(&[s, 2, o]));
+                }
+            }
+            paths.push(path(&[s, 1, 2, s + 20]));
+            paths.push(path(&[s, 2, 1, s + 30]));
+        }
+        let inferred = infer_relationships(paths.iter(), &InferConfig::default());
+        // 1 and 2 interconnect at the top: peers.
+        assert_eq!(
+            inferred.relationship(Asn::new(1), Asn::new(2)),
+            Some(InfRel::P2p)
+        );
+        // Stubs hang off the transits as customers.
+        assert_eq!(
+            inferred.view(Asn::new(1), Asn::new(10)),
+            Some(RelView::Customer)
+        );
+        assert_eq!(
+            inferred.view(Asn::new(10), Asn::new(1)),
+            Some(RelView::Provider)
+        );
+        assert_eq!(
+            inferred.view(Asn::new(2), Asn::new(21)),
+            Some(RelView::Customer)
+        );
+    }
+
+    #[test]
+    fn prepending_is_collapsed() {
+        let paths = [path(&[10, 1, 1, 1, 20]), path(&[11, 1, 20])];
+        let inferred = infer_relationships(paths.iter(), &InferConfig::default());
+        assert!(inferred.relationship(Asn::new(1), Asn::new(1)).is_none());
+        assert!(inferred.relationship(Asn::new(1), Asn::new(20)).is_some());
+    }
+
+    #[test]
+    fn unobserved_link_is_none() {
+        let paths = [path(&[10, 1, 20])];
+        let inferred = infer_relationships(paths.iter(), &InferConfig::default());
+        assert_eq!(inferred.relationship(Asn::new(10), Asn::new(20)), None);
+    }
+
+    #[test]
+    fn oracle_matches_topology() {
+        use bgp_topology::{generate, TopologyConfig};
+        let topo = generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 5,
+            mid_transit_count: 8,
+            stub_count: 30,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        });
+        let oracle = InferredRelationships::from_topology(&topo);
+        assert_eq!(oracle.link_count(), {
+            let mut keys: Vec<_> = topo.links.iter().map(|l| key(l.a, l.b)).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys.len()
+        });
+        let t1 = topo.asns_of_tier(bgp_topology::Tier::Tier1);
+        assert_eq!(oracle.clique, t1);
+        for link in &topo.links {
+            let view = oracle.view(link.a, link.b).unwrap();
+            match link.rel {
+                Rel::ProviderCustomer => assert_eq!(view, RelView::Customer),
+                _ => assert_eq!(view, RelView::Peer),
+            }
+        }
+    }
+
+    #[test]
+    fn inferred_agrees_with_ground_truth_on_simulated_paths() {
+        use bgp_policy::{generate_policies, PolicyConfig};
+        use bgp_sim::{select_vantage_points, SimConfig, Simulator, VpConfig};
+        use bgp_topology::{generate, TopologyConfig};
+
+        let topo = generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 6,
+            mid_transit_count: 10,
+            stub_count: 50,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        });
+        let policies = generate_policies(&topo, &PolicyConfig::default());
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let vps = select_vantage_points(
+            &topo,
+            &VpConfig {
+                mid_count: 6,
+                stub_count: 10,
+                ..Default::default()
+            },
+        );
+        let observations = sim.collect_rib(&vps);
+        let paths: Vec<&AsPath> = observations.iter().map(|o| &o.path).collect();
+        let inferred = infer_relationships(paths, &InferConfig::default());
+        let oracle = InferredRelationships::from_topology(&topo);
+
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (k, _) in inferred.iter() {
+            if let (Some(a), Some(b)) = (oracle.view(k.0, k.1), inferred.view(k.0, k.1)) {
+                total += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(total > 50, "too few comparable links ({total})");
+        let rate = agree as f64 / total as f64;
+        assert!(
+            rate > 0.8,
+            "only {:.0}% agreement on {total} links",
+            rate * 100.0
+        );
+    }
+}

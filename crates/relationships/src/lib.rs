@@ -1,0 +1,26 @@
+//! AS relationship inference and organization (sibling) mapping.
+//!
+//! The paper uses CAIDA's AS relationship and as2org datasets as context
+//! (§4): inferred relationships feed the customer:peer feature of Fig 7,
+//! and sibling ASes widen the on-path test ("the ASN *or a sibling
+//! thereof*"). This crate provides both substitutes:
+//!
+//! * [`infer::infer_relationships`] — a Gao-style algorithm over the
+//!   observed AS paths themselves (degree-based top detection, per-path
+//!   voting, peer identification), plus an oracle mode reading the
+//!   synthetic topology for experiments that want to isolate method error
+//!   from relationship-inference error;
+//! * [`cone::customer_cone`] — per-AS customer cones over the inferred
+//!   graph;
+//! * [`org::SiblingMap`] — the as2org substitute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cone;
+pub mod infer;
+pub mod org;
+
+pub use cone::customer_cone;
+pub use infer::{infer_relationships, InfRel, InferConfig, InferredRelationships, RelView};
+pub use org::SiblingMap;

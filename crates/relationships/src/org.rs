@@ -1,0 +1,124 @@
+//! Organization (sibling) mapping — the as2org substitute.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_topology::Topology;
+use bgp_types::Asn;
+
+/// Maps each AS to its organization so sibling ASes can be expanded.
+///
+/// The inference method's on-path test asks whether the community authority
+/// "or a sibling thereof" appears in any AS path (§5.2); this is the lookup
+/// behind that phrase.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SiblingMap {
+    org_of: HashMap<Asn, u32>,
+    members: Vec<Vec<Asn>>,
+}
+
+impl SiblingMap {
+    /// Build from explicit organization membership lists.
+    pub fn from_orgs<I, J>(orgs: I) -> Self
+    where
+        I: IntoIterator<Item = J>,
+        J: IntoIterator<Item = Asn>,
+    {
+        let mut map = SiblingMap::default();
+        for org in orgs {
+            let id = map.members.len() as u32;
+            let mut list: Vec<Asn> = org.into_iter().collect();
+            list.sort_unstable();
+            list.dedup();
+            for &asn in &list {
+                map.org_of.insert(asn, id);
+            }
+            map.members.push(list);
+        }
+        map
+    }
+
+    /// Build from the synthetic topology's organizations.
+    pub fn from_topology(topo: &Topology) -> Self {
+        SiblingMap::from_orgs(topo.orgs.iter().map(|o| o.members.iter().copied()))
+    }
+
+    /// `asn` plus all its siblings (itself alone when unknown).
+    pub fn expand(&self, asn: Asn) -> Vec<Asn> {
+        match self.org_of.get(&asn) {
+            Some(&org) => self.members[org as usize].clone(),
+            None => vec![asn],
+        }
+    }
+
+    /// The siblings of `asn`, excluding itself.
+    pub fn siblings(&self, asn: Asn) -> Vec<Asn> {
+        self.expand(asn).into_iter().filter(|a| *a != asn).collect()
+    }
+
+    /// Whether two ASes belong to the same organization.
+    pub fn are_siblings(&self, a: Asn, b: Asn) -> bool {
+        a != b
+            && match (self.org_of.get(&a), self.org_of.get(&b)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            }
+    }
+
+    /// Number of known organizations.
+    pub fn org_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asns(v: &[u32]) -> Vec<Asn> {
+        v.iter().copied().map(Asn::new).collect()
+    }
+
+    #[test]
+    fn expand_returns_all_members() {
+        let map = SiblingMap::from_orgs(vec![asns(&[1, 2, 3]), asns(&[7])]);
+        assert_eq!(map.expand(Asn::new(2)), asns(&[1, 2, 3]));
+        assert_eq!(map.expand(Asn::new(7)), asns(&[7]));
+        assert_eq!(map.expand(Asn::new(99)), asns(&[99])); // unknown
+        assert_eq!(map.siblings(Asn::new(1)), asns(&[2, 3]));
+    }
+
+    #[test]
+    fn sibling_predicate() {
+        let map = SiblingMap::from_orgs(vec![asns(&[1, 2]), asns(&[3])]);
+        assert!(map.are_siblings(Asn::new(1), Asn::new(2)));
+        assert!(!map.are_siblings(Asn::new(1), Asn::new(1)));
+        assert!(!map.are_siblings(Asn::new(1), Asn::new(3)));
+        assert!(!map.are_siblings(Asn::new(1), Asn::new(99)));
+    }
+
+    #[test]
+    fn from_topology_matches_org_lists() {
+        use bgp_topology::{generate, TopologyConfig};
+        let topo = generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 6,
+            mid_transit_count: 10,
+            stub_count: 30,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        });
+        let map = SiblingMap::from_topology(&topo);
+        assert_eq!(map.org_count(), topo.orgs.len());
+        for asn in topo.asns_sorted() {
+            assert_eq!(map.siblings(asn), topo.siblings(asn));
+        }
+    }
+
+    #[test]
+    fn duplicate_members_are_deduped() {
+        let map = SiblingMap::from_orgs(vec![asns(&[5, 5, 6])]);
+        assert_eq!(map.expand(Asn::new(5)), asns(&[5, 6]));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: relationship inference and cone invariants over
+//! arbitrary simulated worlds.
+
+use proptest::prelude::*;
+
+use bgp_policy::{generate_policies, PolicyConfig};
+use bgp_relationships::{
+    cone::all_cone_sizes, customer_cone, infer_relationships, InfRel, InferConfig,
+    InferredRelationships, SiblingMap,
+};
+use bgp_sim::{select_vantage_points, SimConfig, Simulator, VpConfig};
+use bgp_topology::{generate, TopologyConfig};
+use bgp_types::AsPath;
+
+fn arb_seed() -> impl Strategy<Value = u64> {
+    any::<u64>()
+}
+
+fn world(seed: u64) -> (bgp_topology::Topology, Vec<bgp_types::Observation>) {
+    let topo = generate(&TopologyConfig {
+        seed,
+        tier1_count: 3,
+        large_transit_count: 5,
+        mid_transit_count: 8,
+        stub_count: 30,
+        ixp_count: 1,
+        ..TopologyConfig::default()
+    });
+    let policies = generate_policies(
+        &topo,
+        &PolicyConfig {
+            seed: seed ^ 1,
+            ..Default::default()
+        },
+    );
+    let cfg = SimConfig {
+        seed: seed ^ 2,
+        threads: 1,
+        ..SimConfig::default()
+    };
+    let sim = Simulator::new(&topo, &policies, &cfg);
+    let vps = select_vantage_points(
+        &topo,
+        &VpConfig {
+            seed: seed ^ 3,
+            mid_count: 4,
+            stub_count: 6,
+            ..Default::default()
+        },
+    );
+    let observations = sim.collect_rib(&vps);
+    (topo, observations)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn inference_is_deterministic_and_symmetric(seed in arb_seed()) {
+        let (_, observations) = world(seed);
+        let paths: Vec<&AsPath> = observations.iter().map(|o| &o.path).collect();
+        let a = infer_relationships(paths.clone(), &InferConfig::default());
+        let b = infer_relationships(paths, &InferConfig::default());
+        prop_assert_eq!(a.link_count(), b.link_count());
+        for (&(x, y), rel) in a.iter() {
+            prop_assert_eq!(b.relationship(x, y), Some(*rel));
+            // The two views of one link are consistent.
+            match rel {
+                InfRel::P2p => {
+                    prop_assert_eq!(a.view(x, y), a.view(y, x));
+                }
+                InfRel::P2c(provider) => {
+                    let (p, c) = if *provider == x { (x, y) } else { (y, x) };
+                    prop_assert_eq!(a.view(p, c), Some(bgp_relationships::RelView::Customer));
+                    prop_assert_eq!(a.view(c, p), Some(bgp_relationships::RelView::Provider));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_observed_link_gets_a_relationship(seed in arb_seed()) {
+        let (_, observations) = world(seed);
+        let paths: Vec<&AsPath> = observations.iter().map(|o| &o.path).collect();
+        let inferred = infer_relationships(paths, &InferConfig::default());
+        for obs in observations.iter().take(200) {
+            let asns = obs.path.unique_asns();
+            for w in asns.windows(2) {
+                prop_assert!(
+                    inferred.relationship(w[0], w[1]).is_some(),
+                    "observed link {}-{} missing",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cones_nest_along_inferred_p2c(seed in arb_seed()) {
+        let (topo, _) = world(seed);
+        let oracle = InferredRelationships::from_topology(&topo);
+        for (&(a, b), rel) in oracle.iter() {
+            if let InfRel::P2c(provider) = rel {
+                let customer = if *provider == a { b } else { a };
+                let pc = customer_cone(&oracle, *provider);
+                let cc = customer_cone(&oracle, customer);
+                prop_assert!(cc.is_subset(&pc));
+            }
+        }
+        // Ranking is a permutation of all ASes in the link graph.
+        let sizes = all_cone_sizes(&oracle);
+        prop_assert!(sizes.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn sibling_map_round_trips_serde(seed in arb_seed()) {
+        let (topo, _) = world(seed);
+        let map = SiblingMap::from_topology(&topo);
+        let json = serde_json::to_string(&map).unwrap();
+        let back: SiblingMap = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &map);
+        for asn in topo.asns_sorted().into_iter().take(20) {
+            prop_assert_eq!(back.expand(asn), map.expand(asn));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Vantage points and collector output.
+//!
+//! Mirrors how RouteViews/RIS work: a set of peer ASes ("vantage points")
+//! export routes to a collector. Transit networks give full feeds; some
+//! peers only export their customer cone. The collector's RIB snapshot and
+//! per-day update streams are the paper's §4 input data.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use bgp_topology::{Tier, Topology};
+use bgp_types::{Asn, Observation, Prefix};
+
+use crate::propagate::{link_key, Simulator};
+use crate::route::RibRoute;
+
+/// A propagation job: one prefix with its failed-link set.
+type Job = (Prefix, HashSet<(Asn, Asn)>);
+
+/// One collector peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VantagePoint {
+    /// The peering AS.
+    pub asn: Asn,
+    /// Full table, or customer-cone-only (partial) feed.
+    pub full_feed: bool,
+}
+
+/// Vantage point selection parameters.
+#[derive(Debug, Clone)]
+pub struct VpConfig {
+    /// Seed for sampling.
+    pub seed: u64,
+    /// How many mid-transit ASes peer with the collector.
+    pub mid_count: usize,
+    /// How many stubs peer with the collector.
+    pub stub_count: usize,
+    /// Fraction of sampled (non-tier-1/large) vantage points that provide
+    /// only a partial (own + customer routes) feed.
+    pub partial_fraction: f64,
+}
+
+impl Default for VpConfig {
+    fn default() -> Self {
+        VpConfig {
+            seed: 0xC011_EC70,
+            mid_count: 60,
+            stub_count: 80,
+            partial_fraction: 0.2,
+        }
+    }
+}
+
+/// Choose the collector's peers: every tier-1 and large transit (full
+/// feeds, like the big carriers that feed RouteViews), plus samples of
+/// mid-transit and stub networks.
+pub fn select_vantage_points(topo: &Topology, cfg: &VpConfig) -> Vec<VantagePoint> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut vps: Vec<VantagePoint> = Vec::new();
+    for asn in topo
+        .asns_of_tier(Tier::Tier1)
+        .into_iter()
+        .chain(topo.asns_of_tier(Tier::LargeTransit))
+    {
+        vps.push(VantagePoint {
+            asn,
+            full_feed: true,
+        });
+    }
+    let sample = |pool: Vec<Asn>, count: usize, rng: &mut StdRng| -> Vec<VantagePoint> {
+        let mut pool = pool;
+        pool.shuffle(rng);
+        pool.into_iter()
+            .take(count)
+            .map(|asn| VantagePoint {
+                asn,
+                full_feed: !rng.random_bool(cfg.partial_fraction),
+            })
+            .collect()
+    };
+    vps.extend(sample(
+        topo.asns_of_tier(Tier::MidTransit),
+        cfg.mid_count,
+        &mut rng,
+    ));
+    vps.extend(sample(
+        topo.asns_of_tier(Tier::Stub),
+        cfg.stub_count,
+        &mut rng,
+    ));
+    vps.sort_unstable_by_key(|v| v.asn);
+    vps.dedup_by_key(|v| v.asn);
+    vps
+}
+
+/// Extract what `vp` exports to the collector for one routed prefix.
+fn observe(
+    topo: &Topology,
+    vp: &VantagePoint,
+    prefix: Prefix,
+    route: &RibRoute,
+    time: u32,
+) -> Option<Observation> {
+    if !vp.full_feed && !route.class.exportable_beyond_customers() {
+        return None;
+    }
+    let node = &topo.ases[&vp.asn];
+    let (communities, large_communities) = if node.scrubs_communities {
+        (Vec::new(), Vec::new())
+    } else {
+        (route.communities.clone(), route.large_communities.clone())
+    };
+    Some(Observation {
+        vp: vp.asn,
+        prefix,
+        path: route.path.prepended(vp.asn, 1),
+        communities,
+        large_communities,
+        time,
+    })
+}
+
+impl Simulator<'_> {
+    /// Compute the full RIB snapshot: propagate every prefix and record
+    /// every vantage point's best route. Runs prefixes in parallel;
+    /// output order is deterministic (by prefix, then vantage point).
+    pub fn collect_rib(&self, vps: &[VantagePoint]) -> Vec<Observation> {
+        let time = self.cfg.base_timestamp;
+        let jobs: Vec<Job> = self
+            .plan()
+            .origins
+            .iter()
+            .map(|&(p, _)| (p, HashSet::new()))
+            .collect();
+        self.collect_jobs(&jobs, vps, time)
+    }
+
+    /// Simulate one churn day: a fraction of prefixes lose one randomly
+    /// chosen origin-provider link, exposing alternate paths. `day` is
+    /// 1-based; observations carry that day's timestamps.
+    pub fn collect_churn_day(&self, vps: &[VantagePoint], day: u32) -> Vec<Observation> {
+        let mut rng = StdRng::seed_from_u64(
+            self.cfg.seed ^ 0xDA11_u64.wrapping_mul(day as u64 + 1).rotate_left(17),
+        );
+        let time = self.cfg.base_timestamp + day * 86_400;
+        let mut jobs = Vec::new();
+        for &(prefix, origin) in &self.plan().origins {
+            if !rng.random_bool(self.cfg.churn_fraction) {
+                continue;
+            }
+            let mut providers = self.topo.providers(origin);
+            providers.sort_unstable();
+            if providers.is_empty() {
+                continue;
+            }
+            let failed = providers[rng.random_range(0..providers.len())];
+            let mut excluded = HashSet::new();
+            excluded.insert(link_key(origin, failed));
+            jobs.push((prefix, excluded));
+        }
+        self.collect_jobs(&jobs, vps, time)
+    }
+
+    /// Run propagation jobs across worker threads; merge results in job
+    /// order so output is deterministic regardless of scheduling.
+    fn collect_jobs(&self, jobs: &[Job], vps: &[VantagePoint], time: u32) -> Vec<Observation> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.cfg.effective_threads().min(jobs.len());
+        let chunk_size = jobs.len().div_ceil(threads);
+        let chunks: Vec<&[Job]> = jobs.chunks(chunk_size).collect();
+        let results: Vec<Vec<Observation>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for (prefix, excluded) in chunk {
+                            let ribs = self.propagate(*prefix, excluded);
+                            for vp in vps {
+                                if let Some(route) = ribs.get(&vp.asn) {
+                                    if let Some(obs) = observe(self.topo, vp, *prefix, route, time)
+                                    {
+                                        out.push(obs);
+                                    }
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use bgp_policy::{generate_policies, PolicyConfig, PolicySet};
+    use bgp_topology::{generate, TopologyConfig};
+
+    fn world() -> (Topology, PolicySet) {
+        let topo = generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 6,
+            mid_transit_count: 12,
+            stub_count: 60,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        });
+        let policies = generate_policies(&topo, &PolicyConfig::default());
+        (topo, policies)
+    }
+
+    #[test]
+    fn vp_selection_is_deterministic_and_sorted() {
+        let (topo, _) = world();
+        let cfg = VpConfig {
+            mid_count: 5,
+            stub_count: 10,
+            ..Default::default()
+        };
+        let a = select_vantage_points(&topo, &cfg);
+        let b = select_vantage_points(&topo, &cfg);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].asn < w[1].asn));
+        // tier1 + large always included.
+        assert!(a.len() >= 3 + 6 + 5 + 10 - 2);
+    }
+
+    #[test]
+    fn tier1_and_large_are_full_feed() {
+        let (topo, _) = world();
+        let vps = select_vantage_points(&topo, &VpConfig::default());
+        let big: HashSet<Asn> = topo
+            .asns_of_tier(Tier::Tier1)
+            .into_iter()
+            .chain(topo.asns_of_tier(Tier::LargeTransit))
+            .collect();
+        for vp in vps.iter().filter(|v| big.contains(&v.asn)) {
+            assert!(vp.full_feed);
+        }
+    }
+
+    #[test]
+    fn rib_collection_covers_prefixes_and_vps() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let vps = select_vantage_points(
+            &topo,
+            &VpConfig {
+                mid_count: 5,
+                stub_count: 5,
+                ..Default::default()
+            },
+        );
+        let obs = sim.collect_rib(&vps);
+        assert!(!obs.is_empty());
+        let prefixes: HashSet<Prefix> = obs.iter().map(|o| o.prefix).collect();
+        assert!(prefixes.len() as f64 > sim.plan().prefix_count() as f64 * 0.9);
+        // Every observation's path starts with its vantage point.
+        for o in &obs {
+            assert_eq!(o.path.head(), Some(o.vp));
+        }
+    }
+
+    #[test]
+    fn collection_is_deterministic_across_thread_counts() {
+        let (topo, policies) = world();
+        let cfg1 = SimConfig {
+            threads: 1,
+            ..SimConfig::default()
+        };
+        let cfg4 = SimConfig {
+            threads: 4,
+            ..SimConfig::default()
+        };
+        let vps_cfg = VpConfig {
+            mid_count: 4,
+            stub_count: 4,
+            ..Default::default()
+        };
+        let sim1 = Simulator::new(&topo, &policies, &cfg1);
+        let sim4 = Simulator::new(&topo, &policies, &cfg4);
+        let vps = select_vantage_points(&topo, &vps_cfg);
+        assert_eq!(sim1.collect_rib(&vps), sim4.collect_rib(&vps));
+    }
+
+    #[test]
+    fn churn_day_produces_new_tuples() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let vps = select_vantage_points(
+            &topo,
+            &VpConfig {
+                mid_count: 5,
+                stub_count: 5,
+                ..Default::default()
+            },
+        );
+        let base = sim.collect_rib(&vps);
+        let day1 = sim.collect_churn_day(&vps, 1);
+        assert!(!day1.is_empty());
+        // Day timestamps advance.
+        assert!(day1.iter().all(|o| o.time == cfg.base_timestamp + 86_400));
+        // Churn must expose at least one path tuple the base RIB lacks.
+        let base_tuples: HashSet<String> = base
+            .iter()
+            .map(|o| format!("{}|{:?}", o.path, o.communities))
+            .collect();
+        let new = day1
+            .iter()
+            .filter(|o| !base_tuples.contains(&format!("{}|{:?}", o.path, o.communities)))
+            .count();
+        assert!(new > 0, "churn exposed no new tuples");
+    }
+
+    #[test]
+    fn churn_days_differ() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let vps = select_vantage_points(
+            &topo,
+            &VpConfig {
+                mid_count: 3,
+                stub_count: 3,
+                ..Default::default()
+            },
+        );
+        let d1 = sim.collect_churn_day(&vps, 1);
+        let d2 = sim.collect_churn_day(&vps, 2);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn partial_feeds_export_less() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let stub = topo.asns_of_tier(Tier::Stub)[0];
+        let full = vec![VantagePoint {
+            asn: stub,
+            full_feed: true,
+        }];
+        let partial = vec![VantagePoint {
+            asn: stub,
+            full_feed: false,
+        }];
+        let n_full = sim.collect_rib(&full).len();
+        let n_partial = sim.collect_rib(&partial).len();
+        assert!(n_full > n_partial, "full {n_full} <= partial {n_partial}");
+        assert!(n_partial >= 1, "stub exports at least its own prefixes");
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulation parameters.
+
+/// Knobs controlling community attachment, noise, and execution.
+///
+/// The defaults are calibrated so the synthetic data reproduces the *shape*
+/// of the paper's figures (see EXPERIMENTS.md): informational clusters with
+/// very high on-path:off-path ratios, action clusters with low ones, and
+/// enough mixed clusters for the 160:1 threshold to matter.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for origination choices (which customers signal what).
+    pub seed: u64,
+    /// Probability a *multihomed* origin attaches action communities of a
+    /// given provider to its announcements. Traffic engineering is mostly a
+    /// multihomed-network activity — and multihoming is what makes the
+    /// community visible off-path.
+    pub action_signal_prob: f64,
+    /// Same, for single-homed origins (rare: little to engineer).
+    pub singlehomed_signal_prob: f64,
+    /// Maximum distinct action values chosen per (origin, provider) pair.
+    pub max_action_betas: usize,
+    /// Probability a signaling customer scopes the action community to the
+    /// session toward the target provider only (no copies on its other
+    /// announcements). Only the remaining *broadcast* signalers create the
+    /// off-path evidence of Fig 5 — "there is no guarantee that other ASes
+    /// signaling action communities to the same provider AS would have the
+    /// same behavior" (§5.1).
+    pub targeted_signal_prob: f64,
+    /// Probability an action choice is drawn from the provider's first few
+    /// (popular) values instead of uniformly — usage of community values is
+    /// heavily skewed in the wild, which concentrates off-path evidence in
+    /// a cluster's popular members.
+    pub popular_bias: f64,
+    /// Probability an action choice prefers geo-targeted values scoped to
+    /// the origin's home region (customers engineer the regions they are
+    /// in — this is what makes traffic-engineering communities correlate
+    /// with geography and fool isolation-based location inference,
+    /// Table 1).
+    pub geo_action_bias: f64,
+    /// Probability an origin erroneously echoes one of its providers'
+    /// *informational* values on its own announcements (observed in the
+    /// wild; produces off-path informational sightings).
+    pub misconfig_echo_prob: f64,
+    /// Probability an origin leaks an internal private-ASN community
+    /// (`64512–65534:x`) onto its announcements — common operational
+    /// residue, and the population the method's private-ASN exclusion
+    /// rule exists for.
+    pub private_community_prob: f64,
+    /// Probability a prefix is ROV-invalid.
+    pub rov_invalid_prob: f64,
+    /// Probability a prefix has no covering ROA.
+    pub rov_notfound_prob: f64,
+    /// Worker threads for parallel propagation; 0 = one per CPU.
+    pub threads: usize,
+    /// Unix time of the RIB snapshot (defaults to 2023-05-01T00:00Z, the
+    /// start of the paper's measurement week).
+    pub base_timestamp: u32,
+    /// Fraction of prefixes whose primary provider link fails on each
+    /// simulated churn day, exposing alternate paths.
+    pub churn_fraction: f64,
+    /// Probability a 32-bit-ASN origin self-tags its announcements with
+    /// informational large communities (RFC 8092) — such operators cannot
+    /// own regular communities at all.
+    pub large_self_tag_prob: f64,
+    /// Probability a broadcast regular action signal is accompanied by its
+    /// large-community form (`provider:β:0`), as providers increasingly
+    /// accept both.
+    pub large_action_mirror_prob: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x51E5_2023,
+            action_signal_prob: 0.70,
+            singlehomed_signal_prob: 0.12,
+            max_action_betas: 2,
+            targeted_signal_prob: 0.60,
+            popular_bias: 0.5,
+            geo_action_bias: 0.60,
+            misconfig_echo_prob: 0.12,
+            private_community_prob: 0.02,
+            rov_invalid_prob: 0.05,
+            rov_notfound_prob: 0.25,
+            threads: 0,
+            base_timestamp: 1_682_899_200,
+            churn_fraction: 0.15,
+            large_self_tag_prob: 0.8,
+            large_action_mirror_prob: 0.3,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Resolve the worker thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_probabilities() {
+        let c = SimConfig::default();
+        for p in [
+            c.action_signal_prob,
+            c.singlehomed_signal_prob,
+            c.targeted_signal_prob,
+            c.popular_bias,
+            c.geo_action_bias,
+            c.misconfig_echo_prob,
+            c.private_community_prob,
+            c.large_self_tag_prob,
+            c.large_action_mirror_prob,
+            c.rov_invalid_prob,
+            c.rov_notfound_prob,
+            c.churn_fraction,
+        ] {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!(c.rov_invalid_prob + c.rov_notfound_prob < 1.0);
+    }
+
+    #[test]
+    fn effective_threads_never_zero() {
+        assert!(SimConfig::default().effective_threads() >= 1);
+        assert_eq!(
+            SimConfig {
+                threads: 3,
+                ..Default::default()
+            }
+            .effective_threads(),
+            3
+        );
+    }
+}

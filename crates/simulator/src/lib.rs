@@ -1,0 +1,43 @@
+//! BGP route propagation over the synthetic Internet.
+//!
+//! This crate turns a topology plus community dictionaries into the thing
+//! the paper actually consumes: routes observed at vantage points, with
+//! communities attached by the mechanisms that make the inference method
+//! work —
+//!
+//! * **information communities** are attached by each AS *at import*
+//!   (ingress city/country/region, neighbor relationship, ROV status,
+//!   interface), so the tagging AS is always on the AS path of routes
+//!   carrying them;
+//! * **action communities** are attached by originating customers and
+//!   travel on *every* announcement the customer makes, so multihoming puts
+//!   them on paths that avoid the target AS (the Fig 5 off-path mechanism);
+//! * the target AS **honors** action semantics: selective no-export,
+//!   prepending, local-pref overrides, blackholing — so the simulated
+//!   routing tables actually react to the communities;
+//! * a small rate of **misconfiguration echo** (customers re-using a
+//!   provider's informational values on their own announcements) produces
+//!   the off-path informational noise that makes clusters "mixed" (Fig 6);
+//! * **community scrubbers** strip everything they propagate (§5.1's ≈400
+//!   ASes), and **IXP route servers** reflect routes without entering the
+//!   AS path.
+//!
+//! Propagation follows the Gao-Rexford model: routes from customers are
+//! preferred over peer routes over provider routes, valley-free export, and
+//! deterministic tie-breaking; the per-prefix computation runs to a fixed
+//! point and is embarrassingly parallel across prefixes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod config;
+pub mod origination;
+pub mod propagate;
+pub mod route;
+
+pub use collect::{select_vantage_points, VantagePoint, VpConfig};
+pub use config::SimConfig;
+pub use origination::OriginationPlan;
+pub use propagate::{link_key, Simulator};
+pub use route::{PrefClass, RibRoute};

@@ -1,0 +1,341 @@
+//! Origination planning: which communities each origin attaches, and each
+//! prefix's ROV status.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use bgp_policy::{PolicySet, RovStatus};
+use bgp_topology::Topology;
+use bgp_types::{Asn, Community, Intent, LargeCommunity, Prefix};
+
+use crate::config::SimConfig;
+
+/// Everything decided at route origination time, fixed for a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct OriginationPlan {
+    /// `(prefix, origin AS)` pairs, sorted by prefix for determinism.
+    pub origins: Vec<(Prefix, Asn)>,
+    /// Communities the origin attaches to every announcement of the prefix
+    /// (broadcast signaling): action values chosen from its providers'
+    /// dictionaries, plus the occasional echoed informational value
+    /// (misconfiguration).
+    pub communities: HashMap<Prefix, Vec<Community>>,
+    /// Session-scoped signaling: communities attached only on the
+    /// announcement of `prefix` toward one specific provider. These never
+    /// appear off-path.
+    pub targeted: HashMap<(Prefix, Asn), Vec<Community>>,
+    /// Large communities (RFC 8092) attached at origination: 32-bit-ASN
+    /// origins' informational self-tags, and large-form mirrors of
+    /// broadcast action signals.
+    pub large: HashMap<Prefix, Vec<LargeCommunity>>,
+    /// Ground-truth intent of every large community this plan can emit
+    /// (the evaluation oracle for the large-community extension).
+    pub large_truth: HashMap<LargeCommunity, Intent>,
+    /// ROV outcome per prefix (what on-path validators will tag).
+    pub rov: HashMap<Prefix, RovStatus>,
+}
+
+impl OriginationPlan {
+    /// Build the plan for a world. Deterministic in `cfg.seed`.
+    pub fn build(topo: &Topology, policies: &PolicySet, cfg: &SimConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut plan = OriginationPlan::default();
+
+        for asn in topo.asns_sorted() {
+            let node = &topo.ases[&asn];
+            if node.prefixes.is_empty() {
+                continue;
+            }
+            let home_region = topo.geography.region_of(node.home);
+            let providers = {
+                let mut p = topo.providers(asn);
+                p.sort_unstable();
+                p
+            };
+            let multihomed = providers.len() >= 2;
+            let signal_prob = if multihomed {
+                cfg.action_signal_prob
+            } else {
+                cfg.singlehomed_signal_prob
+            };
+
+            for &prefix in &node.prefixes {
+                let mut communities: Vec<Community> = Vec::new();
+                let mut large: Vec<LargeCommunity> = Vec::new();
+
+                // 32-bit-ASN operators cannot own regular communities; they
+                // self-tag with informational large communities instead
+                // (function 1 = origin city, 2 = origin region).
+                if !asn.is_16bit() && rng.random_bool(cfg.large_self_tag_prob) {
+                    let city = LargeCommunity::new(asn.value(), 1, node.home as u32);
+                    let region = LargeCommunity::new(asn.value(), 2, home_region as u32);
+                    for lc in [city, region] {
+                        large.push(lc);
+                        plan.large_truth.insert(lc, Intent::Information);
+                    }
+                }
+
+                // Action communities: per provider that offers them.
+                for &pr in &providers {
+                    let Some(policy) = policies.get(pr) else {
+                        continue;
+                    };
+                    let actions = policy.action_betas();
+                    if actions.is_empty() || !rng.random_bool(signal_prob) {
+                        continue;
+                    }
+                    let targeted = rng.random_bool(cfg.targeted_signal_prob);
+                    let n = rng.random_range(1..=cfg.max_action_betas.max(1));
+                    let mut chosen: Vec<Community> = Vec::new();
+                    for _ in 0..n {
+                        // Customers engineering their home region prefer
+                        // geo-targeted values scoped to it.
+                        let geo = policy.geo_action_betas(home_region);
+                        let pool = if !geo.is_empty() && rng.random_bool(cfg.geo_action_bias) {
+                            geo
+                        } else {
+                            actions
+                        };
+                        // Popularity skew: most customers use the provider's
+                        // first (well-known) values.
+                        let beta = if rng.random_bool(cfg.popular_bias) {
+                            let head = pool.len().min(4);
+                            pool[rng.random_range(0..head)]
+                        } else {
+                            match pool.choose(&mut rng) {
+                                Some(&b) => b,
+                                None => continue,
+                            }
+                        };
+                        if let Some(c) = policy.community(beta) {
+                            if !chosen.contains(&c) {
+                                chosen.push(c);
+                            }
+                        }
+                    }
+                    if targeted {
+                        let slot = plan.targeted.entry((prefix, pr)).or_default();
+                        for c in chosen {
+                            if !slot.contains(&c) {
+                                slot.push(c);
+                            }
+                        }
+                    } else {
+                        for c in chosen {
+                            if !communities.contains(&c) {
+                                communities.push(c);
+                            }
+                            // Providers increasingly accept the large form
+                            // of the same value alongside the regular one.
+                            if rng.random_bool(cfg.large_action_mirror_prob) {
+                                let lc = LargeCommunity::new(pr.value(), c.value as u32, 0);
+                                if !large.contains(&lc) {
+                                    large.push(lc);
+                                }
+                                plan.large_truth.insert(lc, Intent::Action);
+                            }
+                        }
+                    }
+                }
+
+                // Misconfiguration echo: an informational value of a random
+                // provider leaks onto the origin's own announcements.
+                if !providers.is_empty() && rng.random_bool(cfg.misconfig_echo_prob) {
+                    let pr = providers[rng.random_range(0..providers.len())];
+                    if let Some(policy) = policies.get(pr) {
+                        if let Some(&beta) = policy.info_betas().choose(&mut rng) {
+                            if let Some(c) = policy.community(beta) {
+                                if !communities.contains(&c) {
+                                    communities.push(c);
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Private-ASN community residue (excluded by the method's
+                // RFC 6996 rule, but present in real feeds).
+                if rng.random_bool(cfg.private_community_prob) {
+                    let private_asn = rng.random_range(64512..=65534u32) as u16;
+                    communities.push(Community::new(private_asn, rng.random_range(0..=999)));
+                }
+
+                // ROV status.
+                let roll: f64 = rng.random();
+                let rov = if roll < cfg.rov_invalid_prob {
+                    RovStatus::Invalid
+                } else if roll < cfg.rov_invalid_prob + cfg.rov_notfound_prob {
+                    RovStatus::NotFound
+                } else {
+                    RovStatus::Valid
+                };
+
+                plan.origins.push((prefix, asn));
+                plan.communities.insert(prefix, communities);
+                if !large.is_empty() {
+                    plan.large.insert(prefix, large);
+                }
+                plan.rov.insert(prefix, rov);
+            }
+        }
+        plan.origins.sort_unstable_by_key(|(p, _)| *p);
+        plan
+    }
+
+    /// Number of originated prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.origins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_policy::{generate_policies, PolicyConfig};
+    use bgp_topology::{generate, TopologyConfig};
+    use bgp_types::Intent;
+
+    fn world() -> (Topology, PolicySet) {
+        let topo = generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 6,
+            mid_transit_count: 12,
+            stub_count: 80,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        });
+        let policies = generate_policies(&topo, &PolicyConfig::default());
+        (topo, policies)
+    }
+
+    #[test]
+    fn covers_every_originated_prefix() {
+        let (topo, policies) = world();
+        let plan = OriginationPlan::build(&topo, &policies, &SimConfig::default());
+        let expected: usize = topo.ases.values().map(|n| n.prefixes.len()).sum();
+        assert_eq!(plan.prefix_count(), expected);
+        assert_eq!(plan.communities.len(), expected);
+        assert_eq!(plan.rov.len(), expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let a = OriginationPlan::build(&topo, &policies, &cfg);
+        let b = OriginationPlan::build(&topo, &policies, &cfg);
+        assert_eq!(a.origins, b.origins);
+        assert_eq!(a.communities, b.communities);
+        let c = OriginationPlan::build(
+            &topo,
+            &policies,
+            &SimConfig {
+                seed: 1,
+                ..SimConfig::default()
+            },
+        );
+        assert_ne!(a.communities, c.communities);
+    }
+
+    #[test]
+    fn signaled_actions_belong_to_providers() {
+        let (topo, policies) = world();
+        let plan = OriginationPlan::build(&topo, &policies, &SimConfig::default());
+        for (prefix, origin) in &plan.origins {
+            let providers = topo.providers(*origin);
+            for c in &plan.communities[prefix] {
+                let owner = Asn::new(c.asn as u32);
+                if owner.is_private() {
+                    continue; // internal residue, not provider-scoped
+                }
+                assert!(
+                    providers.contains(&owner),
+                    "origin {origin} attached {c} but {owner} is not a provider"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn most_attached_communities_are_actions() {
+        let (topo, policies) = world();
+        let plan = OriginationPlan::build(&topo, &policies, &SimConfig::default());
+        let mut action = 0usize;
+        let mut info = 0usize;
+        for comms in plan.communities.values().chain(plan.targeted.values()) {
+            for c in comms {
+                match policies.intent_of(*c) {
+                    Some(Intent::Action) => action += 1,
+                    Some(Intent::Information) => info += 1,
+                    None => assert!(
+                        Asn::new(c.asn as u32).is_private(),
+                        "attached undefined non-private community {c}"
+                    ),
+                }
+            }
+        }
+        assert!(action > 0, "no action communities signaled");
+        assert!(info > 0, "no misconfiguration echo happened");
+        assert!(
+            action > info * 2,
+            "echo noise ({info}) should be rare vs actions ({action})"
+        );
+    }
+
+    #[test]
+    fn multihomed_origins_signal_more() {
+        let (topo, policies) = world();
+        let plan = OriginationPlan::build(&topo, &policies, &SimConfig::default());
+        let mut multi = (0usize, 0usize); // (prefixes, with-actions)
+        let mut single = (0usize, 0usize);
+        for (prefix, origin) in &plan.origins {
+            let providers = topo.providers(*origin).len();
+            if providers == 0 {
+                continue;
+            }
+            let has_action = plan.communities[prefix]
+                .iter()
+                .any(|c| policies.intent_of(*c) == Some(Intent::Action));
+            let slot = if providers >= 2 {
+                &mut multi
+            } else {
+                &mut single
+            };
+            slot.0 += 1;
+            if has_action {
+                slot.1 += 1;
+            }
+        }
+        let multi_rate = multi.1 as f64 / multi.0.max(1) as f64;
+        let single_rate = single.1 as f64 / single.0.max(1) as f64;
+        assert!(
+            multi_rate > single_rate,
+            "multihomed rate {multi_rate:.2} should exceed single-homed {single_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn rov_distribution_roughly_matches_config() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let plan = OriginationPlan::build(&topo, &policies, &cfg);
+        let total = plan.rov.len() as f64;
+        let invalid = plan
+            .rov
+            .values()
+            .filter(|r| **r == RovStatus::Invalid)
+            .count() as f64
+            / total;
+        let valid = plan
+            .rov
+            .values()
+            .filter(|r| **r == RovStatus::Valid)
+            .count() as f64
+            / total;
+        assert!(invalid < cfg.rov_invalid_prob * 3.0 + 0.02);
+        assert!(valid > 0.5);
+    }
+}

@@ -1,0 +1,766 @@
+//! Per-prefix route propagation to a Gao-Rexford fixed point, with full
+//! community semantics.
+
+use std::collections::{HashMap, HashSet};
+
+use bgp_policy::{PolicySet, Purpose, RelClass};
+use bgp_topology::{CityId, NeighborKind, Topology};
+use bgp_types::{Asn, Community, Prefix};
+
+use crate::config::SimConfig;
+use crate::origination::OriginationPlan;
+use crate::route::{PrefClass, RibRoute};
+
+/// An undirected link key, normalized so either endpoint order matches.
+pub fn link_key(a: Asn, b: Asn) -> (Asn, Asn) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The propagation engine: borrows the world, owns the origination plan and
+/// per-link caches, and computes routing outcomes per prefix.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    /// The AS graph.
+    pub topo: &'a Topology,
+    /// Community dictionaries (ground truth + behaviour).
+    pub policies: &'a PolicySet,
+    /// Simulation knobs.
+    pub cfg: &'a SimConfig,
+    plan: OriginationPlan,
+    origin_of: HashMap<Prefix, Asn>,
+    /// `(receiver, sender)` → city where the receiver's ingress router sits.
+    link_city: HashMap<(Asn, Asn), CityId>,
+    sorted_asns: Vec<Asn>,
+}
+
+/// Result of evaluating one neighbor's export before building the route.
+struct Candidate {
+    class: PrefClass,
+    local_pref: u32,
+    path_len: usize,
+    from: Asn,
+    from_kind: NeighborKind,
+    extra_prepend: u8,
+}
+
+impl Candidate {
+    fn key(
+        &self,
+    ) -> (
+        PrefClass,
+        u32,
+        std::cmp::Reverse<usize>,
+        std::cmp::Reverse<u32>,
+    ) {
+        (
+            self.class,
+            self.local_pref,
+            std::cmp::Reverse(self.path_len),
+            std::cmp::Reverse(self.from.value()),
+        )
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Build a simulator: plans originations and precomputes per-link
+    /// ingress cities. Deterministic in `cfg.seed`.
+    pub fn new(topo: &'a Topology, policies: &'a PolicySet, cfg: &'a SimConfig) -> Self {
+        let plan = OriginationPlan::build(topo, policies, cfg);
+        let origin_of = plan.origins.iter().copied().collect();
+        let mut link_city = HashMap::new();
+        for link in &topo.links {
+            for (me, other) in [(link.a, link.b), (link.b, link.a)] {
+                let mine = &topo.ases[&me].presence;
+                let theirs = &topo.ases[&other].presence;
+                let city = mine
+                    .iter()
+                    .copied()
+                    .filter(|c| theirs.contains(c))
+                    .min()
+                    .unwrap_or(topo.ases[&me].home);
+                link_city.insert((me, other), city);
+            }
+        }
+        Simulator {
+            topo,
+            policies,
+            cfg,
+            plan,
+            origin_of,
+            link_city,
+            sorted_asns: topo.asns_sorted(),
+        }
+    }
+
+    /// The origination plan in effect.
+    pub fn plan(&self) -> &OriginationPlan {
+        &self.plan
+    }
+
+    /// The origin of a prefix, if it is originated in this world.
+    pub fn origin_of(&self, prefix: Prefix) -> Option<Asn> {
+        self.origin_of.get(&prefix).copied()
+    }
+
+    /// Propagate one prefix to a fixed point and return each AS's best
+    /// route. `excluded_links` (normalized with [`link_key`]) simulates link
+    /// failures for churn experiments.
+    pub fn propagate(
+        &self,
+        prefix: Prefix,
+        excluded_links: &HashSet<(Asn, Asn)>,
+    ) -> HashMap<Asn, RibRoute> {
+        let Some(origin) = self.origin_of(prefix) else {
+            return HashMap::new();
+        };
+        let mut ribs: HashMap<Asn, RibRoute> = HashMap::new();
+        ribs.insert(
+            origin,
+            RibRoute {
+                path: bgp_types::AsPath::empty(),
+                communities: self
+                    .plan
+                    .communities
+                    .get(&prefix)
+                    .cloned()
+                    .unwrap_or_default(),
+                large_communities: self.plan.large.get(&prefix).cloned().unwrap_or_default(),
+                class: PrefClass::Own,
+                from: None,
+                local_pref: PrefClass::Own.default_local_pref(),
+            },
+        );
+
+        // Gauss-Seidel sweeps to a fixed point. Gao-Rexford preferences
+        // (class-first) guarantee convergence; the cap is a safety net.
+        const MAX_SWEEPS: usize = 64;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut changed = false;
+            for &x in &self.sorted_asns {
+                if x == origin {
+                    continue;
+                }
+                let best = self.best_candidate(x, prefix, &ribs, excluded_links);
+                match best {
+                    None => {
+                        if ribs.remove(&x).is_some() {
+                            changed = true;
+                        }
+                    }
+                    Some(cand) => {
+                        let route = self.build_route(x, prefix, &cand, &ribs);
+                        if ribs.get(&x) != Some(&route) {
+                            ribs.insert(x, route);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return ribs;
+            }
+        }
+        debug_assert!(false, "propagation did not converge for {prefix}");
+        ribs
+    }
+
+    /// Evaluate every neighbor's export toward `x` and pick the best.
+    fn best_candidate(
+        &self,
+        x: Asn,
+        prefix: Prefix,
+        ribs: &HashMap<Asn, RibRoute>,
+        excluded_links: &HashSet<(Asn, Asn)>,
+    ) -> Option<Candidate> {
+        let mut best: Option<Candidate> = None;
+        for &(nb, kind_from_x) in self.topo.neighbors(x) {
+            if excluded_links.contains(&link_key(x, nb)) {
+                continue;
+            }
+            let Some(r) = ribs.get(&nb) else { continue };
+            let nb_is_rs = kind_from_x == NeighborKind::RouteServer;
+
+            // Valley-free export at nb toward x.
+            let kind_from_nb = invert(kind_from_x);
+            if !export_allowed(nb_is_rs, r.class, kind_from_nb) {
+                continue;
+            }
+            // Action-community effects at the exporter.
+            let mut extra_prepend = 0u8;
+            if !nb_is_rs {
+                match self.export_effects(nb, x, &r.communities) {
+                    ExportDecision::Suppress => continue,
+                    ExportDecision::Allow { prepend } => extra_prepend = prepend,
+                }
+            }
+            // Loop prevention: x must not already be in the path.
+            if nb == x || r.path.contains(x) {
+                continue;
+            }
+            let class = class_at_importer(kind_from_x);
+            let mut local_pref = class.default_local_pref();
+            if x.is_16bit() {
+                let city = self.ingress_city(x, nb);
+                let region = self.topo.geography.region_of(city);
+                for c in &r.communities {
+                    if c.asn as u32 != x.value() {
+                        continue;
+                    }
+                    match self.policies.get(x).and_then(|p| p.purpose_of(c.value)) {
+                        Some(Purpose::SetLocalPref(v)) => local_pref = *v,
+                        Some(Purpose::SetLocalPrefInRegion { region: r2, value })
+                            if *r2 == region =>
+                        {
+                            local_pref = *value
+                        }
+                        Some(Purpose::GracefulShutdown) => local_pref = 0,
+                        _ => {}
+                    }
+                }
+            }
+            let path_len = r.path.path_length()
+                + if nb_is_rs {
+                    0
+                } else {
+                    1 + extra_prepend as usize
+                };
+            let cand = Candidate {
+                class,
+                local_pref,
+                path_len,
+                from: nb,
+                from_kind: kind_from_x,
+                extra_prepend,
+            };
+            if best.as_ref().map(|b| cand.key() > b.key()).unwrap_or(true) {
+                best = Some(cand);
+            }
+        }
+        let _ = prefix;
+        best
+    }
+
+    /// Materialize the winning candidate into a full route, applying
+    /// scrubbing, prepending, and x's informational tagging.
+    fn build_route(
+        &self,
+        x: Asn,
+        prefix: Prefix,
+        cand: &Candidate,
+        ribs: &HashMap<Asn, RibRoute>,
+    ) -> RibRoute {
+        let r = &ribs[&cand.from];
+        let from_node = &self.topo.ases[&cand.from];
+        let nb_is_rs = cand.from_kind == NeighborKind::RouteServer;
+
+        let path = if nb_is_rs {
+            r.path.clone()
+        } else {
+            r.path.prepended(cand.from, 1 + cand.extra_prepend as usize)
+        };
+        let mut communities: Vec<Community> = if from_node.scrubs_communities {
+            Vec::new()
+        } else {
+            r.communities.clone()
+        };
+        let large_communities = if from_node.scrubs_communities {
+            Vec::new()
+        } else {
+            r.large_communities.clone()
+        };
+
+        // Session-scoped action communities: attached by the origin only on
+        // its announcement toward this specific provider.
+        if r.class == PrefClass::Own && !from_node.scrubs_communities {
+            if let Some(extra) = self.plan.targeted.get(&(prefix, x)) {
+                for c in extra {
+                    if !communities.contains(c) {
+                        communities.push(*c);
+                    }
+                }
+            }
+        }
+
+        // x tags the route with its informational communities at import.
+        if x.is_16bit() {
+            if let Some(policy) = self.policies.get(x) {
+                let city = self.ingress_city(x, cand.from);
+                let salt = cand.from.value() as u64;
+                let mut tags: Vec<u16> =
+                    policy.ingress_location_betas(city, &self.topo.geography, salt);
+                if let Some(b) = policy.relationship_beta(rel_class(cand.from_kind)) {
+                    tags.push(b);
+                }
+                if let Some(rov) = self.plan.rov.get(&prefix) {
+                    if let Some(b) = policy.rov_beta(*rov) {
+                        tags.push(b);
+                    }
+                }
+                // Interfaces vary per (neighbor, prefix): parallel links and
+                // LAG members spread a neighbor's routes across interfaces.
+                if let Some(b) = policy.interface_beta(salt ^ prefix_salt(prefix)) {
+                    tags.push(b);
+                }
+                for beta in tags {
+                    if let Some(c) = policy.community(beta) {
+                        if !communities.contains(&c) {
+                            communities.push(c);
+                        }
+                    }
+                }
+            }
+        }
+
+        RibRoute {
+            path,
+            communities,
+            large_communities,
+            class: cand.class,
+            from: Some(cand.from),
+            local_pref: cand.local_pref,
+        }
+    }
+
+    /// Action-community processing when `exporter` announces toward `target`.
+    fn export_effects(
+        &self,
+        exporter: Asn,
+        target: Asn,
+        communities: &[Community],
+    ) -> ExportDecision {
+        // RFC 1997 well-known values apply regardless of dictionaries.
+        if communities.contains(&Community::NO_EXPORT)
+            || communities.contains(&Community::NO_ADVERTISE)
+        {
+            return ExportDecision::Suppress;
+        }
+        let Some(policy) = (exporter.is_16bit())
+            .then(|| self.policies.get(exporter))
+            .flatten()
+        else {
+            return ExportDecision::Allow { prepend: 0 };
+        };
+        let target_region = self.topo.geography.region_of(self.topo.ases[&target].home);
+        let mut prepend = 0u8;
+        let mut announce_targets: Option<bool> = None; // Some(matched)
+        for c in communities {
+            if c.asn as u32 != exporter.value() {
+                continue;
+            }
+            match policy.purpose_of(c.value) {
+                Some(Purpose::SuppressToAs(t)) if *t == target => return ExportDecision::Suppress,
+                Some(Purpose::SuppressInRegion(r)) if *r == target_region => {
+                    return ExportDecision::Suppress
+                }
+                Some(Purpose::SuppressAll) | Some(Purpose::Blackhole) => {
+                    return ExportDecision::Suppress
+                }
+                Some(Purpose::PrependToAs { asn, times, .. }) if *asn == target => {
+                    prepend = prepend.saturating_add(*times)
+                }
+                Some(Purpose::PrependAll(times)) => prepend = prepend.saturating_add(*times),
+                Some(Purpose::AnnounceToAs(t)) => {
+                    let matched = announce_targets.unwrap_or(false) || *t == target;
+                    announce_targets = Some(matched);
+                }
+                _ => {}
+            }
+        }
+        if announce_targets == Some(false) {
+            return ExportDecision::Suppress;
+        }
+        ExportDecision::Allow { prepend }
+    }
+
+    /// The city where `receiver`'s ingress router for the `sender` link sits.
+    fn ingress_city(&self, receiver: Asn, sender: Asn) -> CityId {
+        self.link_city
+            .get(&(receiver, sender))
+            .copied()
+            .unwrap_or(self.topo.ases[&receiver].home)
+    }
+}
+
+enum ExportDecision {
+    Suppress,
+    Allow { prepend: u8 },
+}
+
+/// A cheap deterministic hash of a prefix for salting per-prefix choices.
+fn prefix_salt(prefix: Prefix) -> u64 {
+    let mut h: u64 = prefix.len() as u64;
+    match prefix.addr() {
+        std::net::IpAddr::V4(a) => h ^= u32::from(a) as u64,
+        std::net::IpAddr::V6(a) => h ^= u128::from(a) as u64 ^ (u128::from(a) >> 64) as u64,
+    }
+    h.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// How `nb` sees `x`, given how `x` sees `nb`.
+fn invert(kind: NeighborKind) -> NeighborKind {
+    match kind {
+        NeighborKind::Provider => NeighborKind::Customer,
+        NeighborKind::Customer => NeighborKind::Provider,
+        NeighborKind::Peer => NeighborKind::Peer,
+        NeighborKind::RouteServer => NeighborKind::RsMember,
+        NeighborKind::RsMember => NeighborKind::RouteServer,
+    }
+}
+
+/// Valley-free export from an AS holding a route of `class` toward a
+/// neighbor it sees as `to_kind`. Route servers reflect everything.
+fn export_allowed(exporter_is_rs: bool, class: PrefClass, to_kind: NeighborKind) -> bool {
+    if exporter_is_rs {
+        return true;
+    }
+    match to_kind {
+        NeighborKind::Customer | NeighborKind::RsMember => true,
+        NeighborKind::Provider | NeighborKind::Peer | NeighborKind::RouteServer => {
+            class.exportable_beyond_customers()
+        }
+    }
+}
+
+/// Preference class at the importer, from how it sees the exporting
+/// neighbor.
+fn class_at_importer(kind_to_neighbor: NeighborKind) -> PrefClass {
+    match kind_to_neighbor {
+        NeighborKind::Customer => PrefClass::Customer,
+        NeighborKind::Peer => PrefClass::Peer,
+        NeighborKind::Provider => PrefClass::Provider,
+        NeighborKind::RouteServer => PrefClass::RsPeer,
+        // The route server itself treats member routes like peer routes.
+        NeighborKind::RsMember => PrefClass::Peer,
+    }
+}
+
+/// The relationship class recorded in informational tags.
+fn rel_class(kind_to_neighbor: NeighborKind) -> RelClass {
+    match kind_to_neighbor {
+        NeighborKind::Customer => RelClass::Customer,
+        NeighborKind::Provider => RelClass::Provider,
+        NeighborKind::Peer | NeighborKind::RouteServer | NeighborKind::RsMember => RelClass::Peer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_policy::{generate_policies, PolicyConfig};
+    use bgp_topology::{generate, Tier, TopologyConfig};
+
+    fn world() -> (bgp_topology::Topology, PolicySet) {
+        let topo = generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 6,
+            mid_transit_count: 12,
+            stub_count: 60,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        });
+        let policies = generate_policies(&topo, &PolicyConfig::default());
+        (topo, policies)
+    }
+
+    #[test]
+    fn every_as_reaches_most_prefixes() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let (prefix, origin) = sim.plan().origins[0];
+        let ribs = sim.propagate(prefix, &HashSet::new());
+        assert_eq!(ribs[&origin].class, PrefClass::Own);
+        // Suppression can hide the route from a few ASes, but the bulk of
+        // the Internet must have it.
+        let reach = ribs.len() as f64 / topo.as_count() as f64;
+        assert!(
+            reach > 0.8,
+            "only {:.0}% of ASes got the route",
+            reach * 100.0
+        );
+    }
+
+    #[test]
+    fn paths_are_loop_free_and_end_at_origin() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        for &(prefix, origin) in sim.plan().origins.iter().take(30) {
+            let ribs = sim.propagate(prefix, &HashSet::new());
+            for (asn, route) in &ribs {
+                assert!(!route.path.contains(*asn), "AS {asn} in its own path");
+                assert!(!route.path.has_loop(), "loop in path {}", route.path);
+                if *asn != origin {
+                    assert_eq!(route.path.origin(), Some(origin));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        // A path (observer first, origin last) read left to right is the
+        // route's journey in reverse: first the provider→customer descents,
+        // then at most one peer crossing, then the customer→provider
+        // ascents back toward the origin. Equivalently: once a step is a
+        // peer crossing or an ascent (w[0] sees w[1] as Customer), no later
+        // step may be a descent (Provider) or another peer crossing.
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        for &(prefix, _) in sim.plan().origins.iter().take(30) {
+            let ribs = sim.propagate(prefix, &HashSet::new());
+            for route in ribs.values() {
+                let asns = route.path.unique_asns();
+                let mut ascending = false;
+                for w in asns.windows(2) {
+                    // w[0] learned the route from w[1].
+                    match topo.relationship(w[0], w[1]) {
+                        Some(NeighborKind::Provider) => {
+                            assert!(!ascending, "valley in {}: {} -> {}", route.path, w[0], w[1]);
+                        }
+                        Some(NeighborKind::Peer)
+                        | Some(NeighborKind::RouteServer)
+                        | Some(NeighborKind::RsMember) => {
+                            assert!(!ascending, "second lateral/peer step in {}", route.path);
+                            ascending = true;
+                        }
+                        Some(NeighborKind::Customer) => {
+                            ascending = true;
+                        }
+                        None => panic!("non-adjacent ASes {} {} in path", w[0], w[1]),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_server_asn_never_appears_in_paths() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let rses = topo.asns_of_tier(Tier::IxpRouteServer);
+        for &(prefix, _) in sim.plan().origins.iter().take(50) {
+            let ribs = sim.propagate(prefix, &HashSet::new());
+            for route in ribs.values() {
+                for rs in &rses {
+                    assert!(
+                        !route.path.contains(*rs),
+                        "route server {rs} leaked into path {}",
+                        route.path
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn info_tags_imply_tagger_on_path_or_at_holder() {
+        // For every route, a community α:β that α defines as informational
+        // must have α on the path (or be held by α itself, not yet
+        // prepended) — unless it was part of the origination (echo noise)
+        // or α is an IXP route server, which tags member routes without
+        // entering the path (exactly why the paper excludes IXP communities
+        // from classification).
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let rses: HashSet<Asn> = topo
+            .asns_of_tier(Tier::IxpRouteServer)
+            .into_iter()
+            .collect();
+        for &(prefix, _) in sim.plan().origins.iter().take(40) {
+            let origination = &sim.plan().communities[&prefix];
+            let ribs = sim.propagate(prefix, &HashSet::new());
+            for (holder, route) in &ribs {
+                for c in &route.communities {
+                    if origination.contains(c) {
+                        continue;
+                    }
+                    let tagger = Asn::new(c.asn as u32);
+                    if rses.contains(&tagger) {
+                        continue;
+                    }
+                    if policies.intent_of(*c) == Some(bgp_types::Intent::Information) {
+                        assert!(
+                            route.path.contains(tagger) || tagger == *holder,
+                            "info {c} on route at {holder} without {tagger} on path {}",
+                            route.path
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scrubbers_strip_communities_downstream() {
+        let (mut topo, _) = world();
+        // Make one large transit AS a scrubber, then check that routes it
+        // propagates carry no communities.
+        let scrubber = topo.asns_of_tier(Tier::LargeTransit)[0];
+        topo.ases.get_mut(&scrubber).unwrap().scrubs_communities = true;
+        let policies = generate_policies(&topo, &PolicyConfig::default());
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let mut checked = 0;
+        for &(prefix, _) in sim.plan().origins.iter().take(80) {
+            let ribs = sim.propagate(prefix, &HashSet::new());
+            for route in ribs.values() {
+                if route.from == Some(scrubber) {
+                    checked += 1;
+                    // Only the importer's own tags may be present.
+                    for c in &route.communities {
+                        assert_ne!(
+                            c.asn as u32,
+                            scrubber.value(),
+                            "scrubber's own community survived"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "scrubber never on any best path");
+    }
+
+    #[test]
+    fn suppress_to_as_hides_route() {
+        // Hand-build: origin o customer of p1 and p2; p1 defines
+        // SuppressToAs(t); t is a peer of p1 and of p2. Signaling the
+        // community must remove the p1 path from t but keep p2's.
+        use bgp_topology::{AsNode, Geography, Link, Organization, Rel};
+        use std::collections::BTreeMap;
+
+        let geography = Geography::build(1, 2);
+        let mk = |asn: u32, tier: Tier| AsNode {
+            asn: Asn::new(asn),
+            tier,
+            home: 0,
+            presence: vec![0],
+            org: 0,
+            scrubs_communities: false,
+            prefixes: vec![],
+        };
+        let mut ases = HashMap::new();
+        let (o, p1, p2, t) = (Asn::new(100), Asn::new(10), Asn::new(20), Asn::new(30));
+        let mut origin_node = mk(100, Tier::Stub);
+        origin_node.prefixes = vec!["10.0.0.0/24".parse().unwrap()];
+        ases.insert(o, origin_node);
+        ases.insert(p1, mk(10, Tier::LargeTransit));
+        ases.insert(p2, mk(20, Tier::LargeTransit));
+        ases.insert(t, mk(30, Tier::LargeTransit));
+        let links = vec![
+            Link {
+                a: p1,
+                b: o,
+                rel: Rel::ProviderCustomer,
+            },
+            Link {
+                a: p2,
+                b: o,
+                rel: Rel::ProviderCustomer,
+            },
+            Link {
+                a: p1,
+                b: t,
+                rel: Rel::PeerPeer,
+            },
+            Link {
+                a: p2,
+                b: t,
+                rel: Rel::PeerPeer,
+            },
+        ];
+        let orgs = vec![Organization {
+            name: "all".into(),
+            members: vec![o, p1, p2, t],
+        }];
+        let mut topo = bgp_topology::Topology::new(ases, links, orgs, geography);
+        for node in topo.ases.values_mut() {
+            node.org = 0;
+        }
+        let mut defs = BTreeMap::new();
+        defs.insert(2569u16, Purpose::SuppressToAs(t));
+        let mut policies = PolicySet::default();
+        policies
+            .policies
+            .insert(p1, bgp_policy::AsPolicy::new(p1, defs));
+
+        // Force the origin to broadcast-signal 1 action beta of p1.
+        let cfg = SimConfig {
+            action_signal_prob: 1.0,
+            singlehomed_signal_prob: 1.0,
+            targeted_signal_prob: 0.0,
+            max_action_betas: 1,
+            misconfig_echo_prob: 0.0,
+            private_community_prob: 0.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let prefix: Prefix = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(
+            sim.plan().communities[&prefix],
+            vec![Community::new(10, 2569)]
+        );
+        let ribs = sim.propagate(prefix, &HashSet::new());
+        // t still has the route (via p2), but not through p1.
+        let at_t = &ribs[&t];
+        assert_eq!(
+            at_t.from,
+            Some(p2),
+            "t must learn via p2, got {:?}",
+            at_t.from
+        );
+        // p1 itself has the route; its export to t was suppressed.
+        assert!(ribs.contains_key(&p1));
+        // And the community is off-path at t: 10 not in path.
+        assert!(!at_t.path.contains(p1));
+        assert!(at_t.communities.contains(&Community::new(10, 2569)));
+    }
+
+    #[test]
+    fn propagation_is_deterministic() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        let (prefix, _) = sim.plan().origins[5];
+        let a = sim.propagate(prefix, &HashSet::new());
+        let b = sim.propagate(prefix, &HashSet::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn excluded_link_reroutes() {
+        let (topo, policies) = world();
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&topo, &policies, &cfg);
+        // Find a multihomed origin.
+        let (prefix, origin) = *sim
+            .plan()
+            .origins
+            .iter()
+            .find(|(_, o)| topo.providers(*o).len() >= 2)
+            .expect("a multihomed origin exists");
+        let providers = {
+            let mut p = topo.providers(origin);
+            p.sort_unstable();
+            p
+        };
+        let base = sim.propagate(prefix, &HashSet::new());
+        let mut excluded = HashSet::new();
+        excluded.insert(link_key(origin, providers[0]));
+        let failed = sim.propagate(prefix, &excluded);
+        // The failed provider no longer learns directly from origin.
+        if let Some(r) = failed.get(&providers[0]) {
+            assert_ne!(r.from, Some(origin));
+        }
+        // Origin keeps its own route.
+        assert_eq!(failed[&origin].class, PrefClass::Own);
+        assert_ne!(base, failed, "failure should change some routes");
+    }
+}

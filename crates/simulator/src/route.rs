@@ -1,0 +1,145 @@
+//! Per-AS routing state.
+
+use bgp_types::{AsPath, Asn, Community, LargeCommunity};
+
+/// Where a route was learned, in Gao-Rexford preference order (higher wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrefClass {
+    /// Learned from a provider (least preferred: costs money).
+    Provider = 0,
+    /// Learned through an IXP route server (multilateral peering).
+    RsPeer = 1,
+    /// Learned from a bilateral settlement-free peer.
+    Peer = 2,
+    /// Learned from a customer (most preferred: earns money).
+    Customer = 3,
+    /// Originated by this AS itself.
+    Own = 4,
+}
+
+impl PrefClass {
+    /// Default local preference routers assign per class.
+    pub fn default_local_pref(self) -> u32 {
+        match self {
+            PrefClass::Own => 300,
+            PrefClass::Customer => 200,
+            PrefClass::Peer | PrefClass::RsPeer => 100,
+            PrefClass::Provider => 50,
+        }
+    }
+
+    /// Valley-free export: routes may go to peers/providers/route servers
+    /// only when we originated them or learned them from a customer.
+    pub fn exportable_beyond_customers(self) -> bool {
+        matches!(self, PrefClass::Own | PrefClass::Customer)
+    }
+}
+
+/// The best route an AS holds for one prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibRoute {
+    /// AS path as received (this AS not included; origin last; empty for
+    /// self-originated routes).
+    pub path: AsPath,
+    /// Communities on the route object (originator's action choices plus
+    /// every on-path AS's informational tags).
+    pub communities: Vec<Community>,
+    /// Large communities (RFC 8092): self-tags of 32-bit-ASN origins and
+    /// large-form action signals toward providers that accept them.
+    pub large_communities: Vec<LargeCommunity>,
+    /// How the route was learned.
+    pub class: PrefClass,
+    /// The neighbor it was learned from (`None` for own routes).
+    pub from: Option<Asn>,
+    /// Effective local preference (default per class, possibly overridden
+    /// by an action community directed at this AS).
+    pub local_pref: u32,
+}
+
+impl RibRoute {
+    /// BGP decision process, deterministic: preference class, then local
+    /// preference, then shortest AS path, then lowest neighbor ASN.
+    ///
+    /// Local preference is compared *within* a class only — classes rank
+    /// first, which keeps the simulation inside the convergence-safe
+    /// Gao-Rexford regime even when customers set extreme local-pref values
+    /// via action communities (documented simplification).
+    pub fn better_than(&self, other: &RibRoute) -> bool {
+        let key = |r: &RibRoute| {
+            (
+                r.class,
+                r.local_pref,
+                std::cmp::Reverse(r.path.path_length()),
+                std::cmp::Reverse(r.from.map(|a| a.value()).unwrap_or(0)),
+            )
+        };
+        key(self) > key(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(class: PrefClass, len: usize, from: u32) -> RibRoute {
+        RibRoute {
+            path: AsPath::from_sequence((1..=len as u32).map(Asn::new)),
+            communities: vec![],
+            large_communities: vec![],
+            class,
+            from: Some(Asn::new(from)),
+            local_pref: class.default_local_pref(),
+        }
+    }
+
+    #[test]
+    fn class_ordering() {
+        assert!(PrefClass::Own > PrefClass::Customer);
+        assert!(PrefClass::Customer > PrefClass::Peer);
+        assert!(PrefClass::Peer > PrefClass::RsPeer);
+        assert!(PrefClass::RsPeer > PrefClass::Provider);
+    }
+
+    #[test]
+    fn customer_beats_shorter_peer() {
+        let customer = route(PrefClass::Customer, 5, 9);
+        let peer = route(PrefClass::Peer, 1, 8);
+        assert!(customer.better_than(&peer));
+        assert!(!peer.better_than(&customer));
+    }
+
+    #[test]
+    fn local_pref_breaks_within_class() {
+        let mut a = route(PrefClass::Customer, 2, 9);
+        let b = route(PrefClass::Customer, 1, 8);
+        assert!(b.better_than(&a)); // shorter wins at equal pref
+        a.local_pref = 250;
+        assert!(a.better_than(&b)); // higher pref wins despite longer path
+    }
+
+    #[test]
+    fn shorter_path_wins_then_lower_asn() {
+        let short = route(PrefClass::Peer, 2, 50);
+        let long = route(PrefClass::Peer, 3, 10);
+        assert!(short.better_than(&long));
+        let a = route(PrefClass::Peer, 2, 10);
+        let b = route(PrefClass::Peer, 2, 20);
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+    }
+
+    #[test]
+    fn better_than_is_irreflexive() {
+        let r = route(PrefClass::Peer, 2, 10);
+        assert!(!r.better_than(&r.clone()));
+    }
+
+    #[test]
+    fn export_rule() {
+        assert!(PrefClass::Own.exportable_beyond_customers());
+        assert!(PrefClass::Customer.exportable_beyond_customers());
+        assert!(!PrefClass::Peer.exportable_beyond_customers());
+        assert!(!PrefClass::RsPeer.exportable_beyond_customers());
+        assert!(!PrefClass::Provider.exportable_beyond_customers());
+    }
+}

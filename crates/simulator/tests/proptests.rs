@@ -1,0 +1,98 @@
+//! Property-based tests: routing invariants hold across arbitrary worlds.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use bgp_policy::{generate_policies, PolicyConfig};
+use bgp_sim::{SimConfig, Simulator};
+use bgp_topology::{generate, Tier, TopologyConfig};
+
+fn arb_world_cfg() -> impl Strategy<Value = (TopologyConfig, PolicyConfig, SimConfig)> {
+    (
+        any::<u64>(),
+        3usize..5,
+        4usize..8,
+        6usize..12,
+        20usize..50,
+        0usize..3,
+    )
+        .prop_map(|(seed, t1, large, mid, stub, ixp)| {
+            (
+                TopologyConfig {
+                    seed,
+                    tier1_count: t1,
+                    large_transit_count: large,
+                    mid_transit_count: mid,
+                    stub_count: stub,
+                    ixp_count: ixp,
+                    ..TopologyConfig::default()
+                },
+                PolicyConfig {
+                    seed: seed ^ 1,
+                    ..PolicyConfig::default()
+                },
+                SimConfig {
+                    seed: seed ^ 2,
+                    threads: 1,
+                    ..SimConfig::default()
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_worlds_validate((topo_cfg, _, _) in arb_world_cfg()) {
+        let topo = generate(&topo_cfg);
+        prop_assert!(topo.validate().is_empty(), "{:?}", topo.validate());
+    }
+
+    #[test]
+    fn propagation_invariants_hold((topo_cfg, policy_cfg, sim_cfg) in arb_world_cfg()) {
+        let topo = generate(&topo_cfg);
+        let policies = generate_policies(&topo, &policy_cfg);
+        let sim = Simulator::new(&topo, &policies, &sim_cfg);
+        let rses: Vec<_> = topo.asns_of_tier(Tier::IxpRouteServer);
+        // Sample a handful of prefixes per world to keep runtime bounded.
+        for &(prefix, origin) in sim.plan().origins.iter().step_by(7).take(8) {
+            let ribs = sim.propagate(prefix, &HashSet::new());
+            prop_assert_eq!(ribs[&origin].path.path_length(), 0);
+            for (holder, route) in &ribs {
+                // Loop freedom and origin correctness.
+                prop_assert!(!route.path.has_loop(), "loop in {}", route.path);
+                prop_assert!(!route.path.contains(*holder));
+                if holder != &origin {
+                    prop_assert_eq!(route.path.origin(), Some(origin));
+                }
+                // Route servers never enter paths.
+                for rs in &rses {
+                    prop_assert!(!route.path.contains(*rs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_failure_only_loses_or_reroutes((topo_cfg, policy_cfg, sim_cfg) in arb_world_cfg()) {
+        let topo = generate(&topo_cfg);
+        let policies = generate_policies(&topo, &policy_cfg);
+        let sim = Simulator::new(&topo, &policies, &sim_cfg);
+        let Some(&(prefix, origin)) = sim.plan().origins.first() else { return Ok(()) };
+        let providers = topo.providers(origin);
+        let Some(&p0) = providers.first() else { return Ok(()) };
+        let mut excluded = HashSet::new();
+        excluded.insert(bgp_sim::link_key(origin, p0));
+        let failed = sim.propagate(prefix, &excluded);
+        // No route may traverse the failed link (adjacent pair in a path).
+        for route in failed.values() {
+            let asns = route.path.unique_asns();
+            for w in asns.windows(2) {
+                let pair = bgp_sim::link_key(w[0], w[1]);
+                prop_assert!(!excluded.contains(&pair), "failed link used in {}", route.path);
+            }
+        }
+    }
+}

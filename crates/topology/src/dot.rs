@@ -1,0 +1,150 @@
+//! Graphviz (DOT) export of the AS graph, for documentation and debugging.
+//!
+//! Tier shapes the node style; provider→customer links are directed edges,
+//! peerings are undirected (rendered `dir=none`), and route-server
+//! membership is dashed. Big worlds are unreadable as a whole — use
+//! [`to_dot_filtered`] to render one AS's neighborhood.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use bgp_types::Asn;
+
+use crate::graph::{Rel, Tier, Topology};
+
+fn node_attrs(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Tier1 => "shape=doublecircle,style=filled,fillcolor=gold",
+        Tier::LargeTransit => "shape=circle,style=filled,fillcolor=orange",
+        Tier::MidTransit => "shape=circle,style=filled,fillcolor=khaki",
+        Tier::Stub => "shape=circle",
+        Tier::IxpRouteServer => "shape=diamond,style=filled,fillcolor=lightblue",
+    }
+}
+
+fn edge_attrs(rel: Rel) -> &'static str {
+    match rel {
+        Rel::ProviderCustomer => "", // provider -> customer arrow
+        Rel::PeerPeer => "dir=none,color=gray40",
+        Rel::RouteServerMember => "dir=none,style=dashed,color=steelblue",
+    }
+}
+
+/// Render the whole topology as a DOT digraph.
+pub fn to_dot(topo: &Topology) -> String {
+    let everyone: HashSet<Asn> = topo.ases.keys().copied().collect();
+    render(topo, &everyone)
+}
+
+/// Render only `center` and its direct neighbors.
+pub fn to_dot_filtered(topo: &Topology, center: Asn) -> String {
+    let mut keep: HashSet<Asn> = HashSet::new();
+    keep.insert(center);
+    for (nb, _) in topo.neighbors(center) {
+        keep.insert(*nb);
+    }
+    render(topo, &keep)
+}
+
+fn render(topo: &Topology, keep: &HashSet<Asn>) -> String {
+    let mut out = String::from("digraph internet {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    for asn in topo.asns_sorted() {
+        if !keep.contains(&asn) {
+            continue;
+        }
+        let node = &topo.ases[&asn];
+        let _ = writeln!(
+            out,
+            "  \"AS{asn}\" [{attrs},label=\"AS{asn}\\n{tier:?}\"];",
+            attrs = node_attrs(node.tier),
+            tier = node.tier,
+        );
+    }
+    let mut links = topo.links.clone();
+    links.sort_by_key(|l| (l.a, l.b));
+    for link in links {
+        if !keep.contains(&link.a) || !keep.contains(&link.b) {
+            continue;
+        }
+        let attrs = edge_attrs(link.rel);
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  \"AS{}\" -> \"AS{}\";", link.a, link.b);
+        } else {
+            let _ = writeln!(out, "  \"AS{}\" -> \"AS{}\" [{attrs}];", link.a, link.b);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, TopologyConfig};
+
+    fn small() -> Topology {
+        generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 4,
+            mid_transit_count: 5,
+            stub_count: 10,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        })
+    }
+
+    #[test]
+    fn full_export_mentions_every_as_and_link() {
+        let topo = small();
+        let dot = to_dot(&topo);
+        assert!(dot.starts_with("digraph internet {"));
+        assert!(dot.ends_with("}\n"));
+        for asn in topo.asns_sorted() {
+            assert!(dot.contains(&format!("\"AS{asn}\"")), "AS{asn} missing");
+        }
+        // Every link appears exactly once as an edge line.
+        let edges = dot.lines().filter(|l| l.contains(" -> ")).count();
+        assert_eq!(edges, topo.links.len());
+    }
+
+    #[test]
+    fn filtered_export_is_a_neighborhood() {
+        let topo = small();
+        let center = topo.asns_of_tier(Tier::Tier1)[0];
+        let dot = to_dot_filtered(&topo, center);
+        assert!(dot.contains(&format!("\"AS{center}\"")));
+        // Smaller than the full render, and only neighborhood edges.
+        assert!(dot.len() < to_dot(&topo).len());
+        for line in dot.lines().filter(|l| l.contains(" -> ")) {
+            assert!(
+                line.contains(&format!("\"AS{center}\""))
+                    || topo
+                        .neighbors(center)
+                        .iter()
+                        .any(|(nb, _)| line.contains(&format!("\"AS{nb}\""))),
+                "edge outside neighborhood: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn styles_distinguish_relationships() {
+        let topo = small();
+        let dot = to_dot(&topo);
+        assert!(
+            dot.contains("dir=none,color=gray40"),
+            "no peering edges rendered"
+        );
+        assert!(
+            dot.contains("style=dashed"),
+            "no route-server edges rendered"
+        );
+        assert!(dot.contains("doublecircle"), "no tier-1 styling");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let topo = small();
+        assert_eq!(to_dot(&topo), to_dot(&topo));
+    }
+}

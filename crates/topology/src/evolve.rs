@@ -1,0 +1,230 @@
+//! Month-over-month topology growth, for the paper's accuracy-over-time
+//! experiment (§6: June 2022 – May 2023, community count grows ≈5%).
+
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{Rng, SeedableRng};
+
+use bgp_types::Asn;
+
+use crate::generate::{AsnAllocator, PrefixAllocator};
+use crate::graph::{AsNode, Link, Organization, Rel, Tier, Topology};
+
+/// Growth parameters per simulated month.
+#[derive(Debug, Clone)]
+pub struct GrowthConfig {
+    /// Fraction of the current stub population added each month
+    /// (the Internet grows ≈4–6%/year ⇒ ≈0.4%/month).
+    pub stub_growth_rate: f64,
+    /// Probability an existing single-homed stub gains a second provider.
+    pub new_provider_prob: f64,
+}
+
+impl Default for GrowthConfig {
+    fn default() -> Self {
+        GrowthConfig {
+            stub_growth_rate: 0.004,
+            new_provider_prob: 0.002,
+        }
+    }
+}
+
+/// Grow `topo` in place by one month. Existing ASes, links, and orgs are
+/// preserved; new stubs are appended with fresh ASNs and prefixes.
+///
+/// `month` seeds the month's RNG stream together with `seed`, so a given
+/// (seed, month) pair always applies the same growth.
+pub fn grow_one_month(topo: &mut Topology, seed: u64, month: u32, cfg: &GrowthConfig) {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(month as u64 + 1)));
+
+    // Allocators must continue past what the topology already uses.
+    let mut asn_alloc = AsnAllocator::new();
+    let max16 = topo
+        .ases
+        .keys()
+        .filter(|a| a.is_16bit())
+        .map(|a| a.value())
+        .max()
+        .unwrap_or(2);
+    while asn_alloc.next_16bit().value() <= max16 {}
+    let mut prefix_alloc = PrefixAllocator::new();
+    let used_prefixes: usize = topo
+        .ases
+        .values()
+        .flat_map(|n| n.prefixes.iter())
+        .filter(|p| p.is_ipv4())
+        .count();
+    for _ in 0..used_prefixes {
+        let _ = prefix_alloc.next_v4_24();
+    }
+    let used_v6: usize = topo
+        .ases
+        .values()
+        .flat_map(|n| n.prefixes.iter())
+        .filter(|p| !p.is_ipv4())
+        .count();
+    for _ in 0..used_v6 {
+        let _ = prefix_alloc.next_v6_48();
+    }
+
+    // Sort: HashMap iteration order must not leak into RNG-driven choices.
+    let mut transit_pool: Vec<Asn> = topo
+        .ases
+        .values()
+        .filter(|n| matches!(n.tier, Tier::LargeTransit | Tier::MidTransit))
+        .map(|n| n.asn)
+        .collect();
+    transit_pool.sort_unstable();
+    let stub_count = topo.asns_of_tier(Tier::Stub).len();
+    let new_stubs = ((stub_count as f64 * cfg.stub_growth_rate).ceil() as usize).max(1);
+
+    for _ in 0..new_stubs {
+        let asn = asn_alloc.next_16bit();
+        let home = rng.random_range(0..topo.geography.city_count()) as u16;
+        let n_providers = if rng.random_bool(0.5) { 2 } else { 1 };
+        let mut providers = transit_pool.clone();
+        providers.shuffle(&mut rng);
+        let prefixes = vec![prefix_alloc.next_v4_24()];
+        let org = topo.orgs.len();
+        topo.orgs.push(Organization {
+            name: format!("org-{org}"),
+            members: vec![asn],
+        });
+        topo.ases.insert(
+            asn,
+            AsNode {
+                asn,
+                tier: Tier::Stub,
+                home,
+                presence: vec![home],
+                org,
+                scrubs_communities: false,
+                prefixes,
+            },
+        );
+        for p in providers.into_iter().take(n_providers) {
+            topo.links.push(Link {
+                a: p,
+                b: asn,
+                rel: Rel::ProviderCustomer,
+            });
+        }
+    }
+
+    // Occasionally an existing single-homed stub multihomes.
+    let stubs = topo.asns_of_tier(Tier::Stub);
+    for s in stubs {
+        if topo.providers(s).len() == 1 && rng.random_bool(cfg.new_provider_prob) {
+            if let Some(&p) = transit_pool.choose(&mut rng) {
+                if !topo.providers(s).contains(&p) {
+                    topo.links.push(Link {
+                        a: p,
+                        b: s,
+                        rel: Rel::ProviderCustomer,
+                    });
+                }
+            }
+        }
+    }
+
+    topo.rebuild_adjacency();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, TopologyConfig};
+
+    fn base() -> Topology {
+        generate(&TopologyConfig {
+            tier1_count: 3,
+            large_transit_count: 6,
+            mid_transit_count: 10,
+            stub_count: 50,
+            ixp_count: 1,
+            ..TopologyConfig::default()
+        })
+    }
+
+    #[test]
+    fn growth_adds_stubs_and_stays_valid() {
+        let mut t = base();
+        let before = t.as_count();
+        grow_one_month(&mut t, 7, 0, &GrowthConfig::default());
+        assert!(t.as_count() > before);
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+    }
+
+    #[test]
+    fn growth_is_deterministic() {
+        let mut a = base();
+        let mut b = base();
+        for m in 0..3 {
+            grow_one_month(&mut a, 7, m, &GrowthConfig::default());
+            grow_one_month(&mut b, 7, m, &GrowthConfig::default());
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn new_asns_do_not_collide() {
+        let mut t = base();
+        let before: std::collections::HashSet<Asn> = t.ases.keys().copied().collect();
+        grow_one_month(
+            &mut t,
+            7,
+            0,
+            &GrowthConfig {
+                stub_growth_rate: 0.2,
+                ..Default::default()
+            },
+        );
+        let after: Vec<Asn> = t.ases.keys().copied().collect();
+        assert_eq!(after.len(), t.as_count());
+        let new: Vec<Asn> = after
+            .iter()
+            .copied()
+            .filter(|a| !before.contains(a))
+            .collect();
+        assert!(!new.is_empty());
+        for asn in new {
+            assert!(asn.is_public());
+        }
+    }
+
+    #[test]
+    fn new_prefixes_do_not_collide() {
+        let mut t = base();
+        grow_one_month(
+            &mut t,
+            7,
+            0,
+            &GrowthConfig {
+                stub_growth_rate: 0.3,
+                ..Default::default()
+            },
+        );
+        let mut all: Vec<_> = t
+            .ases
+            .values()
+            .flat_map(|n| n.prefixes.iter().copied())
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn twelve_months_compound() {
+        let mut t = base();
+        let start = t.asns_of_tier(Tier::Stub).len();
+        for m in 0..12 {
+            grow_one_month(&mut t, 7, m, &GrowthConfig::default());
+        }
+        let end = t.asns_of_tier(Tier::Stub).len();
+        assert!(end >= start + 12, "stubs {start} -> {end}");
+        assert!(t.validate().is_empty());
+    }
+}

@@ -1,0 +1,639 @@
+//! The topology generator.
+//!
+//! Builds a scaled-down Internet with the structural mechanisms the paper's
+//! method exploits (see the crate docs). Fully deterministic in the seed.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use bgp_types::{Asn, Prefix};
+
+use crate::geography::{CityId, Geography};
+use crate::graph::{AsNode, Link, Organization, Rel, Tier, Topology};
+
+/// Parameters of the synthetic Internet.
+///
+/// The defaults produce ≈1,000 ASes — about 1/75 of the real Internet, the
+/// same order of reduction the paper's counts scale down by in
+/// EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// RNG seed; everything else being equal, same seed ⇒ same topology.
+    pub seed: u64,
+    /// Size of the settlement-free tier-1 clique.
+    pub tier1_count: usize,
+    /// Number of large (global) transit providers.
+    pub large_transit_count: usize,
+    /// Number of regional transit providers.
+    pub mid_transit_count: usize,
+    /// Number of stub (edge) ASes.
+    pub stub_count: usize,
+    /// Number of IXP route servers.
+    pub ixp_count: usize,
+    /// Countries per region (5 regions total).
+    pub countries_per_region: usize,
+    /// Cities per country.
+    pub cities_per_country: usize,
+    /// Probability a stub is multihomed (2–3 providers). Multihoming is what
+    /// lets collectors observe action communities off-path (Fig 5).
+    pub multihome_prob: f64,
+    /// Probability two transit ASes of the same tier peer.
+    pub peering_prob: f64,
+    /// Fraction of ASes that scrub all communities when propagating
+    /// (≈400/75K ≈ 0.5% in the wild, §5.1).
+    pub scrub_fraction: f64,
+    /// Fraction of transit ASes grouped into multi-AS organizations
+    /// (siblings, the as2org substitute).
+    pub sibling_org_fraction: f64,
+    /// Fraction of stubs assigned 32-bit ASNs (cannot own regular
+    /// communities).
+    pub asn32_fraction: f64,
+    /// IPv4 /24s originated per stub.
+    pub prefixes_per_stub: usize,
+    /// Fraction of stubs that also originate an IPv6 /48.
+    pub stub_v6_fraction: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            seed: 20230501,
+            tier1_count: 8,
+            large_transit_count: 40,
+            mid_transit_count: 140,
+            stub_count: 800,
+            ixp_count: 6,
+            countries_per_region: 4,
+            cities_per_country: 3,
+            multihome_prob: 0.55,
+            peering_prob: 0.25,
+            scrub_fraction: 0.01,
+            sibling_org_fraction: 0.10,
+            asn32_fraction: 0.05,
+            prefixes_per_stub: 2,
+            stub_v6_fraction: 0.2,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// Scale every population linearly (≥ a small floor so the structure
+    /// survives very small scales). `scale = 1.0` is the default world.
+    pub fn with_scale(scale: f64) -> Self {
+        let base = TopologyConfig::default();
+        let s = |n: usize, floor: usize| ((n as f64 * scale) as usize).max(floor);
+        TopologyConfig {
+            tier1_count: s(base.tier1_count, 3),
+            large_transit_count: s(base.large_transit_count, 6),
+            mid_transit_count: s(base.mid_transit_count, 10),
+            stub_count: s(base.stub_count, 40),
+            ixp_count: s(base.ixp_count, 1),
+            ..base
+        }
+    }
+}
+
+/// Hands out ASNs: 16-bit public values in generation order, plus 32-bit
+/// values on request. Skips reserved and private ranges.
+#[derive(Debug)]
+pub(crate) struct AsnAllocator {
+    next16: u32,
+    next32: u32,
+}
+
+impl AsnAllocator {
+    pub(crate) fn new() -> Self {
+        AsnAllocator {
+            next16: 3,
+            next32: 400_000,
+        }
+    }
+
+    pub(crate) fn next_16bit(&mut self) -> Asn {
+        loop {
+            let candidate = Asn::new(self.next16);
+            self.next16 += 1;
+            assert!(self.next16 < 64_000, "exhausted 16-bit public ASN space");
+            if candidate.is_public() {
+                return candidate;
+            }
+        }
+    }
+
+    pub(crate) fn next_32bit(&mut self) -> Asn {
+        let candidate = Asn::new(self.next32);
+        self.next32 += 1;
+        candidate
+    }
+}
+
+/// Hands out globally unique prefixes.
+#[derive(Debug)]
+pub(crate) struct PrefixAllocator {
+    next_v4: u32,
+    next_v6: u16,
+}
+
+impl PrefixAllocator {
+    pub(crate) fn new() -> Self {
+        PrefixAllocator {
+            next_v4: 0,
+            next_v6: 0,
+        }
+    }
+
+    /// Next /24 from 10.0.0.0/8 (65,536 available — plenty at this scale).
+    pub(crate) fn next_v4_24(&mut self) -> Prefix {
+        let i = self.next_v4;
+        self.next_v4 += 1;
+        assert!(i < 65_536, "exhausted 10.0.0.0/8 /24 space");
+        Prefix::v4(10, (i >> 8) as u8, (i & 0xFF) as u8, 0, 24)
+    }
+
+    /// Next /48 from 2001:db8::/32.
+    pub(crate) fn next_v6_48(&mut self) -> Prefix {
+        let i = self.next_v6;
+        self.next_v6 = self.next_v6.checked_add(1).expect("exhausted v6 space");
+        format!("2001:db8:{i:x}::/48")
+            .parse()
+            .expect("valid synthetic v6 prefix")
+    }
+}
+
+struct Builder<'a> {
+    cfg: &'a TopologyConfig,
+    rng: StdRng,
+    geography: Geography,
+    ases: HashMap<Asn, AsNode>,
+    links: Vec<Link>,
+    asn_alloc: AsnAllocator,
+    prefix_alloc: PrefixAllocator,
+}
+
+impl Builder<'_> {
+    fn pick_city(&mut self) -> CityId {
+        self.rng.random_range(0..self.geography.city_count()) as CityId
+    }
+
+    fn presence_across_regions(&mut self, regions: usize, cities_per_region: usize) -> Vec<CityId> {
+        let mut region_ids: Vec<u8> = (0..self.geography.region_count() as u8).collect();
+        region_ids.shuffle(&mut self.rng);
+        let mut presence = Vec::new();
+        for r in region_ids.into_iter().take(regions) {
+            let mut cities = self.geography.cities_in_region(r);
+            cities.shuffle(&mut self.rng);
+            presence.extend(cities.into_iter().take(cities_per_region));
+        }
+        presence.sort_unstable();
+        presence.dedup();
+        presence
+    }
+
+    fn add_as(&mut self, asn: Asn, tier: Tier, presence: Vec<CityId>) {
+        let home = presence[0];
+        self.ases.insert(
+            asn,
+            AsNode {
+                asn,
+                tier,
+                home,
+                presence,
+                org: usize::MAX, // patched in assign_orgs
+                scrubs_communities: false,
+                prefixes: Vec::new(),
+            },
+        );
+    }
+
+    fn link(&mut self, a: Asn, b: Asn, rel: Rel) {
+        self.links.push(Link { a, b, rel });
+    }
+}
+
+/// Generate a topology from a configuration.
+pub fn generate(cfg: &TopologyConfig) -> Topology {
+    let geography = Geography::build(cfg.countries_per_region, cfg.cities_per_country);
+    let mut b = Builder {
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        geography,
+        ases: HashMap::new(),
+        links: Vec::new(),
+        asn_alloc: AsnAllocator::new(),
+        prefix_alloc: PrefixAllocator::new(),
+    };
+
+    // --- Tier 1 clique: global presence, full p2p mesh, no providers. ---
+    let tier1: Vec<Asn> = (0..cfg.tier1_count)
+        .map(|_| b.asn_alloc.next_16bit())
+        .collect();
+    for &asn in &tier1 {
+        let presence = b.presence_across_regions(b.geography.region_count(), 2);
+        b.add_as(asn, Tier::Tier1, presence);
+    }
+    for i in 0..tier1.len() {
+        for j in (i + 1)..tier1.len() {
+            b.link(tier1[i], tier1[j], Rel::PeerPeer);
+        }
+    }
+
+    // --- Large transit: 2–3 tier-1 providers, broad presence, some peering. ---
+    let large: Vec<Asn> = (0..cfg.large_transit_count)
+        .map(|_| b.asn_alloc.next_16bit())
+        .collect();
+    for &asn in &large {
+        let n_regions = b.rng.random_range(2..=4);
+        let presence = b.presence_across_regions(n_regions, 2);
+        b.add_as(asn, Tier::LargeTransit, presence);
+        let n_providers = b.rng.random_range(2..=3.min(tier1.len()));
+        let mut providers = tier1.clone();
+        providers.shuffle(&mut b.rng);
+        for p in providers.into_iter().take(n_providers) {
+            b.link(p, asn, Rel::ProviderCustomer);
+        }
+    }
+    for i in 0..large.len() {
+        for j in (i + 1)..large.len() {
+            if b.rng.random_bool(cfg.peering_prob) {
+                b.link(large[i], large[j], Rel::PeerPeer);
+            }
+        }
+    }
+
+    // --- Mid transit: regional; providers drawn from large transit. ---
+    let mid: Vec<Asn> = (0..cfg.mid_transit_count)
+        .map(|_| b.asn_alloc.next_16bit())
+        .collect();
+    for &asn in &mid {
+        let home = b.pick_city();
+        let region = b.geography.region_of(home);
+        let mut cities = b.geography.cities_in_region(region);
+        cities.shuffle(&mut b.rng);
+        let mut presence: Vec<CityId> =
+            cities.into_iter().take(b.rng.random_range(1..=3)).collect();
+        if !presence.contains(&home) {
+            presence.push(home);
+        }
+        presence.sort_unstable();
+        // Home must be first per add_as contract; re-order.
+        presence.retain(|&c| c != home);
+        presence.insert(0, home);
+        b.add_as(asn, Tier::MidTransit, presence);
+        let n_providers = b.rng.random_range(1..=3.min(large.len()));
+        let mut providers = large.clone();
+        providers.shuffle(&mut b.rng);
+        for p in providers.into_iter().take(n_providers) {
+            b.link(p, asn, Rel::ProviderCustomer);
+        }
+    }
+    // Same-region mid-transit peering, at a lower rate than large transit.
+    for i in 0..mid.len() {
+        for j in (i + 1)..mid.len() {
+            let ra = b.geography.region_of(b.ases[&mid[i]].home);
+            let rb = b.geography.region_of(b.ases[&mid[j]].home);
+            if ra == rb && b.rng.random_bool(cfg.peering_prob / 2.0) {
+                b.link(mid[i], mid[j], Rel::PeerPeer);
+            }
+        }
+    }
+
+    // --- Stubs: customers of mid/large transit, often multihomed. ---
+    let transit_pool: Vec<Asn> = large.iter().chain(mid.iter()).copied().collect();
+    let mut stubs = Vec::with_capacity(cfg.stub_count);
+    for _ in 0..cfg.stub_count {
+        let asn = if b.rng.random_bool(cfg.asn32_fraction) {
+            b.asn_alloc.next_32bit()
+        } else {
+            b.asn_alloc.next_16bit()
+        };
+        stubs.push(asn);
+        let home = b.pick_city();
+        b.add_as(asn, Tier::Stub, vec![home]);
+        let n_providers = if b.rng.random_bool(cfg.multihome_prob) {
+            b.rng.random_range(2..=3)
+        } else {
+            1
+        };
+        // Prefer same-region providers but fall back to anyone.
+        let region = b.geography.region_of(home);
+        let mut local: Vec<Asn> = transit_pool
+            .iter()
+            .copied()
+            .filter(|t| {
+                b.ases[t]
+                    .presence
+                    .iter()
+                    .any(|&c| b.geography.region_of(c) == region)
+            })
+            .collect();
+        if local.len() < n_providers {
+            local = transit_pool.clone();
+        }
+        local.shuffle(&mut b.rng);
+        for p in local.into_iter().take(n_providers) {
+            b.link(p, asn, Rel::ProviderCustomer);
+        }
+    }
+
+    // --- IXP route servers: members are ASes present in the IXP's city. ---
+    let mut ixp_cities: Vec<CityId> = (0..b.geography.city_count() as u16).collect();
+    ixp_cities.shuffle(&mut b.rng);
+    for &city in ixp_cities.iter().take(cfg.ixp_count) {
+        let rs = b.asn_alloc.next_16bit();
+        let members: Vec<Asn> = b
+            .ases
+            .values()
+            .filter(|n| n.tier != Tier::IxpRouteServer && n.presence.contains(&city))
+            .map(|n| n.asn)
+            .collect();
+        b.add_as(rs, Tier::IxpRouteServer, vec![city]);
+        let mut members = members;
+        members.sort_unstable();
+        for m in members {
+            b.link(rs, m, Rel::RouteServerMember);
+        }
+    }
+
+    // --- Prefix origination. ---
+    // Transit ASes originate one /24 each (their infrastructure space);
+    // stubs originate `prefixes_per_stub` /24s and sometimes a /48.
+    let mut all_sorted: Vec<Asn> = b.ases.keys().copied().collect();
+    all_sorted.sort_unstable();
+    for asn in &all_sorted {
+        let tier = b.ases[asn].tier;
+        let mut prefixes = Vec::new();
+        match tier {
+            Tier::IxpRouteServer => {}
+            Tier::Stub => {
+                for _ in 0..cfg.prefixes_per_stub {
+                    prefixes.push(b.prefix_alloc.next_v4_24());
+                }
+                if b.rng.random_bool(cfg.stub_v6_fraction) {
+                    prefixes.push(b.prefix_alloc.next_v6_48());
+                }
+            }
+            _ => prefixes.push(b.prefix_alloc.next_v4_24()),
+        }
+        b.ases.get_mut(asn).unwrap().prefixes = prefixes;
+    }
+
+    // --- Community scrubbers. ---
+    for asn in &all_sorted {
+        if b.ases[asn].tier != Tier::IxpRouteServer && b.rng.random_bool(cfg.scrub_fraction) {
+            b.ases.get_mut(asn).unwrap().scrubs_communities = true;
+        }
+    }
+
+    // --- Organizations: group some transit ASes into multi-AS orgs. ---
+    let mut orgs: Vec<Organization> = Vec::new();
+    let mut transit_sorted: Vec<Asn> = b
+        .ases
+        .values()
+        .filter(|n| n.tier.is_transit())
+        .map(|n| n.asn)
+        .collect();
+    transit_sorted.sort_unstable();
+    transit_sorted.shuffle(&mut b.rng);
+    let grouped = (transit_sorted.len() as f64 * b.cfg.sibling_org_fraction) as usize;
+    let mut it = transit_sorted.iter().copied();
+    let mut in_multi = 0;
+    while in_multi < grouped {
+        let size = b.rng.random_range(2..=3usize);
+        let members: Vec<Asn> = it.by_ref().take(size).collect();
+        if members.len() < 2 {
+            for m in members {
+                let org = orgs.len();
+                orgs.push(Organization {
+                    name: format!("org-{org}"),
+                    members: vec![m],
+                });
+                b.ases.get_mut(&m).unwrap().org = org;
+            }
+            break;
+        }
+        in_multi += members.len();
+        let org = orgs.len();
+        for m in &members {
+            b.ases.get_mut(m).unwrap().org = org;
+        }
+        orgs.push(Organization {
+            name: format!("org-{org}"),
+            members,
+        });
+    }
+    // Everyone else gets a singleton org.
+    for asn in &all_sorted {
+        if b.ases[asn].org == usize::MAX {
+            let org = orgs.len();
+            orgs.push(Organization {
+                name: format!("org-{org}"),
+                members: vec![*asn],
+            });
+            b.ases.get_mut(asn).unwrap().org = org;
+        }
+    }
+
+    let topo = Topology::new(b.ases, b.links, orgs, b.geography);
+    debug_assert!(topo.validate().is_empty(), "{:?}", topo.validate());
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TopologyConfig {
+        TopologyConfig {
+            tier1_count: 4,
+            large_transit_count: 8,
+            mid_transit_count: 16,
+            stub_count: 60,
+            ixp_count: 2,
+            ..TopologyConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_expected_counts() {
+        let cfg = small();
+        let t = generate(&cfg);
+        assert_eq!(t.asns_of_tier(Tier::Tier1).len(), 4);
+        assert_eq!(t.asns_of_tier(Tier::LargeTransit).len(), 8);
+        assert_eq!(t.asns_of_tier(Tier::MidTransit).len(), 16);
+        assert_eq!(t.asns_of_tier(Tier::Stub).len(), 60);
+        assert_eq!(t.asns_of_tier(Tier::IxpRouteServer).len(), 2);
+        assert_eq!(t.as_count(), 4 + 8 + 16 + 60 + 2);
+    }
+
+    #[test]
+    fn validates_clean() {
+        let t = generate(&small());
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = small();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        let c = generate(&TopologyConfig {
+            seed: 99,
+            ..small()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tier1_forms_full_clique_without_providers() {
+        let t = generate(&small());
+        let tier1 = t.asns_of_tier(Tier::Tier1);
+        for &a in &tier1 {
+            assert!(t.providers(a).is_empty());
+            for &b in &tier1 {
+                if a != b {
+                    assert!(t.peers(a).contains(&b), "{a} should peer with {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_non_rs_has_a_provider() {
+        let t = generate(&small());
+        for node in t.ases.values() {
+            match node.tier {
+                Tier::Tier1 | Tier::IxpRouteServer => {}
+                _ => assert!(
+                    !t.providers(node.asn).is_empty(),
+                    "AS {} ({:?}) has no provider",
+                    node.asn,
+                    node.tier
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn some_stubs_are_multihomed() {
+        let t = generate(&small());
+        let multi = t
+            .asns_of_tier(Tier::Stub)
+            .iter()
+            .filter(|&&s| t.providers(s).len() >= 2)
+            .count();
+        // multihome_prob = 0.55 over 60 stubs: expect far more than a few.
+        assert!(multi > 15, "only {multi} multihomed stubs");
+    }
+
+    #[test]
+    fn stubs_originate_prefixes_transit_originates_one() {
+        let cfg = small();
+        let t = generate(&cfg);
+        for node in t.ases.values() {
+            match node.tier {
+                Tier::Stub => assert!(node.prefixes.len() >= cfg.prefixes_per_stub),
+                Tier::IxpRouteServer => assert!(node.prefixes.is_empty()),
+                _ => assert_eq!(node.prefixes.len(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn prefixes_are_globally_unique() {
+        let t = generate(&small());
+        let mut all: Vec<Prefix> = t
+            .ases
+            .values()
+            .flat_map(|n| n.prefixes.iter().copied())
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn route_servers_have_members_and_no_transit_links() {
+        let t = generate(&small());
+        for rs in t.asns_of_tier(Tier::IxpRouteServer) {
+            let neighbors = t.neighbors(rs);
+            assert!(!neighbors.is_empty(), "route server {rs} has no members");
+            assert!(neighbors
+                .iter()
+                .all(|(_, k)| *k == crate::graph::NeighborKind::RsMember));
+        }
+    }
+
+    #[test]
+    fn multi_as_orgs_exist() {
+        let t = generate(&small());
+        assert!(
+            t.orgs.iter().any(|o| o.members.len() >= 2),
+            "expected at least one multi-AS organization"
+        );
+        // And every AS is in exactly the org it references.
+        for node in t.ases.values() {
+            assert!(t.orgs[node.org].members.contains(&node.asn));
+        }
+    }
+
+    #[test]
+    fn some_ases_scrub_communities() {
+        // With 1% over ~90 ASes this can be zero; use a high rate to test
+        // the mechanism.
+        let cfg = TopologyConfig {
+            scrub_fraction: 0.3,
+            ..small()
+        };
+        let t = generate(&cfg);
+        assert!(t.ases.values().any(|n| n.scrubs_communities));
+        assert!(t
+            .ases
+            .values()
+            .filter(|n| n.tier == Tier::IxpRouteServer)
+            .all(|n| !n.scrubs_communities));
+    }
+
+    #[test]
+    fn transit_asns_are_16bit() {
+        let t = generate(&small());
+        for node in t.ases.values() {
+            if node.tier.is_transit() {
+                assert!(node.asn.is_16bit(), "transit AS {} is 32-bit", node.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn some_stub_asns_are_32bit() {
+        let cfg = TopologyConfig {
+            asn32_fraction: 0.5,
+            ..small()
+        };
+        let t = generate(&cfg);
+        assert!(t.asns_of_tier(Tier::Stub).iter().any(|a| !a.is_16bit()));
+    }
+
+    #[test]
+    fn allocator_skips_reserved_and_private() {
+        let mut alloc = AsnAllocator::new();
+        for _ in 0..40_000 {
+            let asn = alloc.next_16bit();
+            assert!(asn.is_public(), "allocated non-public ASN {asn}");
+            assert!(asn.is_16bit());
+        }
+    }
+
+    #[test]
+    fn with_scale_respects_floors() {
+        let tiny = TopologyConfig::with_scale(0.01);
+        assert!(tiny.tier1_count >= 3);
+        assert!(tiny.stub_count >= 40);
+        let big = TopologyConfig::with_scale(2.0);
+        assert_eq!(big.stub_count, 1600);
+    }
+}

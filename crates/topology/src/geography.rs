@@ -1,0 +1,212 @@
+//! Synthetic geography: regions, countries, and cities.
+//!
+//! Location information communities signal where a route entered a network
+//! (city, country, or region — Fig 2 of the paper), and geo-targeted action
+//! communities name a region ("do not export in Europe"). The generator
+//! builds a fixed three-level hierarchy; every AS point of presence is a
+//! [`CityId`], and the coarser levels are derived from it.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a region in [`Geography::regions`].
+pub type RegionId = u8;
+/// Global city index (unique across all regions).
+pub type CityId = u16;
+
+/// A city: the finest location granularity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct City {
+    /// Globally unique id.
+    pub id: CityId,
+    /// Display name, e.g. `"NA1-C0-city2"` or `"Boston"`.
+    pub name: String,
+}
+
+/// A country within a region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Country {
+    /// Display name.
+    pub name: String,
+    /// Cities in this country.
+    pub cities: Vec<City>,
+}
+
+/// A region (continent-scale, like the paper's Europe / North America /
+/// Asia-Pacific in Fig 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Display name, e.g. `"EU"`.
+    pub name: String,
+    /// Countries in this region.
+    pub countries: Vec<Country>,
+}
+
+/// The full location hierarchy plus a flat city index for O(1) lookups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geography {
+    /// Regions in id order.
+    pub regions: Vec<Region>,
+    /// For every [`CityId`]: `(region index, country index within region)`.
+    city_index: Vec<(u8, u16)>,
+}
+
+/// A resolved location of one city.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Region index.
+    pub region: RegionId,
+    /// Country index within the region.
+    pub country: u16,
+    /// Global city id.
+    pub city: CityId,
+}
+
+/// Region names used by the default generator (mirroring the paper's Fig 3
+/// granularity: Europe, North America, Asia-Pacific, plus two more for
+/// diversity).
+pub const REGION_NAMES: [&str; 5] = ["EU", "NA", "AP", "SA", "AF"];
+
+impl Geography {
+    /// Build a geography with `countries_per_region` countries of
+    /// `cities_per_country` cities in each of the [`REGION_NAMES`] regions.
+    pub fn build(countries_per_region: usize, cities_per_country: usize) -> Self {
+        let mut regions = Vec::with_capacity(REGION_NAMES.len());
+        let mut city_index = Vec::new();
+        let mut next_city: CityId = 0;
+        for (ri, rname) in REGION_NAMES.iter().enumerate() {
+            let mut countries = Vec::with_capacity(countries_per_region);
+            for ci in 0..countries_per_region {
+                let mut cities = Vec::with_capacity(cities_per_country);
+                for k in 0..cities_per_country {
+                    cities.push(City {
+                        id: next_city,
+                        name: format!("{rname}-C{ci}-city{k}"),
+                    });
+                    city_index.push((ri as u8, ci as u16));
+                    next_city = next_city
+                        .checked_add(1)
+                        .expect("city count exceeds CityId range");
+                }
+                countries.push(Country {
+                    name: format!("{rname}-C{ci}"),
+                    cities,
+                });
+            }
+            regions.push(Region {
+                name: (*rname).to_string(),
+                countries,
+            });
+        }
+        Geography {
+            regions,
+            city_index,
+        }
+    }
+
+    /// Total number of cities.
+    pub fn city_count(&self) -> usize {
+        self.city_index.len()
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Resolve a city to its full location. Panics on an unknown id (city
+    /// ids come from this geography, so that is a logic error).
+    pub fn locate(&self, city: CityId) -> Location {
+        let (region, country) = self.city_index[city as usize];
+        Location {
+            region,
+            country,
+            city,
+        }
+    }
+
+    /// All city ids in a region.
+    pub fn cities_in_region(&self, region: RegionId) -> Vec<CityId> {
+        (0..self.city_count() as u16)
+            .filter(|&c| self.city_index[c as usize].0 == region)
+            .collect()
+    }
+
+    /// The region a city belongs to.
+    pub fn region_of(&self, city: CityId) -> RegionId {
+        self.city_index[city as usize].0
+    }
+
+    /// The `(region, country)` pair of a city.
+    pub fn country_of(&self, city: CityId) -> (RegionId, u16) {
+        self.city_index[city as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counts() {
+        let g = Geography::build(4, 3);
+        assert_eq!(g.region_count(), 5);
+        assert_eq!(g.city_count(), 5 * 4 * 3);
+        for r in &g.regions {
+            assert_eq!(r.countries.len(), 4);
+            for c in &r.countries {
+                assert_eq!(c.cities.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn city_ids_are_globally_unique_and_dense() {
+        let g = Geography::build(2, 2);
+        let mut ids: Vec<CityId> = g
+            .regions
+            .iter()
+            .flat_map(|r| r.countries.iter())
+            .flat_map(|c| c.cities.iter())
+            .map(|c| c.id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..g.city_count() as u16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn locate_is_consistent_with_hierarchy() {
+        let g = Geography::build(3, 2);
+        for (ri, r) in g.regions.iter().enumerate() {
+            for (ci, c) in r.countries.iter().enumerate() {
+                for city in &c.cities {
+                    let loc = g.locate(city.id);
+                    assert_eq!(loc.region as usize, ri);
+                    assert_eq!(loc.country as usize, ci);
+                    assert_eq!(loc.city, city.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cities_in_region_partition_the_world() {
+        let g = Geography::build(2, 3);
+        let mut total = 0;
+        for r in 0..g.region_count() as u8 {
+            let cities = g.cities_in_region(r);
+            total += cities.len();
+            for c in cities {
+                assert_eq!(g.region_of(c), r);
+            }
+        }
+        assert_eq!(total, g.city_count());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = Geography::build(2, 2);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Geography = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

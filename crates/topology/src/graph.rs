@@ -1,0 +1,462 @@
+//! The AS-level graph: nodes, business relationships, organizations.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_types::{Asn, Prefix};
+
+use crate::geography::{CityId, Geography};
+
+/// The role of an AS in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Member of the settlement-free clique at the top; no providers.
+    Tier1,
+    /// Large transit provider (customer of tier-1s, provider to many).
+    LargeTransit,
+    /// Regional/mid-size transit provider.
+    MidTransit,
+    /// Edge network that originates prefixes but provides no transit.
+    Stub,
+    /// An IXP route server: reflects routes between members without
+    /// inserting its ASN into the AS path.
+    IxpRouteServer,
+}
+
+impl Tier {
+    /// Whether this AS carries traffic for customers.
+    pub fn is_transit(self) -> bool {
+        matches!(self, Tier::Tier1 | Tier::LargeTransit | Tier::MidTransit)
+    }
+}
+
+/// Business relationship between two ASes, from the perspective of the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rel {
+    /// First AS is the provider, second is the customer (p2c).
+    ProviderCustomer,
+    /// Settlement-free peering (p2p).
+    PeerPeer,
+    /// Second AS is a member of the first's IXP route server; routes are
+    /// reflected among members without the first appearing in paths.
+    RouteServerMember,
+}
+
+/// A relationship as seen from one AS toward a neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeighborKind {
+    /// The neighbor is our provider.
+    Provider,
+    /// The neighbor is our customer.
+    Customer,
+    /// The neighbor is a settlement-free peer.
+    Peer,
+    /// The neighbor is an IXP route server we are a member of.
+    RouteServer,
+    /// The neighbor is a member of the route server we operate.
+    RsMember,
+}
+
+/// One AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsNode {
+    /// The AS number.
+    pub asn: Asn,
+    /// Role in the hierarchy.
+    pub tier: Tier,
+    /// Home city (headquarters).
+    pub home: CityId,
+    /// Points of presence (always includes `home`). Information location
+    /// communities record which of these a route entered at.
+    pub presence: Vec<CityId>,
+    /// Organization this AS belongs to (index into [`Topology::orgs`]).
+    pub org: usize,
+    /// Whether this AS strips all communities from routes it propagates.
+    pub scrubs_communities: bool,
+    /// Prefixes this AS originates.
+    pub prefixes: Vec<Prefix>,
+}
+
+/// An organization owning one or more sibling ASes (the as2org substitute).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Organization {
+    /// Display name.
+    pub name: String,
+    /// Member ASes.
+    pub members: Vec<Asn>,
+}
+
+/// An undirected link with its business relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// First endpoint (provider for p2c, route server for RS links).
+    pub a: Asn,
+    /// Second endpoint.
+    pub b: Asn,
+    /// Relationship from `a` to `b`.
+    pub rel: Rel,
+}
+
+/// The full synthetic Internet: nodes, links, orgs, geography.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// All ASes, keyed by ASN.
+    pub ases: HashMap<Asn, AsNode>,
+    /// All links.
+    pub links: Vec<Link>,
+    /// Organizations; `AsNode::org` indexes here.
+    pub orgs: Vec<Organization>,
+    /// The world's geography.
+    pub geography: Geography,
+    /// Adjacency cache: for each AS, its neighbors and how it sees them.
+    #[serde(skip)]
+    adjacency: HashMap<Asn, Vec<(Asn, NeighborKind)>>,
+}
+
+impl Topology {
+    /// Assemble a topology and build the adjacency cache.
+    pub fn new(
+        ases: HashMap<Asn, AsNode>,
+        links: Vec<Link>,
+        orgs: Vec<Organization>,
+        geography: Geography,
+    ) -> Self {
+        let mut t = Topology {
+            ases,
+            links,
+            orgs,
+            geography,
+            adjacency: HashMap::new(),
+        };
+        t.rebuild_adjacency();
+        t
+    }
+
+    /// Rebuild the adjacency cache (needed after deserialization or after
+    /// mutating `links`).
+    pub fn rebuild_adjacency(&mut self) {
+        let mut adj: HashMap<Asn, Vec<(Asn, NeighborKind)>> = HashMap::new();
+        for asn in self.ases.keys() {
+            adj.entry(*asn).or_default();
+        }
+        for link in &self.links {
+            match link.rel {
+                Rel::ProviderCustomer => {
+                    adj.entry(link.a)
+                        .or_default()
+                        .push((link.b, NeighborKind::Customer));
+                    adj.entry(link.b)
+                        .or_default()
+                        .push((link.a, NeighborKind::Provider));
+                }
+                Rel::PeerPeer => {
+                    adj.entry(link.a)
+                        .or_default()
+                        .push((link.b, NeighborKind::Peer));
+                    adj.entry(link.b)
+                        .or_default()
+                        .push((link.a, NeighborKind::Peer));
+                }
+                Rel::RouteServerMember => {
+                    adj.entry(link.a)
+                        .or_default()
+                        .push((link.b, NeighborKind::RsMember));
+                    adj.entry(link.b)
+                        .or_default()
+                        .push((link.a, NeighborKind::RouteServer));
+                }
+            }
+        }
+        for neighbors in adj.values_mut() {
+            neighbors.sort_unstable_by_key(|(asn, _)| *asn);
+            neighbors.dedup();
+        }
+        self.adjacency = adj;
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Look up an AS.
+    pub fn node(&self, asn: Asn) -> Option<&AsNode> {
+        self.ases.get(&asn)
+    }
+
+    /// Neighbors of `asn` with the relationship as seen from `asn`.
+    pub fn neighbors(&self, asn: Asn) -> &[(Asn, NeighborKind)] {
+        self.adjacency.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Providers of `asn`.
+    pub fn providers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors_of_kind(asn, NeighborKind::Provider)
+    }
+
+    /// Customers of `asn`.
+    pub fn customers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors_of_kind(asn, NeighborKind::Customer)
+    }
+
+    /// Settlement-free peers of `asn`.
+    pub fn peers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors_of_kind(asn, NeighborKind::Peer)
+    }
+
+    fn neighbors_of_kind(&self, asn: Asn, kind: NeighborKind) -> Vec<Asn> {
+        self.neighbors(asn)
+            .iter()
+            .filter(|(_, k)| *k == kind)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// How `a` sees `b`, if they are adjacent.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<NeighborKind> {
+        self.neighbors(a)
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, k)| *k)
+    }
+
+    /// Sibling ASes of `asn` (other members of its org), excluding itself.
+    pub fn siblings(&self, asn: Asn) -> Vec<Asn> {
+        match self.ases.get(&asn) {
+            Some(node) => self.orgs[node.org]
+                .members
+                .iter()
+                .copied()
+                .filter(|m| *m != asn)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All ASNs sorted ascending (deterministic iteration order).
+    pub fn asns_sorted(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.ases.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// ASNs of a given tier, sorted.
+    pub fn asns_of_tier(&self, tier: Tier) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self
+            .ases
+            .values()
+            .filter(|n| n.tier == tier)
+            .map(|n| n.asn)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Basic structural sanity checks; returns human-readable violations.
+    ///
+    /// Used by tests and by the generator's own self-check.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for link in &self.links {
+            for end in [link.a, link.b] {
+                if !self.ases.contains_key(&end) {
+                    problems.push(format!(
+                        "link {}-{} references unknown AS {end}",
+                        link.a, link.b
+                    ));
+                }
+            }
+            if link.a == link.b {
+                problems.push(format!("self-link at {}", link.a));
+            }
+        }
+        for (asn, node) in &self.ases {
+            if node.asn != *asn {
+                problems.push(format!("AS {asn} keyed under wrong ASN"));
+            }
+            if !node.presence.contains(&node.home) {
+                problems.push(format!("AS {asn} presence does not include home city"));
+            }
+            if node.org >= self.orgs.len() {
+                problems.push(format!("AS {asn} references unknown org {}", node.org));
+            } else if !self.orgs[node.org].members.contains(asn) {
+                problems.push(format!("AS {asn} missing from its org's member list"));
+            }
+            if node.tier == Tier::Stub && !self.customers(*asn).is_empty() {
+                problems.push(format!("stub AS {asn} has customers"));
+            }
+            if node.tier == Tier::Tier1 && !self.providers(*asn).is_empty() {
+                problems.push(format!("tier-1 AS {asn} has a provider"));
+            }
+        }
+        problems
+    }
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.ases == other.ases
+            && self.links == other.links
+            && self.orgs == other.orgs
+            && self.geography == other.geography
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geography::Geography;
+
+    fn tiny() -> Topology {
+        let geography = Geography::build(1, 2);
+        let mk = |asn: u32, tier: Tier, org: usize| AsNode {
+            asn: Asn::new(asn),
+            tier,
+            home: 0,
+            presence: vec![0],
+            org,
+            scrubs_communities: false,
+            prefixes: vec![],
+        };
+        let mut ases = HashMap::new();
+        ases.insert(Asn::new(10), mk(10, Tier::Tier1, 0));
+        ases.insert(Asn::new(20), mk(20, Tier::MidTransit, 1));
+        ases.insert(Asn::new(30), mk(30, Tier::Stub, 2));
+        ases.insert(Asn::new(40), mk(40, Tier::IxpRouteServer, 3));
+        let links = vec![
+            Link {
+                a: Asn::new(10),
+                b: Asn::new(20),
+                rel: Rel::ProviderCustomer,
+            },
+            Link {
+                a: Asn::new(20),
+                b: Asn::new(30),
+                rel: Rel::ProviderCustomer,
+            },
+            Link {
+                a: Asn::new(40),
+                b: Asn::new(20),
+                rel: Rel::RouteServerMember,
+            },
+            Link {
+                a: Asn::new(40),
+                b: Asn::new(30),
+                rel: Rel::RouteServerMember,
+            },
+        ];
+        let orgs = vec![
+            Organization {
+                name: "o0".into(),
+                members: vec![Asn::new(10)],
+            },
+            Organization {
+                name: "o1".into(),
+                members: vec![Asn::new(20)],
+            },
+            Organization {
+                name: "o2".into(),
+                members: vec![Asn::new(30)],
+            },
+            Organization {
+                name: "o3".into(),
+                members: vec![Asn::new(40)],
+            },
+        ];
+        Topology::new(ases, links, orgs, geography)
+    }
+
+    #[test]
+    fn adjacency_views_are_symmetric() {
+        let t = tiny();
+        assert_eq!(
+            t.relationship(Asn::new(10), Asn::new(20)),
+            Some(NeighborKind::Customer)
+        );
+        assert_eq!(
+            t.relationship(Asn::new(20), Asn::new(10)),
+            Some(NeighborKind::Provider)
+        );
+        assert_eq!(
+            t.relationship(Asn::new(40), Asn::new(30)),
+            Some(NeighborKind::RsMember)
+        );
+        assert_eq!(
+            t.relationship(Asn::new(30), Asn::new(40)),
+            Some(NeighborKind::RouteServer)
+        );
+        assert_eq!(t.relationship(Asn::new(10), Asn::new(30)), None);
+    }
+
+    #[test]
+    fn provider_customer_accessors() {
+        let t = tiny();
+        assert_eq!(t.customers(Asn::new(10)), vec![Asn::new(20)]);
+        assert_eq!(t.providers(Asn::new(30)), vec![Asn::new(20)]);
+        assert!(t.peers(Asn::new(10)).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_tiny() {
+        let t = tiny();
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+    }
+
+    #[test]
+    fn validate_catches_stub_with_customer() {
+        let mut t = tiny();
+        t.links.push(Link {
+            a: Asn::new(30),
+            b: Asn::new(10),
+            rel: Rel::ProviderCustomer,
+        });
+        t.rebuild_adjacency();
+        assert!(t.validate().iter().any(|p| p.contains("stub")));
+    }
+
+    #[test]
+    fn validate_catches_unknown_link_endpoint() {
+        let mut t = tiny();
+        t.links.push(Link {
+            a: Asn::new(10),
+            b: Asn::new(99),
+            rel: Rel::PeerPeer,
+        });
+        t.rebuild_adjacency();
+        assert!(t.validate().iter().any(|p| p.contains("unknown AS")));
+    }
+
+    #[test]
+    fn siblings_come_from_org() {
+        let mut t = tiny();
+        t.orgs[1].members.push(Asn::new(30));
+        t.ases.get_mut(&Asn::new(30)).unwrap().org = 1;
+        assert_eq!(t.siblings(Asn::new(20)), vec![Asn::new(30)]);
+        assert_eq!(t.siblings(Asn::new(30)), vec![Asn::new(20)]);
+        assert!(t.siblings(Asn::new(10)).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_adjacency() {
+        let t = tiny();
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Topology = serde_json::from_str(&json).unwrap();
+        back.rebuild_adjacency();
+        assert_eq!(back, t);
+        assert_eq!(
+            back.relationship(Asn::new(10), Asn::new(20)),
+            Some(NeighborKind::Customer)
+        );
+    }
+
+    #[test]
+    fn asns_sorted_is_deterministic() {
+        let t = tiny();
+        assert_eq!(
+            t.asns_sorted(),
+            vec![Asn::new(10), Asn::new(20), Asn::new(30), Asn::new(40)]
+        );
+        assert_eq!(t.asns_of_tier(Tier::Stub), vec![Asn::new(30)]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic synthetic AS-level Internet topologies.
+//!
+//! The paper's input is one week of RouteViews/RIPE RIS data over the real
+//! Internet (~75K ASes). This crate generates the substitute substrate: a
+//! scaled-down AS-level Internet with the structural properties the
+//! inference method depends on —
+//!
+//! * a **tier hierarchy** (tier-1 clique, large/mid transit, stubs) joined by
+//!   provider-customer (p2c) and peer-peer (p2p) links, so Gao-Rexford
+//!   propagation produces realistic path diversity;
+//! * **multihomed customers**, the mechanism that makes action communities
+//!   visible off-path (Fig 5 of the paper);
+//! * **geography** (region → country → city) so location information
+//!   communities and geo-targeted action communities have something to
+//!   signal;
+//! * **organizations** with sibling ASes (the as2org substitute);
+//! * **IXP route servers** that peer members multilaterally *without*
+//!   appearing in the AS path — the population the method must refuse to
+//!   classify;
+//! * a small fraction of ASes that **scrub all communities** (§5.1 notes
+//!   ≈400 such ASes in the wild).
+//!
+//! Everything is generated from a `u64` seed and is bit-for-bit reproducible.
+//!
+//! ```
+//! use bgp_topology::{generate, Tier, TopologyConfig};
+//!
+//! let topo = generate(&TopologyConfig::with_scale(0.05));
+//! assert!(topo.validate().is_empty());
+//! // Tier-1s form a settlement-free clique at the top.
+//! let tier1 = topo.asns_of_tier(Tier::Tier1);
+//! for &a in &tier1 {
+//!     assert!(topo.providers(a).is_empty());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod evolve;
+pub mod generate;
+pub mod geography;
+pub mod graph;
+
+pub use dot::{to_dot, to_dot_filtered};
+pub use generate::{generate, TopologyConfig};
+pub use geography::{CityId, Geography, Location, RegionId};
+pub use graph::{AsNode, Link, NeighborKind, Organization, Rel, Tier, Topology};

@@ -1,0 +1,187 @@
+//! Autonomous System Numbers.
+//!
+//! The inference method cares about three properties of an ASN beyond its
+//! numeric value:
+//!
+//! * whether it fits in 16 bits — only 16-bit ASNs can own a *regular*
+//!   community's `α` field (RFC 1997);
+//! * whether it is **private** (RFC 6996) — the paper excludes communities
+//!   whose `α` is a private ASN from classification;
+//! * whether it is **reserved** (RFC 7607, RFC 4893's AS_TRANS, RFC 7300) —
+//!   such values never identify a real network.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseError;
+
+/// An Autonomous System Number (32-bit per RFC 6793).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+/// First 16-bit private ASN (RFC 6996).
+pub const PRIVATE_16_START: u32 = 64512;
+/// Last 16-bit private ASN (RFC 6996).
+pub const PRIVATE_16_END: u32 = 65534;
+/// First 32-bit private ASN (RFC 6996).
+pub const PRIVATE_32_START: u32 = 4_200_000_000;
+/// Last 32-bit private ASN (RFC 6996).
+pub const PRIVATE_32_END: u32 = 4_294_967_294;
+/// AS_TRANS, the 16-bit placeholder for 32-bit ASNs (RFC 4893).
+pub const AS_TRANS: u32 = 23456;
+/// First ASN reserved for documentation (RFC 5398).
+pub const DOC_16_START: u32 = 64496;
+/// Last ASN of the first documentation block (RFC 5398).
+pub const DOC_16_END: u32 = 64511;
+
+impl Asn {
+    /// The reserved ASN 0 (RFC 7607).
+    pub const RESERVED_ZERO: Asn = Asn(0);
+
+    /// Construct an ASN from a raw `u32`.
+    pub const fn new(value: u32) -> Self {
+        Asn(value)
+    }
+
+    /// The raw numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this ASN fits in 16 bits and can therefore appear as the `α`
+    /// of a regular community.
+    pub const fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// Whether this ASN falls in a private-use range (RFC 6996).
+    ///
+    /// The paper: *"We did not classify communities where the first 16 bits
+    /// were from the private ASN range."*
+    pub const fn is_private(self) -> bool {
+        (self.0 >= PRIVATE_16_START && self.0 <= PRIVATE_16_END)
+            || (self.0 >= PRIVATE_32_START && self.0 <= PRIVATE_32_END)
+    }
+
+    /// Whether this ASN is reserved and can never identify an operating
+    /// network: 0 (RFC 7607), AS_TRANS (RFC 4893), 65535 (RFC 7300),
+    /// 4294967295 (RFC 7300), or the documentation blocks (RFC 5398).
+    pub const fn is_reserved(self) -> bool {
+        matches!(self.0, 0 | AS_TRANS | 65535 | u32::MAX)
+            || (self.0 >= DOC_16_START && self.0 <= DOC_16_END)
+            || (self.0 >= 65536 && self.0 <= 65551) // RFC 5398 32-bit doc block
+    }
+
+    /// Whether this ASN identifies (or could identify) a real, publicly
+    /// routable network: neither private nor reserved.
+    pub const fn is_public(self) -> bool {
+        !self.is_private() && !self.is_reserved()
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(value: u32) -> Self {
+        Asn(value)
+    }
+}
+
+impl From<u16> for Asn {
+    fn from(value: u16) -> Self {
+        Asn(value as u32)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(asn: Asn) -> Self {
+        asn.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ParseError;
+
+    /// Parse `"3356"` or the RFC 5396 `"AS3356"` form.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix("AS").unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|e| ParseError::new("asn", s, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_bit_boundary() {
+        assert!(Asn::new(65535).is_16bit());
+        assert!(!Asn::new(65536).is_16bit());
+        assert!(Asn::new(0).is_16bit());
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(!Asn::new(64511).is_private());
+        assert!(Asn::new(64512).is_private());
+        assert!(Asn::new(65000).is_private());
+        assert!(Asn::new(65534).is_private());
+        assert!(!Asn::new(65535).is_private()); // reserved, not private
+        assert!(Asn::new(4_200_000_000).is_private());
+        assert!(Asn::new(4_294_967_294).is_private());
+        assert!(!Asn::new(4_294_967_295).is_private()); // reserved
+        assert!(!Asn::new(3356).is_private());
+    }
+
+    #[test]
+    fn reserved_values() {
+        assert!(Asn::new(0).is_reserved());
+        assert!(Asn::new(AS_TRANS).is_reserved());
+        assert!(Asn::new(65535).is_reserved());
+        assert!(Asn::new(u32::MAX).is_reserved());
+        assert!(Asn::new(64496).is_reserved()); // documentation
+        assert!(Asn::new(64511).is_reserved());
+        assert!(!Asn::new(1299).is_reserved());
+    }
+
+    #[test]
+    fn public_excludes_private_and_reserved() {
+        assert!(Asn::new(1299).is_public());
+        assert!(Asn::new(3356).is_public());
+        assert!(!Asn::new(64512).is_public());
+        assert!(!Asn::new(0).is_public());
+        assert!(!Asn::new(AS_TRANS).is_public());
+    }
+
+    #[test]
+    fn parse_plain_and_rfc5396() {
+        assert_eq!("3356".parse::<Asn>().unwrap(), Asn::new(3356));
+        assert_eq!("AS3356".parse::<Asn>().unwrap(), Asn::new(3356));
+        assert!("AS".parse::<Asn>().is_err());
+        assert!("-1".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let asn = Asn::new(393226);
+        assert_eq!(asn.to_string().parse::<Asn>().unwrap(), asn);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Asn::new(2) < Asn::new(10));
+    }
+}

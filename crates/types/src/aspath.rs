@@ -1,0 +1,378 @@
+//! AS paths and the on-path membership tests the inference method uses.
+//!
+//! The paper's core signal is whether the community authority `α` "appears in
+//! the AS path" of the routes carrying `α:β`. This module provides the path
+//! representation ([`AsPath`]) plus the operations the pipeline needs:
+//! membership, origin extraction, the adjacency lookups behind the Fig 7
+//! customer:peer feature, and prepend-aware de-duplication.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asn::Asn;
+use crate::error::ParseError;
+
+/// One segment of an AS path (RFC 4271 §4.3 / §5.1.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathSegment {
+    /// An ordered sequence of ASNs (`AS_SEQUENCE`).
+    Sequence(Vec<Asn>),
+    /// An unordered set of ASNs, produced by route aggregation (`AS_SET`).
+    Set(Vec<Asn>),
+}
+
+impl PathSegment {
+    /// The ASNs in this segment, in stored order.
+    pub fn asns(&self) -> &[Asn] {
+        match self {
+            PathSegment::Sequence(v) | PathSegment::Set(v) => v,
+        }
+    }
+
+    /// RFC 4271 path-length contribution: each sequence element counts one,
+    /// a set counts one regardless of size.
+    pub fn path_length(&self) -> usize {
+        match self {
+            PathSegment::Sequence(v) => v.len(),
+            PathSegment::Set(v) => usize::from(!v.is_empty()),
+        }
+    }
+}
+
+/// A full AS path: the neighbor that announced the route is leftmost, the
+/// origin AS rightmost.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct AsPath {
+    segments: Vec<PathSegment>,
+}
+
+impl AsPath {
+    /// An empty path (as sent by a route's originator over iBGP).
+    pub fn empty() -> Self {
+        AsPath {
+            segments: Vec::new(),
+        }
+    }
+
+    /// Build a path consisting of a single `AS_SEQUENCE`.
+    pub fn from_sequence(asns: impl IntoIterator<Item = Asn>) -> Self {
+        AsPath {
+            segments: vec![PathSegment::Sequence(asns.into_iter().collect())],
+        }
+    }
+
+    /// Build a path from explicit segments.
+    pub fn from_segments(segments: Vec<PathSegment>) -> Self {
+        AsPath { segments }
+    }
+
+    /// The raw segments.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Whether the path has no ASNs at all.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|s| s.asns().is_empty())
+    }
+
+    /// RFC 4271 decision-process length (prepending inflates this).
+    pub fn path_length(&self) -> usize {
+        self.segments.iter().map(PathSegment::path_length).sum()
+    }
+
+    /// Iterate over every ASN mention, leftmost (most recent) first,
+    /// including duplicates from prepending and the contents of sets.
+    pub fn iter(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.segments.iter().flat_map(|s| s.asns().iter().copied())
+    }
+
+    /// The origin AS: the last ASN of the path, if any.
+    ///
+    /// When the path ends in an `AS_SET` (aggregated route) the origin is
+    /// ambiguous; this returns the set's last stored member, matching the
+    /// common "pick one" convention of measurement pipelines.
+    pub fn origin(&self) -> Option<Asn> {
+        self.iter().last()
+    }
+
+    /// The neighbor AS that announced this route to the observer: the first
+    /// ASN of the path.
+    pub fn head(&self) -> Option<Asn> {
+        self.iter().next()
+    }
+
+    /// Whether `asn` appears anywhere in the path — the paper's **on-path**
+    /// test for a single ASN.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.iter().any(|a| a == asn)
+    }
+
+    /// Whether any of `asns` appears in the path — the paper's on-path test
+    /// including siblings ("the ASN (or a sibling thereof)").
+    pub fn contains_any(&self, asns: &[Asn]) -> bool {
+        self.iter().any(|a| asns.contains(&a))
+    }
+
+    /// The distinct ASNs of the path in first-appearance order, collapsing
+    /// prepends. This is the unit for "unique AS paths" counting.
+    pub fn unique_asns(&self) -> Vec<Asn> {
+        let mut seen = Vec::new();
+        for asn in self.iter() {
+            if !seen.contains(&asn) {
+                seen.push(asn);
+            }
+        }
+        seen
+    }
+
+    /// The ASN immediately *after* (to the right of, i.e. announced the route
+    /// to) the first occurrence of `asn` in the collapsed path.
+    ///
+    /// This is the "subsequent AS in the path" of §5.1: for a route
+    /// `… 1299 64496`, `next_toward_origin(1299)` is `64496`, the neighbor
+    /// that AS 1299 learned the route from. Returns `None` when `asn` is the
+    /// origin or absent.
+    pub fn next_toward_origin(&self, asn: Asn) -> Option<Asn> {
+        let collapsed = self.unique_asns();
+        collapsed
+            .iter()
+            .position(|&a| a == asn)
+            .and_then(|i| collapsed.get(i + 1))
+            .copied()
+    }
+
+    /// Prepend `asn` to the front `count` times, as a router does when
+    /// exporting (count > 1 models AS-path prepending for traffic
+    /// engineering).
+    pub fn prepend(&mut self, asn: Asn, count: usize) {
+        if count == 0 {
+            return;
+        }
+        match self.segments.first_mut() {
+            Some(PathSegment::Sequence(v)) => {
+                for _ in 0..count {
+                    v.insert(0, asn);
+                }
+            }
+            _ => {
+                self.segments
+                    .insert(0, PathSegment::Sequence(vec![asn; count]));
+            }
+        }
+    }
+
+    /// A copy with `asn` prepended `count` times.
+    pub fn prepended(&self, asn: Asn, count: usize) -> Self {
+        let mut p = self.clone();
+        p.prepend(asn, count);
+        p
+    }
+
+    /// Whether the collapsed path contains a loop (an ASN appearing in two
+    /// non-adjacent positions). Loop-free is an invariant of valid BGP
+    /// propagation; the simulator's property tests check it.
+    pub fn has_loop(&self) -> bool {
+        let mut last: Option<Asn> = None;
+        let mut seen = Vec::new();
+        for asn in self.iter() {
+            if last == Some(asn) {
+                continue; // prepending is not a loop
+            }
+            if seen.contains(&asn) {
+                return true;
+            }
+            seen.push(asn);
+            last = Some(asn);
+        }
+        false
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// Space-separated ASNs; `AS_SET` segments render as `{a,b,c}`, matching
+    /// the conventional looking-glass format.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            match seg {
+                PathSegment::Sequence(v) => {
+                    for asn in v {
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{asn}")?;
+                        first = false;
+                    }
+                }
+                PathSegment::Set(v) => {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{{")?;
+                    for (i, asn) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{asn}")?;
+                    }
+                    write!(f, "}}")?;
+                    first = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for AsPath {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut segments: Vec<PathSegment> = Vec::new();
+        let mut seq: Vec<Asn> = Vec::new();
+        for token in s.split_whitespace() {
+            if let Some(inner) = token.strip_prefix('{') {
+                let inner = inner
+                    .strip_suffix('}')
+                    .ok_or_else(|| ParseError::new("as path", s, "unterminated AS_SET"))?;
+                if !seq.is_empty() {
+                    segments.push(PathSegment::Sequence(std::mem::take(&mut seq)));
+                }
+                let set = inner
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(|t| t.parse::<Asn>())
+                    .collect::<Result<Vec<_>, _>>()?;
+                segments.push(PathSegment::Set(set));
+            } else {
+                seq.push(token.parse::<Asn>()?);
+            }
+        }
+        if !seq.is_empty() {
+            segments.push(PathSegment::Sequence(seq));
+        }
+        Ok(AsPath { segments })
+    }
+}
+
+impl FromIterator<Asn> for AsPath {
+    fn from_iter<T: IntoIterator<Item = Asn>>(iter: T) -> Self {
+        AsPath::from_sequence(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(asns: &[u32]) -> AsPath {
+        AsPath::from_sequence(asns.iter().copied().map(Asn::new))
+    }
+
+    #[test]
+    fn origin_and_head() {
+        let p = path(&[65269, 7018, 1299, 64496]);
+        assert_eq!(p.origin(), Some(Asn::new(64496)));
+        assert_eq!(p.head(), Some(Asn::new(65269)));
+        assert_eq!(AsPath::empty().origin(), None);
+    }
+
+    #[test]
+    fn on_path_membership() {
+        let p = path(&[65269, 7018, 1299, 64496]);
+        assert!(p.contains(Asn::new(1299)));
+        assert!(!p.contains(Asn::new(3356)));
+        assert!(p.contains_any(&[Asn::new(9), Asn::new(7018)]));
+        assert!(!p.contains_any(&[]));
+    }
+
+    #[test]
+    fn prepend_inflates_length_but_not_unique() {
+        let mut p = path(&[3356, 64496]);
+        p.prepend(Asn::new(1299), 3);
+        assert_eq!(p.path_length(), 5);
+        assert_eq!(
+            p.unique_asns(),
+            vec![Asn::new(1299), Asn::new(3356), Asn::new(64496)]
+        );
+        assert!(!p.has_loop());
+    }
+
+    #[test]
+    fn prepend_zero_is_noop() {
+        let mut p = path(&[3356]);
+        p.prepend(Asn::new(1299), 0);
+        assert_eq!(p, path(&[3356]));
+    }
+
+    #[test]
+    fn prepend_onto_empty_path() {
+        let mut p = AsPath::empty();
+        p.prepend(Asn::new(1299), 2);
+        assert_eq!(p.path_length(), 2);
+        assert_eq!(p.origin(), Some(Asn::new(1299)));
+    }
+
+    #[test]
+    fn next_toward_origin_matches_fig5() {
+        // RC3 path from Fig 5: 65269 7018 1299 64496, community 1299:2569.
+        let p = path(&[65269, 7018, 1299, 64496]);
+        assert_eq!(p.next_toward_origin(Asn::new(1299)), Some(Asn::new(64496)));
+        assert_eq!(p.next_toward_origin(Asn::new(64496)), None); // origin
+        assert_eq!(p.next_toward_origin(Asn::new(3356)), None); // off-path
+    }
+
+    #[test]
+    fn next_toward_origin_skips_prepends() {
+        let p = path(&[7018, 1299, 1299, 1299, 64496]);
+        assert_eq!(p.next_toward_origin(Asn::new(1299)), Some(Asn::new(64496)));
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(path(&[1, 2, 1]).has_loop());
+        assert!(!path(&[1, 1, 2]).has_loop()); // prepend
+        assert!(!path(&[1, 2, 3]).has_loop());
+        assert!(!AsPath::empty().has_loop());
+    }
+
+    #[test]
+    fn set_segment_length_counts_one() {
+        let p = AsPath::from_segments(vec![
+            PathSegment::Sequence(vec![Asn::new(3356)]),
+            PathSegment::Set(vec![Asn::new(9), Asn::new(10)]),
+        ]);
+        assert_eq!(p.path_length(), 2);
+        assert!(p.contains(Asn::new(10)));
+        assert_eq!(p.origin(), Some(Asn::new(10)));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let p = AsPath::from_segments(vec![
+            PathSegment::Sequence(vec![Asn::new(65269), Asn::new(7018)]),
+            PathSegment::Set(vec![Asn::new(64496), Asn::new(64497)]),
+        ]);
+        let s = p.to_string();
+        assert_eq!(s, "65269 7018 {64496,64497}");
+        assert_eq!(s.parse::<AsPath>().unwrap(), p);
+    }
+
+    #[test]
+    fn parse_plain_sequence() {
+        let p: AsPath = "65269 7018 1299 64496".parse().unwrap();
+        assert_eq!(p, path(&[65269, 7018, 1299, 64496]));
+        assert!("65269 {1,2".parse::<AsPath>().is_err());
+        assert!("abc".parse::<AsPath>().is_err());
+    }
+
+    #[test]
+    fn empty_parse() {
+        let p: AsPath = "".parse().unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.path_length(), 0);
+    }
+}

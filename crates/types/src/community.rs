@@ -1,0 +1,335 @@
+//! BGP community attribute values.
+//!
+//! Three generations of the attribute exist:
+//!
+//! * **Regular** 32-bit communities (RFC 1997): `α:β` where `α` is a 16-bit
+//!   ASN that assigns the meaning of the 16-bit `β`. These are the subject of
+//!   the paper ("we focus on regular communities owing to their prevalence").
+//! * **Extended** 64-bit communities (RFC 4360/5668): typed 8-byte values;
+//!   we model the 4-octet-AS-specific form the paper mentions.
+//! * **Large** 96-bit communities (RFC 8092): `α:β:γ` with a 32-bit ASN.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asn::Asn;
+use crate::error::ParseError;
+
+/// A regular 32-bit BGP community (RFC 1997) in `α:β` form.
+///
+/// The first 16 bits (`asn`, the paper's `α`) contain the AS number that
+/// defines the meaning of the remaining 16 bits (`value`, the paper's `β`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Community {
+    /// The AS number that assigns meaning (`α`).
+    pub asn: u16,
+    /// The operator-defined value (`β`).
+    pub value: u16,
+}
+
+impl Community {
+    /// `NO_EXPORT` (RFC 1997): do not advertise outside the AS/confederation.
+    pub const NO_EXPORT: Community = Community {
+        asn: 0xFFFF,
+        value: 0xFF01,
+    };
+    /// `NO_ADVERTISE` (RFC 1997): do not advertise to any other BGP peer.
+    pub const NO_ADVERTISE: Community = Community {
+        asn: 0xFFFF,
+        value: 0xFF02,
+    };
+    /// `NO_EXPORT_SUBCONFED` (RFC 1997).
+    pub const NO_EXPORT_SUBCONFED: Community = Community {
+        asn: 0xFFFF,
+        value: 0xFF03,
+    };
+    /// `NOPEER` (RFC 3765): do not advertise over bilateral peerings.
+    pub const NOPEER: Community = Community {
+        asn: 0xFFFF,
+        value: 0xFF04,
+    };
+    /// `BLACKHOLE` (RFC 7999): discard traffic to the prefix.
+    pub const BLACKHOLE: Community = Community {
+        asn: 0xFFFF,
+        value: 0x029A,
+    };
+    /// `GRACEFUL_SHUTDOWN` (RFC 8326): deprioritize before maintenance.
+    pub const GRACEFUL_SHUTDOWN: Community = Community {
+        asn: 0xFFFF,
+        value: 0x0000,
+    };
+
+    /// Build a community from its two 16-bit halves.
+    pub const fn new(asn: u16, value: u16) -> Self {
+        Community { asn, value }
+    }
+
+    /// Pack into the 32-bit wire representation (RFC 1997 network order).
+    pub const fn to_u32(self) -> u32 {
+        ((self.asn as u32) << 16) | self.value as u32
+    }
+
+    /// Unpack from the 32-bit wire representation.
+    pub const fn from_u32(raw: u32) -> Self {
+        Community {
+            asn: (raw >> 16) as u16,
+            value: raw as u16,
+        }
+    }
+
+    /// The ASN that assigns this community's meaning, as an [`Asn`].
+    pub const fn authority(self) -> Asn {
+        Asn::new(self.asn as u32)
+    }
+
+    /// Whether this is one of the well-known communities in `0xFFFF:*`
+    /// (RFC 1997 reserves `0xFFFF0000`–`0xFFFFFFFF`).
+    pub const fn is_well_known(self) -> bool {
+        self.asn == 0xFFFF
+    }
+
+    /// Whether the reserved block `0x0000:*` holds this value
+    /// (RFC 1997 reserves `0x00000000`–`0x0000FFFF`).
+    pub const fn is_reserved_low(self) -> bool {
+        self.asn == 0
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn, self.value)
+    }
+}
+
+impl FromStr for Community {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, b) = s
+            .split_once(':')
+            .ok_or_else(|| ParseError::new("community", s, "expected α:β"))?;
+        let asn = a
+            .parse::<u16>()
+            .map_err(|e| ParseError::new("community", s, format!("bad α: {e}")))?;
+        let value = b
+            .parse::<u16>()
+            .map_err(|e| ParseError::new("community", s, format!("bad β: {e}")))?;
+        Ok(Community { asn, value })
+    }
+}
+
+/// A large 96-bit BGP community (RFC 8092) in `α:β:γ` form.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LargeCommunity {
+    /// Global administrator: the 32-bit ASN that assigns meaning (`α`).
+    pub global: u32,
+    /// First operator-defined part (`β`).
+    pub local1: u32,
+    /// Second operator-defined part (`γ`).
+    pub local2: u32,
+}
+
+impl LargeCommunity {
+    /// Build a large community from its three 32-bit parts.
+    pub const fn new(global: u32, local1: u32, local2: u32) -> Self {
+        LargeCommunity {
+            global,
+            local1,
+            local2,
+        }
+    }
+
+    /// The ASN that assigns this community's meaning.
+    pub const fn authority(self) -> Asn {
+        Asn::new(self.global)
+    }
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global, self.local1, self.local2)
+    }
+}
+
+impl FromStr for LargeCommunity {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let mut next = |name: &str| -> Result<u32, ParseError> {
+            parts
+                .next()
+                .ok_or_else(|| ParseError::new("large community", s, format!("missing {name}")))?
+                .parse::<u32>()
+                .map_err(|e| ParseError::new("large community", s, format!("bad {name}: {e}")))
+        };
+        let global = next("α")?;
+        let local1 = next("β")?;
+        let local2 = next("γ")?;
+        if parts.next().is_some() {
+            return Err(ParseError::new("large community", s, "too many parts"));
+        }
+        Ok(LargeCommunity {
+            global,
+            local1,
+            local2,
+        })
+    }
+}
+
+/// A 4-octet-AS-specific extended community (RFC 5668).
+///
+/// Only the transitive two-octet-local-administrator form is modeled; it is
+/// the one the paper's background section mentions as the 2009 bridge between
+/// regular and large communities.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ExtendedCommunity {
+    /// Sub-type (e.g. 0x02 route target, 0x03 route origin).
+    pub subtype: u8,
+    /// Global administrator: 32-bit ASN.
+    pub global: u32,
+    /// Local administrator: operator-defined 16 bits.
+    pub local: u16,
+}
+
+impl ExtendedCommunity {
+    /// RFC 5668 type byte for transitive 4-octet-AS-specific communities.
+    pub const TYPE_BYTE: u8 = 0x02;
+
+    /// Build an extended community.
+    pub const fn new(subtype: u8, global: u32, local: u16) -> Self {
+        ExtendedCommunity {
+            subtype,
+            global,
+            local,
+        }
+    }
+
+    /// Pack into the 8-byte wire representation.
+    pub const fn to_bytes(self) -> [u8; 8] {
+        let g = self.global.to_be_bytes();
+        let l = self.local.to_be_bytes();
+        [
+            Self::TYPE_BYTE,
+            self.subtype,
+            g[0],
+            g[1],
+            g[2],
+            g[3],
+            l[0],
+            l[1],
+        ]
+    }
+
+    /// Unpack from the 8-byte wire representation.
+    ///
+    /// Returns `None` when the type byte is not the 4-octet-AS-specific form.
+    pub const fn from_bytes(raw: [u8; 8]) -> Option<Self> {
+        if raw[0] != Self::TYPE_BYTE {
+            return None;
+        }
+        Some(ExtendedCommunity {
+            subtype: raw[1],
+            global: u32::from_be_bytes([raw[2], raw[3], raw[4], raw[5]]),
+            local: u16::from_be_bytes([raw[6], raw[7]]),
+        })
+    }
+
+    /// The ASN that assigns this community's meaning.
+    pub const fn authority(self) -> Asn {
+        Asn::new(self.global)
+    }
+}
+
+impl fmt::Display for ExtendedCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ext:{:#04x}:{}:{}",
+            self.subtype, self.global, self.local
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let c = Community::new(1299, 2569);
+        assert_eq!(Community::from_u32(c.to_u32()), c);
+        assert_eq!(c.to_u32(), (1299u32 << 16) | 2569);
+    }
+
+    #[test]
+    fn well_known_constants_match_rfc_values() {
+        assert_eq!(Community::NO_EXPORT.to_u32(), 0xFFFF_FF01);
+        assert_eq!(Community::NO_ADVERTISE.to_u32(), 0xFFFF_FF02);
+        assert_eq!(Community::NO_EXPORT_SUBCONFED.to_u32(), 0xFFFF_FF03);
+        assert_eq!(Community::NOPEER.to_u32(), 0xFFFF_FF04);
+        assert_eq!(Community::BLACKHOLE.to_u32(), 0xFFFF_029A);
+        assert_eq!(Community::GRACEFUL_SHUTDOWN.to_u32(), 0xFFFF_0000);
+        assert!(Community::NO_EXPORT.is_well_known());
+        assert!(!Community::new(1299, 2569).is_well_known());
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let c = Community::new(1299, 35130);
+        assert_eq!(c.to_string(), "1299:35130");
+        assert_eq!("1299:35130".parse::<Community>().unwrap(), c);
+        assert!("1299".parse::<Community>().is_err());
+        assert!("1299:".parse::<Community>().is_err());
+        assert!(":35130".parse::<Community>().is_err());
+        assert!("70000:1".parse::<Community>().is_err()); // α must fit 16 bits
+        assert!("1299:70000".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn authority_is_alpha() {
+        assert_eq!(Community::new(1299, 2569).authority(), Asn::new(1299));
+    }
+
+    #[test]
+    fn ordering_groups_by_asn_then_value() {
+        let a = Community::new(174, 900);
+        let b = Community::new(1299, 50);
+        let c = Community::new(1299, 150);
+        let mut v = vec![c, a, b];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn large_display_and_parse() {
+        let lc = LargeCommunity::new(206499, 1, 4000);
+        assert_eq!(lc.to_string(), "206499:1:4000");
+        assert_eq!("206499:1:4000".parse::<LargeCommunity>().unwrap(), lc);
+        assert!("1:2".parse::<LargeCommunity>().is_err());
+        assert!("1:2:3:4".parse::<LargeCommunity>().is_err());
+    }
+
+    #[test]
+    fn extended_bytes_roundtrip() {
+        let ec = ExtendedCommunity::new(0x03, 393226, 7);
+        assert_eq!(ExtendedCommunity::from_bytes(ec.to_bytes()), Some(ec));
+        let mut raw = ec.to_bytes();
+        raw[0] = 0x00; // different type byte
+        assert_eq!(ExtendedCommunity::from_bytes(raw), None);
+    }
+
+    #[test]
+    fn reserved_low_block() {
+        assert!(Community::new(0, 5).is_reserved_low());
+        assert!(!Community::new(1, 5).is_reserved_low());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for parsing the textual forms of BGP values.
+
+use std::fmt;
+
+/// An error produced when parsing the textual representation of a BGP value
+/// (ASN, prefix, community, AS path, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What kind of value was being parsed (e.g. `"community"`).
+    pub what: &'static str,
+    /// The offending input, truncated for display.
+    pub input: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl ParseError {
+    /// Create a new parse error for `what`, failing on `input` for `reason`.
+    pub fn new(what: &'static str, input: &str, reason: impl Into<String>) -> Self {
+        let mut input = input.to_string();
+        if input.len() > 64 {
+            input.truncate(64);
+            input.push('…');
+        }
+        ParseError {
+            what,
+            input,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} {:?}: {}", self.what, self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_reason() {
+        let e = ParseError::new("community", "1299:x", "bad beta");
+        let s = e.to_string();
+        assert!(s.contains("community"));
+        assert!(s.contains("1299:x"));
+        assert!(s.contains("bad beta"));
+    }
+
+    #[test]
+    fn long_input_is_truncated() {
+        let long = "a".repeat(200);
+        let e = ParseError::new("asn", &long, "too long");
+        assert!(e.input.chars().count() <= 65);
+        assert!(e.input.ends_with('…'));
+    }
+}

@@ -1,0 +1,40 @@
+//! Core BGP data types shared by every crate in this workspace.
+//!
+//! This crate models the on-the-wire and analytical vocabulary of BGP as used
+//! by the IMC 2023 paper *"Coarse-grained Inference of BGP Community Intent"*:
+//!
+//! * [`Asn`] — autonomous system numbers, including the 16-bit/32-bit split
+//!   and the private/reserved ranges the inference method must exclude.
+//! * [`Prefix`] — IPv4/IPv6 CIDR prefixes with canonical (masked) form.
+//! * [`Community`] — regular 32-bit communities (RFC 1997) in `α:β` form,
+//!   plus [`LargeCommunity`] (RFC 8092) and [`ExtendedCommunity`] (RFC 5668).
+//! * [`AsPath`] — AS paths with `AS_SEQUENCE`/`AS_SET` segments, prepending,
+//!   and the on-path membership tests the inference method is built on.
+//! * [`Announcement`] / [`RouteAttrs`] — a parsed route with its attributes.
+//! * [`Intent`] — the action/information label that the whole pipeline exists
+//!   to infer.
+//!
+//! All types are plain data: no I/O, no global state, and `serde` support so
+//! dictionaries and inferences can be released as data supplements like the
+//! paper's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod aspath;
+pub mod community;
+pub mod error;
+pub mod intent;
+pub mod observation;
+pub mod prefix;
+pub mod route;
+
+pub use asn::Asn;
+pub use aspath::{AsPath, PathSegment};
+pub use community::{Community, ExtendedCommunity, LargeCommunity};
+pub use error::ParseError;
+pub use intent::Intent;
+pub use observation::Observation;
+pub use prefix::Prefix;
+pub use route::{Announcement, Origin, RouteAttrs};

@@ -1,0 +1,204 @@
+//! IP prefixes (CIDR blocks) for route NLRI.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseError;
+
+/// An IPv4 or IPv6 prefix in canonical form: all bits beyond the prefix
+/// length are zero.
+///
+/// Construction through [`Prefix::new`] masks host bits, so two textual
+/// spellings of the same block (`10.0.0.1/8` and `10.0.0.0/8`) compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: IpAddr,
+    len: u8,
+}
+
+impl Prefix {
+    /// Create a prefix, masking any host bits in `addr`.
+    ///
+    /// Returns `None` when `len` exceeds the address family's bit width
+    /// (32 for IPv4, 128 for IPv6).
+    pub fn new(addr: IpAddr, len: u8) -> Option<Self> {
+        let max = match addr {
+            IpAddr::V4(_) => 32,
+            IpAddr::V6(_) => 128,
+        };
+        if len > max {
+            return None;
+        }
+        Some(Prefix {
+            addr: mask_addr(addr, len),
+            len,
+        })
+    }
+
+    /// Create an IPv4 prefix from octets; panics on invalid length.
+    ///
+    /// Convenience for tests and generators where the length is a constant.
+    pub fn v4(a: u8, b: u8, c: u8, d: u8, len: u8) -> Self {
+        Prefix::new(IpAddr::V4(Ipv4Addr::new(a, b, c, d)), len)
+            .expect("IPv4 prefix length must be <= 32")
+    }
+
+    /// The canonical network address.
+    pub fn addr(&self) -> IpAddr {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether the prefix length is zero (clippy-mandated companion to
+    /// [`Prefix::len`]; identical to [`Prefix::is_default_route`]).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this is the zero-length default route (`0.0.0.0/0` or `::/0`).
+    pub fn is_default_route(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this prefix is IPv4.
+    pub fn is_ipv4(&self) -> bool {
+        self.addr.is_ipv4()
+    }
+
+    /// Whether `other` is equal to or more specific than (contained in) `self`.
+    ///
+    /// Prefixes of different address families never contain each other.
+    pub fn contains(&self, other: &Prefix) -> bool {
+        if other.len < self.len {
+            return false;
+        }
+        match (self.addr, other.addr) {
+            (IpAddr::V4(a), IpAddr::V4(b)) => mask_v4(b, self.len) == a,
+            (IpAddr::V6(a), IpAddr::V6(b)) => mask_v6(b, self.len) == a,
+            _ => false,
+        }
+    }
+}
+
+fn mask_addr(addr: IpAddr, len: u8) -> IpAddr {
+    match addr {
+        IpAddr::V4(a) => IpAddr::V4(mask_v4(a, len)),
+        IpAddr::V6(a) => IpAddr::V6(mask_v6(a, len)),
+    }
+}
+
+fn mask_v4(a: Ipv4Addr, len: u8) -> Ipv4Addr {
+    let raw = u32::from(a);
+    let masked = if len == 0 {
+        0
+    } else {
+        raw & (u32::MAX << (32 - len as u32))
+    };
+    Ipv4Addr::from(masked)
+}
+
+fn mask_v6(a: Ipv6Addr, len: u8) -> Ipv6Addr {
+    let raw = u128::from(a);
+    let masked = if len == 0 {
+        0
+    } else {
+        raw & (u128::MAX << (128 - len as u32))
+    };
+    Ipv6Addr::from(masked)
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::new("prefix", s, "expected addr/len"))?;
+        let addr = addr
+            .parse::<IpAddr>()
+            .map_err(|e| ParseError::new("prefix", s, e.to_string()))?;
+        let len = len
+            .parse::<u8>()
+            .map_err(|e| ParseError::new("prefix", s, e.to_string()))?;
+        Prefix::new(addr, len).ok_or_else(|| ParseError::new("prefix", s, "length too long"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let a: Prefix = "10.1.2.3/8".parse().unwrap();
+        let b: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn rejects_overlong() {
+        assert!(Prefix::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 33).is_none());
+        assert!("::/129".parse::<Prefix>().is_err());
+        assert!(Prefix::new("::".parse().unwrap(), 128).is_some());
+    }
+
+    #[test]
+    fn contains_more_specifics() {
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        let more: Prefix = "192.0.2.128/25".parse().unwrap();
+        let other: Prefix = "192.0.3.0/24".parse().unwrap();
+        assert!(p.contains(&more));
+        assert!(p.contains(&p));
+        assert!(!p.contains(&other));
+        assert!(!more.contains(&p)); // less specific not contained
+    }
+
+    #[test]
+    fn contains_is_family_aware() {
+        let v4: Prefix = "0.0.0.0/0".parse().unwrap();
+        let v6: Prefix = "2001:db8::/32".parse().unwrap();
+        assert!(!v4.contains(&v6));
+        assert!(!v6.contains(&v4));
+        assert!(v4.is_default_route());
+    }
+
+    #[test]
+    fn ipv6_masking() {
+        let p: Prefix = "2001:db8:ffff::1/32".parse().unwrap();
+        assert_eq!(p.to_string(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn zero_length_masks_to_zero() {
+        let p = Prefix::new("203.0.113.9".parse().unwrap(), 0).unwrap();
+        assert_eq!(p.to_string(), "0.0.0.0/0");
+    }
+
+    #[test]
+    fn v4_helper() {
+        assert_eq!(
+            Prefix::v4(198, 51, 100, 0, 24).to_string(),
+            "198.51.100.0/24"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "IPv4 prefix length")]
+    fn v4_helper_panics_on_bad_len() {
+        let _ = Prefix::v4(198, 51, 100, 0, 40);
+    }
+}

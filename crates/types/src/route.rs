@@ -1,0 +1,184 @@
+//! Parsed routes: a prefix plus the BGP path attributes the pipeline reads.
+
+use std::net::IpAddr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aspath::AsPath;
+use crate::community::{Community, LargeCommunity};
+use crate::prefix::Prefix;
+
+/// BGP ORIGIN attribute (RFC 4271 §5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Origin {
+    /// Learned from an IGP (`ORIGIN=IGP`, wire value 0).
+    #[default]
+    Igp,
+    /// Learned from EGP (wire value 1, historical).
+    Egp,
+    /// Incomplete — typically redistributed (wire value 2).
+    Incomplete,
+}
+
+impl Origin {
+    /// RFC 4271 wire encoding.
+    pub const fn to_u8(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    /// Decode from the wire value.
+    pub const fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Origin::Igp),
+            1 => Some(Origin::Egp),
+            2 => Some(Origin::Incomplete),
+            _ => None,
+        }
+    }
+}
+
+/// The path attributes of a route that this pipeline consumes or encodes.
+///
+/// This is the analytical (already parsed) representation; the wire form
+/// lives in the `bgp-mrt` crate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteAttrs {
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// AS_PATH attribute.
+    pub as_path: AsPath,
+    /// NEXT_HOP attribute.
+    pub next_hop: IpAddr,
+    /// MULTI_EXIT_DISC, if present.
+    pub med: Option<u32>,
+    /// LOCAL_PREF, if present (iBGP only in real deployments; the simulator
+    /// records it for introspection).
+    pub local_pref: Option<u32>,
+    /// Regular communities (RFC 1997), order preserved as announced.
+    pub communities: Vec<Community>,
+    /// Large communities (RFC 8092).
+    pub large_communities: Vec<LargeCommunity>,
+    /// ATOMIC_AGGREGATE flag.
+    pub atomic_aggregate: bool,
+}
+
+impl RouteAttrs {
+    /// Attributes for a freshly originated route with the given path and
+    /// next hop and no optional attributes.
+    pub fn originated(as_path: AsPath, next_hop: IpAddr) -> Self {
+        RouteAttrs {
+            origin: Origin::Igp,
+            as_path,
+            next_hop,
+            med: None,
+            local_pref: None,
+            communities: Vec::new(),
+            large_communities: Vec::new(),
+            atomic_aggregate: false,
+        }
+    }
+
+    /// Add a regular community if not already present (BGP communities are a
+    /// set on the wire; duplicates are legal but meaningless).
+    pub fn add_community(&mut self, c: Community) {
+        if !self.communities.contains(&c) {
+            self.communities.push(c);
+        }
+    }
+
+    /// Remove every community whose authority (`α`) is `asn` — what a router
+    /// does with `set comm-list delete` when scrubbing a neighbor's values.
+    pub fn strip_communities_of(&mut self, asn: u16) {
+        self.communities.retain(|c| c.asn != asn);
+    }
+
+    /// Remove all communities (the "≈400 ASes filter all communities"
+    /// behaviour from §5.1).
+    pub fn strip_all_communities(&mut self) {
+        self.communities.clear();
+        self.large_communities.clear();
+    }
+}
+
+impl Default for RouteAttrs {
+    fn default() -> Self {
+        RouteAttrs::originated(AsPath::empty(), IpAddr::from([0, 0, 0, 0]))
+    }
+}
+
+/// A route announcement: a prefix and its attributes, as recorded by a
+/// vantage point or carried in an UPDATE.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The announced prefix (NLRI).
+    pub prefix: Prefix,
+    /// The route's attributes.
+    pub attrs: RouteAttrs,
+}
+
+impl Announcement {
+    /// Convenience constructor.
+    pub fn new(prefix: Prefix, attrs: RouteAttrs) -> Self {
+        Announcement { prefix, attrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::Asn;
+
+    #[test]
+    fn origin_wire_roundtrip() {
+        for o in [Origin::Igp, Origin::Egp, Origin::Incomplete] {
+            assert_eq!(Origin::from_u8(o.to_u8()), Some(o));
+        }
+        assert_eq!(Origin::from_u8(3), None);
+    }
+
+    #[test]
+    fn add_community_deduplicates() {
+        let mut attrs = RouteAttrs::default();
+        let c = Community::new(1299, 2569);
+        attrs.add_community(c);
+        attrs.add_community(c);
+        assert_eq!(attrs.communities, vec![c]);
+    }
+
+    #[test]
+    fn strip_by_authority() {
+        let mut attrs = RouteAttrs::default();
+        attrs.add_community(Community::new(1299, 2569));
+        attrs.add_community(Community::new(3356, 100));
+        attrs.strip_communities_of(1299);
+        assert_eq!(attrs.communities, vec![Community::new(3356, 100)]);
+    }
+
+    #[test]
+    fn strip_all_clears_both_kinds() {
+        let mut attrs = RouteAttrs::default();
+        attrs.add_community(Community::new(1299, 2569));
+        attrs
+            .large_communities
+            .push(LargeCommunity::new(1299, 1, 2));
+        attrs.strip_all_communities();
+        assert!(attrs.communities.is_empty());
+        assert!(attrs.large_communities.is_empty());
+    }
+
+    #[test]
+    fn originated_has_no_optional_attrs() {
+        let attrs = RouteAttrs::originated(
+            AsPath::from_sequence([Asn::new(64496)]),
+            IpAddr::from([192, 0, 2, 1]),
+        );
+        assert_eq!(attrs.med, None);
+        assert_eq!(attrs.local_pref, None);
+        assert!(attrs.communities.is_empty());
+        assert!(!attrs.atomic_aggregate);
+    }
+}

@@ -1,0 +1,37 @@
+//! Facade crate for the *Coarse-grained Inference of BGP Community Intent*
+//! (IMC 2023) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! ```
+//! use bgp_community_intent::types::Community;
+//! let c: Community = "1299:2569".parse().unwrap();
+//! assert_eq!(c.asn, 1299);
+//! ```
+//!
+//! See the individual crates for the real documentation:
+//!
+//! * [`types`] — ASNs, prefixes, communities, AS paths.
+//! * [`mrt`] — MRT (RFC 6396) + BGP UPDATE (RFC 4271) codecs.
+//! * [`topology`] — synthetic AS-level Internet generation.
+//! * [`policy`] — per-AS community dictionary generation (Fig 2 taxonomy).
+//! * [`sim`] — Gao-Rexford route propagation with community semantics.
+//! * [`relationships`] — AS relationship inference and as2org siblings.
+//! * [`dictionary`] — ground-truth dictionaries and the pattern engine.
+//! * [`intent`] — **the paper's method**: clustering + on/off-path inference.
+//! * [`loccomm`] — location-community baseline and its improvement (Table 1).
+//! * [`experiments`] — scenario builder and per-figure harnesses.
+
+#![forbid(unsafe_code)]
+
+pub use bgp_dictionary as dictionary;
+pub use bgp_experiments as experiments;
+pub use bgp_intent as intent;
+pub use bgp_loccomm as loccomm;
+pub use bgp_mrt as mrt;
+pub use bgp_policy as policy;
+pub use bgp_relationships as relationships;
+pub use bgp_sim as sim;
+pub use bgp_topology as topology;
+pub use bgp_types as types;
