@@ -7,8 +7,11 @@ use std::path::Path;
 
 use bgp_dictionary::GroundTruthDictionary;
 use bgp_experiments::{Args, Scenario, ScenarioConfig};
-use bgp_intent::{run_inference, Exclusion, InferenceConfig};
-use bgp_mrt::obs::{read_observations, write_rib_dump, write_update_stream};
+use bgp_intent::{run_inference, run_inference_with_report, Exclusion, InferenceConfig};
+use bgp_mrt::obs::{
+    read_observations_resilient, read_observations_strict, write_rib_dump, write_update_stream,
+};
+use bgp_mrt::{IngestReport, RecoverConfig};
 use bgp_relationships::SiblingMap;
 use bgp_types::{Asn, Intent, Observation};
 
@@ -17,9 +20,11 @@ pub const USAGE: &str = "\
 bgpcomm — BGP community intent inference (IMC'23 reproduction)
 
 USAGE:
-    bgpcomm stats    --mrt FILE [--mrt FILE ...]
+    bgpcomm stats    --mrt FILE [--mrt FILE ...] [--strict] [--max-errors N]
+                     [--report FILE]
     bgpcomm infer    --mrt FILE [--mrt FILE ...] [--gap N] [--ratio N]
                      [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
+                     [--strict] [--max-errors N] [--report FILE]
     bgpcomm validate --mrt FILE [--mrt FILE ...]
     bgpcomm compare  --old FILE --new FILE
     bgpcomm generate --out DIR [--scale F] [--seed N] [--days N] [--docs N]
@@ -30,27 +35,161 @@ COMMANDS:
     validate  Lint MRT archives: per-record-type counts and decode errors.
     compare   Diff two label files from `infer --json` (drift monitoring).
     generate  Write a synthetic collector dataset + ground-truth dictionary.
+
+INGESTION (stats, infer):
+    By default damaged MRT input degrades gracefully: the reader skips
+    undecodable records, resynchronizes past framing corruption, and prints
+    an ingest summary to stderr.
+    --strict        Abort on the first decode error (exit code 2).
+    --max-errors N  Abort once more than N records fail to decode (exit 3).
+    --report FILE   Write the machine-readable ingest report (JSON) to FILE,
+                    or to stdout if FILE is `-`.
+
+EXIT CODES:
+    0  success        2  decode error in --strict mode
+    1  generic error  3  ingestion aborted (error budget, unrecoverable I/O)
 ";
 
-fn mrt_files(args: &Args) -> Result<Vec<String>, String> {
-    // The tiny Args parser keeps one value per key; accept comma-separated
-    // and repeated forms by splitting.
-    let raw = args
-        .get_str("mrt")
-        .ok_or("at least one --mrt FILE is required")?;
-    Ok(raw.split(',').map(str::to_string).collect())
+/// Exit code for a decode error under `--strict`.
+pub const EXIT_DECODE: u8 = 2;
+/// Exit code for an aborted lenient ingest (error budget, fatal I/O).
+pub const EXIT_ABORTED: u8 = 3;
+
+/// A command failure: user-facing message plus the process exit code.
+#[derive(Debug)]
+pub struct Failure {
+    /// What went wrong, for stderr.
+    pub message: String,
+    /// Process exit code (1 = generic, see `EXIT_*`).
+    pub code: u8,
 }
 
-fn load_observations(paths: &[String]) -> Result<Vec<Observation>, String> {
+impl Failure {
+    fn new(code: u8, message: impl Into<String>) -> Self {
+        Failure {
+            message: message.into(),
+            code,
+        }
+    }
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Failure { message, code: 1 }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(message: &str) -> Self {
+        Failure::from(message.to_string())
+    }
+}
+
+fn mrt_files(args: &Args) -> Result<Vec<String>, String> {
+    // Accept both the repeated form (--mrt a --mrt b) and comma-separated
+    // values within one flag.
+    let all = args.get_all("mrt");
+    if all.is_empty() {
+        return Err("at least one --mrt FILE is required".into());
+    }
+    Ok(all
+        .iter()
+        .flat_map(|v| v.split(','))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Ingestion policy assembled from `--strict`, `--max-errors`, `--report`.
+struct IngestOptions {
+    strict: bool,
+    recover: RecoverConfig,
+    report_path: Option<String>,
+}
+
+impl IngestOptions {
+    fn from_args(args: &Args) -> Result<Self, String> {
+        let strict = args.flag("strict");
+        let mut recover = RecoverConfig::default();
+        if let Some(raw) = args.get_str("max-errors") {
+            let limit: u64 = raw
+                .parse()
+                .map_err(|e| format!("--max-errors {raw}: {e}"))?;
+            if strict {
+                return Err("--strict and --max-errors are mutually exclusive".into());
+            }
+            recover.max_errors = Some(limit);
+        }
+        Ok(IngestOptions {
+            strict,
+            recover,
+            report_path: args.get_str("report").map(str::to_string),
+        })
+    }
+}
+
+/// Load observations from every `--mrt` file under the chosen policy.
+///
+/// Strict mode returns the first decode error (exit code 2) and no report;
+/// lenient mode always salvages what it can and returns the merged
+/// [`IngestReport`]. An aborted lenient ingest (error budget exceeded,
+/// unrecoverable I/O) becomes exit code 3 *after* the report is written, so
+/// scripts still get the accounting.
+fn load_observations(
+    paths: &[String],
+    opts: &IngestOptions,
+) -> Result<(Vec<Observation>, Option<IngestReport>), Failure> {
     let mut observations = Vec::new();
+    if opts.strict {
+        for path in paths {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let parsed = read_observations_strict(BufReader::new(file))
+                .map_err(|e| Failure::new(EXIT_DECODE, format!("parse {path}: {e}")))?;
+            eprintln!("{path}: {} observations", parsed.len());
+            observations.extend(parsed);
+        }
+        return Ok((observations, None));
+    }
+
+    let mut merged = IngestReport::default();
+    let mut aborted: Option<String> = None;
     for path in paths {
         let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        let parsed =
-            read_observations(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))?;
-        eprintln!("{path}: {} observations", parsed.len());
+        let (parsed, report) = read_observations_resilient(BufReader::new(file), &opts.recover);
+        eprintln!(
+            "{path}: {} observations ({})",
+            parsed.len(),
+            report.summary()
+        );
+        if let Some(why) = &report.aborted {
+            aborted.get_or_insert_with(|| format!("{path}: {why}"));
+        }
+        merged.merge(&report);
         observations.extend(parsed);
     }
-    Ok(observations)
+    write_report(&merged, opts)?;
+    if let Some(why) = aborted {
+        return Err(Failure::new(
+            EXIT_ABORTED,
+            format!("ingestion aborted: {why}"),
+        ));
+    }
+    Ok((observations, Some(merged)))
+}
+
+/// Honor `--report FILE` (or `-` for stdout) with the merged ingest report.
+fn write_report(report: &IngestReport, opts: &IngestOptions) -> Result<(), Failure> {
+    let Some(path) = &opts.report_path else {
+        return Ok(());
+    };
+    let json =
+        serde_json::to_string_pretty(report).map_err(|e| format!("serialize report: {e}"))?;
+    if path == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(path, json + "\n").map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote ingest report to {path}");
+    }
+    Ok(())
 }
 
 fn load_siblings(args: &Args) -> Result<SiblingMap, String> {
@@ -64,9 +203,10 @@ fn load_siblings(args: &Args) -> Result<SiblingMap, String> {
 }
 
 /// `bgpcomm stats`
-pub fn stats(raw: Vec<String>) -> Result<(), String> {
+pub fn stats(raw: Vec<String>) -> Result<(), Failure> {
     let args = Args::parse(raw)?;
-    let observations = load_observations(&mrt_files(&args)?)?;
+    let opts = IngestOptions::from_args(&args)?;
+    let (observations, report) = load_observations(&mrt_files(&args)?, &opts)?;
 
     let mut paths = HashSet::new();
     let mut tuples = HashSet::new();
@@ -91,13 +231,19 @@ pub fn stats(raw: Vec<String>) -> Result<(), String> {
     println!("unique tuples       : {}", tuples.len());
     println!("distinct communities: {}", communities.len());
     println!("community owners    : {}", owners.len());
+    if let Some(report) = &report {
+        if !report.is_clean() {
+            println!("ingest degradation  : {}", report.summary());
+        }
+    }
     Ok(())
 }
 
 /// `bgpcomm infer`
-pub fn infer(raw: Vec<String>) -> Result<(), String> {
+pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
     let args = Args::parse(raw)?;
-    let observations = load_observations(&mrt_files(&args)?)?;
+    let opts = IngestOptions::from_args(&args)?;
+    let (observations, report) = load_observations(&mrt_files(&args)?, &opts)?;
     let siblings = load_siblings(&args)?;
     let cfg = InferenceConfig {
         min_gap: args.get("gap", 140u16)?,
@@ -115,7 +261,12 @@ pub fn infer(raw: Vec<String>) -> Result<(), String> {
         }
     };
 
-    let result = run_inference(&observations, &siblings, &cfg, dict.as_ref());
+    let result = match report {
+        Some(report) => {
+            run_inference_with_report(&observations, &siblings, &cfg, dict.as_ref(), report)
+        }
+        None => run_inference(&observations, &siblings, &cfg, dict.as_ref()),
+    };
     let (action, info) = result.inference.intent_counts();
     println!("observed communities : {}", result.stats.community_count());
     println!(
@@ -145,6 +296,11 @@ pub fn infer(raw: Vec<String>) -> Result<(), String> {
             eval.accuracy() * 100.0
         );
     }
+    if let Some(ingest) = &result.ingest {
+        if !ingest.is_clean() {
+            println!("ingest degradation   : {}", ingest.summary());
+        }
+    }
 
     // Human-readable sample, largest owners first.
     let top: usize = args.get("top", 10)?;
@@ -158,13 +314,22 @@ pub fn infer(raw: Vec<String>) -> Result<(), String> {
     }
 
     if let Some(path) = args.get_str("json") {
-        let mut labels: Vec<_> = result
+        // Sort on the typed key, not on a string fished back out of the
+        // JSON value: no lossy fallback, and community order is the
+        // natural (asn, value) order rather than lexicographic.
+        let mut keyed: Vec<_> = result
             .inference
             .labels
             .iter()
-            .map(|(c, i)| serde_json::json!({ "community": c.to_string(), "intent": i }))
+            .map(|(c, i)| {
+                (
+                    *c,
+                    serde_json::json!({ "community": c.to_string(), "intent": i }),
+                )
+            })
             .collect();
-        labels.sort_by_key(|v| v["community"].as_str().unwrap_or("").to_string());
+        keyed.sort_by_key(|(c, _)| *c);
+        let labels: Vec<serde_json::Value> = keyed.into_iter().map(|(_, v)| v).collect();
         let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         serde_json::to_writer_pretty(BufWriter::new(file), &labels)
             .map_err(|e| format!("write {path}: {e}"))?;
@@ -174,7 +339,7 @@ pub fn infer(raw: Vec<String>) -> Result<(), String> {
 }
 
 /// `bgpcomm validate`
-pub fn validate(raw: Vec<String>) -> Result<(), String> {
+pub fn validate(raw: Vec<String>) -> Result<(), Failure> {
     use bgp_mrt::records::MrtRecord;
     use bgp_mrt::{MrtError, MrtReader};
 
@@ -228,7 +393,7 @@ pub fn validate(raw: Vec<String>) -> Result<(), String> {
         total_bad += reader.records_skipped() + u64::from(aborted);
     }
     if total_bad > 0 {
-        Err(format!("{total_bad} undecodable record(s)"))
+        Err(format!("{total_bad} undecodable record(s)").into())
     } else {
         Ok(())
     }
@@ -253,7 +418,7 @@ fn load_labels(path: &str) -> Result<std::collections::BTreeMap<String, String>,
 }
 
 /// `bgpcomm compare`
-pub fn compare(raw: Vec<String>) -> Result<(), String> {
+pub fn compare(raw: Vec<String>) -> Result<(), Failure> {
     let args = Args::parse(raw)?;
     let old_path = args.get_str("old").ok_or("--old FILE is required")?;
     let new_path = args.get_str("new").ok_or("--new FILE is required")?;
@@ -291,12 +456,12 @@ pub fn compare(raw: Vec<String>) -> Result<(), String> {
     if flipped.is_empty() {
         Ok(())
     } else {
-        Err(format!("{} intent flip(s) detected", flipped.len()))
+        Err(format!("{} intent flip(s) detected", flipped.len()).into())
     }
 }
 
 /// `bgpcomm generate`
-pub fn generate(raw: Vec<String>) -> Result<(), String> {
+pub fn generate(raw: Vec<String>) -> Result<(), Failure> {
     let args = Args::parse(raw)?;
     let out = args.get_str("out").ok_or("--out DIR is required")?;
     let days: u32 = args.get("days", 7)?;
@@ -356,7 +521,11 @@ pub fn generate(raw: Vec<String>) -> Result<(), String> {
     let truth_path = dir.join("truth.json");
     let mut truth: Vec<serde_json::Value> = Vec::new();
     for asn in scenario.policies.asns_sorted() {
-        let policy = scenario.policies.get(asn).expect("listed");
+        // An AS listed without a policy would be an internal inconsistency;
+        // surface it as an error instead of panicking mid-write.
+        let policy = scenario.policies.get(asn).ok_or_else(|| {
+            format!("internal error: AS{asn} is listed in the policy table but has no policy")
+        })?;
         for (&beta, purpose) in &policy.defs {
             truth.push(serde_json::json!({
                 "community": format!("{}:{}", asn, beta),

@@ -19,7 +19,26 @@ use std::process::ExitCode;
 
 mod commands;
 
+/// Restore the default SIGPIPE disposition so `bgpcomm ... | head` exits
+/// quietly instead of panicking on the broken pipe (Rust ignores SIGPIPE
+/// by default, turning writes to a closed pipe into `println!` panics).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
 fn main() -> ExitCode {
+    reset_sigpipe();
     let mut args = std::env::args().skip(1);
     let command = args.next();
     let rest: Vec<String> = args.collect();
@@ -33,13 +52,16 @@ fn main() -> ExitCode {
             eprint!("{}", commands::USAGE);
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+        Some(other) => Err(commands::Failure::from(format!(
+            "unknown command {other:?}\n\n{}",
+            commands::USAGE
+        ))),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("bgpcomm: {message}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("bgpcomm: {}", failure.message);
+            ExitCode::from(failure.code)
         }
     }
 }

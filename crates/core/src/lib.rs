@@ -77,5 +77,5 @@ pub use classify::{Exclusion, Inference, InferenceConfig};
 pub use cluster::gap_clusters;
 pub use eval::Evaluation;
 pub use large::{classify_large, LargeInference};
-pub use pipeline::run_inference;
+pub use pipeline::{run_inference, run_inference_with_report, PipelineResult};
 pub use stats::{PathCounts, PathStats};

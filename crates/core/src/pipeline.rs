@@ -2,6 +2,7 @@
 //! (optionally) an evaluation out.
 
 use bgp_dictionary::GroundTruthDictionary;
+use bgp_mrt::IngestReport;
 use bgp_relationships::SiblingMap;
 use bgp_types::Observation;
 
@@ -18,6 +19,10 @@ pub struct PipelineResult {
     pub inference: Inference,
     /// Score against ground truth, when a dictionary was supplied.
     pub evaluation: Option<Evaluation>,
+    /// Ingestion accounting, when the observations came through the
+    /// resilient MRT path (see [`run_inference_with_report`]). `None` means
+    /// the caller supplied observations directly.
+    pub ingest: Option<IngestReport>,
 }
 
 /// Run the full method: statistics → clustering → classification →
@@ -35,7 +40,23 @@ pub fn run_inference(
         stats,
         inference,
         evaluation,
+        ingest: None,
     }
+}
+
+/// [`run_inference`], carrying the [`IngestReport`] from a resilient MRT
+/// read so downstream consumers can qualify the results ("inferred from
+/// 97% of the archive") without a side channel.
+pub fn run_inference_with_report(
+    observations: &[Observation],
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    dict: Option<&GroundTruthDictionary>,
+    ingest: IngestReport,
+) -> PipelineResult {
+    let mut result = run_inference(observations, siblings, cfg, dict);
+    result.ingest = Some(ingest);
+    result
 }
 
 #[cfg(test)]
@@ -87,6 +108,26 @@ mod tests {
         assert_eq!(eval.accuracy(), 1.0);
         let (action, info) = result.inference.intent_counts();
         assert_eq!((action, info), (1, 2));
+    }
+
+    #[test]
+    fn with_report_carries_the_ingest_accounting() {
+        let observations = vec![obs("10 1299 64496", &[(1299, 1)])];
+        let report = IngestReport {
+            records_read: 1,
+            bytes_ok: 60,
+            bytes_read: 60,
+            ..IngestReport::default()
+        };
+        let result = run_inference_with_report(
+            &observations,
+            &SiblingMap::default(),
+            &InferenceConfig::default(),
+            None,
+            report.clone(),
+        );
+        assert_eq!(result.ingest, Some(report));
+        assert_eq!(result.inference.labels.len(), 1);
     }
 
     #[test]

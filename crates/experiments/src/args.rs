@@ -7,6 +7,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     values: HashMap<String, String>,
+    pairs: Vec<(String, String)>,
     flags: Vec<String>,
 }
 
@@ -26,7 +27,8 @@ impl Args {
             match iter.peek() {
                 Some(next) if !next.starts_with("--") => {
                     let value = iter.next().expect("peeked");
-                    out.values.insert(key.to_string(), value);
+                    out.values.insert(key.to_string(), value.clone());
+                    out.pairs.push((key.to_string(), value));
                 }
                 _ => out.flags.push(key.to_string()),
             }
@@ -55,8 +57,21 @@ impl Args {
     }
 
     /// An optional string value like `--json out.json`.
+    ///
+    /// For a repeated key this returns the last occurrence; use
+    /// [`Args::get_all`] for keys that accept multiple values.
     pub fn get_str(&self, name: &str) -> Option<&str> {
         self.values.get(name).map(String::as_str)
+    }
+
+    /// Every value given for a repeatable key like `--mrt a --mrt b`,
+    /// in command-line order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 }
 
@@ -89,6 +104,14 @@ mod tests {
         let a = parse("--json out.json");
         assert_eq!(a.get_str("json"), Some("out.json"));
         assert_eq!(a.get_str("csv"), None);
+    }
+
+    #[test]
+    fn repeated_keys_keep_every_value() {
+        let a = parse("--mrt rib.mrt --mrt updates.mrt --seed 1");
+        assert_eq!(a.get_all("mrt"), vec!["rib.mrt", "updates.mrt"]);
+        assert_eq!(a.get_str("mrt"), Some("updates.mrt"));
+        assert!(a.get_all("json").is_empty());
     }
 
     #[test]

@@ -40,6 +40,31 @@ pub enum MrtError {
         /// The offending length.
         len: usize,
     },
+    /// A lenient reader hit its configured error budget and stopped early.
+    BudgetExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+/// The coarse kind of an [`MrtError`], used for error accounting: ingest
+/// reports count decode failures per kind so operators can tell a rotten
+/// archive (truncation, garbage) from a merely exotic one (unsupported
+/// record types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrtErrorKind {
+    /// [`MrtError::Io`].
+    Io,
+    /// [`MrtError::Truncated`].
+    Truncated,
+    /// [`MrtError::Malformed`].
+    Malformed,
+    /// [`MrtError::Unsupported`].
+    Unsupported,
+    /// [`MrtError::TooLong`].
+    TooLong,
+    /// [`MrtError::BudgetExceeded`].
+    BudgetExceeded,
 }
 
 impl MrtError {
@@ -49,6 +74,29 @@ impl MrtError {
             context,
             reason: reason.into(),
         }
+    }
+
+    /// The coarse kind of this error, for counting.
+    pub fn kind(&self) -> MrtErrorKind {
+        match self {
+            MrtError::Io(_) => MrtErrorKind::Io,
+            MrtError::Truncated { .. } => MrtErrorKind::Truncated,
+            MrtError::Malformed { .. } => MrtErrorKind::Malformed,
+            MrtError::Unsupported { .. } => MrtErrorKind::Unsupported,
+            MrtError::TooLong { .. } => MrtErrorKind::TooLong,
+            MrtError::BudgetExceeded { .. } => MrtErrorKind::BudgetExceeded,
+        }
+    }
+
+    /// Whether the stream position after this error is still trustworthy: the
+    /// record was well-framed and fully consumed, so a reader can continue.
+    /// Framing-level errors (I/O, truncation, budget) are not recoverable
+    /// in-place — a plain reader must stop, a recovering reader must resync.
+    pub fn is_record_local(&self) -> bool {
+        matches!(
+            self.kind(),
+            MrtErrorKind::Malformed | MrtErrorKind::Unsupported | MrtErrorKind::TooLong
+        )
     }
 }
 
@@ -67,6 +115,12 @@ impl fmt::Display for MrtError {
             }
             MrtError::TooLong { context, len } => {
                 write!(f, "{context} too long to encode: {len} bytes")
+            }
+            MrtError::BudgetExceeded { limit } => {
+                write!(
+                    f,
+                    "error budget exceeded: more than {limit} decode error(s)"
+                )
             }
         }
     }
@@ -110,6 +164,28 @@ mod tests {
             len: 70000,
         };
         assert!(e.to_string().contains("70000"));
+        let e = MrtError::BudgetExceeded { limit: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn kinds_and_recoverability() {
+        assert_eq!(
+            MrtError::malformed("x", "y").kind(),
+            MrtErrorKind::Malformed
+        );
+        assert!(MrtError::malformed("x", "y").is_record_local());
+        assert!(MrtError::Unsupported {
+            context: "MRT type",
+            value: 99
+        }
+        .is_record_local());
+        assert!(!MrtError::Truncated {
+            context: "h",
+            needed: 1
+        }
+        .is_record_local());
+        assert!(!MrtError::BudgetExceeded { limit: 0 }.is_record_local());
     }
 
     #[test]

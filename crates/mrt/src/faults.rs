@@ -1,0 +1,424 @@
+//! Deterministic fault injection for MRT byte streams.
+//!
+//! Real collector archives (RouteViews, RIPE RIS) contain truncated records,
+//! unknown types, and malformed attributes; a pipeline that only ever sees
+//! its own pristine output never exercises the paths that matter in
+//! deployment. This module mutates a *clean* MRT stream with seeded,
+//! composable corruptions so tests and benches can make robustness a
+//! measured invariant: the same `(seed, rate, kinds)` triple always produces
+//! the same damaged bytes.
+//!
+//! The injector is record-aware: it frames the clean stream first, then
+//! damages a chosen fraction of records. Faults fall into two classes the
+//! reader stack treats very differently:
+//!
+//! * **body-local** damage (unknown type/subtype, malformed body bytes) —
+//!   the record stays well-framed, so even the plain [`crate::MrtReader`]
+//!   skips it and continues;
+//! * **framing** damage (mid-record truncation, corrupted length fields,
+//!   interleaved garbage) — the byte position of the next record is lost,
+//!   and only the resynchronizing [`crate::RecoveringReader`] can continue.
+
+/// One way to damage a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Cut the record short mid-body (framing damage: the stream loses
+    /// alignment at this point).
+    TruncateRecord,
+    /// Flip one random bit somewhere in the 12-byte MRT header.
+    HeaderBitFlip,
+    /// Flip one random bit somewhere in the body.
+    BodyBitFlip,
+    /// Inflate the header length field beyond the actual body (framing
+    /// damage: the reader swallows the next record(s) as body bytes).
+    OversizeLength,
+    /// Shrink the header length field below the actual body (framing
+    /// damage: trailing body bytes look like a next header).
+    UndersizeLength,
+    /// Rewrite the MRT type to a value no implementation knows.
+    UnknownType,
+    /// Rewrite the subtype to a value no implementation knows.
+    UnknownSubtype,
+    /// Overwrite a small span of body bytes with garbage (typically lands
+    /// in a path attribute).
+    MalformedBody,
+    /// Insert a run of random bytes *before* the record (framing damage:
+    /// the reader must scan past the garbage to resync).
+    GarbageInsert,
+}
+
+/// Every fault kind, for "throw the kitchen sink at it" configurations.
+pub const ALL_FAULT_KINDS: &[FaultKind] = &[
+    FaultKind::TruncateRecord,
+    FaultKind::HeaderBitFlip,
+    FaultKind::BodyBitFlip,
+    FaultKind::OversizeLength,
+    FaultKind::UndersizeLength,
+    FaultKind::UnknownType,
+    FaultKind::UnknownSubtype,
+    FaultKind::MalformedBody,
+    FaultKind::GarbageInsert,
+];
+
+/// The subset of [`ALL_FAULT_KINDS`] that keeps records well-framed, so a
+/// non-recovering reader is expected to survive them too.
+pub const BODY_LOCAL_FAULT_KINDS: &[FaultKind] = &[
+    FaultKind::BodyBitFlip,
+    FaultKind::UnknownType,
+    FaultKind::UnknownSubtype,
+    FaultKind::MalformedBody,
+];
+
+/// Injection parameters. Identical configs over identical input produce
+/// identical output.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the injector's deterministic PRNG.
+    pub seed: u64,
+    /// Fraction of records to corrupt, `0.0..=1.0`. Any positive rate
+    /// corrupts at least one record (when there is one).
+    pub rate: f64,
+    /// The fault kinds to draw from, uniformly. Empty means "inject
+    /// nothing".
+    pub kinds: Vec<FaultKind>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xBADC_0FFE,
+            rate: 0.01,
+            kinds: ALL_FAULT_KINDS.to_vec(),
+        }
+    }
+}
+
+/// One corruption that was applied, for test assertions and reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedFault {
+    /// Index of the damaged record in the clean stream's framing.
+    pub record_index: usize,
+    /// Byte offset of that record's header in the *clean* stream.
+    pub clean_offset: usize,
+    /// What was done to it.
+    pub kind: FaultKind,
+}
+
+/// Everything an injection run did.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog {
+    /// Applied faults in record order.
+    pub applied: Vec<AppliedFault>,
+}
+
+impl FaultLog {
+    /// Total number of corruptions applied.
+    pub fn count(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// How many corruptions of one kind were applied.
+    pub fn count_of(&self, kind: FaultKind) -> usize {
+        self.applied.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Whether any applied fault breaks framing (as opposed to damaging a
+    /// single record body in place).
+    pub fn breaks_framing(&self) -> bool {
+        self.applied.iter().any(|f| {
+            matches!(
+                f.kind,
+                FaultKind::TruncateRecord
+                    | FaultKind::HeaderBitFlip
+                    | FaultKind::OversizeLength
+                    | FaultKind::UndersizeLength
+                    | FaultKind::GarbageInsert
+            )
+        })
+    }
+}
+
+/// SplitMix64: tiny, seedable, and stable across platforms — exactly what a
+/// reproducible corruption schedule needs (and no extra dependency).
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (modulo bias is irrelevant for fuzzing).
+    fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// `(start, total_len)` of each record in a clean stream; stops at the first
+/// frame that does not fit (the unframeable tail is passed through verbatim).
+fn frame(clean: &[u8]) -> Vec<(usize, usize)> {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    while clean.len() - pos >= 12 {
+        let len = u32::from_be_bytes([
+            clean[pos + 8],
+            clean[pos + 9],
+            clean[pos + 10],
+            clean[pos + 11],
+        ]) as usize;
+        let total = 12 + len;
+        if clean.len() - pos < total {
+            break;
+        }
+        frames.push((pos, total));
+        pos += total;
+    }
+    frames
+}
+
+/// A seeded, composable corrupter of MRT byte streams.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+}
+
+impl FaultInjector {
+    /// Build an injector from its config.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector { cfg }
+    }
+
+    /// Corrupt `clean`, returning the damaged bytes and a log of what was
+    /// done. The input is never modified; unselected records are copied
+    /// verbatim.
+    pub fn corrupt(&self, clean: &[u8]) -> (Vec<u8>, FaultLog) {
+        let mut log = FaultLog::default();
+        if self.cfg.kinds.is_empty() || self.cfg.rate <= 0.0 {
+            return (clean.to_vec(), log);
+        }
+        let frames = frame(clean);
+        if frames.is_empty() {
+            return (clean.to_vec(), log);
+        }
+
+        let mut rng = SplitMix64::new(self.cfg.seed);
+        let target = ((frames.len() as f64 * self.cfg.rate.min(1.0)).round() as usize)
+            .clamp(1, frames.len());
+
+        // Partial Fisher-Yates: pick `target` distinct victim records.
+        let mut indices: Vec<usize> = (0..frames.len()).collect();
+        for i in 0..target {
+            let j = i + rng.below(indices.len() - i);
+            indices.swap(i, j);
+        }
+        let mut victims = indices[..target].to_vec();
+        victims.sort_unstable();
+
+        let mut out = Vec::with_capacity(clean.len() + 64 * target);
+        let mut victim_iter = victims.into_iter().peekable();
+        for (idx, &(start, total)) in frames.iter().enumerate() {
+            let record = &clean[start..start + total];
+            if victim_iter.peek() == Some(&idx) {
+                victim_iter.next();
+                let kind = self.cfg.kinds[rng.below(self.cfg.kinds.len())];
+                apply(kind, record, &mut out, &mut rng);
+                log.applied.push(AppliedFault {
+                    record_index: idx,
+                    clean_offset: start,
+                    kind,
+                });
+            } else {
+                out.extend_from_slice(record);
+            }
+        }
+        // Unframeable tail (normally empty for a clean stream).
+        let framed_end = frames.last().map_or(0, |&(s, t)| s + t);
+        out.extend_from_slice(&clean[framed_end..]);
+        (out, log)
+    }
+}
+
+/// Emit one damaged copy of `record` (12-byte header + body) into `out`.
+fn apply(kind: FaultKind, record: &[u8], out: &mut Vec<u8>, rng: &mut SplitMix64) {
+    let body_len = record.len() - 12;
+    match kind {
+        FaultKind::TruncateRecord => {
+            // Keep at least the first byte, lose at least the last one.
+            let cut = 1 + rng.below(record.len() - 1);
+            out.extend_from_slice(&record[..cut]);
+        }
+        FaultKind::HeaderBitFlip => {
+            let mut copy = record.to_vec();
+            let byte = rng.below(12);
+            copy[byte] ^= 1 << rng.below(8);
+            out.extend_from_slice(&copy);
+        }
+        FaultKind::BodyBitFlip => {
+            let mut copy = record.to_vec();
+            if body_len > 0 {
+                let byte = 12 + rng.below(body_len);
+                copy[byte] ^= 1 << rng.below(8);
+            } else {
+                copy[rng.below(12)] ^= 1 << rng.below(8);
+            }
+            out.extend_from_slice(&copy);
+        }
+        FaultKind::OversizeLength => {
+            let mut copy = record.to_vec();
+            let inflated = (body_len as u32).saturating_add(1 + rng.below(4096) as u32);
+            copy[8..12].copy_from_slice(&inflated.to_be_bytes());
+            out.extend_from_slice(&copy);
+        }
+        FaultKind::UndersizeLength => {
+            let mut copy = record.to_vec();
+            let deflated = if body_len > 0 {
+                rng.below(body_len) as u32
+            } else {
+                0
+            };
+            copy[8..12].copy_from_slice(&deflated.to_be_bytes());
+            out.extend_from_slice(&copy);
+        }
+        FaultKind::UnknownType => {
+            let mut copy = record.to_vec();
+            let t = 60_000 + rng.below(5_000) as u16;
+            copy[4..6].copy_from_slice(&t.to_be_bytes());
+            out.extend_from_slice(&copy);
+        }
+        FaultKind::UnknownSubtype => {
+            let mut copy = record.to_vec();
+            let s = 60_000 + rng.below(5_000) as u16;
+            copy[6..8].copy_from_slice(&s.to_be_bytes());
+            out.extend_from_slice(&copy);
+        }
+        FaultKind::MalformedBody => {
+            let mut copy = record.to_vec();
+            if body_len > 0 {
+                let span = (1 + rng.below(8)).min(body_len);
+                let at = 12 + rng.below(body_len - span + 1);
+                for b in &mut copy[at..at + span] {
+                    *b = (rng.next_u64() & 0xFF) as u8;
+                }
+            }
+            out.extend_from_slice(&copy);
+        }
+        FaultKind::GarbageInsert => {
+            let n = 1 + rng.below(64);
+            for _ in 0..n {
+                out.push((rng.next_u64() & 0xFF) as u8);
+            }
+            out.extend_from_slice(record);
+        }
+    }
+}
+
+/// Convenience: corrupt `rate` of the records in `clean` with every fault
+/// kind enabled, under `seed`.
+pub fn corrupt_stream(clean: &[u8], seed: u64, rate: f64) -> (Vec<u8>, FaultLog) {
+    FaultInjector::new(FaultConfig {
+        seed,
+        rate,
+        ..FaultConfig::default()
+    })
+    .corrupt(clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{Bgp4mpStateChange, BgpState, MrtRecord};
+    use crate::writer::MrtWriter;
+    use bgp_types::Asn;
+    use std::net::IpAddr;
+
+    fn clean_stream(n: u32) -> Vec<u8> {
+        let rec = MrtRecord::StateChange(Bgp4mpStateChange {
+            peer_asn: Asn::new(64500),
+            local_asn: Asn::new(6447),
+            if_index: 0,
+            peer_addr: IpAddr::from([192, 0, 2, 2]),
+            local_addr: IpAddr::from([192, 0, 2, 1]),
+            old_state: BgpState::Idle,
+            new_state: BgpState::Established,
+        });
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        for ts in 0..n {
+            w.write_record(ts, &rec).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let clean = clean_stream(50);
+        let (a, la) = corrupt_stream(&clean, 7, 0.2);
+        let (b, lb) = corrupt_stream(&clean, 7, 0.2);
+        assert_eq!(a, b);
+        assert_eq!(la.applied, lb.applied);
+        let (c, _) = corrupt_stream(&clean, 8, 0.2);
+        assert_ne!(a, c, "different seeds must corrupt differently");
+    }
+
+    #[test]
+    fn rate_selects_expected_victim_count() {
+        let clean = clean_stream(100);
+        let (_, log) = corrupt_stream(&clean, 1, 0.1);
+        assert_eq!(log.count(), 10);
+        let (_, log) = corrupt_stream(&clean, 1, 0.0001);
+        assert_eq!(log.count(), 1, "positive rate corrupts at least one");
+        let (corrupted, log) = corrupt_stream(&clean, 1, 0.0);
+        assert_eq!(log.count(), 0);
+        assert_eq!(corrupted, clean);
+    }
+
+    #[test]
+    fn body_local_faults_preserve_framing() {
+        let clean = clean_stream(40);
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 3,
+            rate: 0.5,
+            kinds: BODY_LOCAL_FAULT_KINDS.to_vec(),
+        });
+        let (corrupted, log) = inj.corrupt(&clean);
+        assert!(!log.breaks_framing());
+        assert_eq!(corrupted.len(), clean.len());
+        // Every record still frames.
+        assert_eq!(frame(&corrupted).len(), 40);
+    }
+
+    #[test]
+    fn each_kind_applies_alone() {
+        let clean = clean_stream(20);
+        for &kind in ALL_FAULT_KINDS {
+            let inj = FaultInjector::new(FaultConfig {
+                seed: 11,
+                rate: 0.25,
+                kinds: vec![kind],
+            });
+            let (corrupted, log) = inj.corrupt(&clean);
+            assert_eq!(log.count(), 5, "{kind:?}");
+            assert!(log.applied.iter().all(|f| f.kind == kind));
+            assert_ne!(corrupted, clean, "{kind:?} must change the bytes");
+        }
+    }
+
+    #[test]
+    fn empty_and_unframeable_inputs_pass_through() {
+        let (out, log) = corrupt_stream(&[], 1, 0.5);
+        assert!(out.is_empty() && log.count() == 0);
+        let junk = vec![1, 2, 3, 4, 5];
+        let (out, log) = corrupt_stream(&junk, 1, 0.5);
+        assert_eq!(out, junk);
+        assert_eq!(log.count(), 0);
+    }
+}

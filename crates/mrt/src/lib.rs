@@ -17,6 +17,11 @@
 //! * [`records`] — MRT record model: `PEER_INDEX_TABLE`, `RIB_IPV4_UNICAST`,
 //!   `RIB_IPV6_UNICAST`, `BGP4MP_MESSAGE_AS4`, `BGP4MP_STATE_CHANGE_AS4`.
 //! * [`reader`] / [`writer`] — streaming record I/O over `std::io`.
+//! * [`recover`] — a resynchronizing reader that survives framing damage
+//!   (truncation, corrupted lengths, interleaved garbage) under an error
+//!   budget, producing a structured [`IngestReport`].
+//! * [`faults`] — deterministic, seeded fault injection for MRT byte
+//!   streams, so robustness is a tested invariant rather than a hope.
 //!
 //! # Example
 //!
@@ -50,13 +55,17 @@ pub mod attrs;
 pub mod bgpmsg;
 pub mod cursor;
 pub mod error;
+pub mod faults;
 pub mod nlri;
 pub mod obs;
 pub mod reader;
 pub mod records;
+pub mod recover;
 pub mod writer;
 
-pub use error::MrtError;
+pub use error::{MrtError, MrtErrorKind};
+pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultLog};
 pub use reader::MrtReader;
 pub use records::{MrtRecord, TimestampedRecord};
+pub use recover::{ErrorCounters, IngestReport, RecoverConfig, RecoveringReader};
 pub use writer::MrtWriter;

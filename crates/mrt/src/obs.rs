@@ -14,7 +14,10 @@ use bgp_types::{Asn, Observation, Prefix, RouteAttrs};
 use crate::bgpmsg::BgpMessage;
 use crate::error::MrtError;
 use crate::reader::MrtReader;
-use crate::records::{MrtRecord, PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
+use crate::records::{
+    MrtRecord, PeerEntry, PeerIndexTable, RibEntry, RibSnapshot, TimestampedRecord,
+};
+use crate::recover::{IngestReport, RecoverConfig, RecoveringReader};
 use crate::writer::MrtWriter;
 
 /// Synthesize a stable address for vantage point number `idx`.
@@ -141,6 +144,86 @@ pub fn write_update_stream<W: Write>(
     Ok(writer.records_written())
 }
 
+/// What to do with a semantically invalid entry (e.g. a RIB entry whose
+/// peer index points outside the peer table) inside an otherwise decodable
+/// record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryPolicy {
+    /// Abort the whole read (historic strict behavior).
+    Abort,
+    /// Drop the entry, keep the rest of the record and stream.
+    Skip,
+}
+
+/// Fold one decoded record into the running observation list.
+///
+/// Returns the number of entries dropped under [`EntryPolicy::Skip`]; under
+/// [`EntryPolicy::Abort`] the first invalid entry aborts with an error.
+fn accumulate(
+    rec: TimestampedRecord,
+    peers: &mut Vec<PeerEntry>,
+    observations: &mut Vec<Observation>,
+    policy: EntryPolicy,
+) -> Result<u64, MrtError> {
+    let mut dropped = 0u64;
+    match rec.record {
+        MrtRecord::PeerIndexTable(t) => *peers = t.peers,
+        MrtRecord::Rib(rib) => {
+            for entry in rib.entries {
+                let peer = match peers.get(entry.peer_index as usize) {
+                    Some(peer) => peer,
+                    None if policy == EntryPolicy::Skip => {
+                        dropped += 1;
+                        continue;
+                    }
+                    None => {
+                        return Err(MrtError::malformed(
+                            "RIB entry",
+                            format!("peer index {} out of range", entry.peer_index),
+                        ))
+                    }
+                };
+                observations.push(Observation {
+                    vp: peer.asn,
+                    prefix: rib.prefix,
+                    path: entry.route.as_path,
+                    communities: entry.route.communities,
+                    large_communities: entry.route.large_communities,
+                    time: entry.originated_time,
+                });
+            }
+        }
+        MrtRecord::Message(m) => {
+            if let BgpMessage::Update(u) = m.message {
+                if let Some(attrs) = u.attrs {
+                    for prefix in u.announced.iter().chain(attrs.mp_announced.iter()) {
+                        observations.push(Observation {
+                            vp: m.peer_asn,
+                            prefix: *prefix,
+                            path: attrs.route.as_path.clone(),
+                            communities: attrs.route.communities.clone(),
+                            large_communities: attrs.route.large_communities.clone(),
+                            time: rec.timestamp,
+                        });
+                    }
+                }
+            }
+        }
+        MrtRecord::TableDump(t) => {
+            observations.push(Observation {
+                vp: t.peer_asn,
+                prefix: t.prefix,
+                path: t.route.as_path,
+                communities: t.route.communities,
+                large_communities: t.route.large_communities,
+                time: t.originated_time,
+            });
+        }
+        MrtRecord::StateChange(_) => {}
+    }
+    Ok(dropped)
+}
+
 /// Read observations back from an MRT stream containing RIB dumps and/or
 /// update streams. Unsupported or malformed records are skipped (the
 /// reader can continue past a well-framed body it cannot decode), matching
@@ -155,56 +238,54 @@ pub fn read_observations<R: Read>(input: R) -> Result<Vec<Observation>, MrtError
             Err(e @ (MrtError::Io(_) | MrtError::Truncated { .. })) => return Err(e),
             Err(_) => continue, // skip undecodable record bodies
         };
-        match rec.record {
-            MrtRecord::PeerIndexTable(t) => peers = t.peers,
-            MrtRecord::Rib(rib) => {
-                for entry in rib.entries {
-                    let peer = peers.get(entry.peer_index as usize).ok_or_else(|| {
-                        MrtError::malformed(
-                            "RIB entry",
-                            format!("peer index {} out of range", entry.peer_index),
-                        )
-                    })?;
-                    observations.push(Observation {
-                        vp: peer.asn,
-                        prefix: rib.prefix,
-                        path: entry.route.as_path,
-                        communities: entry.route.communities,
-                        large_communities: entry.route.large_communities,
-                        time: entry.originated_time,
-                    });
-                }
-            }
-            MrtRecord::Message(m) => {
-                if let BgpMessage::Update(u) = m.message {
-                    if let Some(attrs) = u.attrs {
-                        for prefix in u.announced.iter().chain(attrs.mp_announced.iter()) {
-                            observations.push(Observation {
-                                vp: m.peer_asn,
-                                prefix: *prefix,
-                                path: attrs.route.as_path.clone(),
-                                communities: attrs.route.communities.clone(),
-                                large_communities: attrs.route.large_communities.clone(),
-                                time: rec.timestamp,
-                            });
-                        }
-                    }
-                }
-            }
-            MrtRecord::TableDump(t) => {
-                observations.push(Observation {
-                    vp: t.peer_asn,
-                    prefix: t.prefix,
-                    path: t.route.as_path,
-                    communities: t.route.communities,
-                    large_communities: t.route.large_communities,
-                    time: t.originated_time,
-                });
-            }
-            MrtRecord::StateChange(_) => {}
-        }
+        accumulate(rec, &mut peers, &mut observations, EntryPolicy::Abort)?;
     }
     Ok(observations)
+}
+
+/// Strict ingestion: the first decode error of *any* kind — undecodable
+/// body, unknown type, truncation, framing damage — aborts the read.
+///
+/// This is the fail-fast mode for pipelines that would rather stop than
+/// silently analyze a partial archive; [`read_observations`] tolerates
+/// record-local damage, [`read_observations_resilient`] tolerates framing
+/// damage too.
+pub fn read_observations_strict<R: Read>(input: R) -> Result<Vec<Observation>, MrtError> {
+    let mut peers: Vec<PeerEntry> = Vec::new();
+    let mut observations = Vec::new();
+    for item in MrtReader::new(input) {
+        accumulate(item?, &mut peers, &mut observations, EntryPolicy::Abort)?;
+    }
+    Ok(observations)
+}
+
+/// Resilient ingestion over [`RecoveringReader`]: survive framing damage,
+/// truncation, and semantically invalid entries, returning whatever could
+/// be decoded plus an exact [`IngestReport`] of everything that could not.
+///
+/// Never fails: I/O errors and an exhausted error budget stop the read
+/// early but are reported through [`IngestReport::aborted`] rather than an
+/// `Err`, so the caller always gets the salvaged observations. RIB entries
+/// whose peer index falls outside the peer table are dropped individually
+/// and counted under `errors.malformed` (their bytes stay in `bytes_ok`,
+/// since the record frame itself decoded).
+pub fn read_observations_resilient<R: Read>(
+    input: R,
+    cfg: &RecoverConfig,
+) -> (Vec<Observation>, IngestReport) {
+    let mut reader = RecoveringReader::with_config(input, cfg.clone());
+    let mut peers: Vec<PeerEntry> = Vec::new();
+    let mut observations = Vec::new();
+    let mut dropped_entries = 0u64;
+    // Err items need no handling here: they are already counted inside the
+    // reader's report.
+    for rec in reader.by_ref().flatten() {
+        dropped_entries += accumulate(rec, &mut peers, &mut observations, EntryPolicy::Skip)
+            .expect("Skip policy never errors");
+    }
+    let mut report = reader.into_report();
+    report.errors.malformed += dropped_entries;
+    (observations, report)
 }
 
 #[cfg(test)]
@@ -340,5 +421,108 @@ mod tests {
         let mut buf = Vec::new();
         write_rib_dump(&mut buf, 1, &[]).unwrap();
         assert_eq!(read_observations(&buf[..]).unwrap(), vec![]);
+    }
+
+    /// Four identical update records, so every record has the same length.
+    fn uniform_updates() -> (Vec<u8>, usize) {
+        let one = vec![obs(
+            64500,
+            "10.0.0.0/24",
+            "64500 1299 64496",
+            &[(1299, 1)],
+            100,
+        )];
+        let mut buf = Vec::new();
+        write_update_stream(&mut buf, Asn::new(6447), &one).unwrap();
+        let rec_len = buf.len();
+        for _ in 0..3 {
+            write_update_stream(&mut buf, Asn::new(6447), &one).unwrap();
+        }
+        (buf, rec_len)
+    }
+
+    #[test]
+    fn strict_aborts_on_first_bad_record() {
+        let (mut buf, rec_len) = uniform_updates();
+        // Make record 2's MRT type unknown: strict must abort, the default
+        // reader (which skips well-framed undecodable bodies) must not.
+        buf[2 * rec_len + 5] = 0xEE;
+        assert!(read_observations_strict(&buf[..]).is_err());
+        assert_eq!(read_observations(&buf[..]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn strict_matches_default_reader_on_clean_input() {
+        let observations = sample();
+        let mut buf = Vec::new();
+        write_rib_dump(&mut buf, 100, &observations).unwrap();
+        assert_eq!(
+            read_observations_strict(&buf[..]).unwrap(),
+            read_observations(&buf[..]).unwrap()
+        );
+    }
+
+    #[test]
+    fn resilient_survives_framing_damage_the_plain_reader_cannot() {
+        let (buf, rec_len) = uniform_updates();
+        // Drop 5 bytes from the middle of record 0: its length field now
+        // points into record 1, so the plain reader aborts (truncation /
+        // framing loss), while the resilient reader resyncs.
+        let damaged = buf[..rec_len - 5]
+            .iter()
+            .chain(&buf[rec_len..])
+            .copied()
+            .collect::<Vec<u8>>();
+        assert!(read_observations(&damaged[..]).is_err());
+        let (back, report) = read_observations_resilient(&damaged[..], &RecoverConfig::default());
+        assert_eq!(back.len(), 3, "records after the damage recovered");
+        assert_eq!(report.records_read, 3);
+        assert!(report.resync_events >= 1);
+        assert_eq!(report.bytes_ok + report.bytes_skipped, report.bytes_read);
+        assert!(report.aborted.is_none());
+    }
+
+    #[test]
+    fn resilient_drops_rib_entries_with_bad_peer_index() {
+        // RIB records with no preceding peer index table: every entry
+        // references a missing peer. Entries are dropped one by one and
+        // counted; the record frames themselves still decode.
+        let observations = sample();
+        let mut route = RouteAttrs::originated(
+            "64500 1299 64496".parse().unwrap(),
+            IpAddr::from([192, 0, 2, 9]),
+        );
+        route.communities.push(Community::new(1299, 1));
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        for (i, o) in observations.iter().enumerate() {
+            let rib = RibSnapshot {
+                sequence: i as u32,
+                prefix: o.prefix,
+                entries: vec![RibEntry {
+                    peer_index: 7, // no table loaded: always out of range
+                    originated_time: o.time,
+                    route: route.clone(),
+                }],
+            };
+            w.write_record(100, &MrtRecord::Rib(rib)).unwrap();
+        }
+        w.flush().unwrap();
+        let _ = w;
+        let (back, report) = read_observations_resilient(&buf[..], &RecoverConfig::default());
+        assert_eq!(back, vec![]);
+        assert_eq!(report.errors.malformed, 4, "one per dropped RIB entry");
+        assert_eq!(report.records_read, 4, "record frames still decoded");
+    }
+
+    #[test]
+    fn resilient_report_is_clean_on_clean_input() {
+        let observations = sample();
+        let mut buf = Vec::new();
+        write_rib_dump(&mut buf, 100, &observations).unwrap();
+        let (back, report) = read_observations_resilient(&buf[..], &RecoverConfig::default());
+        assert_eq!(back.len(), observations.len());
+        assert!(report.is_clean());
+        assert_eq!(report.bytes_ok, buf.len() as u64);
     }
 }

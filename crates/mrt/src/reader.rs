@@ -19,6 +19,7 @@ pub struct MrtReader<R> {
     inner: R,
     records_read: u64,
     records_skipped: u64,
+    records_truncated: u64,
     fused: bool,
 }
 
@@ -29,6 +30,7 @@ impl<R: Read> MrtReader<R> {
             inner,
             records_read: 0,
             records_skipped: 0,
+            records_truncated: 0,
             fused: false,
         }
     }
@@ -40,8 +42,16 @@ impl<R: Read> MrtReader<R> {
 
     /// Number of well-framed records whose bodies could not be decoded
     /// (unsupported types, semantic errors) — reported then skipped.
+    /// Truncated records are counted by [`MrtReader::records_truncated`],
+    /// never here.
     pub fn records_skipped(&self) -> u64 {
         self.records_skipped
+    }
+
+    /// Number of records cut short by end-of-stream (header or body): at
+    /// most 1 for a plain reader, since truncation fuses the iterator.
+    pub fn records_truncated(&self) -> u64 {
+        self.records_truncated
     }
 
     fn read_exact_or_eof(&mut self, buf: &mut [u8]) -> Result<bool, MrtError> {
@@ -76,16 +86,23 @@ impl<R: Read> MrtReader<R> {
         let subtype = u16::from_be_bytes([header[6], header[7]]);
         let length = u32::from_be_bytes([header[8], header[9], header[10], header[11]]) as usize;
         let mut body = vec![0u8; length];
-        self.inner.read_exact(&mut body).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                MrtError::Truncated {
-                    context: "MRT record body",
-                    needed: length,
+        // Read manually rather than via `read_exact` so a short body can
+        // report exactly how many bytes were missing (`read_exact` leaves
+        // the fill count unspecified on failure).
+        let mut filled = 0;
+        while filled < length {
+            match self.inner.read(&mut body[filled..]) {
+                Ok(0) => {
+                    return Err(MrtError::Truncated {
+                        context: "MRT record body",
+                        needed: length - filled,
+                    });
                 }
-            } else {
-                MrtError::Io(e)
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
             }
-        })?;
+        }
         match records::decode_body(mrt_type, subtype, &body) {
             Ok(record) => {
                 self.records_read += 1;
@@ -117,6 +134,9 @@ impl<R: Read> Iterator for MrtReader<R> {
             Err(e @ (MrtError::Io(_) | MrtError::Truncated { .. })) => {
                 // An I/O or framing error leaves the stream position
                 // unknown; stop after reporting it rather than spinning.
+                if matches!(e, MrtError::Truncated { .. }) {
+                    self.records_truncated += 1;
+                }
                 self.fused = true;
                 Some(Err(e))
             }
@@ -187,6 +207,80 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let mut r = MrtReader::new(&buf[..]);
         assert!(matches!(r.next(), Some(Err(MrtError::Truncated { .. }))));
+    }
+
+    #[test]
+    fn truncated_body_reports_accurate_needed() {
+        // Header claims a body longer than what remains: `needed` must be
+        // exactly the missing byte count, not the whole body length.
+        let mut buf = Vec::new();
+        MrtWriter::new(&mut buf)
+            .write_record(1, &state_change())
+            .unwrap();
+        let body_len = buf.len() - 12;
+        buf.truncate(buf.len() - 5); // 5 body bytes missing
+        let mut r = MrtReader::new(&buf[..]);
+        match r.next() {
+            Some(Err(MrtError::Truncated { context, needed })) => {
+                assert_eq!(context, "MRT record body");
+                assert_eq!(needed, 5);
+                assert!(needed < body_len);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        // Truncation is accounted separately from body-level skips.
+        assert_eq!(r.records_truncated(), 1);
+        assert_eq!(r.records_skipped(), 0);
+        assert_eq!(r.records_read(), 0);
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn oversized_length_field_is_truncation_not_skip() {
+        // A header whose length field exceeds the remaining stream entirely.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u32.to_be_bytes()); // timestamp
+        buf.extend_from_slice(&13u16.to_be_bytes()); // TABLE_DUMP_V2
+        buf.extend_from_slice(&2u16.to_be_bytes()); // RIB_IPV4_UNICAST
+        buf.extend_from_slice(&1000u32.to_be_bytes()); // body "length"
+        buf.extend_from_slice(&[0xAB; 24]); // only 24 bytes follow
+        let mut r = MrtReader::new(&buf[..]);
+        match r.next() {
+            Some(Err(MrtError::Truncated { needed, .. })) => assert_eq!(needed, 1000 - 24),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        assert_eq!(
+            (r.records_read(), r.records_skipped(), r.records_truncated()),
+            (0, 0, 1)
+        );
+    }
+
+    #[test]
+    fn counters_partition_outcomes() {
+        // good, unsupported, good, truncated: each outcome lands in exactly
+        // one counter.
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        w.write_record(1, &state_change()).unwrap();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&99u16.to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(&[0xAA; 4]);
+        MrtWriter::new(&mut buf)
+            .write_record(3, &state_change())
+            .unwrap();
+        let tail = buf.len();
+        MrtWriter::new(&mut buf)
+            .write_record(4, &state_change())
+            .unwrap();
+        buf.truncate(tail + 13); // cut the last record mid-body
+        let mut r = MrtReader::new(&buf[..]);
+        let outcomes: Vec<bool> = r.by_ref().map(|item| item.is_ok()).collect();
+        assert_eq!(outcomes, vec![true, false, true, false]);
+        assert_eq!(r.records_read(), 2);
+        assert_eq!(r.records_skipped(), 1);
+        assert_eq!(r.records_truncated(), 1);
     }
 
     #[test]

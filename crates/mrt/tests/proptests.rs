@@ -6,8 +6,12 @@ use proptest::prelude::*;
 
 use bgp_mrt::attrs::{decode_attrs, encode_attrs, AttrCtx, EncodeOpts};
 use bgp_mrt::cursor::Cursor;
-use bgp_mrt::obs::{read_observations, write_rib_dump, write_update_stream};
+use bgp_mrt::faults::corrupt_stream;
+use bgp_mrt::obs::{
+    read_observations, read_observations_resilient, write_rib_dump, write_update_stream,
+};
 use bgp_mrt::records::{decode_body, encode_body, MrtRecord, RibEntry, RibSnapshot};
+use bgp_mrt::{MrtReader, RecoverConfig, RecoveringReader};
 use bgp_types::{
     AsPath, Asn, Community, LargeCommunity, Observation, Origin, PathSegment, Prefix, RouteAttrs,
 };
@@ -195,5 +199,75 @@ proptest! {
         write_update_stream(&mut wire, Asn::new(6447), &observations).unwrap();
         let back = read_observations(&wire[..]).unwrap();
         prop_assert_eq!(back, observations);
+    }
+}
+
+// Robustness properties: no input — random bytes or seeded corruption of a
+// valid stream — may panic either reader or keep it iterating forever, and
+// the recovering reader's accounting must balance to the byte.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plain_reader_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut items = 0u32;
+        for _ in MrtReader::new(&bytes[..]) {
+            items += 1;
+            prop_assert!(items < 10_000, "runaway iteration");
+        }
+    }
+
+    #[test]
+    fn recovering_reader_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut reader = RecoveringReader::new(&bytes[..]);
+        let mut items = 0u32;
+        for _ in reader.by_ref() {
+            items += 1;
+            prop_assert!(items < 10_000, "runaway iteration");
+        }
+        let report = reader.into_report();
+        prop_assert_eq!(report.bytes_ok + report.bytes_skipped, report.bytes_read);
+        prop_assert_eq!(report.bytes_read, bytes.len() as u64);
+    }
+
+    #[test]
+    fn both_readers_survive_injected_corruption(
+        observations in prop::collection::vec(arb_observation(), 1..12),
+        seed in any::<u64>(),
+        rate in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        write_update_stream(&mut wire, Asn::new(6447), &observations).unwrap();
+        let (damaged, _log) = corrupt_stream(&wire, seed, rate);
+
+        let mut items = 0u32;
+        for _ in MrtReader::new(&damaged[..]) {
+            items += 1;
+            prop_assert!(items < 100_000, "plain reader runaway");
+        }
+
+        let mut reader = RecoveringReader::new(&damaged[..]);
+        items = 0;
+        for _ in reader.by_ref() {
+            items += 1;
+            prop_assert!(items < 100_000, "recovering reader runaway");
+        }
+        let report = reader.into_report();
+        prop_assert_eq!(report.bytes_ok + report.bytes_skipped, report.bytes_read);
+        prop_assert_eq!(report.bytes_read, damaged.len() as u64);
+    }
+
+    #[test]
+    fn resilient_obs_extraction_never_fails(
+        observations in prop::collection::vec(arb_observation(), 1..12),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+    ) {
+        let mut wire = Vec::new();
+        write_rib_dump(&mut wire, 0, &observations).unwrap();
+        let (damaged, _log) = corrupt_stream(&wire, seed, rate);
+        let (salvaged, report) = read_observations_resilient(&damaged[..], &RecoverConfig::default());
+        prop_assert!(salvaged.len() <= observations.len() * 2);
+        prop_assert_eq!(report.bytes_ok + report.bytes_skipped, report.bytes_read);
     }
 }

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no network access and no
+//! vendored registry, so external crates cannot be resolved. This shim
+//! provides the (tiny) `BufMut` surface the workspace actually uses:
+//! big-endian integer appends onto `Vec<u8>`.
+
+#![forbid(unsafe_code)]
+
+/// Append-only byte sink. All multi-byte writes are big-endian, matching
+/// the network byte order used throughout the MRT/BGP codecs.
+pub trait BufMut {
+    /// Append a single byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a `u16` in big-endian order.
+    fn put_u16(&mut self, v: u16);
+    /// Append a `u32` in big-endian order.
+    fn put_u32(&mut self, v: u32);
+    /// Append a `u64` in big-endian order.
+    fn put_u64(&mut self, v: u64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_appends() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16(0x0102);
+        buf.put_u32(0x01020304);
+        buf.put_u64(0x0102030405060708);
+        buf.put_slice(&[9, 10]);
+        assert_eq!(buf, [0xAB, 1, 2, 1, 2, 3, 4, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API surface this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `sample_size`, `throughput`, `black_box` — backed by
+//! a simple wall-clock timer that prints mean per-iteration times. No
+//! statistics, plots, or comparisons; good enough to smoke-run benches
+//! and eyeball regressions in an offline container.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running a small warmup then `samples` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + batch sizing: aim for batches that are long enough to
+        // time reliably but keep total runtime low for smoke usage.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iters += per_batch as u64;
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{name}: no iterations");
+        return;
+    }
+    let mean_ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib = n as f64 / mean_ns; // bytes/ns == GB/s
+            format!(" ({gib:.3} GB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let mels = n as f64 / mean_ns * 1000.0;
+            format!(" ({mels:.1} Melem/s)")
+        }
+        None => String::new(),
+    };
+    if mean_ns >= 1_000_000.0 {
+        println!("{name}: {:.3} ms/iter{rate}", mean_ns / 1_000_000.0);
+    } else if mean_ns >= 1_000.0 {
+        println!("{name}: {:.3} us/iter{rate}", mean_ns / 1_000.0);
+    } else {
+        println!("{name}: {mean_ns:.1} ns/iter{rate}");
+    }
+}
+
+/// A named set of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).clamp(1, 1000);
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), &b, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    samples: u64,
+    unit: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep smoke runs quick; criterion proper would run many more.
+        Criterion {
+            samples: 10,
+            unit: (),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            throughput: None,
+            _parent: &mut self.unit,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&id.into(), &b, None);
+        self
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2).throughput(Throughput::Bytes(1024));
+        let mut ran = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

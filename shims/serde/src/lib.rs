@@ -1,0 +1,511 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no registry access, so this workspace ships a
+//! minimal serde replacement. The design collapses serde's visitor
+//! machinery into a single self-describing [`Value`] tree (the same shape
+//! `serde_json` exposes): a [`Serializer`] receives a fully-built `Value`,
+//! and a [`Deserializer`] surrenders one. Hand-written impls in the
+//! workspace only use `Serializer::collect_str`, `String::deserialize`,
+//! and `de::Error::custom`, all of which keep their upstream signatures.
+//!
+//! The `derive` feature forwards to a syn-free `serde_derive` proc macro
+//! covering the attribute subset used here: `#[serde(transparent)]`,
+//! `#[serde(skip)]`, `#[serde(default)]`, `#[serde(skip_serializing_if)]`,
+//! and `#[serde(rename_all = "lowercase")]`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{render_compact, render_pretty, Map, Value};
+
+/// Serialization-side error handling.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors a [`crate::Serializer`] can produce.
+    pub trait Error: Sized {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error handling.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a [`crate::Deserializer`] can produce.
+    pub trait Error: Sized {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A format backend that consumes one self-describing [`Value`].
+pub trait Serializer: Sized {
+    /// Successful output of the serializer.
+    type Ok;
+    /// Error type of the serializer.
+    type Error: ser::Error;
+
+    /// Consume a fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize the `Display` form of `value` as a string.
+    fn collect_str<T: fmt::Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::String(value.to_string()))
+    }
+}
+
+/// A format backend that yields one self-describing [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the deserializer.
+    type Error: de::Error;
+
+    /// Surrender the value tree for the next datum.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can render themselves as a [`Value`] through any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types reconstructible from a [`Value`] through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Error that cannot occur; used by the internal value-building serializer.
+#[derive(Debug)]
+pub struct Infallible(String);
+
+impl fmt::Display for Infallible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl ser::Error for Infallible {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Infallible(msg.to_string())
+    }
+}
+
+struct ValueBuilder;
+
+impl Serializer for ValueBuilder {
+    type Ok = Value;
+    type Error = Infallible;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Infallible> {
+        Ok(value)
+    }
+}
+
+/// Render any serializable type to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueBuilder) {
+        Ok(v) => v,
+        Err(e) => Value::String(format!("<serialize error: {e}>")),
+    }
+}
+
+/// A [`Deserializer`] over an in-memory [`Value`], generic in its error type
+/// so derive-generated code can thread through the outer `D::Error`.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: std::marker::PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wrap a value tree.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Reconstruct a `T` from an in-memory [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self as f64))
+    }
+}
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.clone()))
+    }
+}
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_value(to_value(v)),
+            None => s.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Array(vec![$(to_value(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+fn key_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => other.to_string(),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S2> Serialize for std::collections::HashMap<K, V, S2> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(key_string(to_value(k)), to_value(v));
+        }
+        s.serialize_value(Value::Object(map))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(key_string(to_value(k)), to_value(v));
+        }
+        s.serialize_value(Value::Object(map))
+    }
+}
+
+impl<T: Serialize, S2> Serialize for std::collections::HashSet<T, S2> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+macro_rules! ser_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.collect_str(self)
+            }
+        }
+    )*};
+}
+ser_display!(std::net::IpAddr, std::net::Ipv4Addr, std::net::Ipv6Addr);
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn type_err<E: de::Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {got:?}"))
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let out = match &v {
+                    Value::U64(n) => <$t>::try_from(*n).ok(),
+                    Value::I64(n) => <$t>::try_from(*n).ok(),
+                    // Map keys arrive as strings; accept a numeric string.
+                    Value::String(s) => s.parse::<$t>().ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| type_err(stringify!($t), &v))
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::F64(n) => Ok(n),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(type_err("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_err("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(type_err("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items.into_iter().map(from_value).collect(),
+            other => Err(type_err("array", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let collected: Result<Vec<T>, D::Error> =
+                    items.into_iter().map(from_value).collect();
+                collected?
+                    .try_into()
+                    .map_err(|_| de::Error::custom("array length changed during collect"))
+            }
+            other => Err(type_err("fixed-size array", &other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_value()? {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            from_value::<$t, __D::Error>(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    other => Err(type_err(concat!("array of length ", $len), &other)),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<'de, K, V, S2> Deserialize<'de> for std::collections::HashMap<K, V, S2>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S2: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((from_value(Value::String(k))?, from_value(v)?)))
+                .collect(),
+            other => Err(type_err("object", &other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((from_value(Value::String(k))?, from_value(v)?)))
+                .collect(),
+            other => Err(type_err("object", &other)),
+        }
+    }
+}
+
+impl<'de, T, S2> Deserialize<'de> for std::collections::HashSet<T, S2>
+where
+    T: Deserialize<'de> + std::hash::Hash + Eq,
+    S2: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+macro_rules! de_fromstr {
+    ($($t:ty => $name:expr),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let s = String::deserialize(d)?;
+                s.parse().map_err(|e| de::Error::custom(format!("invalid {}: {e}", $name)))
+            }
+        }
+    )*};
+}
+de_fromstr!(
+    std::net::IpAddr => "IP address",
+    std::net::Ipv4Addr => "IPv4 address",
+    std::net::Ipv6Addr => "IPv6 address"
+);
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}

@@ -1,0 +1,598 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! A hand-rolled token parser (no `syn`/`quote`) generating impls of the
+//! shim serde's Value-backed `Serialize`/`Deserialize` traits. Because the
+//! shim deserializes every field through the type-inferred
+//! `serde::from_value`, the parser only needs field *names* and variant
+//! shapes — field types are never inspected.
+//!
+//! Supported shapes: named-field structs, tuple structs, enums with unit /
+//! tuple / struct variants. Supported attributes: `#[serde(transparent)]`,
+//! `#[serde(skip)]`, `#[serde(default)]`,
+//! `#[serde(skip_serializing_if = "path")]`,
+//! `#[serde(rename_all = "lowercase"|"snake_case")]`,
+//! `#[serde(rename = "name")]`. Generics are not supported (and not used
+//! by this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    skip_if: Option<String>,
+    rename: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    /// Key used in the serialized object.
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Container {
+    name: String,
+    transparent: bool,
+    rename_all: Option<String>,
+    data: Data,
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parse the contents of one `#[serde(...)]` attribute into `field`/`cont`.
+fn parse_serde_attr(
+    group: &proc_macro::Group,
+    field: &mut FieldAttrs,
+    transparent: &mut bool,
+    rename_all: &mut Option<String>,
+) {
+    let mut toks = group.stream().into_iter().peekable();
+    while let Some(tok) = toks.next() {
+        let TokenTree::Ident(ident) = tok else {
+            continue;
+        };
+        let name = ident.to_string();
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '=' {
+                toks.next();
+                if let Some(TokenTree::Literal(lit)) = toks.next() {
+                    value = Some(strip_quotes(&lit.to_string()));
+                }
+            }
+        }
+        match name.as_str() {
+            "skip" | "skip_serializing" | "skip_deserializing" => field.skip = true,
+            "default" => field.default = true,
+            "skip_serializing_if" => field.skip_if = value,
+            "rename" => field.rename = value,
+            "transparent" => *transparent = true,
+            "rename_all" => *rename_all = value,
+            other => panic!("serde shim derive: unsupported attribute `{other}`"),
+        }
+    }
+}
+
+/// Consume leading attributes at `toks[*i]`, collecting serde ones.
+fn take_attrs(
+    toks: &[TokenTree],
+    i: &mut usize,
+    field: &mut FieldAttrs,
+    transparent: &mut bool,
+    rename_all: &mut Option<String>,
+) {
+    while *i < toks.len() {
+        let TokenTree::Punct(p) = &toks[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        // Inner attribute syntax `#![..]` does not occur in derive input.
+        let TokenTree::Group(g) = &toks[*i] else {
+            panic!("serde shim derive: `#` not followed by attribute group");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_attr(args, field, transparent, rename_all);
+                }
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        let mut unused_t = false;
+        let mut unused_r = None;
+        take_attrs(&toks, &mut i, &mut attrs, &mut unused_t, &mut unused_r);
+        skip_vis(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde shim derive: expected field name, got {:?}", toks[i]);
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        if i < toks.len() {
+            i += 1; // ','
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        let mut unused_t = false;
+        let mut unused_r = None;
+        take_attrs(&toks, &mut i, &mut attrs, &mut unused_t, &mut unused_r);
+        skip_vis(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        count += 1;
+        if i < toks.len() {
+            i += 1; // ','
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        let mut unused_t = false;
+        let mut unused_r = None;
+        take_attrs(&toks, &mut i, &mut attrs, &mut unused_t, &mut unused_r);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "serde shim derive: expected variant name, got {:?}",
+                toks[i]
+            );
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                while i < toks.len() {
+                    if let TokenTree::Punct(p) = &toks[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if i < toks.len() {
+            i += 1; // ','
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut container_field = FieldAttrs::default();
+    let mut transparent = false;
+    let mut rename_all = None;
+    take_attrs(
+        &toks,
+        &mut i,
+        &mut container_field,
+        &mut transparent,
+        &mut rename_all,
+    );
+    skip_vis(&toks, &mut i);
+    let TokenTree::Ident(kw) = &toks[i] else {
+        panic!("serde shim derive: expected struct/enum keyword");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde shim derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported");
+        }
+    }
+    let data = match (kw.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Named(parse_named_fields(g))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Data::Tuple(count_tuple_fields(g))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(g))
+        }
+        other => panic!("serde shim derive: unsupported item shape: {other:?}"),
+    };
+    Container {
+        name,
+        transparent,
+        rename_all,
+        data,
+    }
+}
+
+fn apply_rename(rule: Option<&str>, name: &str) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde shim derive: unsupported rename_all rule `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::Named(fields) if c.transparent => {
+            let f = fields
+                .iter()
+                .find(|f| !f.attrs.skip)
+                .expect("transparent struct needs a field");
+            format!(
+                "__serializer.serialize_value(serde::to_value(&self.{}))",
+                f.name
+            )
+        }
+        Data::Named(fields) => {
+            let mut s = String::from("let mut __map = serde::Map::new();\n");
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let insert = format!(
+                    "__map.insert(\"{}\".to_string(), serde::to_value(&self.{}));",
+                    f.key(),
+                    f.name
+                );
+                if let Some(path) = &f.attrs.skip_if {
+                    s.push_str(&format!("if !({path}(&self.{})) {{ {insert} }}\n", f.name));
+                } else {
+                    s.push_str(&insert);
+                    s.push('\n');
+                }
+            }
+            s.push_str("__serializer.serialize_value(serde::Value::Object(__map))");
+            s
+        }
+        Data::Tuple(1) => "__serializer.serialize_value(serde::to_value(&self.0))".to_string(),
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "__serializer.serialize_value(serde::Value::Array(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = apply_rename(c.rename_all.as_deref(), vname);
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(serde::Value::String(\"{tag}\".to_string())),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{ let mut __m = serde::Map::new(); \
+                         __m.insert(\"{tag}\".to_string(), serde::to_value(__f0)); \
+                         __serializer.serialize_value(serde::Value::Object(__m)) }}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> =
+                            binds.iter().map(|b| format!("serde::to_value({b})")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ let mut __m = serde::Map::new(); \
+                             __m.insert(\"{tag}\".to_string(), serde::Value::Array(vec![{}])); \
+                             __serializer.serialize_value(serde::Value::Object(__m)) }}\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut __fm = serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fm.insert(\"{}\".to_string(), serde::to_value({}));\n",
+                                f.key(),
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {inner} \
+                             let mut __m = serde::Map::new(); \
+                             __m.insert(\"{tag}\".to_string(), serde::Value::Object(__fm)); \
+                             __serializer.serialize_value(serde::Value::Object(__m)) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression deserializing a named field from `__map` (a `serde::Map`).
+fn field_from_map(type_name: &str, f: &Field) -> String {
+    if f.attrs.skip {
+        return format!("{}: ::core::default::Default::default(),\n", f.name);
+    }
+    let missing = if f.attrs.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        // Option fields tolerate absence (deserialize from Null); anything
+        // else produces a missing-field error.
+        format!(
+            "serde::from_value::<_, __D::Error>(serde::Value::Null).map_err(|_| \
+             serde::de::Error::custom(\"{type_name}: missing field `{}`\"))?",
+            f.key()
+        )
+    };
+    format!(
+        "{}: match __map.remove(\"{}\") {{ \
+         ::core::option::Option::Some(__v) => serde::from_value(__v)?, \
+         ::core::option::Option::None => {missing} }},\n",
+        f.name,
+        f.key()
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::Named(fields) if c.transparent => {
+            let f = fields
+                .iter()
+                .find(|f| !f.attrs.skip)
+                .expect("transparent struct needs a field");
+            format!(
+                "::core::result::Result::Ok({name} {{ {}: serde::from_value(__deserializer.take_value()?)? }})",
+                f.name
+            )
+        }
+        Data::Named(fields) => {
+            let mut s = format!(
+                "let mut __map = match __deserializer.take_value()? {{ \
+                 serde::Value::Object(__m) => __m, \
+                 __other => return ::core::result::Result::Err(serde::de::Error::custom(\
+                 format!(\"{name}: expected object, got {{:?}}\", __other))) }};\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&field_from_map(name, f));
+            }
+            s.push_str("})");
+            s
+        }
+        Data::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(serde::from_value(__deserializer.take_value()?)?))"
+        ),
+        Data::Tuple(n) => {
+            let mut s = format!(
+                "let __items = match __deserializer.take_value()? {{ \
+                 serde::Value::Array(__a) if __a.len() == {n} => __a, \
+                 __other => return ::core::result::Result::Err(serde::de::Error::custom(\
+                 format!(\"{name}: expected array of {n}, got {{:?}}\", __other))) }};\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}("
+            );
+            for _ in 0..*n {
+                s.push_str("serde::from_value(__it.next().expect(\"length checked\"))?, ");
+            }
+            s.push_str("))");
+            s
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = apply_rename(c.rename_all.as_deref(), vname);
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{tag}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{tag}\" => ::core::result::Result::Ok({name}::{vname}(serde::from_value(__v)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let mut inner = String::new();
+                        for _ in 0..*n {
+                            inner.push_str(
+                                "serde::from_value(__ai.next().expect(\"length checked\"))?, ",
+                            );
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{tag}\" => match __v {{ \
+                             serde::Value::Array(__a) if __a.len() == {n} => {{ \
+                             let mut __ai = __a.into_iter(); \
+                             ::core::result::Result::Ok({name}::{vname}({inner})) }}, \
+                             __o => ::core::result::Result::Err(serde::de::Error::custom(\
+                             format!(\"{name}::{vname}: expected array of {n}, got {{:?}}\", __o))) }},\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            inner.push_str(&field_from_map(name, f));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{tag}\" => {{ let mut __map = match __v {{ \
+                             serde::Value::Object(__m) => __m, \
+                             __o => return ::core::result::Result::Err(serde::de::Error::custom(\
+                             format!(\"{name}::{vname}: expected object, got {{:?}}\", __o))) }}; \
+                             ::core::result::Result::Ok({name}::{vname} {{ {inner} }}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __deserializer.take_value()? {{\n\
+                 serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(serde::de::Error::custom(\
+                 format!(\"{name}: unknown variant `{{}}`\", __other))),\n}},\n\
+                 serde::Value::Object(__m) => {{\n\
+                 let mut __mit = __m.into_iter();\n\
+                 let (__k, __v) = match __mit.next() {{ \
+                 ::core::option::Option::Some(__kv) => __kv, \
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                 serde::de::Error::custom(\"{name}: empty variant object\")) }};\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(serde::de::Error::custom(\
+                 format!(\"{name}: unknown variant `{{}}`\", __other))),\n}}\n}},\n\
+                 __other => ::core::result::Result::Err(serde::de::Error::custom(\
+                 format!(\"{name}: expected string or object, got {{:?}}\", __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derive the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derive the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Works over the shim serde's [`Value`] tree: a recursive-descent JSON
+//! parser, compact and pretty printers, reader/writer entry points, and a
+//! `json!` macro covering the literal shapes this workspace uses.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::io::{Read, Write};
+
+pub use serde::{Map, Value};
+
+/// Error type for serialization, deserialization, and I/O.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(format!("io error: {e}"))
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > 128 {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected `:`")?;
+                    let value = self.parse_value(depth + 1)?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed by this workspace.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    self.pos = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_document(input: &str) -> Result<Value> {
+    let mut p = Parser::new(input);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(s: &str) -> Result<T> {
+    serde::from_value(parse_document(s)?)
+}
+
+/// Deserialize a `T` from JSON bytes.
+pub fn from_slice<'de, T: serde::Deserialize<'de>>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Deserialize a `T` from a reader.
+pub fn from_reader<R: Read, T: for<'de> serde::Deserialize<'de>>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::render_compact(&serde::to_value(value)))
+}
+
+/// Serialize to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::render_pretty(&serde::to_value(value)))
+}
+
+/// Serialize compact JSON into a writer.
+pub fn to_writer<W: Write, T: serde::Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize pretty JSON into a writer.
+pub fn to_writer_pretty<W: Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(serde::to_value(value))
+}
+
+/// Reconstruct a `T` from a [`Value`] tree.
+pub fn from_value<'de, T: serde::Deserialize<'de>>(value: Value) -> Result<T> {
+    serde::from_value(value)
+}
+
+/// Build a [`Value`] from JSON-looking syntax.
+///
+/// Supports the shapes used in this workspace: `null`, array literals whose
+/// elements are single token trees (literals or nested `{...}` objects),
+/// object literals with string-literal keys and expression values, and
+/// arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $( __map.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).expect("serialization is infallible") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"a": [1, 2.5, "x", null, true], "b": {"c": -3}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][0], Value::U64(1));
+        assert_eq!(v["a"][1], Value::F64(2.5));
+        assert_eq!(v["a"][2].as_str(), Some("x"));
+        assert!(v["a"][3].is_null());
+        assert_eq!(v["b"]["c"], Value::I64(-3));
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "community": format!("{}:{}", 1299, 2569), "intent": "action" });
+        assert_eq!(v["community"].as_str(), Some("1299:2569"));
+        let arr = json!([
+            {"community": "1299:2569", "intent": "action"},
+            {"community": "174:7", "intent": "information"},
+        ]);
+        assert_eq!(arr.as_array().unwrap().len(), 2);
+        assert_eq!(arr[1]["intent"].as_str(), Some("information"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v: Value = from_str(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integer_equality_unifies_flavors() {
+        assert_eq!(Value::U64(2), Value::I64(2));
+        assert_ne!(Value::U64(2), Value::F64(2.0));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<u32>("\"not a number\"").is_err());
+    }
+}
