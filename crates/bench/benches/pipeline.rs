@@ -22,26 +22,52 @@ fn bench_pipeline(c: &mut Criterion) {
     let scenario = scenario();
     let observations = scenario.collect(1);
     let stats = PathStats::from_observations(&observations, &scenario.siblings);
-    let cfg = InferenceConfig::default();
-    let inference = classify(&stats, &scenario.siblings, &cfg);
+    // Sequential baseline vs. one-worker-per-CPU; outputs are identical, so
+    // the `*_par` / `_seq` pairs measure pure scheduling + merge overhead
+    // (single-core) or speedup (multi-core).
+    let seq = InferenceConfig {
+        threads: 1,
+        ..InferenceConfig::default()
+    };
+    let par = InferenceConfig {
+        threads: 0,
+        ..InferenceConfig::default()
+    };
+    let inference = classify(&stats, &scenario.siblings, &seq);
 
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(20);
     group.bench_function("path_stats", |b| {
         b.iter(|| PathStats::from_observations(&observations, &scenario.siblings))
     });
+    group.bench_function("path_stats_par", |b| {
+        b.iter(|| PathStats::from_observations_threaded(&observations, &scenario.siblings, 0))
+    });
     group.bench_function("classify", |b| {
-        b.iter(|| classify(&stats, &scenario.siblings, &cfg))
+        b.iter(|| classify(&stats, &scenario.siblings, &seq))
+    });
+    group.bench_function("classify_par", |b| {
+        b.iter(|| classify(&stats, &scenario.siblings, &par))
     });
     group.bench_function("evaluate", |b| {
         b.iter(|| evaluate(&inference, &scenario.dict))
+    });
+    group.bench_function("end_to_end_seq", |b| {
+        b.iter(|| {
+            run_inference(
+                &observations,
+                &scenario.siblings,
+                &seq,
+                Some(&scenario.dict),
+            )
+        })
     });
     group.bench_function("end_to_end", |b| {
         b.iter(|| {
             run_inference(
                 &observations,
                 &scenario.siblings,
-                &cfg,
+                &par,
                 Some(&scenario.dict),
             )
         })

@@ -3,13 +3,14 @@
 use std::collections::HashSet;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bgp_dictionary::GroundTruthDictionary;
 use bgp_experiments::{Args, Scenario, ScenarioConfig};
 use bgp_intent::{run_inference, run_inference_with_report, Exclusion, InferenceConfig};
 use bgp_mrt::obs::{
-    read_observations_resilient, read_observations_strict, write_rib_dump, write_update_stream,
+    read_observations_parallel, read_observations_parallel_strict, write_rib_dump,
+    write_update_stream,
 };
 use bgp_mrt::{IngestReport, RecoverConfig};
 use bgp_relationships::SiblingMap;
@@ -21,10 +22,10 @@ bgpcomm — BGP community intent inference (IMC'23 reproduction)
 
 USAGE:
     bgpcomm stats    --mrt FILE [--mrt FILE ...] [--strict] [--max-errors N]
-                     [--report FILE]
+                     [--report FILE] [--threads N]
     bgpcomm infer    --mrt FILE [--mrt FILE ...] [--gap N] [--ratio N]
                      [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
-                     [--strict] [--max-errors N] [--report FILE]
+                     [--strict] [--max-errors N] [--report FILE] [--threads N]
     bgpcomm validate --mrt FILE [--mrt FILE ...]
     bgpcomm compare  --old FILE --new FILE
     bgpcomm generate --out DIR [--scale F] [--seed N] [--days N] [--docs N]
@@ -44,6 +45,10 @@ INGESTION (stats, infer):
     --max-errors N  Abort once more than N records fail to decode (exit 3).
     --report FILE   Write the machine-readable ingest report (JSON) to FILE,
                     or to stdout if FILE is `-`.
+    --threads N     Worker threads: MRT files decode in parallel (one file
+                    per worker) and the analysis stages shard across N
+                    threads. 0 = one per CPU (default). Output is identical
+                    at any thread count.
 
 EXIT CODES:
     0  success        2  decode error in --strict mode
@@ -99,11 +104,13 @@ fn mrt_files(args: &Args) -> Result<Vec<String>, String> {
         .collect())
 }
 
-/// Ingestion policy assembled from `--strict`, `--max-errors`, `--report`.
+/// Ingestion policy assembled from `--strict`, `--max-errors`, `--report`,
+/// `--threads`.
 struct IngestOptions {
     strict: bool,
     recover: RecoverConfig,
     report_path: Option<String>,
+    threads: usize,
 }
 
 impl IngestOptions {
@@ -123,6 +130,7 @@ impl IngestOptions {
             strict,
             recover,
             report_path: args.get_str("report").map(str::to_string),
+            threads: args.get("threads", 0usize)?,
         })
     }
 }
@@ -138,33 +146,39 @@ fn load_observations(
     paths: &[String],
     opts: &IngestOptions,
 ) -> Result<(Vec<Observation>, Option<IngestReport>), Failure> {
-    let mut observations = Vec::new();
+    // Unreadable input is a usage error (exit 1) in both modes, checked up
+    // front so it is reported before any decode work fans out.
+    for path in paths {
+        File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    }
+    let path_bufs: Vec<PathBuf> = paths.iter().map(PathBuf::from).collect();
+
     if opts.strict {
-        for path in paths {
-            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let parsed = read_observations_strict(BufReader::new(file))
-                .map_err(|e| Failure::new(EXIT_DECODE, format!("parse {path}: {e}")))?;
+        let per_file =
+            read_observations_parallel_strict(&path_bufs, opts.threads).map_err(|(path, e)| {
+                Failure::new(EXIT_DECODE, format!("parse {}: {e}", path.display()))
+            })?;
+        let mut observations = Vec::new();
+        for (path, parsed) in paths.iter().zip(per_file) {
             eprintln!("{path}: {} observations", parsed.len());
             observations.extend(parsed);
         }
         return Ok((observations, None));
     }
 
-    let mut merged = IngestReport::default();
+    let (files, merged) = read_observations_parallel(&path_bufs, &opts.recover, opts.threads);
+    let mut observations = Vec::new();
     let mut aborted: Option<String> = None;
-    for path in paths {
-        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        let (parsed, report) = read_observations_resilient(BufReader::new(file), &opts.recover);
+    for (path, file) in paths.iter().zip(files) {
         eprintln!(
             "{path}: {} observations ({})",
-            parsed.len(),
-            report.summary()
+            file.observations.len(),
+            file.report.summary()
         );
-        if let Some(why) = &report.aborted {
+        if let Some(why) = &file.report.aborted {
             aborted.get_or_insert_with(|| format!("{path}: {why}"));
         }
-        merged.merge(&report);
-        observations.extend(parsed);
+        observations.extend(file.observations);
     }
     write_report(&merged, opts)?;
     if let Some(why) = aborted {
@@ -248,6 +262,7 @@ pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
     let cfg = InferenceConfig {
         min_gap: args.get("gap", 140u16)?,
         ratio_threshold: args.get("ratio", 160.0f64)?,
+        threads: opts.threads,
         ..InferenceConfig::default()
     };
     let dict = match args.get_str("dict") {

@@ -131,6 +131,49 @@ fn error_budget_aborts_with_distinct_exit_code() {
 }
 
 #[test]
+fn threads_flag_gives_identical_output_at_any_count() {
+    let dir = workdir("threads");
+    let a = dir.join("a.mrt");
+    let b = dir.join("b.mrt");
+    let c = corrupted_archive(&dir);
+    let mut buf = Vec::new();
+    write_update_stream(&mut buf, Asn::new(6447), &observations(80)).unwrap();
+    fs::write(&a, &buf).unwrap();
+    buf.clear();
+    write_update_stream(&mut buf, Asn::new(6447), &observations(40)).unwrap();
+    fs::write(&b, buf).unwrap();
+
+    let run = |threads: &str| {
+        let out = bgpcomm(&[
+            "infer",
+            "--mrt",
+            a.to_str().unwrap(),
+            "--mrt",
+            b.to_str().unwrap(),
+            "--mrt",
+            c.to_str().unwrap(),
+            "--threads",
+            threads,
+            "--top",
+            "5",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "threads={threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let sequential = run("1");
+    assert!(sequential.contains("classified"), "{sequential}");
+    for threads in ["2", "8", "0"] {
+        assert_eq!(run(threads), sequential, "threads={threads}");
+    }
+}
+
+#[test]
 fn strict_and_max_errors_are_mutually_exclusive() {
     let out = bgpcomm(&["stats", "--mrt", "x.mrt", "--strict", "--max-errors", "3"]);
     assert_eq!(out.status.code(), Some(1));

@@ -1,10 +1,10 @@
 //! Cluster labeling and exclusion rules — steps (ii) and (iii) of Fig 8.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use bgp_relationships::SiblingMap;
+use bgp_types::fx::FxHashMap;
+use bgp_types::par::{effective_threads, par_map_indexed};
 use bgp_types::{Asn, Community, Intent};
 
 use crate::cluster::{gap_clusters, Cluster};
@@ -29,6 +29,11 @@ pub struct InferenceConfig {
     /// On by default (§5.2); the ablation study switches them off to
     /// measure their contribution.
     pub apply_exclusions: bool,
+    /// Worker threads for statistics and classification (`0` = one per
+    /// CPU, the default; `1` = sequential). Output is identical at any
+    /// thread count — see `DESIGN.md` on the shard-and-merge model.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for InferenceConfig {
@@ -39,6 +44,7 @@ impl Default for InferenceConfig {
             use_siblings: true,
             pooled_ratio: false,
             apply_exclusions: true,
+            threads: 0,
         }
     }
 }
@@ -57,7 +63,7 @@ pub enum Exclusion {
 }
 
 /// A labeled cluster, kept for figures and diagnostics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabeledCluster {
     /// The cluster itself.
     pub cluster: Cluster,
@@ -72,12 +78,12 @@ pub struct LabeledCluster {
 }
 
 /// The output of the method over one dataset.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Inference {
     /// Label per classified community.
-    pub labels: HashMap<Community, Intent>,
+    pub labels: FxHashMap<Community, Intent>,
     /// Communities the method refused to classify, with the reason.
-    pub excluded: HashMap<Community, Exclusion>,
+    pub excluded: FxHashMap<Community, Exclusion>,
     /// Every labeled cluster (diagnostics, Fig 4/6/9 material).
     pub clusters: Vec<LabeledCluster>,
 }
@@ -159,47 +165,84 @@ pub fn label_cluster(
     }
 }
 
+/// Steps (i)–(iii) for one owner AS: exclusion check, clustering, cluster
+/// labeling. Appends into `out` so chunked workers reuse one accumulator.
+fn classify_owner(
+    stats: &PathStats,
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    asn: u16,
+    betas: &[u16],
+    out: &mut Inference,
+) {
+    let owner = Asn::new(asn as u32);
+    let exclusion = if !cfg.apply_exclusions {
+        None
+    } else if owner.is_private() {
+        Some(Exclusion::PrivateAsn)
+    } else if owner.is_reserved() {
+        Some(Exclusion::ReservedAsn)
+    } else {
+        let family = if cfg.use_siblings {
+            siblings.expand(owner)
+        } else {
+            vec![owner]
+        };
+        if family.iter().any(|a| stats.seen_asns.contains(a)) {
+            None
+        } else {
+            Some(Exclusion::NeverOnPath)
+        }
+    };
+    if let Some(reason) = exclusion {
+        for &beta in betas {
+            out.excluded.insert(Community::new(asn, beta), reason);
+        }
+        return;
+    }
+    for cluster in gap_clusters(asn, betas, cfg.min_gap) {
+        let labeled = label_cluster(stats, &cluster, cfg);
+        for &beta in &labeled.cluster.betas {
+            out.labels.insert(Community::new(asn, beta), labeled.label);
+        }
+        out.clusters.push(labeled);
+    }
+}
+
 /// Run steps (i)–(iii) over precomputed path statistics.
 ///
 /// `siblings` must be the same map used to build `stats` (it decides both
 /// the on-path test and the never-on-path exclusion).
+///
+/// Owner ASes are independent, so with `cfg.threads != 1` they fan out
+/// across workers in ASN-ordered chunks and the partial inferences are
+/// merged back in ASN order — the output (including `clusters` order) is
+/// identical at any thread count.
 pub fn classify(stats: &PathStats, siblings: &SiblingMap, cfg: &InferenceConfig) -> Inference {
+    let owners = stats.by_owner();
+    let threads = effective_threads(cfg.threads).min(owners.len().max(1));
+    if threads <= 1 {
+        let mut inference = Inference::default();
+        for (asn, betas) in &owners {
+            classify_owner(stats, siblings, cfg, *asn, betas, &mut inference);
+        }
+        return inference;
+    }
+    // Oversplit so one community-heavy owner cannot serialize a chunk.
+    let chunk_size = owners.len().div_ceil(threads * 4).max(1);
+    let chunks: Vec<&[(u16, Vec<u16>)]> = owners.chunks(chunk_size).collect();
+    let parts = par_map_indexed(chunks.len(), threads, |i| {
+        let mut part = Inference::default();
+        for (asn, betas) in chunks[i] {
+            classify_owner(stats, siblings, cfg, *asn, betas, &mut part);
+        }
+        part
+    });
     let mut inference = Inference::default();
-    for (asn, betas) in stats.by_owner() {
-        let owner = Asn::new(asn as u32);
-        let exclusion = if !cfg.apply_exclusions {
-            None
-        } else if owner.is_private() {
-            Some(Exclusion::PrivateAsn)
-        } else if owner.is_reserved() {
-            Some(Exclusion::ReservedAsn)
-        } else {
-            let family = if cfg.use_siblings {
-                siblings.expand(owner)
-            } else {
-                vec![owner]
-            };
-            if family.iter().any(|a| stats.seen_asns.contains(a)) {
-                None
-            } else {
-                Some(Exclusion::NeverOnPath)
-            }
-        };
-        if let Some(reason) = exclusion {
-            for beta in betas {
-                inference.excluded.insert(Community::new(asn, beta), reason);
-            }
-            continue;
-        }
-        for cluster in gap_clusters(asn, &betas, cfg.min_gap) {
-            let labeled = label_cluster(stats, &cluster, cfg);
-            for &beta in &labeled.cluster.betas {
-                inference
-                    .labels
-                    .insert(Community::new(asn, beta), labeled.label);
-            }
-            inference.clusters.push(labeled);
-        }
+    for part in parts {
+        inference.labels.extend(part.labels);
+        inference.excluded.extend(part.excluded);
+        inference.clusters.extend(part.clusters);
     }
     inference
 }
@@ -416,6 +459,46 @@ mod tests {
         assert!(inf.excluded.is_empty());
         assert!(inf.labels.contains_key(&Community::new(65000, 5)));
         assert!(inf.labels.contains_key(&Community::new(60001, 1)));
+    }
+
+    #[test]
+    fn classify_is_deterministic_across_thread_counts() {
+        // Enough owners for several chunks: 40 owner ASes, mixed on/off
+        // evidence, one private and one never-on-path owner.
+        let mut observations = Vec::new();
+        for i in 0..40u16 {
+            let owner = 1000 + i * 7;
+            observations.push(obs(
+                &format!("10 {owner} 64496"),
+                &[(owner, 10), (owner, 200)],
+            ));
+            if i % 3 == 0 {
+                observations.push(obs("11 64496", &[(owner, 10)]));
+            }
+        }
+        observations.push(obs("10 65001 64496", &[(65001, 5)]));
+        observations.push(obs("10 3356 64496", &[(60001, 1)]));
+        let siblings = SiblingMap::default();
+        let stats = PathStats::from_observations(&observations, &siblings);
+        let baseline = classify(
+            &stats,
+            &siblings,
+            &InferenceConfig {
+                threads: 1,
+                ..InferenceConfig::default()
+            },
+        );
+        for threads in [2, 3, 8] {
+            let cfg = InferenceConfig {
+                threads,
+                ..InferenceConfig::default()
+            };
+            assert_eq!(
+                classify(&stats, &siblings, &cfg),
+                baseline,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

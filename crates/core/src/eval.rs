@@ -8,7 +8,7 @@ use bgp_types::Intent;
 use crate::classify::Inference;
 
 /// Accuracy of an inference run against a dictionary.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Evaluation {
     /// Communities with both an inferred label and a ground-truth label.
     pub total: usize,

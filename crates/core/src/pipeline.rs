@@ -11,7 +11,7 @@ use crate::eval::{evaluate, Evaluation};
 use crate::stats::PathStats;
 
 /// Everything the pipeline produced for one dataset.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineResult {
     /// Path statistics (reusable for figures).
     pub stats: PathStats,
@@ -27,13 +27,17 @@ pub struct PipelineResult {
 
 /// Run the full method: statistics → clustering → classification →
 /// (optional) evaluation.
+///
+/// `cfg.threads` controls both the statistics and classification stages
+/// (`0` = one worker per CPU, `1` = sequential); the result is identical
+/// at any thread count.
 pub fn run_inference(
     observations: &[Observation],
     siblings: &SiblingMap,
     cfg: &InferenceConfig,
     dict: Option<&GroundTruthDictionary>,
 ) -> PipelineResult {
-    let stats = PathStats::from_observations(observations, siblings);
+    let stats = PathStats::from_observations_threaded(observations, siblings, cfg.threads);
     let inference = classify(&stats, siblings, cfg);
     let evaluation = dict.map(|d| evaluate(&inference, d));
     PipelineResult {

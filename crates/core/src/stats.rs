@@ -5,9 +5,12 @@
 //! and off-path, respectively."* The on-path test includes siblings (§5.2:
 //! "the ASN (or a sibling thereof)").
 
-use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 use bgp_relationships::SiblingMap;
+use bgp_types::fx::{fx_hash_one, FxHashMap, FxHashSet};
+use bgp_types::par::{effective_threads, par_map_indexed};
 use bgp_types::{AsPath, Asn, Community, Observation};
 
 /// Unique-path counts for one community.
@@ -36,13 +39,13 @@ impl PathCounts {
 }
 
 /// Aggregated path statistics over a set of observations.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PathStats {
     /// Per-community unique-path counts.
-    pub per_community: HashMap<Community, PathCounts>,
+    pub per_community: FxHashMap<Community, PathCounts>,
     /// Every ASN appearing in any unique AS path (for the never-on-path
     /// exclusion rule).
-    pub seen_asns: HashSet<Asn>,
+    pub seen_asns: FxHashSet<Asn>,
     /// Number of unique `(AS path, communities)` tuples (the §4 unit:
     /// "≈174M tuples" in the paper).
     pub unique_tuples: usize,
@@ -50,59 +53,111 @@ pub struct PathStats {
     pub unique_paths: usize,
 }
 
+/// The sequential reduction, over one shard (or the whole input).
+///
+/// Correct for any subset of observations in which every occurrence of a
+/// given AS path is present: interning, tuple dedup, and unique-path
+/// counting are all keyed by path, so shards partitioned by path hash can
+/// each run this independently and merge by summing.
+fn stats_of(observations: &[&Observation], siblings: &SiblingMap) -> PathStats {
+    // Intern paths and dedupe tuples. IDs are allocated only on first
+    // sight (explicit `Entry` match): a duplicate path reuses its ID, so
+    // IDs stay dense in `0..unique_paths` and index `members` directly.
+    let mut path_ids: FxHashMap<&AsPath, u32> = FxHashMap::default();
+    let mut tuples: FxHashSet<(u32, &[Community])> = FxHashSet::default();
+    for obs in observations {
+        let next = path_ids.len() as u32;
+        let id = match path_ids.entry(&obs.path) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(v) => *v.insert(next),
+        };
+        tuples.insert((id, obs.communities.as_slice()));
+    }
+
+    // Membership sets per path, with sibling expansion applied on the
+    // community side (cheaper: expand the owner when testing).
+    let mut members: Vec<FxHashSet<Asn>> = vec![FxHashSet::default(); path_ids.len()];
+    let mut seen_asns = FxHashSet::default();
+    for (path, &id) in &path_ids {
+        let set: FxHashSet<Asn> = path.iter().collect();
+        seen_asns.extend(set.iter().copied());
+        members[id as usize] = set;
+    }
+
+    // Unique paths per community, split on/off.
+    let mut on_paths: FxHashMap<Community, FxHashSet<u32>> = FxHashMap::default();
+    let mut off_paths: FxHashMap<Community, FxHashSet<u32>> = FxHashMap::default();
+    for &(path_id, communities) in &tuples {
+        for &c in communities {
+            let owner = Asn::new(c.asn as u32);
+            let family = siblings.expand(owner);
+            let on = family.iter().any(|a| members[path_id as usize].contains(a));
+            if on {
+                on_paths.entry(c).or_default().insert(path_id);
+            } else {
+                off_paths.entry(c).or_default().insert(path_id);
+            }
+        }
+    }
+
+    let mut per_community: FxHashMap<Community, PathCounts> = FxHashMap::default();
+    for (c, set) in on_paths {
+        per_community.entry(c).or_default().on = set.len() as u32;
+    }
+    for (c, set) in off_paths {
+        per_community.entry(c).or_default().off = set.len() as u32;
+    }
+
+    PathStats {
+        per_community,
+        seen_asns,
+        unique_tuples: tuples.len(),
+        unique_paths: path_ids.len(),
+    }
+}
+
 impl PathStats {
     /// Reduce observations to statistics. Duplicate `(path, communities)`
     /// tuples collapse; a community's on/off counts are over unique paths.
     pub fn from_observations(observations: &[Observation], siblings: &SiblingMap) -> Self {
-        // Intern paths and dedupe tuples.
-        let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
-        let mut tuples: HashSet<(u32, &[Community])> = HashSet::new();
+        let refs: Vec<&Observation> = observations.iter().collect();
+        stats_of(&refs, siblings)
+    }
+
+    /// [`PathStats::from_observations`] across worker threads (`0` = one per
+    /// CPU). Observations are sharded by AS-path hash, each shard reduced
+    /// independently, and the shard results summed — every occurrence of a
+    /// path lands in one shard, so on/off unique-path counts, tuple dedup,
+    /// and path counts are exact. The result is identical to the sequential
+    /// reduction at any thread count.
+    pub fn from_observations_threaded(
+        observations: &[Observation],
+        siblings: &SiblingMap,
+        threads: usize,
+    ) -> Self {
+        let threads = effective_threads(threads);
+        if threads <= 1 || observations.len() < 2 {
+            return Self::from_observations(observations, siblings);
+        }
+        let shard_count = threads;
+        let mut shards: Vec<Vec<&Observation>> = (0..shard_count).map(|_| Vec::new()).collect();
         for obs in observations {
-            let next = path_ids.len() as u32;
-            let id = *path_ids.entry(&obs.path).or_insert(next);
-            tuples.insert((id, obs.communities.as_slice()));
+            shards[(fx_hash_one(&obs.path) as usize) % shard_count].push(obs);
         }
+        let parts = par_map_indexed(shard_count, threads, |i| stats_of(&shards[i], siblings));
 
-        // Membership sets per path, with sibling expansion applied on the
-        // community side (cheaper: expand the owner when testing).
-        let mut members: Vec<HashSet<Asn>> = vec![HashSet::new(); path_ids.len()];
-        let mut seen_asns = HashSet::new();
-        for (path, &id) in &path_ids {
-            let set: HashSet<Asn> = path.iter().collect();
-            seen_asns.extend(set.iter().copied());
-            members[id as usize] = set;
-        }
-
-        // Unique paths per community, split on/off.
-        let mut on_paths: HashMap<Community, HashSet<u32>> = HashMap::new();
-        let mut off_paths: HashMap<Community, HashSet<u32>> = HashMap::new();
-        for &(path_id, communities) in &tuples {
-            for &c in communities {
-                let owner = Asn::new(c.asn as u32);
-                let family = siblings.expand(owner);
-                let on = family.iter().any(|a| members[path_id as usize].contains(a));
-                if on {
-                    on_paths.entry(c).or_default().insert(path_id);
-                } else {
-                    off_paths.entry(c).or_default().insert(path_id);
-                }
+        let mut merged = PathStats::default();
+        for part in parts {
+            for (c, counts) in part.per_community {
+                let slot = merged.per_community.entry(c).or_default();
+                slot.on += counts.on;
+                slot.off += counts.off;
             }
+            merged.seen_asns.extend(part.seen_asns);
+            merged.unique_tuples += part.unique_tuples;
+            merged.unique_paths += part.unique_paths;
         }
-
-        let mut per_community: HashMap<Community, PathCounts> = HashMap::new();
-        for (c, set) in on_paths {
-            per_community.entry(c).or_default().on = set.len() as u32;
-        }
-        for (c, set) in off_paths {
-            per_community.entry(c).or_default().off = set.len() as u32;
-        }
-
-        PathStats {
-            per_community,
-            seen_asns,
-            unique_tuples: tuples.len(),
-            unique_paths: path_ids.len(),
-        }
+        merged
     }
 
     /// Observed communities grouped by owner ASN, each group's `β` values
@@ -225,6 +280,52 @@ mod tests {
         let stats = PathStats::from_observations(&observations, &SiblingMap::default());
         let grouped = stats.by_owner();
         assert_eq!(grouped, vec![(100, vec![1, 5]), (200, vec![9])]);
+    }
+
+    #[test]
+    fn duplicate_paths_do_not_burn_interned_ids() {
+        // Regression: interleaved duplicates of the same path must reuse
+        // the first ID so IDs stay dense in 0..unique_paths (the members
+        // table is indexed by ID; a burned ID would leave a hole or panic).
+        let observations = vec![
+            obs(1, "1 1299 64496", &[(1299, 1)]),
+            obs(1, "1 1299 64496", &[(1299, 2)]),
+            obs(2, "2 64496", &[(1299, 3)]),
+            obs(1, "1 1299 64496", &[(1299, 4)]),
+            obs(2, "2 64496", &[(1299, 3)]),
+        ];
+        let stats = PathStats::from_observations(&observations, &SiblingMap::default());
+        assert_eq!(stats.unique_paths, 2);
+        assert_eq!(stats.unique_tuples, 4);
+        // Each community rides exactly one unique path.
+        for beta in 1..=4 {
+            let c = stats.counts(Community::new(1299, beta)).unwrap();
+            assert_eq!(c.on + c.off, 1, "1299:{beta} should sit on one path");
+        }
+    }
+
+    #[test]
+    fn threaded_stats_match_sequential_at_any_thread_count() {
+        // A mixed workload: duplicates, shared paths, multiple owners.
+        let mut observations = Vec::new();
+        for i in 0..40u32 {
+            observations.push(obs(
+                65000 + (i % 5),
+                &format!("{} 1299 {}", 65000 + (i % 5), 64496 + (i % 7)),
+                &[(1299, (i % 11) as u16), (3356, (i % 3) as u16)],
+            ));
+            observations.push(obs(
+                65100 + (i % 3),
+                &format!("{} 64496", 65100 + (i % 3)),
+                &[(1299, (i % 11) as u16)],
+            ));
+        }
+        let siblings = SiblingMap::from_orgs(vec![vec![Asn::new(1299), Asn::new(64500)]]);
+        let sequential = PathStats::from_observations(&observations, &siblings);
+        for threads in [1, 2, 3, 8] {
+            let parallel = PathStats::from_observations_threaded(&observations, &siblings, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

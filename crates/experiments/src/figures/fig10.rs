@@ -78,9 +78,7 @@ pub fn run(
         .iter()
         .flat_map(|&s| (0..trials).map(move |t| (s, t)))
         .collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = bgp_types::effective_threads(0);
     let chunk = jobs.len().div_ceil(threads);
     let all_vps = &all_vps;
     let results: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {

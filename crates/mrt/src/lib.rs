@@ -65,6 +65,7 @@ pub mod writer;
 
 pub use error::{MrtError, MrtErrorKind};
 pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultLog};
+pub use obs::FileIngest;
 pub use reader::MrtReader;
 pub use records::{MrtRecord, TimestampedRecord};
 pub use recover::{ErrorCounters, IngestReport, RecoverConfig, RecoveringReader};

@@ -6,9 +6,12 @@
 //! streams like `updates.*.bz2`).
 
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
+use std::fs::File;
+use std::io::{BufReader, Read, Write};
 use std::net::{IpAddr, Ipv4Addr};
+use std::path::PathBuf;
 
+use bgp_types::par::{effective_threads, par_map_indexed};
 use bgp_types::{Asn, Observation, Prefix, RouteAttrs};
 
 use crate::bgpmsg::BgpMessage;
@@ -288,6 +291,94 @@ pub fn read_observations_resilient<R: Read>(
     (observations, report)
 }
 
+/// Per-file outcome of [`read_observations_parallel`].
+#[derive(Debug, Clone)]
+pub struct FileIngest {
+    /// The input file.
+    pub path: PathBuf,
+    /// Observations salvaged from this file.
+    pub observations: Vec<Observation>,
+    /// This file's ingest accounting. A file that could not even be opened
+    /// shows up as an aborted, zero-byte report (the ledger still
+    /// balances: `0 + 0 == 0`), never as a panic or a lost slot.
+    pub report: IngestReport,
+}
+
+/// Resilient ingestion over many MRT files at once: each file is decoded
+/// sequentially (MRT framing is a byte stream; records cannot be split
+/// mid-file) but files fan out across `threads` workers (`0` = one per
+/// CPU).
+///
+/// Returns one [`FileIngest`] per input path *in input order* regardless of
+/// scheduling, plus the merged [`IngestReport`] (merged in input order, so
+/// its `aborted` reason comes from the earliest aborted file). Each file is
+/// read with [`read_observations_resilient`] semantics, so this never
+/// fails; concatenating the per-file observations in order yields exactly
+/// what a sequential loop over the files would produce.
+pub fn read_observations_parallel(
+    paths: &[PathBuf],
+    cfg: &RecoverConfig,
+    threads: usize,
+) -> (Vec<FileIngest>, IngestReport) {
+    let threads = effective_threads(threads);
+    let files = par_map_indexed(paths.len(), threads, |i| {
+        let path = paths[i].clone();
+        match File::open(&path) {
+            Ok(file) => {
+                let (observations, report) = read_observations_resilient(BufReader::new(file), cfg);
+                FileIngest {
+                    path,
+                    observations,
+                    report,
+                }
+            }
+            Err(e) => {
+                let mut report = IngestReport::default();
+                report.errors.io = 1;
+                report.aborted = Some(format!("open: {e}"));
+                FileIngest {
+                    path,
+                    observations: Vec::new(),
+                    report,
+                }
+            }
+        }
+    });
+    let mut merged = IngestReport::default();
+    for file in &files {
+        merged.merge(&file.report);
+    }
+    (files, merged)
+}
+
+/// Strict ingestion over many MRT files at once, fanning files out across
+/// `threads` workers (`0` = one per CPU).
+///
+/// Returns the per-file observations in input order, or — matching the
+/// fail-fast contract of [`read_observations_strict`] — the error of the
+/// *earliest* failing file by input order (deterministic even when a later
+/// file fails first on the wall clock). File-open failures surface as
+/// [`MrtError::Io`].
+pub fn read_observations_parallel_strict(
+    paths: &[PathBuf],
+    threads: usize,
+) -> Result<Vec<Vec<Observation>>, (PathBuf, MrtError)> {
+    let threads = effective_threads(threads);
+    let results = par_map_indexed(paths.len(), threads, |i| {
+        File::open(&paths[i])
+            .map_err(MrtError::from)
+            .and_then(|file| read_observations_strict(BufReader::new(file)))
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(observations) => out.push(observations),
+            Err(e) => return Err((paths[i].clone(), e)),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +604,90 @@ mod tests {
         assert_eq!(back, vec![]);
         assert_eq!(report.errors.malformed, 4, "one per dropped RIB entry");
         assert_eq!(report.records_read, 4, "record frames still decoded");
+    }
+
+    /// Write three distinct single-record archives to a fresh temp dir.
+    fn archive_trio(name: &str) -> Vec<PathBuf> {
+        let dir = std::env::temp_dir().join(format!("bgp-mrt-par-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        (0..3u32)
+            .map(|i| {
+                let one = vec![obs(
+                    64500 + i,
+                    "10.0.0.0/24",
+                    &format!("{} 1299 64496", 64500 + i),
+                    &[(1299, i as u16)],
+                    100 + i,
+                )];
+                let mut buf = Vec::new();
+                write_update_stream(&mut buf, Asn::new(6447), &one).unwrap();
+                let path = dir.join(format!("updates.{i}.mrt"));
+                std::fs::write(&path, buf).unwrap();
+                path
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_read_matches_sequential_at_any_thread_count() {
+        let paths = archive_trio("clean");
+        let cfg = RecoverConfig::default();
+        let sequential: Vec<Vec<Observation>> = paths
+            .iter()
+            .map(|p| {
+                let file = std::fs::File::open(p).unwrap();
+                read_observations_resilient(std::io::BufReader::new(file), &cfg).0
+            })
+            .collect();
+        for threads in [1, 2, 8] {
+            let (files, merged) = read_observations_parallel(&paths, &cfg, threads);
+            assert_eq!(files.len(), 3);
+            for (file, expected) in files.iter().zip(&sequential) {
+                assert_eq!(&file.observations, expected, "threads = {threads}");
+                assert!(file.report.is_clean());
+            }
+            assert!(merged.is_clean());
+            assert_eq!(merged.records_read, 3);
+            assert_eq!(merged.bytes_ok + merged.bytes_skipped, merged.bytes_read);
+        }
+    }
+
+    #[test]
+    fn parallel_read_reports_unopenable_file_as_aborted() {
+        let mut paths = archive_trio("missing");
+        paths.insert(1, paths[0].with_file_name("does-not-exist.mrt"));
+        let (files, merged) = read_observations_parallel(&paths, &RecoverConfig::default(), 2);
+        assert_eq!(files.len(), 4);
+        assert!(files[1].observations.is_empty());
+        assert!(files[1].report.aborted.is_some());
+        assert_eq!(files[1].report.errors.io, 1);
+        // Other files are unaffected; the ledger still balances.
+        assert_eq!(files[0].observations.len(), 1);
+        assert_eq!(merged.records_read, 3);
+        assert_eq!(merged.bytes_ok + merged.bytes_skipped, merged.bytes_read);
+        assert!(merged.aborted.is_some());
+    }
+
+    #[test]
+    fn parallel_strict_fails_on_earliest_bad_file() {
+        let paths = archive_trio("strict");
+        // Damage the *second* file's MRT type byte.
+        let mut bytes = std::fs::read(&paths[1]).unwrap();
+        bytes[5] = 0xEE;
+        std::fs::write(&paths[1], &bytes).unwrap();
+        for threads in [1, 2, 8] {
+            let err = read_observations_parallel_strict(&paths, threads).unwrap_err();
+            assert_eq!(err.0, paths[1], "threads = {threads}");
+        }
+        // Clean trio succeeds and preserves input order.
+        let clean = archive_trio("strict-clean");
+        let per_file = read_observations_parallel_strict(&clean, 8).unwrap();
+        assert_eq!(per_file.len(), 3);
+        for (i, observations) in per_file.iter().enumerate() {
+            assert_eq!(observations.len(), 1);
+            assert_eq!(observations[0].vp, Asn::new(64500 + i as u32));
+        }
     }
 
     #[test]

@@ -94,13 +94,7 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Resolve the worker thread count.
     pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+        bgp_types::effective_threads(self.threads)
     }
 }
 

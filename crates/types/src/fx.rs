@@ -1,0 +1,147 @@
+//! A fast, non-cryptographic hasher for the analysis hot paths.
+//!
+//! `std`'s default SipHash is DoS-resistant but costs real throughput on the
+//! pipeline's hottest maps (path interning, tuple dedup, per-community
+//! counters), where keys come from data we generated or already validated.
+//! This is an in-tree FxHash-style multiply-rotate hasher: each 8-byte word
+//! is folded in with a rotate, xor, and multiply by a large odd constant.
+//! Not keyed, not collision-resistant against adversaries — use only for
+//! in-process maps, never for anything an attacker chooses unboundedly.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiplier: a large odd constant with well-mixed bits (derived from the
+/// golden ratio, as in FxHash).
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Rotation applied before each fold, so word order matters.
+const ROTATE: u32 = 5;
+
+/// The hasher state. Construct through [`FxBuildHasher`] / `Default`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (word, tail) = rest.split_at(8);
+            self.fold(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            rest = tail;
+        }
+        if rest.len() >= 4 {
+            let (word, tail) = rest.split_at(4);
+            self.fold(u32::from_le_bytes(word.try_into().expect("4 bytes")) as u64);
+            rest = tail;
+        }
+        for &b in rest {
+            self.fold(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.fold(i as u64);
+        self.fold((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`]. Build with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`]. Build with `FxHashSet::default()`.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash one value to a `u64` (e.g. for shard routing). Deterministic across
+/// runs and platforms: the hasher is unkeyed and folds little-endian words.
+pub fn fx_hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let a = fx_hash_one("10 1299 64496");
+        let b = fx_hash_one("10 1299 64496");
+        assert_eq!(a, b);
+        assert_ne!(a, fx_hash_one("10 1299 64497"));
+    }
+
+    #[test]
+    fn word_order_matters() {
+        let mut h1 = FxHasher::default();
+        h1.write_u64(1);
+        h1.write_u64(2);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(2);
+        h2.write_u64(1);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_mixed() {
+        // Streams differing only in the trailing partial word must differ.
+        assert_ne!(fx_hash_one(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9][..]), {
+            fx_hash_one(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10][..])
+        });
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        map.insert(7, 49);
+        assert_eq!(map.get(&7), Some(&49));
+        let mut set: FxHashSet<&str> = FxHashSet::default();
+        assert!(set.insert("x"));
+        assert!(!set.insert("x"));
+    }
+}

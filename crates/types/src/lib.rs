@@ -14,6 +14,11 @@
 //! * [`Intent`] — the action/information label that the whole pipeline exists
 //!   to infer.
 //!
+//! Two small shared utilities also live here so every crate agrees on them:
+//! [`fx`] — the FxHash-style hasher used for analysis-side hot maps — and
+//! [`par`] — thread-count resolution plus the deterministic fork-join
+//! helper behind every parallel stage.
+//!
 //! All types are plain data: no I/O, no global state, and `serde` support so
 //! dictionaries and inferences can be released as data supplements like the
 //! paper's.
@@ -25,8 +30,10 @@ pub mod asn;
 pub mod aspath;
 pub mod community;
 pub mod error;
+pub mod fx;
 pub mod intent;
 pub mod observation;
+pub mod par;
 pub mod prefix;
 pub mod route;
 
@@ -34,7 +41,9 @@ pub use asn::Asn;
 pub use aspath::{AsPath, PathSegment};
 pub use community::{Community, ExtendedCommunity, LargeCommunity};
 pub use error::ParseError;
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intent::Intent;
 pub use observation::Observation;
+pub use par::{effective_threads, par_map_indexed};
 pub use prefix::Prefix;
 pub use route::{Announcement, Origin, RouteAttrs};

@@ -6,9 +6,18 @@
 //! a simple wall-clock timer that prints mean per-iteration times. No
 //! statistics, plots, or comparisons; good enough to smoke-run benches
 //! and eyeball regressions in an offline container.
+//!
+//! Besides the human-readable lines, every run rewrites a machine-readable
+//! registry `BENCH_<bench-binary>.json` (benchmark name → mean ns/iter,
+//! iteration count, throughput) in the working directory — under `cargo
+//! bench` that is the package root. Set `BENCH_JSON_DIR` to redirect it or
+//! `BENCH_JSON=0` to disable it.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from deleting a computed value.
@@ -53,12 +62,100 @@ impl Bencher {
     }
 }
 
+struct BenchRecord {
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, BenchRecord>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, BenchRecord>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Where the JSON registry goes, or `None` when disabled via `BENCH_JSON=0`.
+fn json_path() -> Option<PathBuf> {
+    if std::env::var_os("BENCH_JSON").is_some_and(|v| v == *"0") {
+        return None;
+    }
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?.to_string();
+    // Cargo names test/bench binaries `<name>-<16 hex digits>`; strip the
+    // metadata hash so the registry file name is stable across builds.
+    let stem = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    };
+    let dir = std::env::var_os("BENCH_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    Some(dir.join(format!("BENCH_{stem}.json")))
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Fold `name` into the registry and rewrite the JSON file. Rewriting on
+/// every report (rather than at exit) keeps the file current even when the
+/// bench binary is interrupted mid-run.
+fn record(name: &str, ns_per_iter: f64, iters: u64, throughput: Option<Throughput>) {
+    let Some(path) = json_path() else { return };
+    let mut map = registry().lock().unwrap();
+    map.insert(
+        name.to_string(),
+        BenchRecord {
+            ns_per_iter,
+            iters,
+            throughput,
+        },
+    );
+    let mut out = String::from("{\n");
+    for (i, (name, r)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  \"{}\": {{\"ns_per_iter\": {:.3}, \"iters\": {}",
+            json_escape(name),
+            r.ns_per_iter,
+            r.iters
+        ));
+        match r.throughput {
+            Some(Throughput::Bytes(n)) => out.push_str(&format!(
+                ", \"bytes_per_iter\": {n}, \"gb_per_sec\": {:.6}",
+                n as f64 / r.ns_per_iter
+            )),
+            Some(Throughput::Elements(n)) => out.push_str(&format!(
+                ", \"elements_per_iter\": {n}, \"melem_per_sec\": {:.6}",
+                n as f64 / r.ns_per_iter * 1000.0
+            )),
+            None => {}
+        }
+        out.push('}');
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
+}
+
 fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     if bencher.iters == 0 {
         println!("{name}: no iterations");
         return;
     }
     let mean_ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    record(name, mean_ns, bencher.iters, throughput);
     let rate = match throughput {
         Some(Throughput::Bytes(n)) => {
             let gib = n as f64 / mean_ns; // bytes/ns == GB/s
@@ -189,8 +286,15 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    // One combined test: the JSON destination comes from process-global
+    // environment variables, so parallel tests would race on it.
     #[test]
-    fn group_runs_and_reports() {
+    fn group_runs_reports_and_writes_json_registry() {
+        let dir = std::env::temp_dir().join("criterion-shim-json-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("smoke");
         group.sample_size(2).throughput(Throughput::Bytes(1024));
@@ -203,5 +307,23 @@ mod tests {
         });
         group.finish();
         assert!(ran > 0);
+
+        let path = json_path().expect("json emission enabled");
+        assert!(path.starts_with(&dir), "{}", path.display());
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"smoke/sum\""), "{json}");
+        assert!(json.contains("\"ns_per_iter\""), "{json}");
+        assert!(json.contains("\"bytes_per_iter\": 1024"), "{json}");
+
+        std::env::set_var("BENCH_JSON", "0");
+        assert!(json_path().is_none());
+        std::env::remove_var("BENCH_JSON");
+        std::env::remove_var("BENCH_JSON_DIR");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_bytes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }

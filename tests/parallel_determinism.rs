@@ -1,0 +1,144 @@
+//! The parallel pipeline's headline guarantee: at *any* thread count the
+//! output is bit-identical to the sequential run — for multi-file MRT
+//! ingestion (including files with injected corruption, where the merged
+//! byte ledger must still balance), for strict ingestion, and for the full
+//! statistics → clustering → classification → evaluation pipeline.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bgp_community_intent::experiments::{Scenario, ScenarioConfig};
+use bgp_community_intent::intent::{run_inference, InferenceConfig, PipelineResult};
+use bgp_community_intent::mrt::faults::corrupt_stream;
+use bgp_community_intent::mrt::obs::{
+    read_observations_parallel, read_observations_parallel_strict, read_observations_resilient,
+    read_observations_strict, write_update_stream,
+};
+use bgp_community_intent::mrt::RecoverConfig;
+use bgp_community_intent::types::{Asn, Observation};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn scenario() -> Scenario {
+    Scenario::build(&ScenarioConfig {
+        scale: 0.1,
+        documented: 10,
+        ..ScenarioConfig::default()
+    })
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bgp-par-determinism-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Split `observations` into three MRT update archives; optionally corrupt
+/// the middle one with seeded faults. Returns the file paths.
+fn archives(dir: &Path, observations: &[Observation], corrupt_middle: bool) -> Vec<PathBuf> {
+    let chunk = observations.len().div_ceil(3).max(1);
+    observations
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, obs)| {
+            let mut buf = Vec::new();
+            write_update_stream(&mut buf, Asn::new(6447), obs).unwrap();
+            if corrupt_middle && i == 1 {
+                let (damaged, log) = corrupt_stream(&buf, 11, 0.05);
+                assert!(log.count() > 0, "corruption must actually land");
+                buf = damaged;
+            }
+            let path = dir.join(format!("chunk{i}.mrt"));
+            fs::write(&path, buf).unwrap();
+            path
+        })
+        .collect()
+}
+
+#[test]
+fn lenient_multi_file_ingest_is_identical_at_any_thread_count() {
+    let observations = scenario().collect(1);
+    assert!(observations.len() >= 3, "scenario too small to split");
+    let dir = workdir("lenient");
+    let paths = archives(&dir, &observations, true);
+    let cfg = RecoverConfig::default();
+
+    // Sequential reference: one resilient read per file, in order.
+    let reference: Vec<_> = paths
+        .iter()
+        .map(|p| read_observations_resilient(fs::File::open(p).unwrap(), &cfg))
+        .collect();
+
+    for threads in THREAD_COUNTS {
+        let (files, merged) = read_observations_parallel(&paths, &cfg, threads);
+        assert_eq!(files.len(), paths.len());
+        for (file, (obs, report)) in files.iter().zip(&reference) {
+            assert_eq!(&file.observations, obs, "threads = {threads}");
+            assert_eq!(&file.report, report, "threads = {threads}");
+        }
+        // The merged ledger must balance even with a corrupted file in the
+        // middle: every byte is either decoded or accounted as skipped.
+        assert_eq!(
+            merged.bytes_ok + merged.bytes_skipped,
+            merged.bytes_read,
+            "threads = {threads}"
+        );
+        assert!(merged.bytes_skipped > 0, "corruption went unnoticed");
+        let by_hand = reference.iter().fold(
+            bgp_community_intent::mrt::IngestReport::default(),
+            |mut acc, (_, r)| {
+                acc.merge(r);
+                acc
+            },
+        );
+        assert_eq!(merged, by_hand, "threads = {threads}");
+    }
+}
+
+#[test]
+fn strict_multi_file_ingest_is_identical_at_any_thread_count() {
+    let observations = scenario().collect(1);
+    let dir = workdir("strict");
+    let paths = archives(&dir, &observations, false);
+
+    let reference: Vec<_> = paths
+        .iter()
+        .map(|p| read_observations_strict(fs::File::open(p).unwrap()).unwrap())
+        .collect();
+
+    for threads in THREAD_COUNTS {
+        let per_file = read_observations_parallel_strict(&paths, threads).unwrap();
+        assert_eq!(per_file, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn full_pipeline_result_is_identical_at_any_thread_count() {
+    let scenario = scenario();
+    let observations = scenario.collect(1);
+
+    let run = |threads: usize| -> PipelineResult {
+        let cfg = InferenceConfig {
+            threads,
+            ..InferenceConfig::default()
+        };
+        run_inference(
+            &observations,
+            &scenario.siblings,
+            &cfg,
+            Some(&scenario.dict),
+        )
+    };
+
+    let baseline = run(1);
+    assert!(
+        baseline.stats.community_count() > 0,
+        "scenario produced no communities"
+    );
+    for threads in THREAD_COUNTS {
+        assert_eq!(run(threads), baseline, "threads = {threads}");
+    }
+    // `0` resolves to one worker per CPU — still identical.
+    assert_eq!(run(0), baseline, "threads = 0");
+}
