@@ -7,13 +7,17 @@ use std::path::{Path, PathBuf};
 
 use bgp_dictionary::GroundTruthDictionary;
 use bgp_experiments::{Args, Scenario, ScenarioConfig};
-use bgp_intent::{run_inference, run_inference_with_report, Exclusion, InferenceConfig};
+use bgp_intent::{
+    fingerprint_file, run_inference, run_inference_from_stats, run_inference_with_report,
+    Checkpoint, CompletedFile, Exclusion, InferenceConfig, PipelineResult, StatsAccumulator,
+};
 use bgp_mrt::obs::{
-    read_observations_parallel, read_observations_parallel_strict, write_rib_dump,
+    read_observations_parallel_strict_with, read_observations_parallel_with, write_rib_dump,
     write_update_stream,
 };
-use bgp_mrt::{IngestReport, RecoverConfig};
+use bgp_mrt::{FlakyConfig, IngestReport, IngestTuning, RecoverConfig};
 use bgp_relationships::SiblingMap;
+use bgp_types::par::effective_threads;
 use bgp_types::{Asn, Intent, Observation};
 
 /// Top-level usage text.
@@ -26,6 +30,7 @@ USAGE:
     bgpcomm infer    --mrt FILE [--mrt FILE ...] [--gap N] [--ratio N]
                      [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
                      [--strict] [--max-errors N] [--report FILE] [--threads N]
+                     [--checkpoint FILE [--resume]]
     bgpcomm validate --mrt FILE [--mrt FILE ...]
     bgpcomm compare  --old FILE --new FILE
     bgpcomm generate --out DIR [--scale F] [--seed N] [--days N] [--docs N]
@@ -49,16 +54,45 @@ INGESTION (stats, infer):
                     per worker) and the analysis stages shard across N
                     threads. 0 = one per CPU (default). Output is identical
                     at any thread count.
+    --retry-attempts N
+                    Attempts per I/O operation before a transient failure
+                    (EINTR, stall) is surfaced (default 4; deterministic
+                    exponential backoff, 2ms doubling to 100ms).
+
+CHECKPOINTS (infer, lenient mode):
+    --checkpoint FILE
+                    Crash-safe incremental runs: after every fully ingested
+                    MRT file, record its completion (byte length + content
+                    hash) and a statistics snapshot in FILE, written
+                    atomically (temp file + rename). Failed files are not
+                    recorded and are retried on resume.
+    --resume        Continue a checkpointed run: files recorded in FILE are
+                    fingerprint-checked and skipped. A changed input file,
+                    an unknown recorded file, or a schema mismatch refuses
+                    with exit 4. The resumed output is bit-identical to an
+                    uninterrupted run.
+
+FAULT INJECTION (testing the supervision layer):
+    --inject-panic-after N   Panic a decode worker after N records per file.
+    --inject-flaky SEED      Inject seeded transient I/O faults (interrupts,
+                             stalls, short reads) into every file read.
+    --inject-crash-after N   With --checkpoint: exit (code 9) after N newly
+                             committed files, simulating a crash.
 
 EXIT CODES:
-    0  success        2  decode error in --strict mode
-    1  generic error  3  ingestion aborted (error budget, unrecoverable I/O)
+    0  success        2  decode error in --strict mode    4  checkpoint mismatch
+    1  generic error  3  ingestion aborted                9  injected crash
 ";
 
 /// Exit code for a decode error under `--strict`.
 pub const EXIT_DECODE: u8 = 2;
 /// Exit code for an aborted lenient ingest (error budget, fatal I/O).
 pub const EXIT_ABORTED: u8 = 3;
+/// Exit code for a refused checkpoint: fingerprint or schema mismatch, or a
+/// checkpoint that would be silently overwritten without `--resume`.
+pub const EXIT_CHECKPOINT: u8 = 4;
+/// Exit code of the deliberate `--inject-crash-after` kill hook.
+pub const EXIT_CRASH: u8 = 9;
 
 /// A command failure: user-facing message plus the process exit code.
 #[derive(Debug)]
@@ -105,10 +139,11 @@ fn mrt_files(args: &Args) -> Result<Vec<String>, String> {
 }
 
 /// Ingestion policy assembled from `--strict`, `--max-errors`, `--report`,
-/// `--threads`.
+/// `--threads`, the retry knob, and the fault-injection hooks.
 struct IngestOptions {
     strict: bool,
     recover: RecoverConfig,
+    tuning: IngestTuning,
     report_path: Option<String>,
     threads: usize,
 }
@@ -126,9 +161,30 @@ impl IngestOptions {
             }
             recover.max_errors = Some(limit);
         }
+        let mut tuning = IngestTuning::default();
+        tuning.retry.max_attempts = args.get("retry-attempts", tuning.retry.max_attempts)?;
+        if tuning.retry.max_attempts == 0 {
+            return Err("--retry-attempts must be at least 1".into());
+        }
+        if let Some(raw) = args.get_str("inject-panic-after") {
+            let n: u64 = raw
+                .parse()
+                .map_err(|e| format!("--inject-panic-after {raw}: {e}"))?;
+            tuning.panic_after_records = Some(n);
+        }
+        if let Some(raw) = args.get_str("inject-flaky") {
+            let seed: u64 = raw
+                .parse()
+                .map_err(|e| format!("--inject-flaky {raw}: {e}"))?;
+            tuning.flaky = Some(FlakyConfig {
+                seed,
+                ..FlakyConfig::default()
+            });
+        }
         Ok(IngestOptions {
             strict,
             recover,
+            tuning,
             report_path: args.get_str("report").map(str::to_string),
             threads: args.get("threads", 0usize)?,
         })
@@ -155,9 +211,10 @@ fn load_observations(
 
     if opts.strict {
         let per_file =
-            read_observations_parallel_strict(&path_bufs, opts.threads).map_err(|(path, e)| {
-                Failure::new(EXIT_DECODE, format!("parse {}: {e}", path.display()))
-            })?;
+            read_observations_parallel_strict_with(&path_bufs, &opts.tuning, opts.threads)
+                .map_err(|(path, e)| {
+                    Failure::new(EXIT_DECODE, format!("parse {}: {e}", path.display()))
+                })?;
         let mut observations = Vec::new();
         for (path, parsed) in paths.iter().zip(per_file) {
             eprintln!("{path}: {} observations", parsed.len());
@@ -166,7 +223,8 @@ fn load_observations(
         return Ok((observations, None));
     }
 
-    let (files, merged) = read_observations_parallel(&path_bufs, &opts.recover, opts.threads);
+    let (files, merged) =
+        read_observations_parallel_with(&path_bufs, &opts.recover, &opts.tuning, opts.threads);
     let mut observations = Vec::new();
     let mut aborted: Option<String> = None;
     for (path, file) in paths.iter().zip(files) {
@@ -253,11 +311,208 @@ pub fn stats(raw: Vec<String>) -> Result<(), Failure> {
     Ok(())
 }
 
+/// `--checkpoint` / `--resume` / `--inject-crash-after` policy for `infer`.
+struct CheckpointOptions {
+    path: PathBuf,
+    resume: bool,
+    /// Deliberate kill hook: exit ([`EXIT_CRASH`]) after this many files
+    /// committed *this run*.
+    crash_after: Option<u64>,
+}
+
+impl CheckpointOptions {
+    fn from_args(args: &Args) -> Result<Option<Self>, String> {
+        let Some(path) = args.get_str("checkpoint") else {
+            if args.flag("resume") {
+                return Err("--resume requires --checkpoint FILE".into());
+            }
+            if args.get_str("inject-crash-after").is_some() {
+                return Err("--inject-crash-after requires --checkpoint FILE".into());
+            }
+            return Ok(None);
+        };
+        let crash_after = match args.get_str("inject-crash-after") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|e| format!("--inject-crash-after {raw}: {e}"))?,
+            ),
+        };
+        Ok(Some(CheckpointOptions {
+            path: PathBuf::from(path),
+            resume: args.flag("resume"),
+            crash_after,
+        }))
+    }
+}
+
+/// Load (under `--resume`) or create the checkpoint manifest, refusing the
+/// silent-overwrite and incompatible-schema cases.
+fn open_checkpoint(ckpt: &CheckpointOptions) -> Result<Checkpoint, Failure> {
+    if !ckpt.path.exists() {
+        if ckpt.resume {
+            eprintln!(
+                "checkpoint {} does not exist yet; starting fresh",
+                ckpt.path.display()
+            );
+        }
+        return Ok(Checkpoint::new());
+    }
+    if !ckpt.resume {
+        return Err(Failure::new(
+            EXIT_CHECKPOINT,
+            format!(
+                "checkpoint {} already exists; pass --resume to continue it or remove it to start over",
+                ckpt.path.display()
+            ),
+        ));
+    }
+    Checkpoint::load(&ckpt.path).map_err(|e| {
+        let code = if e.kind() == std::io::ErrorKind::InvalidData {
+            EXIT_CHECKPOINT
+        } else {
+            1
+        };
+        Failure::new(code, format!("load checkpoint: {e}"))
+    })
+}
+
+/// The crash-safe incremental `infer` path: ingest file-by-file into a
+/// [`StatsAccumulator`], committing the checkpoint atomically after every
+/// completed file, and classify from the accumulated statistics. Output is
+/// bit-identical to the non-checkpointed path at any thread count and
+/// across any crash/resume split.
+fn infer_checkpointed(
+    paths: &[String],
+    opts: &IngestOptions,
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    dict: Option<&GroundTruthDictionary>,
+    ckpt: &CheckpointOptions,
+) -> Result<PipelineResult, Failure> {
+    if opts.strict {
+        return Err(Failure::from(
+            "--checkpoint requires lenient ingestion (drop --strict)",
+        ));
+    }
+    let mut checkpoint = open_checkpoint(ckpt)?;
+
+    // A recorded file missing from the inputs means this is a different
+    // run; refuse rather than classify from statistics of unseen data.
+    for done in &checkpoint.files {
+        if !paths.contains(&done.path) {
+            return Err(Failure::new(
+                EXIT_CHECKPOINT,
+                format!(
+                    "checkpoint records {} which is not among the --mrt inputs",
+                    done.path
+                ),
+            ));
+        }
+    }
+    // Completed files must still be the bytes that were ingested.
+    let mut pending: Vec<&String> = Vec::new();
+    for path in paths {
+        match checkpoint.completed(path) {
+            None => pending.push(path),
+            Some(recorded) => {
+                let now = fingerprint_file(Path::new(path))
+                    .map_err(|e| format!("fingerprint {path}: {e}"))?;
+                if now != *recorded {
+                    return Err(Failure::new(
+                        EXIT_CHECKPOINT,
+                        format!(
+                            "{path} changed since it was checkpointed \
+                             ({} bytes/hash {:#x} now vs {} bytes/hash {:#x} recorded); \
+                             remove the checkpoint to re-ingest",
+                            now.bytes, now.hash, recorded.bytes, recorded.hash
+                        ),
+                    ));
+                }
+                eprintln!("{path}: skipped (checkpointed, fingerprint verified)");
+            }
+        }
+    }
+
+    let mut accumulator = StatsAccumulator::from_snapshot(&checkpoint.snapshot);
+    let mut merged = checkpoint.report.clone();
+    let mut aborted: Option<String> = None;
+    let mut committed_this_run = 0u64;
+
+    // Waves of one file per worker: parallel decode, then per-file commits
+    // in input order so every checkpoint state equals a sequential prefix.
+    let wave = effective_threads(opts.threads).max(1);
+    for chunk in pending.chunks(wave) {
+        let chunk_paths: Vec<PathBuf> = chunk.iter().map(PathBuf::from).collect();
+        let fingerprints: Vec<std::io::Result<_>> =
+            chunk_paths.iter().map(|p| fingerprint_file(p)).collect();
+        let (files, _) = read_observations_parallel_with(
+            &chunk_paths,
+            &opts.recover,
+            &opts.tuning,
+            opts.threads,
+        );
+        for (file, fingerprint) in files.into_iter().zip(fingerprints) {
+            let path = file.path.display().to_string();
+            eprintln!(
+                "{path}: {} observations ({})",
+                file.observations.len(),
+                file.report.summary()
+            );
+            merged.merge(&file.report);
+            let fingerprint = match (&file.report.aborted, fingerprint) {
+                (Some(why), _) => {
+                    // Failed files are not committed: a resumed run retries
+                    // them from scratch.
+                    aborted.get_or_insert_with(|| format!("{path}: {why}"));
+                    continue;
+                }
+                (None, Err(e)) => {
+                    aborted.get_or_insert_with(|| format!("{path}: fingerprint: {e}"));
+                    continue;
+                }
+                (None, Ok(fp)) => fp,
+            };
+            accumulator.ingest(&file.observations, siblings, opts.threads);
+            checkpoint.files.push(CompletedFile { path, fingerprint });
+            checkpoint.report.merge(&file.report);
+            checkpoint.snapshot = accumulator.snapshot().clone();
+            checkpoint
+                .save_atomic(&ckpt.path)
+                .map_err(|e| format!("write checkpoint {}: {e}", ckpt.path.display()))?;
+            committed_this_run += 1;
+            if ckpt.crash_after == Some(committed_this_run) {
+                return Err(Failure::new(
+                    EXIT_CRASH,
+                    format!(
+                        "injected crash after {committed_this_run} committed file(s) \
+                         (checkpoint intact; resume with --resume)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    write_report(&merged, opts)?;
+    if let Some(why) = aborted {
+        return Err(Failure::new(
+            EXIT_ABORTED,
+            format!("ingestion aborted: {why}"),
+        ));
+    }
+    Ok(run_inference_from_stats(
+        accumulator.to_stats(),
+        siblings,
+        cfg,
+        dict,
+        Some(merged),
+    ))
+}
+
 /// `bgpcomm infer`
 pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
     let args = Args::parse(raw)?;
     let opts = IngestOptions::from_args(&args)?;
-    let (observations, report) = load_observations(&mrt_files(&args)?, &opts)?;
     let siblings = load_siblings(&args)?;
     let cfg = InferenceConfig {
         min_gap: args.get("gap", 140u16)?,
@@ -276,11 +531,24 @@ pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
         }
     };
 
-    let result = match report {
-        Some(report) => {
-            run_inference_with_report(&observations, &siblings, &cfg, dict.as_ref(), report)
+    let result = match CheckpointOptions::from_args(&args)? {
+        Some(ckpt) => infer_checkpointed(
+            &mrt_files(&args)?,
+            &opts,
+            &siblings,
+            &cfg,
+            dict.as_ref(),
+            &ckpt,
+        )?,
+        None => {
+            let (observations, report) = load_observations(&mrt_files(&args)?, &opts)?;
+            match report {
+                Some(report) => {
+                    run_inference_with_report(&observations, &siblings, &cfg, dict.as_ref(), report)
+                }
+                None => run_inference(&observations, &siblings, &cfg, dict.as_ref()),
+            }
         }
-        None => run_inference(&observations, &siblings, &cfg, dict.as_ref()),
     };
     let (action, info) = result.inference.intent_counts();
     println!("observed communities : {}", result.stats.community_count());

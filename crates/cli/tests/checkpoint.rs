@@ -1,0 +1,336 @@
+//! End-to-end supervision behavior of `bgpcomm infer`: crash-safe
+//! checkpoint/resume, fingerprint validation, panic isolation, and
+//! transient-I/O retry — all through real subprocesses and exit codes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use bgp_mrt::obs::write_update_stream;
+use bgp_types::{Asn, Community, Observation};
+
+const EXIT_DECODE: i32 = 2;
+const EXIT_ABORTED: i32 = 3;
+const EXIT_CHECKPOINT: i32 = 4;
+const EXIT_CRASH: i32 = 9;
+
+fn bgpcomm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bgpcomm"))
+        .args(args)
+        .output()
+        .expect("spawn bgpcomm")
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bgpcomm-ckpt-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn observations(offset: u32, n: u32) -> Vec<Observation> {
+    (0..n)
+        .map(|i| {
+            let i = offset + i;
+            Observation {
+                vp: Asn::new(64500 + (i % 4)),
+                prefix: format!("10.{}.{}.0/24", i / 250, i % 250).parse().unwrap(),
+                path: format!("{} 1299 {}", 64500 + (i % 4), 64496 + (i % 8))
+                    .parse()
+                    .unwrap(),
+                communities: vec![Community::new(1299, 2000 + (i % 7) as u16)],
+                large_communities: Vec::new(),
+                time: 1_000_000 + i,
+            }
+        })
+        .collect()
+}
+
+/// Write `count` archives with overlapping paths/communities (offsets
+/// stride by less than the per-file count, so cross-file dedup matters).
+fn archives(dir: &Path, count: u32, per_file: u32) -> Vec<PathBuf> {
+    (0..count)
+        .map(|f| {
+            let path = dir.join(format!("updates.{f:02}.mrt"));
+            let mut buf = Vec::new();
+            write_update_stream(
+                &mut buf,
+                Asn::new(6447),
+                &observations(f * per_file / 2, per_file),
+            )
+            .unwrap();
+            fs::write(&path, buf).unwrap();
+            path
+        })
+        .collect()
+}
+
+fn mrt_args(paths: &[PathBuf]) -> Vec<&str> {
+    paths
+        .iter()
+        .flat_map(|p| ["--mrt", p.to_str().unwrap()])
+        .collect()
+}
+
+/// `infer --json` with the given extra flags; returns (Output, label bytes).
+fn infer_json(paths: &[PathBuf], json: &Path, extra: &[&str]) -> (Output, Option<Vec<u8>>) {
+    let mut args = vec!["infer", "--top", "0", "--json", json.to_str().unwrap()];
+    args.extend(mrt_args(paths));
+    args.extend(extra);
+    let out = bgpcomm(&args);
+    let labels = fs::read(json).ok();
+    (out, labels)
+}
+
+#[test]
+fn checkpointed_run_matches_plain_run_bit_identically() {
+    let dir = workdir("plain-vs-ckpt");
+    let paths = archives(&dir, 4, 60);
+    let (out, plain) = infer_json(&paths, &dir.join("plain.json"), &[]);
+    assert_eq!(out.status.code(), Some(0));
+    let plain = plain.expect("plain labels written");
+    assert!(!plain.is_empty());
+
+    for threads in ["1", "2", "8"] {
+        let ckpt = dir.join(format!("run-t{threads}.ckpt"));
+        let json = dir.join(format!("ckpt-t{threads}.json"));
+        let (out, labels) = infer_json(
+            &paths,
+            &json,
+            &["--threads", threads, "--checkpoint", ckpt.to_str().unwrap()],
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(0), "threads {threads}: {stderr}");
+        assert_eq!(
+            labels.as_deref(),
+            Some(&plain[..]),
+            "checkpointed output must be bit-identical (threads {threads})"
+        );
+        assert!(ckpt.exists(), "manifest persisted");
+    }
+}
+
+#[test]
+fn crash_then_resume_is_bit_identical_to_uninterrupted_run() {
+    let dir = workdir("crash-resume");
+    let paths = archives(&dir, 6, 40);
+    let (out, clean) = infer_json(&paths, &dir.join("clean.json"), &[]);
+    assert_eq!(out.status.code(), Some(0));
+    let clean = clean.expect("clean labels written");
+
+    for kill_after in ["1", "3", "5"] {
+        for threads in ["1", "2", "8"] {
+            let tag = format!("k{kill_after}-t{threads}");
+            let ckpt = dir.join(format!("{tag}.ckpt"));
+            let json = dir.join(format!("{tag}.json"));
+            // Phase 1: run until the injected crash.
+            let (out, _) = infer_json(
+                &paths,
+                &json,
+                &[
+                    "--threads",
+                    threads,
+                    "--checkpoint",
+                    ckpt.to_str().unwrap(),
+                    "--inject-crash-after",
+                    kill_after,
+                ],
+            );
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(out.status.code(), Some(EXIT_CRASH), "{tag}: {stderr}");
+            assert!(stderr.contains("injected crash"), "{tag}: {stderr}");
+            assert!(ckpt.exists(), "{tag}: crash left a checkpoint behind");
+            // Phase 2: resume to completion.
+            let (out, labels) = infer_json(
+                &paths,
+                &json,
+                &[
+                    "--threads",
+                    threads,
+                    "--checkpoint",
+                    ckpt.to_str().unwrap(),
+                    "--resume",
+                ],
+            );
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(out.status.code(), Some(0), "{tag}: {stderr}");
+            assert!(
+                stderr.contains("skipped (checkpointed"),
+                "{tag}: completed files must be skipped: {stderr}"
+            );
+            assert_eq!(
+                labels.as_deref(),
+                Some(&clean[..]),
+                "{tag}: resumed output must be bit-identical to the clean run"
+            );
+        }
+    }
+}
+
+#[test]
+fn changed_input_file_refuses_resume() {
+    let dir = workdir("fingerprint");
+    let paths = archives(&dir, 3, 30);
+    let ckpt = dir.join("run.ckpt");
+    let (out, _) = infer_json(
+        &paths,
+        &dir.join("a.json"),
+        &[
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--inject-crash-after",
+            "1",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(EXIT_CRASH));
+
+    // Rewrite the first (committed) archive with different contents.
+    let mut buf = Vec::new();
+    write_update_stream(&mut buf, Asn::new(6447), &observations(500, 30)).unwrap();
+    fs::write(&paths[0], buf).unwrap();
+
+    let (out, _) = infer_json(
+        &paths,
+        &dir.join("b.json"),
+        &["--checkpoint", ckpt.to_str().unwrap(), "--resume"],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(EXIT_CHECKPOINT), "{stderr}");
+    assert!(stderr.contains("changed since"), "{stderr}");
+}
+
+#[test]
+fn recorded_file_missing_from_inputs_refuses_resume() {
+    let dir = workdir("missing-input");
+    let paths = archives(&dir, 3, 30);
+    let ckpt = dir.join("run.ckpt");
+    let (out, _) = infer_json(
+        &paths,
+        &dir.join("a.json"),
+        &[
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--inject-crash-after",
+            "1",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(EXIT_CRASH));
+
+    // Resume with the committed file dropped from the input set.
+    let (out, _) = infer_json(
+        &paths[1..],
+        &dir.join("b.json"),
+        &["--checkpoint", ckpt.to_str().unwrap(), "--resume"],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(EXIT_CHECKPOINT), "{stderr}");
+    assert!(stderr.contains("not among the --mrt inputs"), "{stderr}");
+}
+
+#[test]
+fn existing_checkpoint_without_resume_is_refused() {
+    let dir = workdir("no-silent-overwrite");
+    let paths = archives(&dir, 2, 20);
+    let ckpt = dir.join("run.ckpt");
+    let (out, _) = infer_json(
+        &paths,
+        &dir.join("a.json"),
+        &["--checkpoint", ckpt.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let (out, _) = infer_json(
+        &paths,
+        &dir.join("b.json"),
+        &["--checkpoint", ckpt.to_str().unwrap()],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(EXIT_CHECKPOINT), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+}
+
+#[test]
+fn checkpoint_with_strict_is_refused() {
+    let dir = workdir("strict-refused");
+    let paths = archives(&dir, 2, 20);
+    let out = bgpcomm(
+        &[
+            &["infer", "--strict", "--checkpoint"],
+            &[dir.join("run.ckpt").to_str().unwrap()][..],
+            &mrt_args(&paths)[..],
+        ]
+        .concat(),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("lenient"), "{stderr}");
+}
+
+#[test]
+fn worker_panic_is_isolated_and_reported() {
+    let dir = workdir("panic");
+    // One big archive among small ones: only the big one trips the hook.
+    let mut paths = archives(&dir, 3, 4);
+    let big = dir.join("updates.big.mrt");
+    let mut buf = Vec::new();
+    write_update_stream(&mut buf, Asn::new(6447), &observations(0, 100)).unwrap();
+    fs::write(&big, buf).unwrap();
+    paths.insert(1, big);
+
+    let report = dir.join("report.json");
+    let mut args = vec![
+        "infer",
+        "--top",
+        "0",
+        "--inject-panic-after",
+        "50",
+        "--report",
+    ];
+    args.push(report.to_str().unwrap());
+    args.extend(mrt_args(&paths));
+    let out = bgpcomm(&args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The run completed file-by-file (exit 3 signals the aborted file), the
+    // panic was contained, and the report accounts for it.
+    assert_eq!(out.status.code(), Some(EXIT_ABORTED), "{stderr}");
+    assert!(stderr.contains("worker panicked"), "{stderr}");
+    assert!(
+        stderr.contains("injected fault"),
+        "payload surfaced: {stderr}"
+    );
+    let report = fs::read_to_string(&report).expect("report written before exit");
+    assert!(report.contains("\"panicked\": 1"), "{report}");
+
+    // Strict mode: the same panic is a clean fail-fast decode error.
+    let mut args = vec!["infer", "--strict", "--inject-panic-after", "50"];
+    args.extend(mrt_args(&paths));
+    let out = bgpcomm(&args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(EXIT_DECODE), "{stderr}");
+    assert!(stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn flaky_delivery_is_retried_to_an_identical_result() {
+    let dir = workdir("flaky");
+    let paths = archives(&dir, 3, 40);
+    let (out, clean) = infer_json(&paths, &dir.join("clean.json"), &[]);
+    assert_eq!(out.status.code(), Some(0));
+    let clean = clean.expect("clean labels written");
+
+    // Small archives see only a couple of 64 KiB fill reads, i.e. few fault
+    // draws per file — seed 1 is one whose schedule deterministically lands
+    // at least one retryable fault on these inputs.
+    let (out, labels) = infer_json(
+        &paths,
+        &dir.join("flaky.json"),
+        &["--inject-flaky", "1", "--retry-attempts", "32"],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("I/O retry"), "retries surfaced: {stderr}");
+    assert_eq!(
+        labels.as_deref(),
+        Some(&clean[..]),
+        "retried ingestion must salvage every byte"
+    );
+}

@@ -97,7 +97,7 @@ pub fn best_threshold(items: &[(f64, Intent)], above_label: Intent) -> (f64, f64
     }
     let mut candidates: Vec<f64> = items.iter().map(|(r, _)| *r).collect();
     candidates.push(0.0);
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup();
     let mut best = (0.0, 0.0);
     for &t in &candidates {
@@ -129,7 +129,7 @@ pub fn best_threshold_balanced(items: &[(f64, Intent)], above_label: Intent) -> 
     }
     let mut candidates: Vec<f64> = items.iter().map(|(r, _)| *r).collect();
     candidates.push(0.0);
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup();
     let n_above = items
         .iter()
@@ -299,5 +299,30 @@ mod tests {
         let (t, acc) = best_threshold(&items, Intent::Action);
         assert_eq!(acc, 1.0);
         assert!(t > 3.0 && t <= 8.0);
+    }
+
+    #[test]
+    fn degenerate_ratios_do_not_panic_the_threshold_search() {
+        // Regression: `partial_cmp(..).expect(..)` panicked the moment a
+        // caller fed a NaN ratio (0/0 from an empty degenerate cluster) or
+        // an infinity. `total_cmp` orders them deterministically instead —
+        // NaN sorts last and `r >= NaN` is false for every item, so the
+        // search degrades gracefully and still finds the finite optimum.
+        let items = vec![
+            (f64::NAN, Intent::Information),
+            (f64::INFINITY, Intent::Information),
+            (500.0, Intent::Information),
+            (2.0, Intent::Action),
+            (f64::NAN, Intent::Action),
+        ];
+        let (t, acc) = best_threshold(&items, Intent::Information);
+        assert!(t.is_finite());
+        assert!(t > 2.0 && t <= 500.0);
+        // 500 and +inf classified info, 2.0 action; the two NaNs always
+        // compare false against the threshold and land on the action side.
+        assert_eq!(acc, 4.0 / 5.0);
+        let (tb, accb) = best_threshold_balanced(&items, Intent::Information);
+        assert!(tb.is_finite());
+        assert!(accb > 0.0);
     }
 }

@@ -64,6 +64,7 @@
 
 pub mod baseline;
 pub mod categories;
+pub mod checkpoint;
 pub mod classify;
 pub mod cluster;
 pub mod eval;
@@ -73,9 +74,14 @@ pub mod pipeline;
 pub mod stats;
 
 pub use categories::{infer_categories, CategoryConfig, FineCategory};
+pub use checkpoint::{
+    fingerprint_file, Checkpoint, CompletedFile, FileFingerprint, StatsAccumulator, StatsSnapshot,
+};
 pub use classify::{Exclusion, Inference, InferenceConfig};
 pub use cluster::gap_clusters;
 pub use eval::Evaluation;
 pub use large::{classify_large, LargeInference};
-pub use pipeline::{run_inference, run_inference_with_report, PipelineResult};
+pub use pipeline::{
+    run_inference, run_inference_from_stats, run_inference_with_report, PipelineResult,
+};
 pub use stats::{PathCounts, PathStats};

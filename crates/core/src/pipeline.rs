@@ -48,6 +48,28 @@ pub fn run_inference(
     }
 }
 
+/// Run the method from precomputed [`PathStats`] — the checkpointed-run
+/// path, where statistics were accumulated file-by-file (see
+/// [`crate::checkpoint::StatsAccumulator`]) instead of from one in-memory
+/// observation list. Classification, evaluation, and reporting behave
+/// exactly as in [`run_inference`].
+pub fn run_inference_from_stats(
+    stats: PathStats,
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    dict: Option<&GroundTruthDictionary>,
+    ingest: Option<IngestReport>,
+) -> PipelineResult {
+    let inference = classify(&stats, siblings, cfg);
+    let evaluation = dict.map(|d| evaluate(&inference, d));
+    PipelineResult {
+        stats,
+        inference,
+        evaluation,
+        ingest,
+    }
+}
+
 /// [`run_inference`], carrying the [`IngestReport`] from a resilient MRT
 /// read so downstream consumers can qualify the results ("inferred from
 /// 97% of the archive") without a side channel.
@@ -132,6 +154,28 @@ mod tests {
         );
         assert_eq!(result.ingest, Some(report));
         assert_eq!(result.inference.labels.len(), 1);
+    }
+
+    #[test]
+    fn from_stats_matches_from_observations() {
+        use crate::checkpoint::StatsAccumulator;
+        let observations = vec![
+            obs("10 1299 64496", &[(1299, 20000), (1299, 20001)]),
+            obs("11 1299 64497", &[(1299, 20000)]),
+            obs("12 64496", &[(1299, 2569)]),
+            obs("13 1299 64498", &[(1299, 2569)]),
+        ];
+        let siblings = SiblingMap::default();
+        let cfg = InferenceConfig::default();
+        let direct = run_inference(&observations, &siblings, &cfg, None);
+        // Accumulate the same input as two "files", then classify from the
+        // accumulator-derived stats: the checkpointed-run path.
+        let mut acc = StatsAccumulator::new();
+        acc.ingest(&observations[..2], &siblings, 1);
+        acc.ingest(&observations[2..], &siblings, 1);
+        let resumed = run_inference_from_stats(acc.to_stats(), &siblings, &cfg, None, None);
+        assert_eq!(resumed.stats, direct.stats);
+        assert_eq!(resumed.inference, direct.inference);
     }
 
     #[test]

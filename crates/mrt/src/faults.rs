@@ -321,6 +321,121 @@ fn apply(kind: FaultKind, record: &[u8], out: &mut Vec<u8>, rng: &mut SplitMix64
     }
 }
 
+/// Transient-I/O fault parameters for [`FlakyReader`]. Identical configs
+/// over an identical read sequence inject identical faults.
+///
+/// The three knobs model the transient failure classes a retrying reader
+/// must absorb (they say nothing about the *bytes*, which stay intact):
+///
+/// * `interrupt_rate` — `ErrorKind::Interrupted` (`EINTR`): the classic
+///   retry-immediately signal;
+/// * `stall_rate` — `ErrorKind::TimedOut`: a storage stall that a one-shot
+///   reader treats as fatal but a [`crate::retry::RetryingReader`] retries
+///   with backoff;
+/// * `short_read_rate` — the read returns fewer bytes than asked (legal,
+///   but exercises every caller's partial-read handling).
+#[derive(Debug, Clone)]
+pub struct FlakyConfig {
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability a read call fails with `Interrupted`.
+    pub interrupt_rate: f64,
+    /// Probability a read call fails with `TimedOut`.
+    pub stall_rate: f64,
+    /// Probability a read call returns a short read.
+    pub short_read_rate: f64,
+}
+
+impl Default for FlakyConfig {
+    fn default() -> Self {
+        FlakyConfig {
+            seed: 0xF1A6_F1A6,
+            interrupt_rate: 0.10,
+            stall_rate: 0.05,
+            short_read_rate: 0.25,
+        }
+    }
+}
+
+impl FlakyConfig {
+    /// The same schedule under a different seed (per-file decorrelation in
+    /// multi-file ingests).
+    pub fn reseeded(&self, seed: u64) -> Self {
+        FlakyConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+}
+
+/// A `Read` adapter that injects seeded *transient* faults — interrupts,
+/// stalls, short reads — without corrupting a single byte of the payload.
+///
+/// Complements the byte-level [`FaultInjector`]: that one damages *data* to
+/// exercise the decoder's recovery, this one damages *delivery* to exercise
+/// the retry layer. Every injected fault is counted so tests can assert the
+/// schedule actually fired.
+#[derive(Debug)]
+pub struct FlakyReader<R> {
+    inner: R,
+    cfg: FlakyConfig,
+    rng: SplitMix64,
+    /// Transient errors injected so far.
+    pub faults_injected: u64,
+    /// Short reads served so far.
+    pub short_reads: u64,
+}
+
+impl<R: std::io::Read> FlakyReader<R> {
+    /// Wrap `inner` with the given fault schedule.
+    pub fn new(inner: R, cfg: FlakyConfig) -> Self {
+        let rng = SplitMix64::new(cfg.seed);
+        FlakyReader {
+            inner,
+            cfg,
+            rng,
+            faults_injected: 0,
+            short_reads: 0,
+        }
+    }
+
+    /// Draw in `[0, 1)` from the fault schedule.
+    fn unit(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<R: std::io::Read> std::io::Read for FlakyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        let draw = self.unit();
+        if draw < self.cfg.interrupt_rate {
+            self.faults_injected += 1;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected EINTR",
+            ));
+        }
+        if draw < self.cfg.interrupt_rate + self.cfg.stall_rate {
+            self.faults_injected += 1;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "injected stall",
+            ));
+        }
+        if draw < self.cfg.interrupt_rate + self.cfg.stall_rate + self.cfg.short_read_rate
+            && buf.len() > 1
+        {
+            self.short_reads += 1;
+            let cut = 1 + self.rng.below(buf.len() - 1);
+            return self.inner.read(&mut buf[..cut]);
+        }
+        self.inner.read(buf)
+    }
+}
+
 /// Convenience: corrupt `rate` of the records in `clean` with every fault
 /// kind enabled, under `seed`.
 pub fn corrupt_stream(clean: &[u8], seed: u64, rate: f64) -> (Vec<u8>, FaultLog) {
@@ -410,6 +525,60 @@ mod tests {
             assert!(log.applied.iter().all(|f| f.kind == kind));
             assert_ne!(corrupted, clean, "{kind:?} must change the bytes");
         }
+    }
+
+    #[test]
+    fn flaky_reader_is_deterministic_and_preserves_bytes() {
+        use std::io::Read;
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let cfg = FlakyConfig {
+            seed: 9,
+            interrupt_rate: 0.2,
+            stall_rate: 0.0, // only retryable-without-policy faults here
+            short_read_rate: 0.3,
+        };
+        let drain = |cfg: FlakyConfig| {
+            let mut r = FlakyReader::new(&payload[..], cfg);
+            let mut out = Vec::new();
+            let mut buf = [0u8; 997];
+            let mut injected = 0u64;
+            loop {
+                match r.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => out.extend_from_slice(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => injected += 1,
+                    Err(e) => panic!("unexpected error kind: {e}"),
+                }
+            }
+            assert_eq!(injected, r.faults_injected);
+            (out, r.faults_injected, r.short_reads)
+        };
+        let (a, fa, sa) = drain(cfg.clone());
+        let (b, fb, sb) = drain(cfg.clone());
+        assert_eq!(a, payload, "delivery faults never corrupt bytes");
+        assert_eq!((fa, sa), (fb, sb), "same seed, same schedule");
+        assert_eq!(a, b);
+        assert!(fa > 0 && sa > 0, "schedule must actually fire");
+        let (c, _, _) = drain(cfg.reseeded(10));
+        assert_eq!(c, payload, "different seed, same bytes");
+    }
+
+    #[test]
+    fn flaky_stalls_surface_as_timed_out() {
+        use std::io::Read;
+        let payload = vec![0u8; 4096];
+        let mut r = FlakyReader::new(
+            &payload[..],
+            FlakyConfig {
+                seed: 4,
+                interrupt_rate: 0.0,
+                stall_rate: 1.0,
+                short_read_rate: 0.0,
+            },
+        );
+        let err = r.read(&mut [0u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert_eq!(r.faults_injected, 1);
     }
 
     #[test]

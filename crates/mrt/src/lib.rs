@@ -20,8 +20,12 @@
 //! * [`recover`] — a resynchronizing reader that survives framing damage
 //!   (truncation, corrupted lengths, interleaved garbage) under an error
 //!   budget, producing a structured [`IngestReport`].
+//! * [`retry`] — bounded retry with deterministic exponential backoff for
+//!   transient I/O (stalls, interrupts), counted into the ingest report.
 //! * [`faults`] — deterministic, seeded fault injection for MRT byte
-//!   streams, so robustness is a tested invariant rather than a hope.
+//!   streams *and* their delivery (transient-I/O faults via
+//!   [`FlakyReader`]), so robustness is a tested invariant rather than a
+//!   hope.
 //!
 //! # Example
 //!
@@ -61,12 +65,14 @@ pub mod obs;
 pub mod reader;
 pub mod records;
 pub mod recover;
+pub mod retry;
 pub mod writer;
 
 pub use error::{MrtError, MrtErrorKind};
-pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultLog};
-pub use obs::FileIngest;
+pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultLog, FlakyConfig, FlakyReader};
+pub use obs::{FileIngest, IngestTuning};
 pub use reader::MrtReader;
 pub use records::{MrtRecord, TimestampedRecord};
 pub use recover::{ErrorCounters, IngestReport, RecoverConfig, RecoveringReader};
+pub use retry::{RetryPolicy, RetryingReader};
 pub use writer::MrtWriter;

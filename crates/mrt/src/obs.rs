@@ -9,18 +9,22 @@ use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
 use std::net::{IpAddr, Ipv4Addr};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use bgp_types::par::{effective_threads, par_map_indexed};
+use bgp_types::par::{effective_threads, try_par_map_indexed};
 use bgp_types::{Asn, Observation, Prefix, RouteAttrs};
 
 use crate::bgpmsg::BgpMessage;
 use crate::error::MrtError;
+use crate::faults::{FlakyConfig, FlakyReader};
 use crate::reader::MrtReader;
 use crate::records::{
     MrtRecord, PeerEntry, PeerIndexTable, RibEntry, RibSnapshot, TimestampedRecord,
 };
 use crate::recover::{IngestReport, RecoverConfig, RecoveringReader};
+use crate::retry::{RetryPolicy, RetryingReader};
 use crate::writer::MrtWriter;
 
 /// Synthesize a stable address for vantage point number `idx`.
@@ -254,12 +258,35 @@ pub fn read_observations<R: Read>(input: R) -> Result<Vec<Observation>, MrtError
 /// record-local damage, [`read_observations_resilient`] tolerates framing
 /// damage too.
 pub fn read_observations_strict<R: Read>(input: R) -> Result<Vec<Observation>, MrtError> {
+    read_observations_strict_hooked(input, None)
+}
+
+/// [`read_observations_strict`] with the [`IngestTuning::panic_after_records`]
+/// fault hook applied.
+fn read_observations_strict_hooked<R: Read>(
+    input: R,
+    panic_after: Option<u64>,
+) -> Result<Vec<Observation>, MrtError> {
     let mut peers: Vec<PeerEntry> = Vec::new();
     let mut observations = Vec::new();
+    let mut decoded = 0u64;
     for item in MrtReader::new(input) {
-        accumulate(item?, &mut peers, &mut observations, EntryPolicy::Abort)?;
+        let rec = item?;
+        decoded += 1;
+        injected_panic_check(decoded, panic_after);
+        accumulate(rec, &mut peers, &mut observations, EntryPolicy::Abort)?;
     }
     Ok(observations)
+}
+
+/// Fire the deliberate [`IngestTuning::panic_after_records`] fault: panic
+/// once `decoded` reaches the configured record count.
+fn injected_panic_check(decoded: u64, panic_after: Option<u64>) {
+    if let Some(n) = panic_after {
+        if decoded >= n {
+            panic!("injected fault: panic after {n} decoded records");
+        }
+    }
 }
 
 /// Resilient ingestion over [`RecoveringReader`]: survive framing damage,
@@ -276,13 +303,26 @@ pub fn read_observations_resilient<R: Read>(
     input: R,
     cfg: &RecoverConfig,
 ) -> (Vec<Observation>, IngestReport) {
+    read_observations_resilient_hooked(input, cfg, None)
+}
+
+/// [`read_observations_resilient`] with the
+/// [`IngestTuning::panic_after_records`] fault hook applied.
+fn read_observations_resilient_hooked<R: Read>(
+    input: R,
+    cfg: &RecoverConfig,
+    panic_after: Option<u64>,
+) -> (Vec<Observation>, IngestReport) {
     let mut reader = RecoveringReader::with_config(input, cfg.clone());
     let mut peers: Vec<PeerEntry> = Vec::new();
     let mut observations = Vec::new();
     let mut dropped_entries = 0u64;
+    let mut decoded = 0u64;
     // Err items need no handling here: they are already counted inside the
     // reader's report.
     for rec in reader.by_ref().flatten() {
+        decoded += 1;
+        injected_panic_check(decoded, panic_after);
         dropped_entries += accumulate(rec, &mut peers, &mut observations, EntryPolicy::Skip)
             .expect("Skip policy never errors");
     }
@@ -304,6 +344,72 @@ pub struct FileIngest {
     pub report: IngestReport,
 }
 
+/// Supervision knobs for the parallel ingestion paths, beyond the decode
+/// policy in [`RecoverConfig`]: how hard to retry transient I/O, and an
+/// optional delivery-fault injector for tests.
+#[derive(Debug, Clone, Default)]
+pub struct IngestTuning {
+    /// Retry policy applied to file open and every read.
+    pub retry: RetryPolicy,
+    /// Fault injection: wrap every file's byte stream in a seeded
+    /// [`FlakyReader`] (the per-file seed is `cfg.seed + file index`, so
+    /// schedules decorrelate across files). Test-only; `None` in
+    /// production.
+    pub flaky: Option<FlakyConfig>,
+    /// Fault injection: panic (deliberately) inside the worker once this
+    /// many records have decoded in one file, simulating a decoder bug
+    /// mid-stream so supervision tests can prove one poisoned worker
+    /// cannot abort a whole run. `None` (the default, and the only sane
+    /// production value) never panics.
+    pub panic_after_records: Option<u64>,
+}
+
+/// Open `path` under the retry policy and stack the supervised read chain:
+/// `File → BufReader → [FlakyReader] → RetryingReader`.
+fn open_supervised(
+    path: &Path,
+    index: usize,
+    tuning: &IngestTuning,
+    retries: &Arc<AtomicU64>,
+) -> std::io::Result<RetryingReader<Box<dyn Read + Send>>> {
+    let file = tuning.retry.run(retries, || File::open(path))?;
+    let base: Box<dyn Read + Send> = match &tuning.flaky {
+        Some(cfg) => Box::new(FlakyReader::new(
+            BufReader::new(file),
+            cfg.reseeded(cfg.seed.wrapping_add(index as u64)),
+        )),
+        None => Box::new(BufReader::new(file)),
+    };
+    Ok(RetryingReader::new(
+        base,
+        tuning.retry.clone(),
+        retries.clone(),
+    ))
+}
+
+/// A [`FileIngest`] for a file that produced nothing, with the failure
+/// accounted: `why` lands in `aborted`, and the dedicated counters record
+/// whether it was an open failure or a captured worker panic.
+fn failed_ingest(
+    path: PathBuf,
+    why: String,
+    open_error: Option<String>,
+    panic: bool,
+) -> FileIngest {
+    let mut report = IngestReport::default();
+    if open_error.is_some() {
+        report.errors.io = 1;
+    }
+    report.open_failed = open_error;
+    report.panicked = u64::from(panic);
+    report.aborted = Some(why);
+    FileIngest {
+        path,
+        observations: Vec::new(),
+        report,
+    }
+}
+
 /// Resilient ingestion over many MRT files at once: each file is decoded
 /// sequentially (MRT framing is a byte stream; records cannot be split
 /// mid-file) but files fan out across `threads` workers (`0` = one per
@@ -312,43 +418,73 @@ pub struct FileIngest {
 /// Returns one [`FileIngest`] per input path *in input order* regardless of
 /// scheduling, plus the merged [`IngestReport`] (merged in input order, so
 /// its `aborted` reason comes from the earliest aborted file). Each file is
-/// read with [`read_observations_resilient`] semantics, so this never
-/// fails; concatenating the per-file observations in order yields exactly
-/// what a sequential loop over the files would produce.
-pub fn read_observations_parallel(
+/// read with [`read_observations_resilient`] semantics under supervision:
+/// transient open/read failures are retried with deterministic backoff
+/// (counted in `retries`), a file that cannot be opened after retries is
+/// reported as `open_failed`, and a worker panic is captured and reported
+/// as a failed file (`panicked`) instead of aborting the process. This
+/// never fails; concatenating the per-file observations in order yields
+/// exactly what a sequential loop over the files would produce.
+pub fn read_observations_parallel_with(
     paths: &[PathBuf],
     cfg: &RecoverConfig,
+    tuning: &IngestTuning,
     threads: usize,
 ) -> (Vec<FileIngest>, IngestReport) {
     let threads = effective_threads(threads);
-    let files = par_map_indexed(paths.len(), threads, |i| {
+    let slots = try_par_map_indexed(paths.len(), threads, |i| {
         let path = paths[i].clone();
-        match File::open(&path) {
-            Ok(file) => {
-                let (observations, report) = read_observations_resilient(BufReader::new(file), cfg);
+        let retries = Arc::new(AtomicU64::new(0));
+        match open_supervised(&path, i, tuning, &retries) {
+            Ok(reader) => {
+                let (observations, mut report) =
+                    read_observations_resilient_hooked(reader, cfg, tuning.panic_after_records);
+                report.retries += retries.load(Ordering::Relaxed);
                 FileIngest {
                     path,
                     observations,
                     report,
                 }
             }
-            Err(e) => {
-                let mut report = IngestReport::default();
-                report.errors.io = 1;
-                report.aborted = Some(format!("open: {e}"));
-                FileIngest {
-                    path,
-                    observations: Vec::new(),
-                    report,
-                }
-            }
+            Err(e) => failed_ingest(
+                path,
+                format!("open: {e}"),
+                Some(format!(
+                    "{e} (after {} retry(s))",
+                    retries.load(Ordering::Relaxed)
+                )),
+                false,
+            ),
         }
     });
+    let files: Vec<FileIngest> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match slot {
+            Ok(file) => file,
+            Err(p) => failed_ingest(
+                paths[i].clone(),
+                format!("worker panicked: {}", p.message),
+                None,
+                true,
+            ),
+        })
+        .collect();
     let mut merged = IngestReport::default();
     for file in &files {
         merged.merge(&file.report);
     }
     (files, merged)
+}
+
+/// [`read_observations_parallel_with`] under the default supervision
+/// tuning (default retry policy, no injected delivery faults).
+pub fn read_observations_parallel(
+    paths: &[PathBuf],
+    cfg: &RecoverConfig,
+    threads: usize,
+) -> (Vec<FileIngest>, IngestReport) {
+    read_observations_parallel_with(paths, cfg, &IngestTuning::default(), threads)
 }
 
 /// Strict ingestion over many MRT files at once, fanning files out across
@@ -358,22 +494,42 @@ pub fn read_observations_parallel(
 /// fail-fast contract of [`read_observations_strict`] — the error of the
 /// *earliest* failing file by input order (deterministic even when a later
 /// file fails first on the wall clock). File-open failures surface as
-/// [`MrtError::Io`].
+/// [`MrtError::Io`]; transient open/read failures are retried under the
+/// default [`RetryPolicy`] first. A worker panic is captured and surfaced
+/// as that file's [`MrtError::Malformed`] — fail-fast still means a clean
+/// error for the caller, never a process abort.
 pub fn read_observations_parallel_strict(
     paths: &[PathBuf],
     threads: usize,
 ) -> Result<Vec<Vec<Observation>>, (PathBuf, MrtError)> {
+    read_observations_parallel_strict_with(paths, &IngestTuning::default(), threads)
+}
+
+/// [`read_observations_parallel_strict`] with explicit supervision
+/// [`IngestTuning`] (retry policy, injected delivery faults, panic hook).
+pub fn read_observations_parallel_strict_with(
+    paths: &[PathBuf],
+    tuning: &IngestTuning,
+    threads: usize,
+) -> Result<Vec<Vec<Observation>>, (PathBuf, MrtError)> {
     let threads = effective_threads(threads);
-    let results = par_map_indexed(paths.len(), threads, |i| {
-        File::open(&paths[i])
+    let slots = try_par_map_indexed(paths.len(), threads, |i| {
+        let retries = Arc::new(AtomicU64::new(0));
+        open_supervised(&paths[i], i, tuning, &retries)
             .map_err(MrtError::from)
-            .and_then(|file| read_observations_strict(BufReader::new(file)))
+            .and_then(|r| read_observations_strict_hooked(r, tuning.panic_after_records))
     });
-    let mut out = Vec::with_capacity(results.len());
-    for (i, result) in results.into_iter().enumerate() {
-        match result {
-            Ok(observations) => out.push(observations),
-            Err(e) => return Err((paths[i].clone(), e)),
+    let mut out = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Ok(Ok(observations)) => out.push(observations),
+            Ok(Err(e)) => return Err((paths[i].clone(), e)),
+            Err(p) => {
+                return Err((
+                    paths[i].clone(),
+                    MrtError::malformed("ingest worker", format!("panicked: {}", p.message)),
+                ))
+            }
         }
     }
     Ok(out)
@@ -662,11 +818,116 @@ mod tests {
         assert!(files[1].observations.is_empty());
         assert!(files[1].report.aborted.is_some());
         assert_eq!(files[1].report.errors.io, 1);
+        // Open failure is distinguished from "file decoded empty": only the
+        // missing file carries the open error string.
+        assert!(files[1].report.open_failed.is_some());
+        assert!(files[0].report.open_failed.is_none());
         // Other files are unaffected; the ledger still balances.
         assert_eq!(files[0].observations.len(), 1);
         assert_eq!(merged.records_read, 3);
         assert_eq!(merged.bytes_ok + merged.bytes_skipped, merged.bytes_read);
         assert!(merged.aborted.is_some());
+        assert!(merged.open_failed.is_some());
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_to_its_file() {
+        let paths = archive_trio("panic");
+        // Give file 1 three records; its worker trips the injected panic
+        // at record 2 while the single-record neighbors stay below it.
+        let many: Vec<Observation> = (0..3)
+            .map(|i| {
+                obs(
+                    64600 + i,
+                    "10.9.0.0/24",
+                    "64600 1299 64496",
+                    &[(1299, 9)],
+                    i,
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_update_stream(&mut buf, Asn::new(6447), &many).unwrap();
+        std::fs::write(&paths[1], buf).unwrap();
+        let tuning = IngestTuning {
+            panic_after_records: Some(2),
+            ..IngestTuning::default()
+        };
+        for threads in [1, 2, 8] {
+            let (files, merged) = read_observations_parallel_with(
+                &paths,
+                &RecoverConfig::default(),
+                &tuning,
+                threads,
+            );
+            assert_eq!(files.len(), 3, "threads = {threads}");
+            assert!(files[1].observations.is_empty());
+            assert_eq!(files[1].report.panicked, 1);
+            let why = files[1].report.aborted.as_deref().unwrap();
+            assert!(why.contains("panicked"), "aborted reason: {why}");
+            assert!(why.contains("injected fault"), "payload preserved: {why}");
+            // Neighbors are untouched and the run as a whole completed.
+            assert_eq!(files[0].observations.len(), 1);
+            assert_eq!(files[2].observations.len(), 1);
+            assert_eq!(merged.panicked, 1);
+            assert!(merged.aborted.is_some());
+            assert!(merged.open_failed.is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_strict_surfaces_panic_as_clean_error() {
+        let paths = archive_trio("panic-strict");
+        let tuning = IngestTuning {
+            panic_after_records: Some(1),
+            ..IngestTuning::default()
+        };
+        for threads in [1, 2, 8] {
+            let err = read_observations_parallel_strict_with(&paths, &tuning, threads).unwrap_err();
+            // Every file panics at its first record; the earliest by input
+            // order wins deterministically.
+            assert_eq!(err.0, paths[0], "threads = {threads}");
+            assert!(err.1.to_string().contains("panicked"), "{}", err.1);
+        }
+    }
+
+    #[test]
+    fn flaky_delivery_is_absorbed_by_retries_bit_identically() {
+        let paths = archive_trio("flaky");
+        let cfg = RecoverConfig::default();
+        let (clean_files, clean_merged) = read_observations_parallel(&paths, &cfg, 2);
+        let tuning = IngestTuning {
+            retry: RetryPolicy {
+                max_attempts: 64,
+                base_delay: std::time::Duration::ZERO,
+                max_delay: std::time::Duration::ZERO,
+                per_file_deadline: None,
+            },
+            // Tiny archives mean only a handful of read calls per file, so
+            // the rates are cranked high enough that the fixed schedule is
+            // certain to fire (the retry budget above absorbs them all).
+            flaky: Some(FlakyConfig {
+                seed: 7,
+                interrupt_rate: 0.45,
+                stall_rate: 0.25,
+                short_read_rate: 0.25,
+            }),
+            panic_after_records: None,
+        };
+        for threads in [1, 2, 8] {
+            let (files, merged) = read_observations_parallel_with(&paths, &cfg, &tuning, threads);
+            for (flaky, clean) in files.iter().zip(&clean_files) {
+                assert_eq!(
+                    flaky.observations, clean.observations,
+                    "threads = {threads}"
+                );
+                assert!(flaky.report.aborted.is_none());
+            }
+            assert!(merged.retries > 0, "faults were actually injected");
+            assert!(merged.is_clean(), "retries alone do not dirty a report");
+            assert_eq!(merged.records_read, clean_merged.records_read);
+            assert_eq!(merged.bytes_ok, clean_merged.bytes_ok);
+        }
     }
 
     #[test]

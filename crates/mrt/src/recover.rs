@@ -17,7 +17,7 @@
 
 use std::io::Read;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::error::{MrtError, MrtErrorKind};
 use crate::records::{self, TimestampedRecord};
@@ -47,7 +47,7 @@ impl Default for RecoverConfig {
 }
 
 /// Per-[`MrtErrorKind`] decode-error counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ErrorCounters {
     /// I/O failures from the underlying stream.
     pub io: u64,
@@ -100,7 +100,7 @@ impl ErrorCounters {
 }
 
 /// Structured account of one (or several merged) resilient ingest runs.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IngestReport {
     /// Records successfully decoded.
     pub records_read: u64,
@@ -119,6 +119,17 @@ pub struct IngestReport {
     pub resync_events: u64,
     /// Decode-error counts by kind.
     pub errors: ErrorCounters,
+    /// Transient I/O failures absorbed by the retry layer (open + read).
+    /// Data is complete despite a nonzero count — this is a storage-health
+    /// signal, not a data-loss signal.
+    pub retries: u64,
+    /// Worker panics captured by the supervision layer (each one is a file
+    /// that contributed nothing and carries an `aborted` reason).
+    pub panicked: u64,
+    /// Set when the input file could not be opened at all (after retries),
+    /// with the error string — distinguishing "open failed" from "file
+    /// decoded empty", which both yield zero observations.
+    pub open_failed: Option<String>,
     /// Set when ingestion stopped before end-of-stream, with the reason.
     pub aborted: Option<String>,
 }
@@ -134,6 +145,11 @@ impl IngestReport {
         self.bytes_read += other.bytes_read;
         self.resync_events += other.resync_events;
         self.errors.merge(&other.errors);
+        self.retries += other.retries;
+        self.panicked += other.panicked;
+        if self.open_failed.is_none() {
+            self.open_failed = other.open_failed.clone();
+        }
         if self.aborted.is_none() {
             self.aborted = other.aborted.clone();
         }
@@ -146,19 +162,28 @@ impl IngestReport {
 
     /// One-line human summary, for CLI output and logs.
     pub fn summary(&self) -> String {
-        format!(
-            "{} records decoded, {} skipped, {} truncated; {} resync(s), {}/{} bytes used{}",
+        let mut out = format!(
+            "{} records decoded, {} skipped, {} truncated; {} resync(s), {}/{} bytes used",
             self.records_read,
             self.records_skipped,
             self.records_truncated,
             self.resync_events,
             self.bytes_ok,
             self.bytes_read,
-            match &self.aborted {
-                Some(why) => format!("; aborted: {why}"),
-                None => String::new(),
-            }
-        )
+        );
+        if self.retries > 0 {
+            out.push_str(&format!("; {} I/O retry(s)", self.retries));
+        }
+        if self.panicked > 0 {
+            out.push_str(&format!("; {} worker panic(s)", self.panicked));
+        }
+        if let Some(why) = &self.open_failed {
+            out.push_str(&format!("; open failed: {why}"));
+        }
+        if let Some(why) = &self.aborted {
+            out.push_str(&format!("; aborted: {why}"));
+        }
+        out
     }
 }
 

@@ -1,0 +1,298 @@
+//! Bounded retry with deterministic backoff for transient I/O.
+//!
+//! Long supervised runs over many archives hit transient stalls — an NFS
+//! hiccup, an `EINTR`, a network filesystem timing out — that a one-shot
+//! read turns into a lost file. [`RetryPolicy`] bounds how hard to try
+//! (attempt count, exponential backoff, a per-file deadline) and
+//! [`RetryingReader`] applies that policy to every `read` call, absorbing
+//! transient failures and counting each retry so the ingest report can say
+//! exactly how flaky the storage was.
+//!
+//! The backoff schedule is deterministic — `min(base · 2^(attempt-1), max)`
+//! with no jitter — so a given fault schedule always produces the same
+//! retry count and the same outcome, which is what the seeded fault tests
+//! rely on.
+
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How hard to retry transient I/O failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+    /// Once this much wall-clock time has elapsed on one file, stop
+    /// retrying (the next transient error is surfaced as-is). `None`
+    /// disables the deadline.
+    pub per_file_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            per_file_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (for tests and strict latency budgets).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            per_file_deadline: None,
+        }
+    }
+
+    /// The deterministic backoff before retry number `retry` (1-based):
+    /// `min(base · 2^(retry-1), max)`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << (retry - 1).min(16);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+
+    /// Whether another attempt is allowed after `done` attempts, given the
+    /// time already spent on this file.
+    pub fn may_retry(&self, done: u32, started: Instant) -> bool {
+        if done >= self.max_attempts {
+            return false;
+        }
+        match self.per_file_deadline {
+            Some(deadline) => started.elapsed() < deadline,
+            None => true,
+        }
+    }
+
+    /// Run `op` under this policy: transient [`io::Error`]s (see
+    /// [`is_transient`]) are retried with backoff until the attempt budget
+    /// or the deadline runs out; other errors return immediately. Each
+    /// retry bumps `retries`.
+    pub fn run<T>(
+        &self,
+        retries: &AtomicU64,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let started = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && self.may_retry(attempt, started) => {
+                    std::thread::sleep(self.backoff(attempt));
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Whether an I/O error is worth retrying: the kinds that describe a
+/// moment-in-time condition rather than a property of the file.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// A `Read` adapter that retries transient failures of the inner reader
+/// under a [`RetryPolicy`], sharing a retry counter with the caller (the
+/// counter outlives the reader, which is consumed by the decode stack).
+#[derive(Debug)]
+pub struct RetryingReader<R> {
+    inner: R,
+    policy: RetryPolicy,
+    started: Instant,
+    retries: Arc<AtomicU64>,
+}
+
+impl<R: Read> RetryingReader<R> {
+    /// Wrap `inner`, counting retries into `retries`.
+    pub fn new(inner: R, policy: RetryPolicy, retries: Arc<AtomicU64>) -> Self {
+        RetryingReader {
+            inner,
+            policy,
+            started: Instant::now(),
+            retries,
+        }
+    }
+}
+
+impl<R: Read> Read for RetryingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut attempt = 1u32;
+        loop {
+            match self.inner.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if is_transient(&e) && self.policy.may_retry(attempt, self.started) => {
+                    std::thread::sleep(self.policy.backoff(attempt));
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that fails the first `failures` read calls with `kind`,
+    /// then serves the payload.
+    struct FailThen {
+        payload: Vec<u8>,
+        pos: usize,
+        failures: u32,
+        kind: io::ErrorKind,
+    }
+
+    impl Read for FailThen {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(io::Error::new(self.kind, "injected"));
+            }
+            let n = buf.len().min(self.payload.len() - self.pos);
+            buf[..n].copy_from_slice(&self.payload[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn quick_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            per_file_deadline: None,
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(9),
+            per_file_deadline: None,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(9));
+        assert_eq!(p.backoff(30), Duration::from_millis(9), "shift is clamped");
+    }
+
+    #[test]
+    fn transient_errors_are_absorbed_and_counted() {
+        let retries = Arc::new(AtomicU64::new(0));
+        let mut r = RetryingReader::new(
+            FailThen {
+                payload: b"hello".to_vec(),
+                pos: 0,
+                failures: 3,
+                kind: io::ErrorKind::TimedOut,
+            },
+            quick_policy(4),
+            retries.clone(),
+        );
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello");
+        assert_eq!(retries.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_surfaces_the_error() {
+        let retries = Arc::new(AtomicU64::new(0));
+        let mut r = RetryingReader::new(
+            FailThen {
+                payload: b"x".to_vec(),
+                pos: 0,
+                failures: 10,
+                kind: io::ErrorKind::TimedOut,
+            },
+            quick_policy(3),
+            retries.clone(),
+        );
+        let err = r.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(retries.load(Ordering::Relaxed), 2, "3 attempts, 2 retries");
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let retries = Arc::new(AtomicU64::new(0));
+        let mut r = RetryingReader::new(
+            FailThen {
+                payload: Vec::new(),
+                pos: 0,
+                failures: 5,
+                kind: io::ErrorKind::NotFound,
+            },
+            quick_policy(8),
+            retries.clone(),
+        );
+        assert_eq!(
+            r.read(&mut [0u8; 4]).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        assert_eq!(retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn deadline_stops_retrying() {
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            per_file_deadline: Some(Duration::ZERO),
+        };
+        // Deadline already elapsed: the first transient error surfaces.
+        assert!(!policy.may_retry(1, Instant::now() - Duration::from_secs(1)));
+        let retries = AtomicU64::new(0);
+        let err = policy
+            .run(&retries, || -> io::Result<()> {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "stall"))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn run_retries_open_like_operations() {
+        let retries = AtomicU64::new(0);
+        let mut left = 2;
+        let got = quick_policy(4)
+            .run(&retries, || {
+                if left > 0 {
+                    left -= 1;
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+                } else {
+                    Ok(7)
+                }
+            })
+            .unwrap();
+        assert_eq!(got, 7);
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
+    }
+}

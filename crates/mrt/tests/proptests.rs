@@ -11,7 +11,7 @@ use bgp_mrt::obs::{
     read_observations, read_observations_resilient, write_rib_dump, write_update_stream,
 };
 use bgp_mrt::records::{decode_body, encode_body, MrtRecord, RibEntry, RibSnapshot};
-use bgp_mrt::{MrtReader, RecoverConfig, RecoveringReader};
+use bgp_mrt::{ErrorCounters, IngestReport, MrtReader, RecoverConfig, RecoveringReader};
 use bgp_types::{
     AsPath, Asn, Community, LargeCommunity, Observation, Origin, PathSegment, Prefix, RouteAttrs,
 };
@@ -269,5 +269,106 @@ proptest! {
         let (salvaged, report) = read_observations_resilient(&damaged[..], &RecoverConfig::default());
         prop_assert!(salvaged.len() <= observations.len() * 2);
         prop_assert_eq!(report.bytes_ok + report.bytes_skipped, report.bytes_read);
+    }
+}
+
+/// A structurally arbitrary per-file report whose own byte ledger balances
+/// (`bytes_read` is derived), as every real per-file report's does.
+fn arb_ingest_report() -> impl Strategy<Value = IngestReport> {
+    (
+        (any::<u16>(), any::<u16>(), any::<u16>()),
+        (any::<u32>(), any::<u32>()),
+        any::<u16>(),
+        (any::<u16>(), 0u64..3),
+        prop::option::of("[a-z]{1,8}"),
+        prop::option::of("[a-z]{1,8}"),
+        (any::<u8>(), any::<u8>(), any::<u8>()),
+        (any::<u8>(), any::<u8>(), 0u64..2),
+    )
+        .prop_map(
+            |(
+                (records_read, records_skipped, records_truncated),
+                (bytes_ok, bytes_skipped),
+                resync_events,
+                (retries, panicked),
+                open_failed,
+                aborted,
+                (io, truncated, malformed),
+                (unsupported, too_long, budget_exceeded),
+            )| IngestReport {
+                records_read: records_read as u64,
+                records_skipped: records_skipped as u64,
+                records_truncated: records_truncated as u64,
+                bytes_ok: bytes_ok as u64,
+                bytes_skipped: bytes_skipped as u64,
+                bytes_read: bytes_ok as u64 + bytes_skipped as u64,
+                resync_events: resync_events as u64,
+                errors: ErrorCounters {
+                    io: io as u64,
+                    truncated: truncated as u64,
+                    malformed: malformed as u64,
+                    unsupported: unsupported as u64,
+                    too_long: too_long as u64,
+                    budget_exceeded,
+                },
+                retries: retries as u64,
+                panicked,
+                open_failed,
+                aborted,
+            },
+        )
+}
+
+proptest! {
+    /// The multi-file accounting invariant: merging per-file reports in any
+    /// order preserves the byte ledger and sums every counter exactly —
+    /// including the supervision counters (`retries`, `panicked`) — while
+    /// `open_failed`/`aborted` keep the first reason in merge order.
+    #[test]
+    fn report_merge_accounting_holds_in_any_order(
+        parts in prop::collection::vec(arb_ingest_report(), 0..8),
+        rotation in any::<u8>(),
+    ) {
+        let merge_all = |ordered: &[IngestReport]| {
+            let mut merged = IngestReport::default();
+            for part in ordered {
+                merged.merge(part);
+            }
+            merged
+        };
+        let merged = merge_all(&parts);
+
+        prop_assert_eq!(merged.bytes_ok + merged.bytes_skipped, merged.bytes_read);
+        let sum = |f: fn(&IngestReport) -> u64| parts.iter().map(f).sum::<u64>();
+        prop_assert_eq!(merged.bytes_read, sum(|p| p.bytes_read));
+        prop_assert_eq!(merged.records_read, sum(|p| p.records_read));
+        prop_assert_eq!(merged.records_skipped, sum(|p| p.records_skipped));
+        prop_assert_eq!(merged.records_truncated, sum(|p| p.records_truncated));
+        prop_assert_eq!(merged.resync_events, sum(|p| p.resync_events));
+        prop_assert_eq!(merged.retries, sum(|p| p.retries));
+        prop_assert_eq!(merged.panicked, sum(|p| p.panicked));
+        prop_assert_eq!(merged.errors.decode_errors(), parts.iter().map(|p| p.errors.decode_errors()).sum::<u64>());
+        prop_assert_eq!(
+            merged.open_failed.as_ref(),
+            parts.iter().find_map(|p| p.open_failed.as_ref())
+        );
+        prop_assert_eq!(
+            merged.aborted.as_ref(),
+            parts.iter().find_map(|p| p.aborted.as_ref())
+        );
+
+        // Counter sums are permutation-invariant: any rotation of the merge
+        // order agrees on every numeric field.
+        if !parts.is_empty() {
+            let k = rotation as usize % parts.len();
+            let mut rotated = parts[k..].to_vec();
+            rotated.extend_from_slice(&parts[..k]);
+            let other = merge_all(&rotated);
+            prop_assert_eq!(other.bytes_read, merged.bytes_read);
+            prop_assert_eq!(other.records_read, merged.records_read);
+            prop_assert_eq!(other.retries, merged.retries);
+            prop_assert_eq!(other.panicked, merged.panicked);
+            prop_assert_eq!(other.errors, merged.errors);
+        }
     }
 }

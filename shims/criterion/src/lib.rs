@@ -60,6 +60,18 @@ impl Bencher {
             self.iters += per_batch as u64;
         }
     }
+
+    /// Caller-timed measurement (criterion's `iter_custom`): `routine`
+    /// receives an iteration count and returns the duration it measured
+    /// for them. Lets a bench report a derived quantity — e.g. the paired
+    /// difference of two pipelines, immune to slow clock-speed drift that
+    /// biases comparisons across separately-run bench entries.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            self.total += routine(1);
+            self.iters += 1;
+        }
+    }
 }
 
 struct BenchRecord {
@@ -305,8 +317,16 @@ mod tests {
                 (0..100u64).sum::<u64>()
             })
         });
+        let mut custom_calls = 0u64;
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                custom_calls += iters;
+                Duration::from_nanos(5 * iters)
+            })
+        });
         group.finish();
         assert!(ran > 0);
+        assert_eq!(custom_calls, 2, "one call per sample");
 
         let path = json_path().expect("json emission enabled");
         assert!(path.starts_with(&dir), "{}", path.display());
