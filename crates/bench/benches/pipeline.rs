@@ -1,7 +1,7 @@
 //! Inference pipeline stages: statistics, clustering, classification,
 //! evaluation — the per-dataset analysis cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use bgp_experiments::{Scenario, ScenarioConfig};
 use bgp_intent::classify::{classify, InferenceConfig};
@@ -35,46 +35,11 @@ fn bench_pipeline(c: &mut Criterion) {
     };
     let inference = classify(&stats, &scenario.siblings, &seq);
 
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(20);
-    group.bench_function("path_stats", |b| {
-        b.iter(|| PathStats::from_observations(&observations, &scenario.siblings))
-    });
-    group.bench_function("path_stats_par", |b| {
-        b.iter(|| PathStats::from_observations_threaded(&observations, &scenario.siblings, 0))
-    });
-    group.bench_function("classify", |b| {
-        b.iter(|| classify(&stats, &scenario.siblings, &seq))
-    });
-    group.bench_function("classify_par", |b| {
-        b.iter(|| classify(&stats, &scenario.siblings, &par))
-    });
-    group.bench_function("evaluate", |b| {
-        b.iter(|| evaluate(&inference, &scenario.dict))
-    });
-    group.bench_function("end_to_end_seq", |b| {
-        b.iter(|| {
-            run_inference(
-                &observations,
-                &scenario.siblings,
-                &seq,
-                Some(&scenario.dict),
-            )
-        })
-    });
-    group.bench_function("end_to_end", |b| {
-        b.iter(|| {
-            run_inference(
-                &observations,
-                &scenario.siblings,
-                &par,
-                Some(&scenario.dict),
-            )
-        })
-    });
-    // The checkpointed-run path: accumulate statistics per "file" (8 slices
-    // standing in for 8 MRT archives), serialize a snapshot after each as a
-    // checkpointed run would, then classify from the accumulator.
+    // The checkpointed-run path: intern each "file" (8 slices standing in
+    // for 8 MRT archives) into a columnar store and accumulate statistics
+    // from it — the same route the CLI takes — serializing a snapshot
+    // after each as a checkpointed run would, then classify from the
+    // accumulator.
     let files: Vec<_> = observations
         .chunks(observations.len().div_ceil(8))
         .collect();
@@ -82,7 +47,8 @@ fn bench_pipeline(c: &mut Criterion) {
         let mut acc = StatsAccumulator::new();
         let mut fingerprints = 0usize;
         for file in &files {
-            acc.ingest(file, &scenario.siblings, 0);
+            let store = bgp_types::store::ObservationStore::from_observations(file);
+            acc.ingest_store(&store, &scenario.siblings, 0);
             fingerprints += acc.snapshot().paths.len();
         }
         std::hint::black_box(fingerprints);
@@ -94,7 +60,20 @@ fn bench_pipeline(c: &mut Criterion) {
             None,
         )
     };
-    group.bench_function("end_to_end_checkpointed", |b| b.iter(checkpointed_run));
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    // Throughput applies to every bench registered after it is set, so the
+    // per-stage benches that are not observation-bound run first.
+    group.bench_function("classify", |b| {
+        b.iter(|| classify(&stats, &scenario.siblings, &seq))
+    });
+    group.bench_function("classify_par", |b| {
+        b.iter(|| classify(&stats, &scenario.siblings, &par))
+    });
+    group.bench_function("evaluate", |b| {
+        b.iter(|| evaluate(&inference, &scenario.dict))
+    });
     // Checkpoint overhead (budget: <3% of `end_to_end`), measured as a
     // paired difference: each sample times a plain run and a checkpointed
     // run back-to-back and reports checkpointed − plain. Comparing the two
@@ -121,6 +100,37 @@ fn bench_pipeline(c: &mut Criterion) {
             std::time::Duration::from_nanos(overhead.max(0) as u64)
         })
     });
+    // Everything below consumes the full observation set per iteration:
+    // report elements/sec so regressions are visible as throughput, not
+    // just wall time.
+    group.throughput(Throughput::Elements(observations.len() as u64));
+    group.bench_function("path_stats", |b| {
+        b.iter(|| PathStats::from_observations(&observations, &scenario.siblings))
+    });
+    group.bench_function("path_stats_par", |b| {
+        b.iter(|| PathStats::from_observations_threaded(&observations, &scenario.siblings, 0))
+    });
+    group.bench_function("end_to_end_seq", |b| {
+        b.iter(|| {
+            run_inference(
+                &observations,
+                &scenario.siblings,
+                &seq,
+                Some(&scenario.dict),
+            )
+        })
+    });
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            run_inference(
+                &observations,
+                &scenario.siblings,
+                &par,
+                Some(&scenario.dict),
+            )
+        })
+    });
+    group.bench_function("end_to_end_checkpointed", |b| b.iter(checkpointed_run));
     group.finish();
 }
 

@@ -1,0 +1,137 @@
+//! Compare two bench registries (`BENCH_*.json`) and gate on regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [--threshold <fraction>]
+//! ```
+//!
+//! The committed baseline (`crates/bench/BENCH_pipeline.json`) is the
+//! reference; a fresh run (written elsewhere via `BENCH_JSON_DIR`) is the
+//! candidate. Exit code is non-zero when a **gated** benchmark regresses
+//! by more than the threshold (default 0.25 = +25% time per iteration).
+//!
+//! Only the end-to-end benches are gated: `pipeline/end_to_end` and
+//! `pipeline/path_stats`. Everything else — micro-benches under ~1 ms and
+//! the paired-difference `checkpoint_overhead` — is reported warn-only,
+//! because at those durations shared-CI timer noise routinely exceeds any
+//! honest tolerance. The 25% default is deliberately loose for the same
+//! reason: CI hosts are noisy neighbors, and the gate exists to catch
+//! order-of-magnitude mistakes (an accidental O(n²), a lost parallel
+//! path), not 5% drift.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Benchmarks whose regression fails the build. Everything else warns.
+const GATED: &[&str] = &["pipeline/end_to_end", "pipeline/path_stats"];
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value: Value = serde_json::from_str(&raw).map_err(|e| format!("{path}: {e}"))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| format!("{path}: expected a JSON object"))?;
+    let mut out = BTreeMap::new();
+    for (name, record) in obj {
+        let ns = record
+            .get("ns_per_iter")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: {name}: missing ns_per_iter"))?;
+        out.insert(name.clone(), ns);
+    }
+    Ok(out)
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .ok_or("usage: bench_compare <baseline.json> <current.json> [--threshold <fraction>]")?;
+    let current_path = args.next().ok_or("missing <current.json>")?;
+    let mut threshold = 0.25f64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                threshold = v.parse().map_err(|e| format!("--threshold {v}: {e}"))?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+
+    let baseline = load(&baseline_path)?;
+    let current = load(&current_path)?;
+
+    let mut failed = false;
+    println!(
+        "{:<38} {:>12} {:>12} {:>8}  verdict",
+        "bench", "baseline", "current", "delta"
+    );
+    for (name, &base_ns) in &baseline {
+        let gated = GATED.contains(&name.as_str());
+        let Some(&cur_ns) = current.get(name) else {
+            println!(
+                "{name:<38} {:>12} {:>12} {:>8}  WARN missing from current run",
+                human(base_ns),
+                "-",
+                "-"
+            );
+            continue;
+        };
+        let delta = (cur_ns - base_ns) / base_ns;
+        let verdict = if delta > threshold {
+            if gated {
+                failed = true;
+                "FAIL regression"
+            } else {
+                "WARN regression (not gated)"
+            }
+        } else if gated {
+            "ok (gated)"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<38} {:>12} {:>12} {:>+7.1}%  {verdict}",
+            human(base_ns),
+            human(cur_ns),
+            delta * 100.0
+        );
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            println!("{name:<38} (new bench, no baseline)");
+        }
+    }
+    println!(
+        "\ngate: {} must stay within +{:.0}% of baseline; all other benches warn only",
+        GATED.join(", "),
+        threshold * 100.0
+    );
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => {
+            eprintln!("bench_compare: gated benchmark regressed beyond threshold");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

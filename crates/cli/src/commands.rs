@@ -8,17 +8,18 @@ use std::path::{Path, PathBuf};
 use bgp_dictionary::GroundTruthDictionary;
 use bgp_experiments::{Args, Scenario, ScenarioConfig};
 use bgp_intent::{
-    fingerprint_file, run_inference, run_inference_from_stats, run_inference_with_report,
-    Checkpoint, CompletedFile, Exclusion, InferenceConfig, PipelineResult, StatsAccumulator,
+    fingerprint_file, run_inference_from_stats, run_inference_store, Checkpoint, CompletedFile,
+    Exclusion, InferenceConfig, PipelineResult, StatsAccumulator,
 };
 use bgp_mrt::obs::{
-    read_observations_parallel_strict_with, read_observations_parallel_with, write_rib_dump,
+    read_observations_parallel_store_with, read_observations_parallel_strict_with, write_rib_dump,
     write_update_stream,
 };
 use bgp_mrt::{FlakyConfig, IngestReport, IngestTuning, RecoverConfig};
 use bgp_relationships::SiblingMap;
 use bgp_types::par::effective_threads;
-use bgp_types::{Asn, Intent, Observation};
+use bgp_types::store::ObservationStore;
+use bgp_types::{Asn, Intent};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -201,7 +202,7 @@ impl IngestOptions {
 fn load_observations(
     paths: &[String],
     opts: &IngestOptions,
-) -> Result<(Vec<Observation>, Option<IngestReport>), Failure> {
+) -> Result<(ObservationStore, Option<IngestReport>), Failure> {
     // Unreadable input is a usage error (exit 1) in both modes, checked up
     // front so it is reported before any decode work fans out.
     for path in paths {
@@ -215,28 +216,35 @@ fn load_observations(
                 .map_err(|(path, e)| {
                     Failure::new(EXIT_DECODE, format!("parse {}: {e}", path.display()))
                 })?;
-        let mut observations = Vec::new();
+        let mut store = ObservationStore::new();
         for (path, parsed) in paths.iter().zip(per_file) {
             eprintln!("{path}: {} observations", parsed.len());
-            observations.extend(parsed);
+            store.extend_from_slice(&parsed);
         }
-        return Ok((observations, None));
+        return Ok((store, None));
     }
 
-    let (files, merged) =
-        read_observations_parallel_with(&path_bufs, &opts.recover, &opts.tuning, opts.threads);
-    let mut observations = Vec::new();
+    // Lenient: every file decodes straight into a per-file columnar store;
+    // folding them in input order reproduces the sequential single-sink
+    // read, so no flat Vec<Observation> is ever materialized.
+    let (files, merged) = read_observations_parallel_store_with(
+        &path_bufs,
+        &opts.recover,
+        &opts.tuning,
+        opts.threads,
+    );
+    let mut store = ObservationStore::new();
     let mut aborted: Option<String> = None;
     for (path, file) in paths.iter().zip(files) {
         eprintln!(
             "{path}: {} observations ({})",
-            file.observations.len(),
+            file.store.len(),
             file.report.summary()
         );
         if let Some(why) = &file.report.aborted {
             aborted.get_or_insert_with(|| format!("{path}: {why}"));
         }
-        observations.extend(file.observations);
+        store.merge(&file.store);
     }
     write_report(&merged, opts)?;
     if let Some(why) = aborted {
@@ -245,7 +253,7 @@ fn load_observations(
             format!("ingestion aborted: {why}"),
         ));
     }
-    Ok((observations, Some(merged)))
+    Ok((store, Some(merged)))
 }
 
 /// Honor `--report FILE` (or `-` for stdout) with the merged ingest report.
@@ -278,28 +286,35 @@ fn load_siblings(args: &Args) -> Result<SiblingMap, String> {
 pub fn stats(raw: Vec<String>) -> Result<(), Failure> {
     let args = Args::parse(raw)?;
     let opts = IngestOptions::from_args(&args)?;
-    let (observations, report) = load_observations(&mrt_files(&args)?, &opts)?;
+    let (store, report) = load_observations(&mrt_files(&args)?, &opts)?;
 
-    let mut paths = HashSet::new();
-    let mut tuples = HashSet::new();
+    // Everything falls out of the interners: paths and community sets are
+    // already deduped, tuples dedup over dense ID pairs, and the scalar
+    // columns sort+dedup without hashing a single string.
+    let mut tuples: Vec<u64> = store
+        .tuples()
+        .map(|(p, c)| (u64::from(p) << 32) | u64::from(c))
+        .collect();
+    tuples.sort_unstable();
+    tuples.dedup();
     let mut communities = HashSet::new();
     let mut owners = HashSet::new();
-    let mut vps = HashSet::new();
-    let mut prefixes = HashSet::new();
-    for obs in &observations {
-        paths.insert(obs.path.to_string());
-        tuples.insert((obs.path.to_string(), obs.communities.clone()));
-        for c in &obs.communities {
+    for id in 0..store.cset_count() as u32 {
+        for c in store.cset(id) {
             communities.insert(*c);
             owners.insert(c.asn);
         }
-        vps.insert(obs.vp);
-        prefixes.insert(obs.prefix);
     }
-    println!("observations        : {}", observations.len());
+    let mut vps: Vec<_> = (0..store.len()).map(|i| store.vp(i)).collect();
+    vps.sort_unstable();
+    vps.dedup();
+    let mut prefixes: Vec<_> = (0..store.len()).map(|i| store.prefix(i)).collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    println!("observations        : {}", store.len());
     println!("vantage points      : {}", vps.len());
     println!("prefixes            : {}", prefixes.len());
-    println!("unique AS paths     : {}", paths.len());
+    println!("unique AS paths     : {}", store.path_count());
     println!("unique tuples       : {}", tuples.len());
     println!("distinct communities: {}", communities.len());
     println!("community owners    : {}", owners.len());
@@ -446,7 +461,7 @@ fn infer_checkpointed(
         let chunk_paths: Vec<PathBuf> = chunk.iter().map(PathBuf::from).collect();
         let fingerprints: Vec<std::io::Result<_>> =
             chunk_paths.iter().map(|p| fingerprint_file(p)).collect();
-        let (files, _) = read_observations_parallel_with(
+        let (files, _) = read_observations_parallel_store_with(
             &chunk_paths,
             &opts.recover,
             &opts.tuning,
@@ -456,7 +471,7 @@ fn infer_checkpointed(
             let path = file.path.display().to_string();
             eprintln!(
                 "{path}: {} observations ({})",
-                file.observations.len(),
+                file.store.len(),
                 file.report.summary()
             );
             merged.merge(&file.report);
@@ -473,7 +488,7 @@ fn infer_checkpointed(
                 }
                 (None, Ok(fp)) => fp,
             };
-            accumulator.ingest(&file.observations, siblings, opts.threads);
+            accumulator.ingest_store(&file.store, siblings, opts.threads);
             checkpoint.files.push(CompletedFile { path, fingerprint });
             checkpoint.report.merge(&file.report);
             checkpoint.snapshot = accumulator.snapshot().clone();
@@ -541,13 +556,10 @@ pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
             &ckpt,
         )?,
         None => {
-            let (observations, report) = load_observations(&mrt_files(&args)?, &opts)?;
-            match report {
-                Some(report) => {
-                    run_inference_with_report(&observations, &siblings, &cfg, dict.as_ref(), report)
-                }
-                None => run_inference(&observations, &siblings, &cfg, dict.as_ref()),
-            }
+            let (store, report) = load_observations(&mrt_files(&args)?, &opts)?;
+            let mut result = run_inference_store(&store, &siblings, &cfg, dict.as_ref());
+            result.ingest = report;
+            result
         }
     };
     let (action, info) = result.inference.intent_counts();

@@ -23,11 +23,12 @@
 //! This is deliberately conservative: it never contradicts the coarse
 //! label, and falls back to the `Other*` buckets when evidence is weak.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use bgp_relationships::{InferredRelationships, RelView};
+use bgp_types::fx::{FxHashMap, FxHashSet};
 use bgp_types::{AsPath, Asn, Community, Intent, Observation};
 
 use crate::classify::Inference;
@@ -100,7 +101,7 @@ struct Features {
     on_paths: u32,
     prepended_paths: u32,
     rel: [u32; 3], // customer, peer, provider
-    regions: HashMap<Option<u8>, u32>,
+    regions: FxHashMap<Option<u8>, u32>,
 }
 
 /// Whether `asn` appears at least twice consecutively in the collapsed-free
@@ -131,11 +132,11 @@ pub fn infer_categories(
 ) -> HashMap<Community, FineCategory> {
     // Gather features over unique (path, community) pairs where the owner
     // is on-path.
-    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
-    let mut seen: HashSet<(u32, Community)> = HashSet::new();
-    let mut owner_seen: HashSet<(u32, u16)> = HashSet::new();
-    let mut features: HashMap<Community, Features> = HashMap::new();
-    let mut owner_baseline: HashMap<u16, HashMap<Option<u8>, u32>> = HashMap::new();
+    let mut path_ids: FxHashMap<&AsPath, u32> = FxHashMap::default();
+    let mut seen: FxHashSet<(u32, Community)> = FxHashSet::default();
+    let mut owner_seen: FxHashSet<(u32, u16)> = FxHashSet::default();
+    let mut features: FxHashMap<Community, Features> = FxHashMap::default();
+    let mut owner_baseline: FxHashMap<u16, FxHashMap<Option<u8>, u32>> = FxHashMap::default();
     for obs in observations {
         let next_id = path_ids.len() as u32;
         let id = *path_ids.entry(&obs.path).or_insert(next_id);
@@ -171,7 +172,7 @@ pub fn infer_categories(
         }
     }
 
-    let modal_share = |hist: &HashMap<Option<u8>, u32>| -> f64 {
+    let modal_share = |hist: &FxHashMap<Option<u8>, u32>| -> f64 {
         let total: u32 = hist.values().sum();
         if total == 0 {
             return 0.0;

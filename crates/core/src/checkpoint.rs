@@ -39,10 +39,11 @@ use bgp_mrt::IngestReport;
 use bgp_relationships::SiblingMap;
 use bgp_types::fx::{fx_hash_one, FxHashMap, FxHashSet};
 use bgp_types::par::{effective_threads, par_map_indexed};
+use bgp_types::store::ObservationStore;
 use bgp_types::{AsPath, Asn, Community, Observation};
 use serde::{Deserialize, Serialize};
 
-use crate::stats::{PathCounts, PathStats};
+use crate::stats::{OnPathIndex, PathCounts, PathStats};
 
 /// Version stamp inside every checkpoint file; bump on layout changes so a
 /// resume against an incompatible manifest refuses instead of misreading.
@@ -141,6 +142,19 @@ fn accumulate_shard(shard: &[(u64, &Observation)], siblings: &SiblingMap) -> Sta
     acc
 }
 
+/// [`accumulate_shard`] over store rows: `(fingerprint, path ID, cset ID)`.
+fn accumulate_shard_store(
+    shard: &[(u64, u32, u32)],
+    store: &ObservationStore,
+    index: &OnPathIndex,
+) -> StatsAccumulator {
+    let mut acc = StatsAccumulator::default();
+    for &(pfp, path_id, cset_id) in shard {
+        acc.fold_store_row(pfp, path_id, cset_id, store, index);
+    }
+    acc
+}
+
 /// Number of fixed ingest shards. A constant — never the worker count — so
 /// the shard-major order in which new fingerprints reach the snapshot
 /// deltas is identical at any thread count. 64 keeps every core on a
@@ -190,30 +204,117 @@ impl StatsAccumulator {
         }
     }
 
+    /// [`ingest`](Self::ingest) out of a columnar [`ObservationStore`] —
+    /// the path used when MRT decoding folded straight into a store. Path
+    /// fingerprints come from the store's interner (computed once per
+    /// *unique* path instead of once per observation); sharding, fold
+    /// order, accumulated sets, and snapshot bytes are all identical to
+    /// ingesting the equivalent observation slice.
+    pub fn ingest_store(
+        &mut self,
+        store: &ObservationStore,
+        siblings: &SiblingMap,
+        threads: usize,
+    ) {
+        if store.is_empty() {
+            return;
+        }
+        let threads = effective_threads(threads);
+        let index = OnPathIndex::build(store, siblings);
+        let mut shards: Vec<Vec<(u64, u32, u32)>> =
+            (0..INGEST_SHARDS).map(|_| Vec::new()).collect();
+        for (path_id, cset_id) in store.tuples() {
+            let pfp = store.path_fingerprint(path_id);
+            shards[(pfp as usize) % INGEST_SHARDS].push((pfp, path_id, cset_id));
+        }
+        if threads <= 1 {
+            for shard in &shards {
+                for &(pfp, path_id, cset_id) in shard {
+                    self.fold_store_row(pfp, path_id, cset_id, store, &index);
+                }
+            }
+        } else {
+            for part in par_map_indexed(INGEST_SHARDS, threads, |i| {
+                accumulate_shard_store(&shards[i], store, &index)
+            }) {
+                self.merge(part);
+            }
+        }
+    }
+
     /// Fold one observation into the accumulated sets, pushing every
     /// first-seen element onto the matching snapshot delta.
     fn fold(&mut self, pfp: u64, obs: &Observation, siblings: &SiblingMap) {
+        self.fold_parts(pfp, &obs.path, &obs.communities, siblings);
+    }
+
+    /// The fold itself, over the parts an observation contributes. The
+    /// columnar path ([`ingest_store`](Self::ingest_store)) runs the
+    /// byte-identical [`fold_store_row`](Self::fold_store_row) instead;
+    /// any change to the order of delta pushes here must be mirrored there.
+    fn fold_parts(
+        &mut self,
+        pfp: u64,
+        path: &AsPath,
+        communities: &[Community],
+        siblings: &SiblingMap,
+    ) {
         if self.paths.insert(pfp) {
             self.paths_delta.push(pfp);
-            for hop in obs.path.iter() {
+            for hop in path.iter() {
                 if self.seen_asns.insert(hop) {
                     self.asns_delta.push(hop.value());
                 }
             }
         }
-        let tfp = tuple_fingerprint(pfp, &obs.communities);
+        let tfp = tuple_fingerprint(pfp, communities);
         if !self.tuples.insert(tfp) {
             return; // duplicate tuple: nothing new to attribute
         }
         self.tuples_delta.push(tfp);
-        for &c in &obs.communities {
+        for &c in communities {
             // On-path iff the owner (or a sibling) appears in the path — a
             // pure function of (community, path), so unioning per-file sets
             // can never disagree about which side a fingerprint goes to.
-            let on = siblings
-                .expand(Asn::new(c.asn as u32))
-                .iter()
-                .any(|a| obs.path.iter().any(|hop| hop == *a));
+            let on = siblings.is_on_path(Asn::new(c.asn as u32), path);
+            let side = if on { &mut self.on } else { &mut self.off };
+            let entry = side.entry(c).or_default();
+            if entry.set.insert(pfp) {
+                entry.delta.push(pfp);
+            }
+        }
+    }
+
+    /// [`fold_parts`](Self::fold_parts) over an interned store row. Same
+    /// operations in the same order — hops walked in path order, then one
+    /// on/off attribution per community in list order — with the on-path
+    /// test served by the precomputed [`OnPathIndex`] (a pure function of
+    /// (community, path) either way), so accumulated sets, delta order,
+    /// and hence snapshot bytes match the slice fold exactly.
+    fn fold_store_row(
+        &mut self,
+        pfp: u64,
+        path_id: u32,
+        cset_id: u32,
+        store: &ObservationStore,
+        index: &OnPathIndex,
+    ) {
+        if self.paths.insert(pfp) {
+            self.paths_delta.push(pfp);
+            for hop in store.path(path_id).iter() {
+                if self.seen_asns.insert(hop) {
+                    self.asns_delta.push(hop.value());
+                }
+            }
+        }
+        let communities = store.cset(cset_id);
+        let tfp = tuple_fingerprint(pfp, communities);
+        if !self.tuples.insert(tfp) {
+            return; // duplicate tuple: nothing new to attribute
+        }
+        self.tuples_delta.push(tfp);
+        for (&c, &slot) in communities.iter().zip(store.cset_slots(cset_id)) {
+            let on = index.on_path(store, path_id, slot);
             let side = if on { &mut self.on } else { &mut self.off };
             let entry = side.entry(c).or_default();
             if entry.set.insert(pfp) {
@@ -604,6 +705,38 @@ mod tests {
             acc.ingest(&all, &siblings, threads);
             assert_eq!(acc, sequential, "threads = {threads}");
             assert_eq!(acc.snapshot(), sequential.snapshot());
+        }
+    }
+
+    #[test]
+    fn ingest_store_matches_ingest_bit_for_bit() {
+        // The columnar fold must be indistinguishable from the slice fold:
+        // same sets, same delta order, same snapshot bytes — at any thread
+        // count, and across the same "file" boundaries.
+        let all = workload();
+        let siblings = SiblingMap::from_orgs(vec![vec![Asn::new(1299), Asn::new(64999)]]);
+        let mut via_slices = StatsAccumulator::new();
+        via_slices.ingest(&all[..11], &siblings, 1);
+        via_slices.ingest(&all[11..], &siblings, 1);
+        for threads in [1, 2, 8] {
+            let mut via_store = StatsAccumulator::new();
+            via_store.ingest_store(
+                &ObservationStore::from_observations(&all[..11]),
+                &siblings,
+                threads,
+            );
+            via_store.ingest_store(
+                &ObservationStore::from_observations(&all[11..]),
+                &siblings,
+                threads,
+            );
+            assert_eq!(via_store, via_slices, "threads = {threads}");
+            assert_eq!(via_store.to_stats(), via_slices.to_stats());
+            assert_eq!(
+                via_store.snapshot(),
+                via_slices.snapshot(),
+                "threads = {threads}"
+            );
         }
     }
 

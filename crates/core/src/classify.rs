@@ -183,10 +183,10 @@ fn classify_owner(
     } else if owner.is_reserved() {
         Some(Exclusion::ReservedAsn)
     } else {
-        let family = if cfg.use_siblings {
-            siblings.expand(owner)
+        let family: &[Asn] = if cfg.use_siblings {
+            siblings.expand_ref(&owner)
         } else {
-            vec![owner]
+            std::slice::from_ref(&owner)
         };
         if family.iter().any(|a| stats.seen_asns.contains(a)) {
             None

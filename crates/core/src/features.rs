@@ -5,9 +5,8 @@
 //! action communities. The paper shows the feature maxes out at ~80%
 //! accuracy, which is why the method uses on:off ratios instead.
 
-use std::collections::{HashMap, HashSet};
-
 use bgp_relationships::{InferredRelationships, RelView};
+use bgp_types::fx::{FxHashMap, FxHashSet};
 use bgp_types::{AsPath, Asn, Community, Intent, Observation};
 
 /// Customer/peer evidence for one cluster of communities.
@@ -38,11 +37,11 @@ impl RelCounts {
 pub fn relationship_counts(
     observations: &[Observation],
     relationships: &InferredRelationships,
-) -> HashMap<Community, RelCounts> {
+) -> FxHashMap<Community, RelCounts> {
     // Dedupe (path, community) pairs over unique paths.
-    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
-    let mut seen: HashSet<(u32, Community)> = HashSet::new();
-    let mut counts: HashMap<Community, RelCounts> = HashMap::new();
+    let mut path_ids: FxHashMap<&AsPath, u32> = FxHashMap::default();
+    let mut seen: FxHashSet<(u32, Community)> = FxHashSet::default();
+    let mut counts: FxHashMap<Community, RelCounts> = FxHashMap::default();
     for obs in observations {
         let next_id = path_ids.len() as u32;
         let id = *path_ids.entry(&obs.path).or_insert(next_id);
@@ -71,7 +70,7 @@ pub fn relationship_counts(
 
 /// Aggregate per-community counts over a cluster of member communities.
 pub fn cluster_rel_counts(
-    per_community: &HashMap<Community, RelCounts>,
+    per_community: &FxHashMap<Community, RelCounts>,
     members: &[Community],
 ) -> RelCounts {
     let mut total = RelCounts::default();
@@ -89,7 +88,7 @@ pub fn cluster_rel_counts(
 /// optimal-threshold search.
 pub fn cluster_ratio_series(
     clusters: &[(Vec<Community>, Intent)],
-    per_community: &HashMap<Community, RelCounts>,
+    per_community: &FxHashMap<Community, RelCounts>,
 ) -> Vec<(f64, Intent)> {
     clusters
         .iter()

@@ -9,9 +9,8 @@
 //! same-function values share a cluster exactly like contiguous regular
 //! ranges do.
 
-use std::collections::HashMap;
-
 use bgp_relationships::SiblingMap;
+use bgp_types::fx::{FxHashMap, FxHashSet};
 use bgp_types::{AsPath, Asn, Intent, LargeCommunity, Observation};
 
 use crate::classify::{Exclusion, InferenceConfig};
@@ -21,9 +20,9 @@ use crate::stats::PathCounts;
 #[derive(Debug, Clone, Default)]
 pub struct LargeInference {
     /// Label per classified large community.
-    pub labels: HashMap<LargeCommunity, Intent>,
+    pub labels: FxHashMap<LargeCommunity, Intent>,
     /// Large communities the method refused to classify.
-    pub excluded: HashMap<LargeCommunity, Exclusion>,
+    pub excluded: FxHashMap<LargeCommunity, Exclusion>,
 }
 
 impl LargeInference {
@@ -42,14 +41,11 @@ impl LargeInference {
 pub fn large_path_stats(
     observations: &[Observation],
     siblings: &SiblingMap,
-) -> (
-    HashMap<LargeCommunity, PathCounts>,
-    std::collections::HashSet<Asn>,
-) {
-    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
-    let mut seen: std::collections::HashSet<(u32, LargeCommunity)> = Default::default();
-    let mut counts: HashMap<LargeCommunity, PathCounts> = HashMap::new();
-    let mut seen_asns = std::collections::HashSet::new();
+) -> (FxHashMap<LargeCommunity, PathCounts>, FxHashSet<Asn>) {
+    let mut path_ids: FxHashMap<&AsPath, u32> = FxHashMap::default();
+    let mut seen: FxHashSet<(u32, LargeCommunity)> = FxHashSet::default();
+    let mut counts: FxHashMap<LargeCommunity, PathCounts> = FxHashMap::default();
+    let mut seen_asns = FxHashSet::default();
     for obs in observations {
         let is_new = !path_ids.contains_key(&obs.path);
         let next_id = path_ids.len() as u32;
@@ -62,9 +58,8 @@ pub fn large_path_stats(
                 continue;
             }
             let owner = Asn::new(lc.global);
-            let family = siblings.expand(owner);
             let slot = counts.entry(lc).or_default();
-            if obs.path.contains_any(&family) {
+            if siblings.is_on_path(owner, &obs.path) {
                 slot.on += 1;
             } else {
                 slot.off += 1;
@@ -84,7 +79,7 @@ pub fn classify_large(
     let (counts, seen_asns) = large_path_stats(observations, siblings);
 
     // Group by owner, then cluster over β (u32 gap rule).
-    let mut by_owner: HashMap<u32, Vec<LargeCommunity>> = HashMap::new();
+    let mut by_owner: FxHashMap<u32, Vec<LargeCommunity>> = FxHashMap::default();
     for lc in counts.keys() {
         by_owner.entry(lc.global).or_default().push(*lc);
     }
@@ -102,10 +97,10 @@ pub fn classify_large(
         } else if owner.is_reserved() {
             Some(Exclusion::ReservedAsn)
         } else {
-            let family = if cfg.use_siblings {
-                siblings.expand(owner)
+            let family: &[Asn] = if cfg.use_siblings {
+                siblings.expand_ref(&owner)
             } else {
-                vec![owner]
+                std::slice::from_ref(&owner)
             };
             if family.iter().any(|a| seen_asns.contains(a)) {
                 None

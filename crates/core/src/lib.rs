@@ -82,6 +82,7 @@ pub use cluster::gap_clusters;
 pub use eval::Evaluation;
 pub use large::{classify_large, LargeInference};
 pub use pipeline::{
-    run_inference, run_inference_from_stats, run_inference_with_report, PipelineResult,
+    run_inference, run_inference_from_stats, run_inference_store, run_inference_with_report,
+    PipelineResult,
 };
 pub use stats::{PathCounts, PathStats};

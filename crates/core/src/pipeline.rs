@@ -4,6 +4,7 @@
 use bgp_dictionary::GroundTruthDictionary;
 use bgp_mrt::IngestReport;
 use bgp_relationships::SiblingMap;
+use bgp_types::store::ObservationStore;
 use bgp_types::Observation;
 
 use crate::classify::{classify, Inference, InferenceConfig};
@@ -37,7 +38,21 @@ pub fn run_inference(
     cfg: &InferenceConfig,
     dict: Option<&GroundTruthDictionary>,
 ) -> PipelineResult {
-    let stats = PathStats::from_observations_threaded(observations, siblings, cfg.threads);
+    let store = ObservationStore::from_observations(observations);
+    run_inference_store(&store, siblings, cfg, dict)
+}
+
+/// [`run_inference`] over a columnar [`ObservationStore`] — the native
+/// entry point when ingestion folded straight into the store without
+/// materializing a `Vec<Observation>`. The observation-slice form is a
+/// thin wrapper over this.
+pub fn run_inference_store(
+    store: &ObservationStore,
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    dict: Option<&GroundTruthDictionary>,
+) -> PipelineResult {
+    let stats = PathStats::from_store_threaded(store, siblings, cfg.threads);
     let inference = classify(&stats, siblings, cfg);
     let evaluation = dict.map(|d| evaluate(&inference, d));
     PipelineResult {
@@ -176,6 +191,24 @@ mod tests {
         let resumed = run_inference_from_stats(acc.to_stats(), &siblings, &cfg, None, None);
         assert_eq!(resumed.stats, direct.stats);
         assert_eq!(resumed.inference, direct.inference);
+    }
+
+    #[test]
+    fn store_and_slice_entry_points_agree() {
+        let observations = vec![
+            obs("10 1299 64496", &[(1299, 20000), (1299, 20001)]),
+            obs("11 1299 64497", &[(1299, 20000)]),
+            obs("12 64496", &[(1299, 2569)]),
+        ];
+        let siblings = SiblingMap::default();
+        let cfg = InferenceConfig::default();
+        let via_slice = run_inference(&observations, &siblings, &cfg, None);
+        let mut store = ObservationStore::new();
+        for o in &observations {
+            store.push(o);
+        }
+        let via_store = run_inference_store(&store, &siblings, &cfg, None);
+        assert_eq!(via_slice, via_store);
     }
 
     #[test]

@@ -4,14 +4,25 @@
 //! counting the number of unique AS paths the community appeared on-path
 //! and off-path, respectively."* The on-path test includes siblings (§5.2:
 //! "the ASN (or a sibling thereof)").
-
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+//!
+//! The reduction runs over a columnar [`ObservationStore`]: paths,
+//! community sets, and individual communities are dense `u32` IDs, tuple
+//! dedup is a sort over packed `u64` keys, per-community accumulation
+//! indexes a flat slot array (a per-slot last-path marker dedups pairs in
+//! path-major order, so there is no second sort and no hashing in the
+//! loop), sibling orgs are dense org-IDs precomputed per unique path, and
+//! the on-path test is a binary search in a sorted interned slice.
+//! The parallel variant shards by interned path ID — every occurrence of
+//! a path carries the same ID, so each unique path lands in exactly one
+//! shard and per-shard counts merge by summation, bit-identical to the
+//! sequential reduction at any thread count. The `Observation`-slice
+//! entry points survive as thin wrappers that build a store first.
 
 use bgp_relationships::SiblingMap;
-use bgp_types::fx::{fx_hash_one, FxHashMap, FxHashSet};
+use bgp_types::fx::{FxHashMap, FxHashSet};
 use bgp_types::par::{effective_threads, par_map_indexed};
-use bgp_types::{AsPath, Asn, Community, Observation};
+use bgp_types::store::ObservationStore;
+use bgp_types::{Asn, Community, Observation};
 
 /// Unique-path counts for one community.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,16 +64,300 @@ pub struct PathStats {
     pub unique_paths: usize,
 }
 
-/// The sequential reduction, over one shard (or the whole input).
+/// Per-path sibling data in dense org-ID space, computed once per unique
+/// path (not per observation, and never per (tuple × community)).
 ///
-/// Correct for any subset of observations in which every occurrence of a
-/// given AS path is present: interning, tuple dedup, and unique-path
-/// counting are all keyed by path, so shards partitioned by path hash can
-/// each run this independently and merge by summing.
-fn stats_of(observations: &[&Observation], siblings: &SiblingMap) -> PathStats {
-    // Intern paths and dedupe tuples. IDs are allocated only on first
-    // sight (explicit `Entry` match): a duplicate path reuses its ID, so
-    // IDs stay dense in `0..unique_paths` and index `members` directly.
+/// The on-path test for community owner `α` becomes:
+///
+/// * `α` belongs to a known organization `o` → binary-search `o` in the
+///   path's sorted org list. Exact because org membership is a partition:
+///   some member of the path has org `o` **iff** `α` or one of its
+///   siblings is on the path.
+/// * `α` unknown to the sibling map → `expand(α) = [α]`, so binary-search
+///   `α` itself in the path's sorted unique-member slice.
+struct OrgTable {
+    /// `offsets[id]..offsets[id+1]` indexes `orgs`; empty when the sibling
+    /// map is empty (the common no-as2org case skips the whole table).
+    offsets: Vec<u32>,
+    /// Sorted, deduped org-IDs present on each path.
+    orgs: Vec<u32>,
+}
+
+impl OrgTable {
+    fn build(store: &ObservationStore, siblings: &SiblingMap) -> Self {
+        if siblings.org_count() == 0 {
+            return OrgTable {
+                offsets: Vec::new(),
+                orgs: Vec::new(),
+            };
+        }
+        let path_count = store.path_count();
+        let mut offsets = Vec::with_capacity(path_count + 1);
+        offsets.push(0u32);
+        let mut orgs = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for id in 0..path_count as u32 {
+            scratch.clear();
+            for &asn in store.path_members(id) {
+                if let Some(org) = siblings.org_id(Asn::new(asn)) {
+                    scratch.push(org);
+                }
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            orgs.extend_from_slice(&scratch);
+            offsets.push(orgs.len() as u32);
+        }
+        OrgTable { offsets, orgs }
+    }
+
+    fn path_orgs(&self, id: u32) -> &[u32] {
+        let lo = self.offsets[id as usize] as usize;
+        let hi = self.offsets[id as usize + 1] as usize;
+        &self.orgs[lo..hi]
+    }
+}
+
+/// The owner of one community slot, resolved once before the reduction:
+/// either a dense org-ID (binary-searched in the path's org list) or the
+/// bare ASN value (binary-searched in the path's member slice — exactly
+/// `expand(α) = [α]` for owners the sibling map doesn't know).
+#[derive(Clone, Copy)]
+enum SlotOwner {
+    Org(u32),
+    Plain(u32),
+}
+
+fn resolve_slots(store: &ObservationStore, siblings: &SiblingMap) -> Vec<SlotOwner> {
+    (0..store.community_count() as u32)
+        .map(|slot| {
+            let owner = Asn::new(store.community(slot).asn as u32);
+            match if siblings.org_count() == 0 {
+                None
+            } else {
+                siblings.org_id(owner)
+            } {
+                Some(org) => SlotOwner::Org(org),
+                None => SlotOwner::Plain(owner.value()),
+            }
+        })
+        .collect()
+}
+
+/// Precomputed on-path test over one store: the per-path org table plus
+/// per-community-slot owner resolution. Built once, then every
+/// `(community slot, path ID)` test is a binary search over a handful of
+/// dense IDs — no hashing, no sibling-family walk. Shared with the
+/// checkpoint accumulator's store-ingestion path, where the same test runs
+/// per (tuple × community).
+pub(crate) struct OnPathIndex {
+    orgs: OrgTable,
+    resolved: Vec<SlotOwner>,
+}
+
+impl OnPathIndex {
+    pub(crate) fn build(store: &ObservationStore, siblings: &SiblingMap) -> Self {
+        OnPathIndex {
+            orgs: OrgTable::build(store, siblings),
+            resolved: resolve_slots(store, siblings),
+        }
+    }
+
+    /// Whether the owner of community slot `slot` (or one of its siblings)
+    /// appears on path `path_id`.
+    pub(crate) fn on_path(&self, store: &ObservationStore, path_id: u32, slot: u32) -> bool {
+        match self.resolved[slot as usize] {
+            SlotOwner::Org(org) => self.orgs.path_orgs(path_id).binary_search(&org).is_ok(),
+            SlotOwner::Plain(asn) => store.path_members(path_id).binary_search(&asn).is_ok(),
+        }
+    }
+}
+
+/// One shard of the reduction: all tuples whose interned path ID is
+/// `shard` modulo `shard_count` (`shard_count == 1` is the full input).
+///
+/// Exact under merging-by-sum because sharding by path ID partitions
+/// *unique paths*: every occurrence of a path carries the same dense ID,
+/// so a community's unique on/off paths in this shard are disjoint from
+/// every other shard's.
+fn shard_stats(
+    store: &ObservationStore,
+    index: &OnPathIndex,
+    shard: u32,
+    shard_count: u32,
+) -> (Vec<PathCounts>, usize, usize) {
+    // Dedup tuples: pack (path ID, cset ID) into one u64 and sort. The
+    // sort is path-major, so unique paths fall out as key runs.
+    let mut tuples: Vec<u64> = if shard_count == 1 {
+        store
+            .tuples()
+            .map(|(p, c)| (u64::from(p) << 32) | u64::from(c))
+            .collect()
+    } else {
+        store
+            .tuples()
+            .filter(|&(p, _)| p % shard_count == shard)
+            .map(|(p, c)| (u64::from(p) << 32) | u64::from(c))
+            .collect()
+    };
+    tuples.sort_unstable();
+    tuples.dedup();
+    let unique_tuples = tuples.len();
+
+    // Count unique (community, path) pairs straight off the sorted run:
+    // within one path's run of csets a community's slot can repeat, and
+    // the `last_path` marker collapses those repeats; once the run moves
+    // to the next path the old path never comes back (path-major order),
+    // so one marker word per slot is a full dedup — no pair sort at all.
+    // One on-path test (a binary search over a handful of entries) per
+    // surviving pair.
+    let slot_count = index.resolved.len();
+    let mut counts = vec![PathCounts::default(); slot_count];
+    let mut last_path = vec![u64::MAX; slot_count];
+    let mut unique_paths = 0usize;
+    let mut prev_path = u64::MAX;
+    for &key in &tuples {
+        let path = key >> 32;
+        if path != prev_path {
+            unique_paths += 1;
+            prev_path = path;
+        }
+        let pid = path as u32;
+        for &slot in store.cset_slots(key as u32) {
+            let s = slot as usize;
+            if last_path[s] == path {
+                continue;
+            }
+            last_path[s] = path;
+            if index.on_path(store, pid, slot) {
+                counts[s].on += 1;
+            } else {
+                counts[s].off += 1;
+            }
+        }
+    }
+
+    (counts, unique_tuples, unique_paths)
+}
+
+impl PathStats {
+    /// Reduce a columnar store to statistics, sequentially.
+    pub fn from_store(store: &ObservationStore, siblings: &SiblingMap) -> Self {
+        Self::from_store_threaded(store, siblings, 1)
+    }
+
+    /// [`PathStats::from_store`] across worker threads (`0` = one per
+    /// CPU). The input is sharded by interned path ID — no rehashing of
+    /// full paths — and each shard reduced independently; partial counts
+    /// merge by summation. Bit-identical to the sequential reduction at
+    /// any thread count.
+    pub fn from_store_threaded(
+        store: &ObservationStore,
+        siblings: &SiblingMap,
+        threads: usize,
+    ) -> Self {
+        let threads = effective_threads(threads);
+        let index = OnPathIndex::build(store, siblings);
+        let shard_count = if threads <= 1 || store.len() < 2 {
+            1
+        } else {
+            threads as u32
+        };
+        let parts: Vec<_> = if shard_count == 1 {
+            vec![shard_stats(store, &index, 0, 1)]
+        } else {
+            par_map_indexed(shard_count as usize, threads, |i| {
+                shard_stats(store, &index, i as u32, shard_count)
+            })
+        };
+
+        let mut stats = PathStats::default();
+        // Shards partition communities *per path*, not communities: the
+        // same slot can collect counts in several shards, so sum, then
+        // materialize only slots that occurred in at least one tuple.
+        let mut totals = vec![PathCounts::default(); index.resolved.len()];
+        for (counts, unique_tuples, unique_paths) in parts {
+            for (total, part) in totals.iter_mut().zip(&counts) {
+                total.on += part.on;
+                total.off += part.off;
+            }
+            stats.unique_tuples += unique_tuples;
+            stats.unique_paths += unique_paths;
+        }
+        for (slot, &counts) in totals.iter().enumerate() {
+            if counts.on + counts.off > 0 {
+                stats
+                    .per_community
+                    .insert(store.community(slot as u32), counts);
+            }
+        }
+        // Every interned path has at least one observation, so the union
+        // of interned member slices is exactly the old per-observation
+        // scan — computed once, not per shard.
+        for id in 0..store.path_count() as u32 {
+            stats
+                .seen_asns
+                .extend(store.path_members(id).iter().map(|&a| Asn::new(a)));
+        }
+        stats
+    }
+
+    /// Reduce observations to statistics. Duplicate `(path, communities)`
+    /// tuples collapse; a community's on/off counts are over unique paths.
+    ///
+    /// Thin wrapper: interns into an [`ObservationStore`] and runs the
+    /// columnar kernel.
+    pub fn from_observations(observations: &[Observation], siblings: &SiblingMap) -> Self {
+        let store = ObservationStore::from_observations(observations);
+        Self::from_store(&store, siblings)
+    }
+
+    /// [`PathStats::from_observations`] across worker threads (`0` = one
+    /// per CPU). Thin wrapper over [`from_store_threaded`](Self::from_store_threaded).
+    pub fn from_observations_threaded(
+        observations: &[Observation],
+        siblings: &SiblingMap,
+        threads: usize,
+    ) -> Self {
+        let store = ObservationStore::from_observations(observations);
+        Self::from_store_threaded(&store, siblings, threads)
+    }
+
+    /// Observed communities grouped by owner ASN, each group's `β` values
+    /// sorted ascending. Deterministic order (by ASN).
+    pub fn by_owner(&self) -> Vec<(u16, Vec<u16>)> {
+        let mut map: FxHashMap<u16, Vec<u16>> = FxHashMap::default();
+        for c in self.per_community.keys() {
+            map.entry(c.asn).or_default().push(c.value);
+        }
+        let mut out: Vec<(u16, Vec<u16>)> = map.into_iter().collect();
+        for (_, betas) in &mut out {
+            betas.sort_unstable();
+            betas.dedup();
+        }
+        out.sort_unstable_by_key(|(asn, _)| *asn);
+        out
+    }
+
+    /// Total distinct communities observed.
+    pub fn community_count(&self) -> usize {
+        self.per_community.len()
+    }
+
+    /// The counts for one community, if observed.
+    pub fn counts(&self, c: Community) -> Option<PathCounts> {
+        self.per_community.get(&c).copied()
+    }
+}
+
+/// The original hash-set reduction, retained verbatim as the reference
+/// oracle for the columnar kernel (see `crates/core/tests/proptests.rs`).
+/// Not part of the public API surface proper — test/diagnostic use only.
+#[doc(hidden)]
+pub fn reference_stats(observations: &[Observation], siblings: &SiblingMap) -> PathStats {
+    use bgp_types::AsPath;
+    use std::collections::hash_map::Entry;
+
     let mut path_ids: FxHashMap<&AsPath, u32> = FxHashMap::default();
     let mut tuples: FxHashSet<(u32, &[Community])> = FxHashSet::default();
     for obs in observations {
@@ -74,8 +369,6 @@ fn stats_of(observations: &[&Observation], siblings: &SiblingMap) -> PathStats {
         tuples.insert((id, obs.communities.as_slice()));
     }
 
-    // Membership sets per path, with sibling expansion applied on the
-    // community side (cheaper: expand the owner when testing).
     let mut members: Vec<FxHashSet<Asn>> = vec![FxHashSet::default(); path_ids.len()];
     let mut seen_asns = FxHashSet::default();
     for (path, &id) in &path_ids {
@@ -84,7 +377,6 @@ fn stats_of(observations: &[&Observation], siblings: &SiblingMap) -> PathStats {
         members[id as usize] = set;
     }
 
-    // Unique paths per community, split on/off.
     let mut on_paths: FxHashMap<Community, FxHashSet<u32>> = FxHashMap::default();
     let mut off_paths: FxHashMap<Community, FxHashSet<u32>> = FxHashMap::default();
     for &(path_id, communities) in &tuples {
@@ -113,77 +405,6 @@ fn stats_of(observations: &[&Observation], siblings: &SiblingMap) -> PathStats {
         seen_asns,
         unique_tuples: tuples.len(),
         unique_paths: path_ids.len(),
-    }
-}
-
-impl PathStats {
-    /// Reduce observations to statistics. Duplicate `(path, communities)`
-    /// tuples collapse; a community's on/off counts are over unique paths.
-    pub fn from_observations(observations: &[Observation], siblings: &SiblingMap) -> Self {
-        let refs: Vec<&Observation> = observations.iter().collect();
-        stats_of(&refs, siblings)
-    }
-
-    /// [`PathStats::from_observations`] across worker threads (`0` = one per
-    /// CPU). Observations are sharded by AS-path hash, each shard reduced
-    /// independently, and the shard results summed — every occurrence of a
-    /// path lands in one shard, so on/off unique-path counts, tuple dedup,
-    /// and path counts are exact. The result is identical to the sequential
-    /// reduction at any thread count.
-    pub fn from_observations_threaded(
-        observations: &[Observation],
-        siblings: &SiblingMap,
-        threads: usize,
-    ) -> Self {
-        let threads = effective_threads(threads);
-        if threads <= 1 || observations.len() < 2 {
-            return Self::from_observations(observations, siblings);
-        }
-        let shard_count = threads;
-        let mut shards: Vec<Vec<&Observation>> = (0..shard_count).map(|_| Vec::new()).collect();
-        for obs in observations {
-            shards[(fx_hash_one(&obs.path) as usize) % shard_count].push(obs);
-        }
-        let parts = par_map_indexed(shard_count, threads, |i| stats_of(&shards[i], siblings));
-
-        let mut merged = PathStats::default();
-        for part in parts {
-            for (c, counts) in part.per_community {
-                let slot = merged.per_community.entry(c).or_default();
-                slot.on += counts.on;
-                slot.off += counts.off;
-            }
-            merged.seen_asns.extend(part.seen_asns);
-            merged.unique_tuples += part.unique_tuples;
-            merged.unique_paths += part.unique_paths;
-        }
-        merged
-    }
-
-    /// Observed communities grouped by owner ASN, each group's `β` values
-    /// sorted ascending. Deterministic order (by ASN).
-    pub fn by_owner(&self) -> Vec<(u16, Vec<u16>)> {
-        let mut map: HashMap<u16, Vec<u16>> = HashMap::new();
-        for c in self.per_community.keys() {
-            map.entry(c.asn).or_default().push(c.value);
-        }
-        let mut out: Vec<(u16, Vec<u16>)> = map.into_iter().collect();
-        for (_, betas) in &mut out {
-            betas.sort_unstable();
-            betas.dedup();
-        }
-        out.sort_unstable_by_key(|(asn, _)| *asn);
-        out
-    }
-
-    /// Total distinct communities observed.
-    pub fn community_count(&self) -> usize {
-        self.per_community.len()
-    }
-
-    /// The counts for one community, if observed.
-    pub fn counts(&self, c: Community) -> Option<PathCounts> {
-        self.per_community.get(&c).copied()
     }
 }
 
@@ -265,6 +486,24 @@ mod tests {
     }
 
     #[test]
+    fn known_org_owner_off_its_own_paths_counts_off() {
+        // An owner with a known org must still count off-path on paths
+        // carrying *other* orgs only (exercises the org-ID branch both
+        // ways).
+        let siblings = SiblingMap::from_orgs(vec![
+            vec![Asn::new(1299), Asn::new(64500)],
+            vec![Asn::new(3356)],
+        ]);
+        let observations = vec![
+            obs(1, "1 3356 64496", &[(1299, 7)]),
+            obs(1, "1 64500 64496", &[(1299, 7)]),
+        ];
+        let stats = PathStats::from_observations(&observations, &siblings);
+        let c = stats.counts(Community::new(1299, 7)).unwrap();
+        assert_eq!((c.on, c.off), (1, 1));
+    }
+
+    #[test]
     fn ratio_semantics() {
         assert_eq!(PathCounts { on: 320, off: 2 }.ratio(), 160.0);
         assert_eq!(PathCounts { on: 57, off: 0 }.ratio(), 57.0);
@@ -326,6 +565,29 @@ mod tests {
             let parallel = PathStats::from_observations_threaded(&observations, &siblings, threads);
             assert_eq!(parallel, sequential, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn kernel_matches_reference_reduction() {
+        let mut observations = Vec::new();
+        for i in 0..60u32 {
+            observations.push(obs(
+                65000 + (i % 4),
+                &format!("{} 3356 1299 {}", 65000 + (i % 4), 64496 + (i % 9)),
+                &[(1299, (i % 13) as u16), (65000, (i % 2) as u16)],
+            ));
+        }
+        // Prepending + an AS_SET path for good measure.
+        observations.push(obs(7, "7 1299 1299 64496", &[(1299, 3)]));
+        observations.push(obs(7, "7 {1299,3356} 64496", &[(1299, 3)]));
+        let siblings = SiblingMap::from_orgs(vec![
+            vec![Asn::new(1299), Asn::new(64500)],
+            vec![Asn::new(65000), Asn::new(65001)],
+        ]);
+        assert_eq!(
+            PathStats::from_observations(&observations, &siblings),
+            reference_stats(&observations, &siblings)
+        );
     }
 
     #[test]

@@ -5,9 +5,11 @@ use proptest::prelude::*;
 
 use bgp_intent::classify::{classify, InferenceConfig};
 use bgp_intent::cluster::gap_clusters;
-use bgp_intent::stats::{PathCounts, PathStats};
+use bgp_intent::stats::{reference_stats, PathCounts, PathStats};
+use bgp_intent::StatsAccumulator;
 use bgp_relationships::SiblingMap;
-use bgp_types::{AsPath, Asn, Community, Observation};
+use bgp_types::store::ObservationStore;
+use bgp_types::{AsPath, Asn, Community, Observation, PathSegment};
 
 fn arb_betas() -> impl Strategy<Value = Vec<u16>> {
     prop::collection::btree_set(any::<u16>(), 0..80).prop_map(|s| s.into_iter().collect())
@@ -36,6 +38,58 @@ fn arb_observations() -> impl Strategy<Value = Vec<Observation>> {
                     prefix: "10.0.0.0/24".parse().unwrap(),
                     path: AsPath::from_sequence(std::iter::once(vp).chain(tail).map(Asn::new)),
                     communities,
+                    large_communities: Vec::new(),
+                    time: 0,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Disjoint sibling organizations over the same small ASN range the messy
+/// observations draw from, so on-path decisions routinely go through a
+/// sibling rather than the owner itself.
+fn arb_siblings() -> impl Strategy<Value = SiblingMap> {
+    prop::collection::btree_set(1u32..40, 0..12).prop_map(|asns| {
+        let asns: Vec<u32> = asns.into_iter().collect();
+        SiblingMap::from_orgs(
+            asns.chunks(3)
+                .map(|org| org.iter().map(|&a| Asn::new(a)).collect::<Vec<_>>()),
+        )
+    })
+}
+
+/// Observations exercising everything the interned kernel must get right:
+/// duplicate rows, prepended hops, `AS_SET` segments, and community lists
+/// that recur across rows in different orders (distinct store identities).
+fn arb_messy_observations() -> impl Strategy<Value = Vec<Observation>> {
+    let segment = (any::<bool>(), prop::collection::vec(1u32..40, 1..4));
+    let row = (
+        1u32..40,                                         // vp / head ASN
+        0usize..3,                                        // head prepend count
+        prop::collection::vec(segment, 0..3),             // tail, sets included
+        prop::collection::vec((1u16..40, 0u16..6), 0..6), // communities, unsorted
+    );
+    prop::collection::vec(row, 0..40).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(vp, prepend, tail, comms)| {
+                let mut segments = vec![PathSegment::Sequence(vec![Asn::new(vp); 1 + prepend])];
+                segments.extend(tail.into_iter().map(|(set, members)| {
+                    let members: Vec<Asn> = members.into_iter().map(Asn::new).collect();
+                    if set {
+                        PathSegment::Set(members)
+                    } else {
+                        PathSegment::Sequence(members)
+                    }
+                }));
+                Observation {
+                    vp: Asn::new(vp),
+                    prefix: "10.0.0.0/24".parse().unwrap(),
+                    path: AsPath::from_segments(segments),
+                    communities: comms
+                        .into_iter()
+                        .map(|(a, b)| Community::new(a, b))
+                        .collect(),
                     large_communities: Vec::new(),
                     time: 0,
                 }
@@ -132,6 +186,75 @@ proptest! {
         let r = PathCounts { on, off }.ratio();
         prop_assert!(r.is_finite());
         prop_assert!(r >= 0.0);
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_messy_inputs(
+        observations in arb_messy_observations(),
+        siblings in arb_siblings(),
+    ) {
+        let kernel = PathStats::from_observations(&observations, &siblings);
+        let reference = reference_stats(&observations, &siblings);
+        prop_assert_eq!(kernel, reference);
+    }
+
+    #[test]
+    fn kernel_identical_at_any_thread_count(
+        observations in arb_messy_observations(),
+        siblings in arb_siblings(),
+    ) {
+        let store = ObservationStore::from_observations(&observations);
+        let base = PathStats::from_store(&store, &siblings);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &PathStats::from_store_threaded(&store, &siblings, threads),
+                &base
+            );
+            prop_assert_eq!(
+                &PathStats::from_observations_threaded(&observations, &siblings, threads),
+                &base
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_store_ingest_is_deterministic_and_resumable(
+        observations in arb_messy_observations(),
+        siblings in arb_siblings(),
+    ) {
+        // Reference run: the retained slice fold, single-threaded, with a
+        // snapshot after every "file" (chunk).
+        let chunk = observations.len().div_ceil(3).max(1);
+        let mut slice_acc = StatsAccumulator::new();
+        for file in observations.chunks(chunk) {
+            slice_acc.ingest(file, &siblings, 1);
+            slice_acc.snapshot();
+        }
+        let expected = slice_acc.snapshot().clone();
+        let expected_stats = slice_acc.to_stats();
+
+        for threads in [1usize, 2, 8] {
+            let mut acc = StatsAccumulator::new();
+            let mut resumed: Option<StatsAccumulator> = None;
+            for (i, file) in observations.chunks(chunk).enumerate() {
+                let store = ObservationStore::from_observations(file);
+                acc.ingest_store(&store, &siblings, threads);
+                let snap = acc.snapshot().clone();
+                if i == 0 {
+                    // Simulate a crash right after the first checkpoint:
+                    // restart from its bytes and replay the remaining files.
+                    resumed = Some(StatsAccumulator::from_snapshot(&snap));
+                } else if let Some(r) = resumed.as_mut() {
+                    r.ingest_store(&store, &siblings, threads);
+                    r.snapshot();
+                }
+            }
+            prop_assert_eq!(acc.snapshot(), &expected);
+            prop_assert_eq!(&acc.to_stats(), &expected_stats);
+            if let Some(mut r) = resumed {
+                prop_assert_eq!(r.snapshot(), &expected);
+            }
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod writer;
 
 pub use error::{MrtError, MrtErrorKind};
 pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultLog, FlakyConfig, FlakyReader};
-pub use obs::{FileIngest, IngestTuning};
+pub use obs::{FileIngest, FileStoreIngest, IngestTuning};
 pub use reader::MrtReader;
 pub use records::{MrtRecord, TimestampedRecord};
 pub use recover::{ErrorCounters, IngestReport, RecoverConfig, RecoveringReader};

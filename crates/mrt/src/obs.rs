@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bgp_types::par::{effective_threads, try_par_map_indexed};
+use bgp_types::store::{ObservationSink, ObservationStore};
 use bgp_types::{Asn, Observation, Prefix, RouteAttrs};
 
 use crate::bgpmsg::BgpMessage;
@@ -162,14 +163,17 @@ enum EntryPolicy {
     Skip,
 }
 
-/// Fold one decoded record into the running observation list.
+/// Fold one decoded record into an [`ObservationSink`] — a plain
+/// `Vec<Observation>` for the historical slice APIs, or a columnar
+/// [`ObservationStore`] when ingestion feeds the analysis pipeline
+/// directly (no intermediate vector of per-record heap graphs).
 ///
 /// Returns the number of entries dropped under [`EntryPolicy::Skip`]; under
 /// [`EntryPolicy::Abort`] the first invalid entry aborts with an error.
-fn accumulate(
+fn accumulate<S: ObservationSink>(
     rec: TimestampedRecord,
     peers: &mut Vec<PeerEntry>,
-    observations: &mut Vec<Observation>,
+    sink: &mut S,
     policy: EntryPolicy,
 ) -> Result<u64, MrtError> {
     let mut dropped = 0u64;
@@ -190,7 +194,7 @@ fn accumulate(
                         ))
                     }
                 };
-                observations.push(Observation {
+                sink.push_observation(Observation {
                     vp: peer.asn,
                     prefix: rib.prefix,
                     path: entry.route.as_path,
@@ -204,7 +208,7 @@ fn accumulate(
             if let BgpMessage::Update(u) = m.message {
                 if let Some(attrs) = u.attrs {
                     for prefix in u.announced.iter().chain(attrs.mp_announced.iter()) {
-                        observations.push(Observation {
+                        sink.push_observation(Observation {
                             vp: m.peer_asn,
                             prefix: *prefix,
                             path: attrs.route.as_path.clone(),
@@ -217,7 +221,7 @@ fn accumulate(
             }
         }
         MrtRecord::TableDump(t) => {
-            observations.push(Observation {
+            sink.push_observation(Observation {
                 vp: t.peer_asn,
                 prefix: t.prefix,
                 path: t.route.as_path,
@@ -237,17 +241,28 @@ fn accumulate(
 /// how measurement pipelines treat archives; I/O and truncation errors
 /// still abort.
 pub fn read_observations<R: Read>(input: R) -> Result<Vec<Observation>, MrtError> {
-    let mut peers: Vec<PeerEntry> = Vec::new();
     let mut observations = Vec::new();
+    read_observations_into(input, &mut observations)?;
+    Ok(observations)
+}
+
+/// [`read_observations`] folding into any [`ObservationSink`] instead of
+/// returning a fresh `Vec` — pass an [`ObservationStore`] to intern
+/// straight off the wire.
+pub fn read_observations_into<R: Read, S: ObservationSink>(
+    input: R,
+    sink: &mut S,
+) -> Result<(), MrtError> {
+    let mut peers: Vec<PeerEntry> = Vec::new();
     for item in MrtReader::new(input) {
         let rec = match item {
             Ok(rec) => rec,
             Err(e @ (MrtError::Io(_) | MrtError::Truncated { .. })) => return Err(e),
             Err(_) => continue, // skip undecodable record bodies
         };
-        accumulate(rec, &mut peers, &mut observations, EntryPolicy::Abort)?;
+        accumulate(rec, &mut peers, sink, EntryPolicy::Abort)?;
     }
-    Ok(observations)
+    Ok(())
 }
 
 /// Strict ingestion: the first decode error of *any* kind — undecodable
@@ -258,25 +273,35 @@ pub fn read_observations<R: Read>(input: R) -> Result<Vec<Observation>, MrtError
 /// record-local damage, [`read_observations_resilient`] tolerates framing
 /// damage too.
 pub fn read_observations_strict<R: Read>(input: R) -> Result<Vec<Observation>, MrtError> {
-    read_observations_strict_hooked(input, None)
+    let mut observations = Vec::new();
+    read_observations_strict_hooked(input, &mut observations, None)?;
+    Ok(observations)
+}
+
+/// [`read_observations_strict`] folding into any [`ObservationSink`].
+pub fn read_observations_strict_into<R: Read, S: ObservationSink>(
+    input: R,
+    sink: &mut S,
+) -> Result<(), MrtError> {
+    read_observations_strict_hooked(input, sink, None)
 }
 
 /// [`read_observations_strict`] with the [`IngestTuning::panic_after_records`]
 /// fault hook applied.
-fn read_observations_strict_hooked<R: Read>(
+fn read_observations_strict_hooked<R: Read, S: ObservationSink>(
     input: R,
+    sink: &mut S,
     panic_after: Option<u64>,
-) -> Result<Vec<Observation>, MrtError> {
+) -> Result<(), MrtError> {
     let mut peers: Vec<PeerEntry> = Vec::new();
-    let mut observations = Vec::new();
     let mut decoded = 0u64;
     for item in MrtReader::new(input) {
         let rec = item?;
         decoded += 1;
         injected_panic_check(decoded, panic_after);
-        accumulate(rec, &mut peers, &mut observations, EntryPolicy::Abort)?;
+        accumulate(rec, &mut peers, sink, EntryPolicy::Abort)?;
     }
-    Ok(observations)
+    Ok(())
 }
 
 /// Fire the deliberate [`IngestTuning::panic_after_records`] fault: panic
@@ -303,19 +328,32 @@ pub fn read_observations_resilient<R: Read>(
     input: R,
     cfg: &RecoverConfig,
 ) -> (Vec<Observation>, IngestReport) {
-    read_observations_resilient_hooked(input, cfg, None)
+    let mut observations = Vec::new();
+    let report = read_observations_resilient_hooked(input, cfg, &mut observations, None);
+    (observations, report)
+}
+
+/// [`read_observations_resilient`] folding into any [`ObservationSink`];
+/// returns the [`IngestReport`] (the salvaged observations are in the
+/// sink).
+pub fn read_observations_resilient_into<R: Read, S: ObservationSink>(
+    input: R,
+    cfg: &RecoverConfig,
+    sink: &mut S,
+) -> IngestReport {
+    read_observations_resilient_hooked(input, cfg, sink, None)
 }
 
 /// [`read_observations_resilient`] with the
 /// [`IngestTuning::panic_after_records`] fault hook applied.
-fn read_observations_resilient_hooked<R: Read>(
+fn read_observations_resilient_hooked<R: Read, S: ObservationSink>(
     input: R,
     cfg: &RecoverConfig,
+    sink: &mut S,
     panic_after: Option<u64>,
-) -> (Vec<Observation>, IngestReport) {
+) -> IngestReport {
     let mut reader = RecoveringReader::with_config(input, cfg.clone());
     let mut peers: Vec<PeerEntry> = Vec::new();
-    let mut observations = Vec::new();
     let mut dropped_entries = 0u64;
     let mut decoded = 0u64;
     // Err items need no handling here: they are already counted inside the
@@ -323,12 +361,12 @@ fn read_observations_resilient_hooked<R: Read>(
     for rec in reader.by_ref().flatten() {
         decoded += 1;
         injected_panic_check(decoded, panic_after);
-        dropped_entries += accumulate(rec, &mut peers, &mut observations, EntryPolicy::Skip)
-            .expect("Skip policy never errors");
+        dropped_entries +=
+            accumulate(rec, &mut peers, sink, EntryPolicy::Skip).expect("Skip policy never errors");
     }
     let mut report = reader.into_report();
     report.errors.malformed += dropped_entries;
-    (observations, report)
+    report
 }
 
 /// Per-file outcome of [`read_observations_parallel`].
@@ -387,15 +425,10 @@ fn open_supervised(
     ))
 }
 
-/// A [`FileIngest`] for a file that produced nothing, with the failure
+/// The [`IngestReport`] for a file that produced nothing, with the failure
 /// accounted: `why` lands in `aborted`, and the dedicated counters record
 /// whether it was an open failure or a captured worker panic.
-fn failed_ingest(
-    path: PathBuf,
-    why: String,
-    open_error: Option<String>,
-    panic: bool,
-) -> FileIngest {
+fn failed_report(why: String, open_error: Option<String>, panic: bool) -> IngestReport {
     let mut report = IngestReport::default();
     if open_error.is_some() {
         report.errors.io = 1;
@@ -403,11 +436,7 @@ fn failed_ingest(
     report.open_failed = open_error;
     report.panicked = u64::from(panic);
     report.aborted = Some(why);
-    FileIngest {
-        path,
-        observations: Vec::new(),
-        report,
-    }
+    report
 }
 
 /// Resilient ingestion over many MRT files at once: each file is decoded
@@ -431,50 +460,123 @@ pub fn read_observations_parallel_with(
     tuning: &IngestTuning,
     threads: usize,
 ) -> (Vec<FileIngest>, IngestReport) {
+    let (files, merged) = read_files_parallel_into::<Vec<Observation>>(paths, cfg, tuning, threads);
+    let files = files
+        .into_iter()
+        .map(|(path, observations, report)| FileIngest {
+            path,
+            observations,
+            report,
+        })
+        .collect();
+    (files, merged)
+}
+
+/// The supervised fan-out shared by the `Vec<Observation>` and
+/// [`ObservationStore`] parallel readers: one sink of type `S` per file,
+/// filled with [`read_observations_resilient`] semantics, slots returned
+/// in input order with open failures and captured worker panics reported
+/// as failed (empty-sink) files.
+fn read_files_parallel_into<S: ObservationSink + Default + Send>(
+    paths: &[PathBuf],
+    cfg: &RecoverConfig,
+    tuning: &IngestTuning,
+    threads: usize,
+) -> (Vec<(PathBuf, S, IngestReport)>, IngestReport) {
     let threads = effective_threads(threads);
     let slots = try_par_map_indexed(paths.len(), threads, |i| {
         let path = paths[i].clone();
         let retries = Arc::new(AtomicU64::new(0));
         match open_supervised(&path, i, tuning, &retries) {
             Ok(reader) => {
-                let (observations, mut report) =
-                    read_observations_resilient_hooked(reader, cfg, tuning.panic_after_records);
+                let mut sink = S::default();
+                let mut report = read_observations_resilient_hooked(
+                    reader,
+                    cfg,
+                    &mut sink,
+                    tuning.panic_after_records,
+                );
                 report.retries += retries.load(Ordering::Relaxed);
-                FileIngest {
-                    path,
-                    observations,
-                    report,
-                }
+                (path, sink, report)
             }
-            Err(e) => failed_ingest(
+            Err(e) => (
                 path,
-                format!("open: {e}"),
-                Some(format!(
-                    "{e} (after {} retry(s))",
-                    retries.load(Ordering::Relaxed)
-                )),
-                false,
+                S::default(),
+                failed_report(
+                    format!("open: {e}"),
+                    Some(format!(
+                        "{e} (after {} retry(s))",
+                        retries.load(Ordering::Relaxed)
+                    )),
+                    false,
+                ),
             ),
         }
     });
-    let files: Vec<FileIngest> = slots
+    let files: Vec<(PathBuf, S, IngestReport)> = slots
         .into_iter()
         .enumerate()
         .map(|(i, slot)| match slot {
             Ok(file) => file,
-            Err(p) => failed_ingest(
+            Err(p) => (
                 paths[i].clone(),
-                format!("worker panicked: {}", p.message),
-                None,
-                true,
+                S::default(),
+                failed_report(format!("worker panicked: {}", p.message), None, true),
             ),
         })
         .collect();
     let mut merged = IngestReport::default();
-    for file in &files {
-        merged.merge(&file.report);
+    for (_, _, report) in &files {
+        merged.merge(report);
     }
     (files, merged)
+}
+
+/// Per-file outcome of [`read_observations_parallel_store`]: like
+/// [`FileIngest`], but the observations were interned straight into a
+/// columnar [`ObservationStore`] as they decoded.
+#[derive(Debug, Clone)]
+pub struct FileStoreIngest {
+    /// The input file.
+    pub path: PathBuf,
+    /// Observations salvaged from this file, in columnar form.
+    pub store: ObservationStore,
+    /// This file's ingest accounting (same semantics as
+    /// [`FileIngest::report`]).
+    pub report: IngestReport,
+}
+
+/// [`read_observations_parallel_with`] folding each file straight into a
+/// per-file [`ObservationStore`] — no `Vec<Observation>` is ever
+/// materialized. Merging the per-file stores in input order (see
+/// [`ObservationStore::merge`]) yields exactly the store a sequential
+/// single-sink read of the concatenated files would have produced.
+pub fn read_observations_parallel_store_with(
+    paths: &[PathBuf],
+    cfg: &RecoverConfig,
+    tuning: &IngestTuning,
+    threads: usize,
+) -> (Vec<FileStoreIngest>, IngestReport) {
+    let (files, merged) = read_files_parallel_into::<ObservationStore>(paths, cfg, tuning, threads);
+    let files = files
+        .into_iter()
+        .map(|(path, store, report)| FileStoreIngest {
+            path,
+            store,
+            report,
+        })
+        .collect();
+    (files, merged)
+}
+
+/// [`read_observations_parallel_store_with`] under the default supervision
+/// tuning.
+pub fn read_observations_parallel_store(
+    paths: &[PathBuf],
+    cfg: &RecoverConfig,
+    threads: usize,
+) -> (Vec<FileStoreIngest>, IngestReport) {
+    read_observations_parallel_store_with(paths, cfg, &IngestTuning::default(), threads)
 }
 
 /// [`read_observations_parallel_with`] under the default supervision
@@ -517,7 +619,11 @@ pub fn read_observations_parallel_strict_with(
         let retries = Arc::new(AtomicU64::new(0));
         open_supervised(&paths[i], i, tuning, &retries)
             .map_err(MrtError::from)
-            .and_then(|r| read_observations_strict_hooked(r, tuning.panic_after_records))
+            .and_then(|r| {
+                let mut observations = Vec::new();
+                read_observations_strict_hooked(r, &mut observations, tuning.panic_after_records)?;
+                Ok(observations)
+            })
     });
     let mut out = Vec::with_capacity(slots.len());
     for (i, slot) in slots.into_iter().enumerate() {
@@ -806,6 +912,64 @@ mod tests {
             assert!(merged.is_clean());
             assert_eq!(merged.records_read, 3);
             assert_eq!(merged.bytes_ok + merged.bytes_skipped, merged.bytes_read);
+        }
+    }
+
+    #[test]
+    fn store_parallel_read_matches_vec_parallel_read() {
+        let paths = archive_trio("store");
+        let cfg = RecoverConfig::default();
+        let (vec_files, vec_merged) = read_observations_parallel(&paths, &cfg, 2);
+        for threads in [1, 2, 8] {
+            let (store_files, store_merged) =
+                read_observations_parallel_store(&paths, &cfg, threads);
+            assert_eq!(store_files.len(), vec_files.len());
+            let mut folded = ObservationStore::new();
+            for (sf, vf) in store_files.iter().zip(&vec_files) {
+                assert_eq!(sf.path, vf.path);
+                assert_eq!(sf.report, vf.report, "threads = {threads}");
+                assert_eq!(sf.store.len(), vf.observations.len());
+                for (i, o) in vf.observations.iter().enumerate() {
+                    assert_eq!(sf.store.get(i), *o, "threads = {threads}");
+                }
+                folded.merge(&sf.store);
+            }
+            assert_eq!(store_merged, vec_merged);
+            // Folding per-file stores in input order reproduces the
+            // sequential single-sink read of the concatenated files.
+            let all: Vec<Observation> = vec_files
+                .iter()
+                .flat_map(|f| f.observations.iter().cloned())
+                .collect();
+            assert_eq!(folded.len(), all.len());
+            for (i, o) in all.iter().enumerate() {
+                assert_eq!(folded.get(i), *o);
+            }
+        }
+    }
+
+    #[test]
+    fn sink_readers_match_vec_readers() {
+        let observations = sample();
+        let mut buf = Vec::new();
+        write_rib_dump(&mut buf, 100, &observations).unwrap();
+        let via_vec = read_observations(&buf[..]).unwrap();
+        let mut store = ObservationStore::new();
+        read_observations_into(&buf[..], &mut store).unwrap();
+        assert_eq!(store.len(), via_vec.len());
+        let mut strict_store = ObservationStore::new();
+        read_observations_strict_into(&buf[..], &mut strict_store).unwrap();
+        let mut resilient_store = ObservationStore::new();
+        let report = read_observations_resilient_into(
+            &buf[..],
+            &RecoverConfig::default(),
+            &mut resilient_store,
+        );
+        assert!(report.is_clean());
+        for (i, o) in via_vec.iter().enumerate() {
+            assert_eq!(store.get(i), *o);
+            assert_eq!(strict_store.get(i), *o);
+            assert_eq!(resilient_store.get(i), *o);
         }
     }
 

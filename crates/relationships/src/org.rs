@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use bgp_topology::Topology;
-use bgp_types::Asn;
+use bgp_types::{AsPath, Asn};
 
 /// Maps each AS to its organization so sibling ASes can be expanded.
 ///
@@ -44,12 +44,40 @@ impl SiblingMap {
         SiblingMap::from_orgs(topo.orgs.iter().map(|o| o.members.iter().copied()))
     }
 
-    /// `asn` plus all its siblings (itself alone when unknown).
+    /// `asn` plus all its siblings (itself alone when unknown), as an
+    /// owned list. Convenience wrapper over [`expand_ref`](Self::expand_ref);
+    /// prefer the borrowing form in loops — this clones the member list on
+    /// every call.
     pub fn expand(&self, asn: Asn) -> Vec<Asn> {
-        match self.org_of.get(&asn) {
-            Some(&org) => self.members[org as usize].clone(),
-            None => vec![asn],
+        self.expand_ref(&asn).to_vec()
+    }
+
+    /// `asn` plus all its siblings without allocating: a known ASN borrows
+    /// its organization's sorted member list, an unknown ASN borrows
+    /// itself. The returned slice is sorted and deduped.
+    pub fn expand_ref<'a>(&'a self, asn: &'a Asn) -> &'a [Asn] {
+        match self.org_of.get(asn) {
+            Some(&org) => &self.members[org as usize],
+            None => std::slice::from_ref(asn),
         }
+    }
+
+    /// The paper's on-path test (§5.2): whether `owner` *"(or a sibling
+    /// thereof)"* appears anywhere in `path`. Allocation-free.
+    pub fn is_on_path(&self, owner: Asn, path: &AsPath) -> bool {
+        path.contains_any(self.expand_ref(&owner))
+    }
+
+    /// Dense organization ID of `asn`, if it belongs to a known org.
+    /// IDs are contiguous in `0..org_count()` and index
+    /// [`org_members`](Self::org_members).
+    pub fn org_id(&self, asn: Asn) -> Option<u32> {
+        self.org_of.get(&asn).copied()
+    }
+
+    /// Sorted, deduped member list of an organization.
+    pub fn org_members(&self, org: u32) -> &[Asn] {
+        &self.members[org as usize]
     }
 
     /// The siblings of `asn`, excluding itself.
@@ -87,6 +115,40 @@ mod tests {
         assert_eq!(map.expand(Asn::new(7)), asns(&[7]));
         assert_eq!(map.expand(Asn::new(99)), asns(&[99])); // unknown
         assert_eq!(map.siblings(Asn::new(1)), asns(&[2, 3]));
+    }
+
+    #[test]
+    fn expand_ref_borrows_without_allocating() {
+        let map = SiblingMap::from_orgs(vec![asns(&[3, 1, 2]), asns(&[7])]);
+        let owner = Asn::new(2);
+        assert_eq!(map.expand_ref(&owner), &asns(&[1, 2, 3])[..]);
+        let unknown = Asn::new(99);
+        assert_eq!(map.expand_ref(&unknown), &asns(&[99])[..]);
+        // The borrowing and cloning forms agree everywhere.
+        for a in [1, 2, 3, 7, 99] {
+            let asn = Asn::new(a);
+            assert_eq!(map.expand_ref(&asn), map.expand(asn).as_slice());
+        }
+    }
+
+    #[test]
+    fn is_on_path_matches_sibling_expansion() {
+        let map = SiblingMap::from_orgs(vec![asns(&[1299, 64500])]);
+        let path: AsPath = "65541 64500 64496".parse().unwrap();
+        assert!(map.is_on_path(Asn::new(1299), &path)); // via sibling
+        assert!(map.is_on_path(Asn::new(64500), &path)); // directly
+        assert!(!map.is_on_path(Asn::new(3356), &path));
+        assert!(map.is_on_path(Asn::new(64496), &path)); // unknown, direct
+    }
+
+    #[test]
+    fn org_ids_are_dense_and_index_members() {
+        let map = SiblingMap::from_orgs(vec![asns(&[1, 2]), asns(&[7])]);
+        assert_eq!(map.org_id(Asn::new(2)), Some(0));
+        assert_eq!(map.org_id(Asn::new(7)), Some(1));
+        assert_eq!(map.org_id(Asn::new(99)), None);
+        assert_eq!(map.org_members(0), &asns(&[1, 2])[..]);
+        assert_eq!(map.org_members(1), &asns(&[7])[..]);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! Two small shared utilities also live here so every crate agrees on them:
 //! [`fx`] — the FxHash-style hasher used for analysis-side hot maps — and
 //! [`par`] — thread-count resolution plus the deterministic fork-join
-//! helper behind every parallel stage.
+//! helper behind every parallel stage. The analysis pipeline's columnar
+//! [`store::ObservationStore`] (interned paths/community sets, flat ID
+//! columns) lives here too so both `mrt` ingestion and `core` reduction
+//! can speak it without a dependency cycle.
 //!
 //! All types are plain data: no I/O, no global state, and `serde` support so
 //! dictionaries and inferences can be released as data supplements like the
@@ -36,6 +39,7 @@ pub mod observation;
 pub mod par;
 pub mod prefix;
 pub mod route;
+pub mod store;
 
 pub use asn::Asn;
 pub use aspath::{AsPath, PathSegment};
@@ -47,3 +51,4 @@ pub use observation::Observation;
 pub use par::{effective_threads, par_map_indexed};
 pub use prefix::Prefix;
 pub use route::{Announcement, Origin, RouteAttrs};
+pub use store::{ObservationSink, ObservationStore};

@@ -1,0 +1,535 @@
+//! Columnar, fully interned observation storage.
+//!
+//! The reduction at the heart of the method (§4–5.1: ≈174M `(AS path,
+//! communities)` tuples folded into per-community on/off unique-path
+//! counts) is memory-bound long before it is compute-bound. Storing each
+//! observation as an owned [`Observation`] builds a small heap graph per
+//! record — an `AsPath` with per-segment `Vec`s plus a `Vec<Community>` —
+//! even though the distinct paths and community sets number in the
+//! thousands while observations number in the millions.
+//!
+//! [`ObservationStore`] inverts that layout. AS paths and community *sets*
+//! are interned **once**, at ingestion, into dense `u32` IDs; per-path
+//! derived data (sorted unique ASN members, the content fingerprint used
+//! by checkpointing) is computed once per unique path; and the
+//! observations themselves become parallel flat columns of IDs and scalars.
+//! The stats kernel then runs entirely over dense integers: tuple dedup is
+//! a sort over packed `u64` keys, the on-path test is a binary search in a
+//! sorted member slice, and sharding by path ID partitions unique paths
+//! exactly (every occurrence of a path carries the same ID), so parallel
+//! partial counts merge by summation with no rehashing.
+//!
+//! Two invariants matter for correctness elsewhere:
+//!
+//! * **Community-set identity is the exact ordered list.** Tuple dedup is
+//!   order- and duplicate-sensitive (`(path, [a, b])` ≠ `(path, [b, a])`),
+//!   so the interner keys on the literal `Vec<Community>`, not a sorted
+//!   set.
+//! * **Path fingerprints equal `fx_hash_one(&path)`.** The checkpoint
+//!   accumulator's content-addressed snapshot format identifies paths by
+//!   that hash; the store precomputes it per unique path so the
+//!   checkpointed ingestion path can fold straight out of the store.
+
+use crate::fx::{fx_hash_one, FxHashMap};
+use crate::observation::Observation;
+use crate::{AsPath, Asn, Community, LargeCommunity, Prefix};
+
+/// Anything observations can be folded into as they are decoded.
+///
+/// MRT ingestion is generic over this sink so the same decode path can
+/// materialize a `Vec<Observation>` (the historical API, still the unit
+/// for per-file reports and checkpoint fingerprints) or fold directly
+/// into an [`ObservationStore`] without ever building the intermediate
+/// vector.
+pub trait ObservationSink {
+    /// Fold one decoded observation into the sink.
+    fn push_observation(&mut self, obs: Observation);
+    /// Number of observations folded so far.
+    fn observation_count(&self) -> usize;
+}
+
+impl ObservationSink for Vec<Observation> {
+    fn push_observation(&mut self, obs: Observation) {
+        self.push(obs);
+    }
+    fn observation_count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl ObservationSink for ObservationStore {
+    fn push_observation(&mut self, obs: Observation) {
+        self.push_owned(obs);
+    }
+    fn observation_count(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Columnar observation storage with interned paths and community sets.
+///
+/// Per observation the store keeps two dense IDs (path, community set)
+/// plus the scalar columns (`vp`, `prefix`, `time`) and a flat pool for
+/// the rare large communities — roughly 40 bytes per observation versus
+/// the several heap allocations of an owned [`Observation`]. See
+/// DESIGN.md § "Data layout".
+#[derive(Debug, Clone, Default)]
+pub struct ObservationStore {
+    // ---- interned AS paths (ID space: 0..path_count) ----
+    /// Fingerprint → path ID. Keying the hot map by the precomputed `u64`
+    /// (instead of the full `AsPath`) makes the per-observation probe a
+    /// single-word hash; `path_dups` catches the astronomically rare
+    /// fingerprint collision exactly.
+    path_ids: FxHashMap<u64, u32>,
+    path_dups: FxHashMap<AsPath, u32>,
+    paths: Vec<AsPath>,
+    path_fingerprints: Vec<u64>,
+    /// `member_offsets[id]..member_offsets[id+1]` indexes `members`.
+    member_offsets: Vec<u32>,
+    /// Sorted, deduped ASN values of each path (prepends collapse here).
+    members: Vec<u32>,
+
+    // ---- interned community sets (ID space: 0..cset_count) ----
+    /// Fingerprint → community-set ID, with the same exact collision
+    /// fallback as `path_ids`/`path_dups`.
+    cset_ids: FxHashMap<u64, u32>,
+    cset_dups: FxHashMap<Vec<Community>, u32>,
+    /// `cset_offsets[id]..cset_offsets[id+1]` indexes `cset_pool`.
+    cset_offsets: Vec<u32>,
+    /// Exact ordered community lists (order and duplicates preserved —
+    /// tuple identity is order-sensitive).
+    cset_pool: Vec<Community>,
+    /// Dense community-slot ID per `cset_pool` entry (parallel array), so
+    /// the stats kernel indexes per-community state with no hashing.
+    cset_slot_pool: Vec<u32>,
+
+    // ---- interned individual communities (slot space: 0..community_count) ----
+    community_ids: FxHashMap<u32, u32>,
+    communities: Vec<Community>,
+
+    // ---- per-observation columns (index space: 0..len) ----
+    obs_path: Vec<u32>,
+    obs_cset: Vec<u32>,
+    vps: Vec<Asn>,
+    prefixes: Vec<Prefix>,
+    times: Vec<u32>,
+    /// `large_offsets[i]..large_offsets[i+1]` indexes `large_pool`.
+    large_offsets: Vec<u32>,
+    large_pool: Vec<LargeCommunity>,
+}
+
+impl ObservationStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a store from an observation slice (the thin-wrapper entry
+    /// point used by the `Observation`-slice APIs).
+    pub fn from_observations(observations: &[Observation]) -> Self {
+        let mut store = Self::new();
+        store.extend_from_slice(observations);
+        store
+    }
+
+    /// Fold every observation of `observations` into the store.
+    pub fn extend_from_slice(&mut self, observations: &[Observation]) {
+        self.obs_path.reserve(observations.len());
+        self.obs_cset.reserve(observations.len());
+        for obs in observations {
+            self.push(obs);
+        }
+    }
+
+    /// Fold one observation in, interning its path and community set.
+    /// Clones the path / community list only on first sight.
+    pub fn push(&mut self, obs: &Observation) {
+        let path_id = self.intern_path(&obs.path);
+        let cset_id = self.intern_cset(&obs.communities);
+        self.push_row(
+            path_id,
+            cset_id,
+            obs.vp,
+            obs.prefix,
+            obs.time,
+            &obs.large_communities,
+        );
+    }
+
+    /// Fold one owned observation in. Equivalent to [`push`](Self::push);
+    /// the allocation win stays the same (duplicate paths/sets are dropped
+    /// either way), so this simply delegates.
+    pub fn push_owned(&mut self, obs: Observation) {
+        self.push(&obs);
+    }
+
+    fn push_row(
+        &mut self,
+        path_id: u32,
+        cset_id: u32,
+        vp: Asn,
+        prefix: Prefix,
+        time: u32,
+        large: &[LargeCommunity],
+    ) {
+        self.obs_path.push(path_id);
+        self.obs_cset.push(cset_id);
+        self.vps.push(vp);
+        self.prefixes.push(prefix);
+        self.times.push(time);
+        self.large_pool.extend_from_slice(large);
+        self.large_offsets.push(self.large_pool.len() as u32);
+    }
+
+    fn intern_path(&mut self, path: &AsPath) -> u32 {
+        let fp = fx_hash_one(path);
+        if let Some(&id) = self.path_ids.get(&fp) {
+            if self.paths[id as usize] == *path {
+                return id;
+            }
+            // Fingerprint collision between distinct paths: fall back to
+            // the exact-keyed overflow map.
+            if let Some(&id) = self.path_dups.get(path) {
+                return id;
+            }
+            let id = self.push_unique_path(path, fp);
+            self.path_dups.insert(path.clone(), id);
+            return id;
+        }
+        let id = self.push_unique_path(path, fp);
+        self.path_ids.insert(fp, id);
+        id
+    }
+
+    fn push_unique_path(&mut self, path: &AsPath, fp: u64) -> u32 {
+        let id = self.paths.len() as u32;
+        if self.member_offsets.is_empty() {
+            self.member_offsets.push(0);
+        }
+        let mut sorted: Vec<u32> = path.iter().map(Asn::value).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.members.extend_from_slice(&sorted);
+        self.member_offsets.push(self.members.len() as u32);
+        self.path_fingerprints.push(fp);
+        self.paths.push(path.clone());
+        id
+    }
+
+    fn intern_cset(&mut self, communities: &[Community]) -> u32 {
+        let fp = fx_hash_one(communities);
+        if let Some(&id) = self.cset_ids.get(&fp) {
+            if self.cset(id) == communities {
+                return id;
+            }
+            if let Some(&id) = self.cset_dups.get(communities) {
+                return id;
+            }
+            let id = self.push_unique_cset(communities);
+            self.cset_dups.insert(communities.to_vec(), id);
+            return id;
+        }
+        let id = self.push_unique_cset(communities);
+        self.cset_ids.insert(fp, id);
+        id
+    }
+
+    fn push_unique_cset(&mut self, communities: &[Community]) -> u32 {
+        if self.cset_offsets.is_empty() {
+            self.cset_offsets.push(0);
+        }
+        let id = self.cset_offsets.len() as u32 - 1;
+        self.cset_pool.extend_from_slice(communities);
+        for &c in communities {
+            let next = self.communities.len() as u32;
+            let slot = *self.community_ids.entry(c.to_u32()).or_insert(next);
+            if slot == next {
+                self.communities.push(c);
+            }
+            self.cset_slot_pool.push(slot);
+        }
+        self.cset_offsets.push(self.cset_pool.len() as u32);
+        id
+    }
+
+    /// Fold another store into this one, re-interning its unique paths and
+    /// community sets (one map lookup per *unique* element, then a dense
+    /// ID remap per observation). Observation order is `self` then
+    /// `other`, so folding per-file stores in input order reproduces the
+    /// sequential single-sink order exactly.
+    pub fn merge(&mut self, other: &ObservationStore) {
+        let path_map: Vec<u32> = other.paths.iter().map(|p| self.intern_path(p)).collect();
+        let cset_map: Vec<u32> = (0..other.cset_count())
+            .map(|id| self.intern_cset(other.cset(id as u32)))
+            .collect();
+        for i in 0..other.len() {
+            self.push_row(
+                path_map[other.obs_path[i] as usize],
+                cset_map[other.obs_cset[i] as usize],
+                other.vps[i],
+                other.prefixes[i],
+                other.times[i],
+                other.large(i),
+            );
+        }
+    }
+
+    /// Number of observations stored.
+    pub fn len(&self) -> usize {
+        self.obs_path.len()
+    }
+
+    /// Whether the store holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.obs_path.is_empty()
+    }
+
+    /// Number of distinct AS paths interned.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of distinct community sets interned.
+    pub fn cset_count(&self) -> usize {
+        self.cset_offsets.len().saturating_sub(1)
+    }
+
+    /// Number of distinct individual communities interned (slot space).
+    pub fn community_count(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// The community behind a dense slot ID.
+    pub fn community(&self, slot: u32) -> Community {
+        self.communities[slot as usize]
+    }
+
+    /// Dense community-slot IDs of a community-set ID, parallel to
+    /// [`cset`](Self::cset) (order and duplicates preserved).
+    pub fn cset_slots(&self, id: u32) -> &[u32] {
+        let lo = self.cset_offsets[id as usize] as usize;
+        let hi = self.cset_offsets[id as usize + 1] as usize;
+        &self.cset_slot_pool[lo..hi]
+    }
+
+    /// The interned path for a path ID.
+    pub fn path(&self, id: u32) -> &AsPath {
+        &self.paths[id as usize]
+    }
+
+    /// `fx_hash_one` of the interned path — the checkpoint fingerprint,
+    /// computed once per unique path.
+    pub fn path_fingerprint(&self, id: u32) -> u64 {
+        self.path_fingerprints[id as usize]
+    }
+
+    /// Sorted, deduped ASN values of the interned path. The on-path test
+    /// is a binary search in this slice.
+    pub fn path_members(&self, id: u32) -> &[u32] {
+        let lo = self.member_offsets[id as usize] as usize;
+        let hi = self.member_offsets[id as usize + 1] as usize;
+        &self.members[lo..hi]
+    }
+
+    /// The exact ordered community list for a community-set ID.
+    pub fn cset(&self, id: u32) -> &[Community] {
+        let lo = self.cset_offsets[id as usize] as usize;
+        let hi = self.cset_offsets[id as usize + 1] as usize;
+        &self.cset_pool[lo..hi]
+    }
+
+    /// The `(path ID, community-set ID)` tuple of each observation, in
+    /// insertion order.
+    pub fn tuples(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.obs_path
+            .iter()
+            .zip(self.obs_cset.iter())
+            .map(|(&p, &c)| (p, c))
+    }
+
+    /// Path ID of observation `i`.
+    pub fn obs_path_id(&self, i: usize) -> u32 {
+        self.obs_path[i]
+    }
+
+    /// Community-set ID of observation `i`.
+    pub fn obs_cset_id(&self, i: usize) -> u32 {
+        self.obs_cset[i]
+    }
+
+    /// Vantage point of observation `i`.
+    pub fn vp(&self, i: usize) -> Asn {
+        self.vps[i]
+    }
+
+    /// Prefix of observation `i`.
+    pub fn prefix(&self, i: usize) -> Prefix {
+        self.prefixes[i]
+    }
+
+    /// Timestamp of observation `i`.
+    pub fn time(&self, i: usize) -> u32 {
+        self.times[i]
+    }
+
+    /// Large communities of observation `i` (usually empty).
+    pub fn large(&self, i: usize) -> &[LargeCommunity] {
+        let lo = if i == 0 {
+            0
+        } else {
+            self.large_offsets[i - 1] as usize
+        };
+        let hi = self.large_offsets[i] as usize;
+        &self.large_pool[lo..hi]
+    }
+
+    /// Reconstruct observation `i` as an owned [`Observation`].
+    pub fn get(&self, i: usize) -> Observation {
+        Observation {
+            vp: self.vps[i],
+            prefix: self.prefixes[i],
+            path: self.paths[self.obs_path[i] as usize].clone(),
+            communities: self.cset(self.obs_cset[i]).to_vec(),
+            large_communities: self.large(i).to_vec(),
+            time: self.times[i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(vp: u32, path: &str, comms: &[(u16, u16)]) -> Observation {
+        Observation {
+            vp: Asn::new(vp),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: path.parse().unwrap(),
+            communities: comms.iter().map(|&(a, b)| Community::new(a, b)).collect(),
+            large_communities: Vec::new(),
+            time: 7,
+        }
+    }
+
+    #[test]
+    fn interns_paths_and_csets_densely() {
+        let observations = vec![
+            obs(1, "1 1299 64496", &[(1299, 1)]),
+            obs(1, "1 1299 64496", &[(1299, 2)]),
+            obs(2, "2 64496", &[(1299, 1)]),
+            obs(1, "1 1299 64496", &[(1299, 1)]),
+        ];
+        let store = ObservationStore::from_observations(&observations);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.path_count(), 2);
+        assert_eq!(store.cset_count(), 2);
+        // Duplicate rows share IDs; first and last rows are identical tuples.
+        assert_eq!(store.obs_path_id(0), store.obs_path_id(3));
+        assert_eq!(store.obs_cset_id(0), store.obs_cset_id(3));
+        assert_eq!(store.path_members(store.obs_path_id(0)), &[1, 1299, 64496]);
+        assert_eq!(
+            store.path_fingerprint(0),
+            fx_hash_one(&observations[0].path)
+        );
+    }
+
+    #[test]
+    fn prepending_and_sets_produce_distinct_paths_but_collapsed_members() {
+        let observations = vec![
+            obs(1, "1 1299 1299 64496", &[]),
+            obs(1, "1 1299 64496", &[]),
+            obs(1, "1 1299 {64496,64497}", &[]),
+        ];
+        let store = ObservationStore::from_observations(&observations);
+        assert_eq!(store.path_count(), 3);
+        assert_eq!(store.path_members(0), &[1, 1299, 64496]);
+        assert_eq!(store.path_members(2), &[1, 1299, 64496, 64497]);
+    }
+
+    #[test]
+    fn cset_identity_is_order_and_duplicate_sensitive() {
+        let observations = vec![
+            obs(1, "1 2", &[(100, 1), (100, 2)]),
+            obs(1, "1 2", &[(100, 2), (100, 1)]),
+            obs(1, "1 2", &[(100, 1), (100, 1)]),
+        ];
+        let store = ObservationStore::from_observations(&observations);
+        assert_eq!(store.cset_count(), 3);
+    }
+
+    #[test]
+    fn community_slots_parallel_the_cset_pool() {
+        let observations = vec![
+            obs(1, "1 2", &[(100, 1), (100, 2), (100, 1)]),
+            obs(1, "1 3", &[(100, 2), (200, 7)]),
+        ];
+        let store = ObservationStore::from_observations(&observations);
+        assert_eq!(store.community_count(), 3);
+        for id in 0..store.cset_count() as u32 {
+            let slots = store.cset_slots(id);
+            let comms = store.cset(id);
+            assert_eq!(slots.len(), comms.len());
+            for (&slot, &c) in slots.iter().zip(comms) {
+                assert_eq!(store.community(slot), c);
+            }
+        }
+        // Duplicate community within a cset keeps its slot.
+        assert_eq!(store.cset_slots(0)[0], store.cset_slots(0)[2]);
+        // Shared community across csets shares a slot.
+        assert_eq!(store.cset_slots(0)[1], store.cset_slots(1)[0]);
+    }
+
+    #[test]
+    fn roundtrips_observations() {
+        let mut original = obs(9, "9 3356 {64496,64500} 1299", &[(3356, 55)]);
+        original.large_communities = vec![LargeCommunity {
+            global: 3356,
+            local1: 1,
+            local2: 2,
+        }];
+        let observations = vec![obs(1, "1 2", &[]), original.clone()];
+        let store = ObservationStore::from_observations(&observations);
+        assert_eq!(store.get(0), observations[0]);
+        assert_eq!(store.get(1), original);
+    }
+
+    #[test]
+    fn merge_reinterns_and_preserves_order() {
+        let a = ObservationStore::from_observations(&[
+            obs(1, "1 1299 64496", &[(1299, 1)]),
+            obs(2, "2 64496", &[]),
+        ]);
+        let b = ObservationStore::from_observations(&[
+            obs(3, "1 1299 64496", &[(1299, 1)]), // same path+cset as a[0]
+            obs(4, "4 64496", &[(1299, 9)]),
+        ]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.path_count(), 3);
+        assert_eq!(merged.obs_path_id(0), merged.obs_path_id(2));
+        assert_eq!(merged.obs_cset_id(0), merged.obs_cset_id(2));
+        for i in 0..2 {
+            assert_eq!(merged.get(i), a.get(i));
+            assert_eq!(merged.get(i + 2), b.get(i));
+        }
+    }
+
+    #[test]
+    fn sink_parity_between_vec_and_store() {
+        let observations = vec![
+            obs(1, "1 1299 64496", &[(1299, 1)]),
+            obs(2, "2 64496", &[(1299, 2)]),
+        ];
+        let mut vec_sink: Vec<Observation> = Vec::new();
+        let mut store_sink = ObservationStore::new();
+        for o in &observations {
+            ObservationSink::push_observation(&mut vec_sink, o.clone());
+            ObservationSink::push_observation(&mut store_sink, o.clone());
+        }
+        assert_eq!(vec_sink.observation_count(), store_sink.observation_count());
+        for (i, o) in vec_sink.iter().enumerate() {
+            assert_eq!(store_sink.get(i), *o);
+        }
+    }
+}
