@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_compare <baseline.json> <current.json> [--threshold <fraction>]
+//!               [--overhead <bench>:<base>:<budget>]...
 //! ```
 //!
 //! The committed baseline (`crates/bench/BENCH_pipeline.json`) is the
@@ -17,6 +18,14 @@
 //! reason: CI hosts are noisy neighbors, and the gate exists to catch
 //! order-of-magnitude mistakes (an accidental O(n²), a lost parallel
 //! path), not 5% drift.
+//!
+//! `--overhead <bench>:<base>:<budget>` adds a *ratio* gate within the
+//! **current** run only: ns(bench) must stay at or under budget ×
+//! ns(base). Paired-difference benches (`checkpoint_overhead`,
+//! `telemetry_overhead`) are built for this — both sides of the pair run
+//! in the same process seconds apart, so clock drift cancels and a tight
+//! budget (e.g. 0.01 = 1% of `pipeline/end_to_end`) is honest where a
+//! baseline-vs-current comparison would not be. Repeatable.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -25,6 +34,58 @@ use serde_json::Value;
 
 /// Benchmarks whose regression fails the build. Everything else warns.
 const GATED: &[&str] = &["pipeline/end_to_end", "pipeline/path_stats"];
+
+/// An `--overhead bench:base:budget` ratio gate on the current run.
+struct OverheadGate {
+    bench: String,
+    base: String,
+    budget: f64,
+}
+
+impl OverheadGate {
+    fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.splitn(3, ':');
+        let (Some(bench), Some(base), Some(budget)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "--overhead {spec}: expected <bench>:<base>:<budget>"
+            ));
+        };
+        let budget: f64 = budget
+            .parse()
+            .map_err(|e| format!("--overhead {spec}: budget: {e}"))?;
+        if !budget.is_finite() || budget <= 0.0 {
+            return Err(format!("--overhead {spec}: budget must be positive"));
+        }
+        Ok(OverheadGate {
+            bench: bench.to_string(),
+            base: base.to_string(),
+            budget,
+        })
+    }
+
+    /// Check the gate against the current run; returns whether it failed.
+    fn check(&self, current: &BTreeMap<String, f64>) -> Result<bool, String> {
+        let &bench_ns = current
+            .get(&self.bench)
+            .ok_or_else(|| format!("--overhead: {} missing from current run", self.bench))?;
+        let &base_ns = current
+            .get(&self.base)
+            .ok_or_else(|| format!("--overhead: {} missing from current run", self.base))?;
+        let limit = base_ns * self.budget;
+        let failed = bench_ns > limit;
+        println!(
+            "overhead gate: {} = {} vs {:.1}% of {} = {}  {}",
+            self.bench,
+            human(bench_ns),
+            self.budget * 100.0,
+            self.base,
+            human(limit),
+            if failed { "FAIL over budget" } else { "ok" }
+        );
+        Ok(failed)
+    }
+}
 
 fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -60,11 +121,18 @@ fn run() -> Result<bool, String> {
         .ok_or("usage: bench_compare <baseline.json> <current.json> [--threshold <fraction>]")?;
     let current_path = args.next().ok_or("missing <current.json>")?;
     let mut threshold = 0.25f64;
+    let mut overhead_gates = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--threshold" => {
                 let v = args.next().ok_or("--threshold needs a value")?;
                 threshold = v.parse().map_err(|e| format!("--threshold {v}: {e}"))?;
+            }
+            "--overhead" => {
+                let v = args
+                    .next()
+                    .ok_or("--overhead needs <bench>:<base>:<budget>")?;
+                overhead_gates.push(OverheadGate::parse(&v)?);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -112,6 +180,11 @@ fn run() -> Result<bool, String> {
     for name in current.keys() {
         if !baseline.contains_key(name) {
             println!("{name:<38} (new bench, no baseline)");
+        }
+    }
+    for gate in &overhead_gates {
+        if gate.check(&current)? {
+            failed = true;
         }
     }
     println!(

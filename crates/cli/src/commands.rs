@@ -5,21 +5,25 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 
+use std::io::Write;
+use std::sync::Arc;
+
 use bgp_dictionary::GroundTruthDictionary;
 use bgp_experiments::{Args, Scenario, ScenarioConfig};
 use bgp_intent::{
-    fingerprint_file, run_inference_from_stats, run_inference_store, Checkpoint, CompletedFile,
-    Exclusion, InferenceConfig, PipelineResult, StatsAccumulator,
+    fingerprint_file, run_inference_from_stats_telemetry, run_inference_store_telemetry,
+    Checkpoint, CompletedFile, Exclusion, InferenceConfig, PipelineResult, StatsAccumulator,
 };
 use bgp_mrt::obs::{
-    read_observations_parallel_store_with, read_observations_parallel_strict_with, write_rib_dump,
-    write_update_stream,
+    read_observations_parallel_store_telemetry, read_observations_parallel_strict_with,
+    write_rib_dump, write_update_stream,
 };
 use bgp_mrt::{FlakyConfig, IngestReport, IngestTuning, RecoverConfig};
 use bgp_relationships::SiblingMap;
+use bgp_types::obs::{JsonLinesSink, StderrSink};
 use bgp_types::par::effective_threads;
 use bgp_types::store::ObservationStore;
-use bgp_types::{Asn, Intent};
+use bgp_types::{Asn, Intent, MetricsRegistry, Telemetry, Tracer};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -27,11 +31,13 @@ bgpcomm — BGP community intent inference (IMC'23 reproduction)
 
 USAGE:
     bgpcomm stats    --mrt FILE [--mrt FILE ...] [--strict] [--max-errors N]
-                     [--report FILE] [--threads N]
+                     [--report FILE] [--threads N] [--metrics-out FILE]
+                     [--trace] [--trace-json FILE]
     bgpcomm infer    --mrt FILE [--mrt FILE ...] [--gap N] [--ratio N]
                      [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
                      [--strict] [--max-errors N] [--report FILE] [--threads N]
-                     [--checkpoint FILE [--resume]]
+                     [--checkpoint FILE [--resume]] [--metrics-out FILE]
+                     [--trace] [--trace-json FILE]
     bgpcomm validate --mrt FILE [--mrt FILE ...]
     bgpcomm compare  --old FILE --new FILE
     bgpcomm generate --out DIR [--scale F] [--seed N] [--days N] [--docs N]
@@ -72,6 +78,23 @@ CHECKPOINTS (infer, lenient mode):
                     an unknown recorded file, or a schema mismatch refuses
                     with exit 4. The resumed output is bit-identical to an
                     uninterrupted run.
+
+OBSERVABILITY (stats, infer):
+    --metrics-out FILE
+                    Write a JSON metrics snapshot to FILE (`-` = stdout):
+                    ingest bytes/records/retries/faults, interner occupancy,
+                    stats-kernel output shape, classification tallies with a
+                    ratio histogram around the 160:1 threshold, checkpoint
+                    write/verify latencies, and per-stage wall-clock totals.
+                    Key order is stable; everything outside `timings` is
+                    bit-identical at any thread count. Written even when
+                    ingestion aborts, like --report.
+    --trace         Pretty-print completed spans (per-file ingest, pipeline
+                    stages) to stderr, indented by nesting depth.
+    --trace-json FILE
+                    Write completed spans as JSON-lines to FILE (`-` =
+                    stdout) for jq triage of slow or lossy runs. Takes
+                    precedence over --trace.
 
 FAULT INJECTION (testing the supervision layer):
     --inject-panic-after N   Panic a decode worker after N records per file.
@@ -192,6 +215,57 @@ impl IngestOptions {
     }
 }
 
+/// `--metrics-out` / `--trace` / `--trace-json` policy: the assembled
+/// [`Telemetry`] bundle plus where to write the metrics snapshot.
+struct TelemetryOptions {
+    telemetry: Telemetry,
+    metrics_out: Option<String>,
+}
+
+impl TelemetryOptions {
+    fn from_args(args: &Args) -> Result<Self, Failure> {
+        let metrics_out = args.get_str("metrics-out").map(str::to_string);
+        let tracer = if let Some(path) = args.get_str("trace-json") {
+            let writer: Box<dyn Write + Send> = if path == "-" {
+                Box::new(std::io::stdout())
+            } else {
+                let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+                Box::new(BufWriter::new(file))
+            };
+            Tracer::new(Arc::new(JsonLinesSink::new(writer)))
+        } else if args.flag("trace") {
+            Tracer::new(Arc::new(StderrSink))
+        } else {
+            Tracer::disabled()
+        };
+        let metrics = metrics_out
+            .is_some()
+            .then(|| Arc::new(MetricsRegistry::new()));
+        Ok(TelemetryOptions {
+            telemetry: Telemetry { tracer, metrics },
+            metrics_out,
+        })
+    }
+
+    /// Honor `--metrics-out FILE` (or `-` for stdout) with a snapshot of
+    /// everything recorded so far. Like `--report`, this also runs when
+    /// the command fails, so aborted ingests still leave their accounting.
+    fn write_metrics(&self) -> Result<(), Failure> {
+        let (Some(path), Some(snapshot)) = (&self.metrics_out, self.telemetry.snapshot()) else {
+            return Ok(());
+        };
+        let json = serde_json::to_string_pretty(&snapshot)
+            .map_err(|e| format!("serialize metrics: {e}"))?;
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, json + "\n").map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+        Ok(())
+    }
+}
+
 /// Load observations from every `--mrt` file under the chosen policy.
 ///
 /// Strict mode returns the first decode error (exit code 2) and no report;
@@ -202,6 +276,7 @@ impl IngestOptions {
 fn load_observations(
     paths: &[String],
     opts: &IngestOptions,
+    tel: &Telemetry,
 ) -> Result<(ObservationStore, Option<IngestReport>), Failure> {
     // Unreadable input is a usage error (exit 1) in both modes, checked up
     // front so it is reported before any decode work fans out.
@@ -227,11 +302,12 @@ fn load_observations(
     // Lenient: every file decodes straight into a per-file columnar store;
     // folding them in input order reproduces the sequential single-sink
     // read, so no flat Vec<Observation> is ever materialized.
-    let (files, merged) = read_observations_parallel_store_with(
+    let (files, merged) = read_observations_parallel_store_telemetry(
         &path_bufs,
         &opts.recover,
         &opts.tuning,
         opts.threads,
+        tel,
     );
     let mut store = ObservationStore::new();
     let mut aborted: Option<String> = None;
@@ -286,7 +362,12 @@ fn load_siblings(args: &Args) -> Result<SiblingMap, String> {
 pub fn stats(raw: Vec<String>) -> Result<(), Failure> {
     let args = Args::parse(raw)?;
     let opts = IngestOptions::from_args(&args)?;
-    let (store, report) = load_observations(&mrt_files(&args)?, &opts)?;
+    let topts = TelemetryOptions::from_args(&args)?;
+    let loaded = load_observations(&mrt_files(&args)?, &opts, &topts.telemetry);
+    // Snapshot whatever ingestion recorded even when it aborted, so
+    // scripts get the accounting either way (same contract as --report).
+    topts.write_metrics()?;
+    let (store, report) = loaded?;
 
     // Everything falls out of the interners: paths and community sets are
     // already deduped, tuples dedup over dense ID pairs, and the scalar
@@ -404,6 +485,7 @@ fn infer_checkpointed(
     cfg: &InferenceConfig,
     dict: Option<&GroundTruthDictionary>,
     ckpt: &CheckpointOptions,
+    tel: &Telemetry,
 ) -> Result<PipelineResult, Failure> {
     if opts.strict {
         return Err(Failure::from(
@@ -426,12 +508,16 @@ fn infer_checkpointed(
         }
     }
     // Completed files must still be the bytes that were ingested.
+    let verified_files = tel
+        .registry()
+        .map(|m| m.counter("checkpoint/verified_files"));
     let mut pending: Vec<&String> = Vec::new();
     for path in paths {
         match checkpoint.completed(path) {
             None => pending.push(path),
             Some(recorded) => {
-                let now = fingerprint_file(Path::new(path))
+                let now = tel
+                    .stage("checkpoint_verify", || fingerprint_file(Path::new(path)))
                     .map_err(|e| format!("fingerprint {path}: {e}"))?;
                 if now != *recorded {
                     return Err(Failure::new(
@@ -443,6 +529,9 @@ fn infer_checkpointed(
                             now.bytes, now.hash, recorded.bytes, recorded.hash
                         ),
                     ));
+                }
+                if let Some(c) = &verified_files {
+                    c.inc();
                 }
                 eprintln!("{path}: skipped (checkpointed, fingerprint verified)");
             }
@@ -457,15 +546,24 @@ fn infer_checkpointed(
     // Waves of one file per worker: parallel decode, then per-file commits
     // in input order so every checkpoint state equals a sequential prefix.
     let wave = effective_threads(opts.threads).max(1);
+    // Ingest metrics are recorded once from the final merged report (which
+    // also covers files committed by previous runs), so the wave reads get
+    // a spans-only telemetry view to avoid double counting.
+    let wave_tel = Telemetry {
+        tracer: tel.tracer.clone(),
+        metrics: None,
+    };
     for chunk in pending.chunks(wave) {
         let chunk_paths: Vec<PathBuf> = chunk.iter().map(PathBuf::from).collect();
-        let fingerprints: Vec<std::io::Result<_>> =
-            chunk_paths.iter().map(|p| fingerprint_file(p)).collect();
-        let (files, _) = read_observations_parallel_store_with(
+        let fingerprints: Vec<std::io::Result<_>> = tel.stage("checkpoint_fingerprint", || {
+            chunk_paths.iter().map(|p| fingerprint_file(p)).collect()
+        });
+        let (files, _) = read_observations_parallel_store_telemetry(
             &chunk_paths,
             &opts.recover,
             &opts.tuning,
             opts.threads,
+            &wave_tel,
         );
         for (file, fingerprint) in files.into_iter().zip(fingerprints) {
             let path = file.path.display().to_string();
@@ -492,9 +590,11 @@ fn infer_checkpointed(
             checkpoint.files.push(CompletedFile { path, fingerprint });
             checkpoint.report.merge(&file.report);
             checkpoint.snapshot = accumulator.snapshot().clone();
-            checkpoint
-                .save_atomic(&ckpt.path)
+            tel.stage("checkpoint_write", || checkpoint.save_atomic(&ckpt.path))
                 .map_err(|e| format!("write checkpoint {}: {e}", ckpt.path.display()))?;
+            if let Some(metrics) = tel.registry() {
+                metrics.counter("checkpoint/writes").inc();
+            }
             committed_this_run += 1;
             if ckpt.crash_after == Some(committed_this_run) {
                 return Err(Failure::new(
@@ -515,12 +615,13 @@ fn infer_checkpointed(
             format!("ingestion aborted: {why}"),
         ));
     }
-    Ok(run_inference_from_stats(
+    Ok(run_inference_from_stats_telemetry(
         accumulator.to_stats(),
         siblings,
         cfg,
         dict,
         Some(merged),
+        tel,
     ))
 }
 
@@ -546,20 +647,35 @@ pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
         }
     };
 
-    let result = match CheckpointOptions::from_args(&args)? {
-        Some(ckpt) => infer_checkpointed(
-            &mrt_files(&args)?,
-            &opts,
-            &siblings,
-            &cfg,
-            dict.as_ref(),
-            &ckpt,
-        )?,
-        None => {
-            let (store, report) = load_observations(&mrt_files(&args)?, &opts)?;
-            let mut result = run_inference_store(&store, &siblings, &cfg, dict.as_ref());
-            result.ingest = report;
-            result
+    let topts = TelemetryOptions::from_args(&args)?;
+    let tel = &topts.telemetry;
+    let run = || -> Result<PipelineResult, Failure> {
+        match CheckpointOptions::from_args(&args)? {
+            Some(ckpt) => infer_checkpointed(
+                &mrt_files(&args)?,
+                &opts,
+                &siblings,
+                &cfg,
+                dict.as_ref(),
+                &ckpt,
+                tel,
+            ),
+            None => {
+                let (store, report) = load_observations(&mrt_files(&args)?, &opts, tel)?;
+                let mut result =
+                    run_inference_store_telemetry(&store, &siblings, &cfg, dict.as_ref(), tel);
+                result.ingest = report;
+                Ok(result)
+            }
+        }
+    };
+    let result = match run() {
+        Ok(result) => result,
+        Err(failure) => {
+            // Aborted runs still leave their accounting (same contract as
+            // --report); the original failure wins over a write error.
+            let _ = topts.write_metrics();
+            return Err(failure);
         }
     };
     let (action, info) = result.inference.intent_counts();
@@ -630,6 +746,7 @@ pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
             .map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {} labels to {path}", result.inference.labels.len());
     }
+    topts.write_metrics()?;
     Ok(())
 }
 

@@ -82,7 +82,8 @@ pub use cluster::gap_clusters;
 pub use eval::Evaluation;
 pub use large::{classify_large, LargeInference};
 pub use pipeline::{
-    run_inference, run_inference_from_stats, run_inference_store, run_inference_with_report,
-    PipelineResult,
+    run_inference, run_inference_from_stats, run_inference_from_stats_telemetry,
+    run_inference_store, run_inference_store_telemetry, run_inference_with_report, PipelineResult,
+    RATIO_BUCKETS,
 };
 pub use stats::{PathCounts, PathStats};

@@ -4,10 +4,12 @@
 use bgp_dictionary::GroundTruthDictionary;
 use bgp_mrt::IngestReport;
 use bgp_relationships::SiblingMap;
+use bgp_types::obs::{MetricsRegistry, MetricsSnapshot, Telemetry};
+use bgp_types::span;
 use bgp_types::store::ObservationStore;
 use bgp_types::Observation;
 
-use crate::classify::{classify, Inference, InferenceConfig};
+use crate::classify::{classify, Exclusion, Inference, InferenceConfig};
 use crate::eval::{evaluate, Evaluation};
 use crate::stats::PathStats;
 
@@ -24,6 +26,117 @@ pub struct PipelineResult {
     /// resilient MRT path (see [`run_inference_with_report`]). `None` means
     /// the caller supplied observations directly.
     pub ingest: Option<IngestReport>,
+    /// Metrics snapshot taken as the run finished, when it was
+    /// telemetry-enabled (see [`run_inference_store_telemetry`]); `None`
+    /// on plain runs. Benches and CI diff the
+    /// [`deterministic`](MetricsSnapshot::deterministic) section.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Bucket bounds (inclusive upper, truncated-to-integer ratios) for the
+/// `classify/cluster_ratio` histogram. Dense around the paper's 160:1
+/// action threshold so a run's distance from the decision boundary is
+/// visible: a pile-up in the 156–159 buckets means many clusters barely
+/// missed the action label.
+pub const RATIO_BUCKETS: &[u64] = &[
+    1, 2, 4, 8, 16, 32, 64, 96, 128, 144, 152, 156, 159, 160, 168, 176, 192, 224, 256, 512, 1024,
+    4096,
+];
+
+/// Record interner occupancy and collision-fallback counts under `store/*`.
+fn record_store_metrics(metrics: &MetricsRegistry, store: &ObservationStore) {
+    let gauge = |name: &str, v: usize| {
+        metrics
+            .gauge(name)
+            .set(i64::try_from(v).unwrap_or(i64::MAX));
+    };
+    gauge("store/observations", store.len());
+    gauge("store/unique_paths", store.path_count());
+    gauge("store/unique_csets", store.cset_count());
+    gauge("store/unique_communities", store.community_count());
+    gauge("store/path_collisions", store.path_collision_count());
+    gauge("store/cset_collisions", store.cset_collision_count());
+}
+
+/// Record the path-stats kernel's output shape under `stats/*`.
+fn record_stats_metrics(metrics: &MetricsRegistry, stats: &PathStats) {
+    metrics
+        .counter("stats/communities")
+        .add(stats.community_count() as u64);
+    metrics
+        .counter("stats/unique_tuples")
+        .add(stats.unique_tuples as u64);
+    metrics
+        .counter("stats/unique_paths")
+        .add(stats.unique_paths as u64);
+    metrics
+        .counter("stats/seen_asns")
+        .add(stats.seen_asns.len() as u64);
+}
+
+/// Record classification outcome tallies under `classify/*`, including the
+/// on/off ratio histogram around the action threshold.
+fn record_classify_metrics(metrics: &MetricsRegistry, inference: &Inference) {
+    let (action, info) = inference.intent_counts();
+    metrics
+        .counter("classify/labeled_action")
+        .add(action as u64);
+    metrics
+        .counter("classify/labeled_information")
+        .add(info as u64);
+    let excluded =
+        |kind: Exclusion| inference.excluded.values().filter(|x| **x == kind).count() as u64;
+    metrics
+        .counter("classify/excluded_private_asn")
+        .add(excluded(Exclusion::PrivateAsn));
+    metrics
+        .counter("classify/excluded_reserved_asn")
+        .add(excluded(Exclusion::ReservedAsn));
+    metrics
+        .counter("classify/excluded_never_on_path")
+        .add(excluded(Exclusion::NeverOnPath));
+    metrics
+        .counter("classify/clusters")
+        .add(inference.clusters.len() as u64);
+    metrics
+        .counter("classify/owners")
+        .add(inference.owner_count() as u64);
+    let ratios = metrics.histogram("classify/cluster_ratio", RATIO_BUCKETS);
+    for cluster in &inference.clusters {
+        // Truncation keeps the threshold crisp: everything below 160.0
+        // lands at or under the 159 bound, 160.0 and up in the 160 bucket.
+        ratios.observe(cluster.ratio.clamp(0.0, 1e18) as u64);
+    }
+}
+
+/// Record the ground-truth evaluation under `eval/*`, confusion matrix
+/// included (`[truth]_as_[inferred]`).
+fn record_eval_metrics(metrics: &MetricsRegistry, eval: &Evaluation) {
+    metrics.counter("eval/total").add(eval.total as u64);
+    metrics.counter("eval/correct").add(eval.correct as u64);
+    metrics
+        .counter("eval/covered_excluded")
+        .add(eval.covered_excluded as u64);
+    metrics
+        .counter("eval/covered_observed")
+        .add(eval.covered_observed as u64);
+    let names = [
+        [
+            "eval/confusion/action_as_action",
+            "eval/confusion/action_as_information",
+        ],
+        [
+            "eval/confusion/information_as_action",
+            "eval/confusion/information_as_information",
+        ],
+    ];
+    for (truth, row) in names.iter().enumerate() {
+        for (inferred, name) in row.iter().enumerate() {
+            metrics
+                .counter(name)
+                .add(eval.confusion[truth][inferred] as u64);
+        }
+    }
 }
 
 /// Run the full method: statistics → clustering → classification →
@@ -60,7 +173,78 @@ pub fn run_inference_store(
         inference,
         evaluation,
         ingest: None,
+        metrics: None,
     }
+}
+
+/// [`run_inference_store`] under observation: each stage (path-stats
+/// kernel, classification, evaluation) runs in its own span with its
+/// wall-clock total accumulated under `time/<stage>_ns`, and the registry
+/// collects interner occupancy, kernel output shape, classification
+/// outcome tallies (with the ratio histogram around the 160:1 threshold),
+/// and the evaluation confusion matrix. The final snapshot is recorded on
+/// [`PipelineResult::metrics`].
+///
+/// With [`Telemetry::disabled`] this *is* [`run_inference_store`] — one
+/// branch, then the uninstrumented code path (the `telemetry_overhead`
+/// bench holds the difference under 1% of `pipeline/end_to_end`).
+pub fn run_inference_store_telemetry(
+    store: &ObservationStore,
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    dict: Option<&GroundTruthDictionary>,
+    tel: &Telemetry,
+) -> PipelineResult {
+    if !tel.enabled() {
+        return run_inference_store(store, siblings, cfg, dict);
+    }
+    let _pipeline = span!(tel.tracer, "pipeline", observations = store.len());
+    if let Some(metrics) = tel.registry() {
+        record_store_metrics(metrics, store);
+    }
+    let stats = tel.stage("stats", || {
+        PathStats::from_store_threaded(store, siblings, cfg.threads)
+    });
+    let inference = classify_telemetry(&stats, siblings, cfg, tel);
+    let evaluation = evaluate_telemetry(&inference, dict, tel);
+    PipelineResult {
+        stats,
+        inference,
+        evaluation,
+        ingest: None,
+        metrics: tel.snapshot(),
+    }
+}
+
+/// The instrumented classification stage shared by both telemetry entry
+/// points: the `classify` span/timing plus the outcome tallies.
+fn classify_telemetry(
+    stats: &PathStats,
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    tel: &Telemetry,
+) -> Inference {
+    if let Some(metrics) = tel.registry() {
+        record_stats_metrics(metrics, stats);
+    }
+    let inference = tel.stage("classify", || classify(stats, siblings, cfg));
+    if let Some(metrics) = tel.registry() {
+        record_classify_metrics(metrics, &inference);
+    }
+    inference
+}
+
+/// The instrumented evaluation stage: span/timing plus `eval/*` counters.
+fn evaluate_telemetry(
+    inference: &Inference,
+    dict: Option<&GroundTruthDictionary>,
+    tel: &Telemetry,
+) -> Option<Evaluation> {
+    let evaluation = tel.stage("evaluate", || dict.map(|d| evaluate(inference, d)));
+    if let (Some(metrics), Some(eval)) = (tel.registry(), &evaluation) {
+        record_eval_metrics(metrics, eval);
+    }
+    evaluation
 }
 
 /// Run the method from precomputed [`PathStats`] — the checkpointed-run
@@ -82,6 +266,42 @@ pub fn run_inference_from_stats(
         inference,
         evaluation,
         ingest,
+        metrics: None,
+    }
+}
+
+/// [`run_inference_from_stats`] under observation — the checkpointed-run
+/// analogue of [`run_inference_store_telemetry`]. The supplied
+/// [`IngestReport`] (typically the checkpoint's accumulated report, which
+/// covers files ingested by *previous* runs too) is recorded under
+/// `ingest/*` so a resumed run's snapshot still accounts for every file.
+pub fn run_inference_from_stats_telemetry(
+    stats: PathStats,
+    siblings: &SiblingMap,
+    cfg: &InferenceConfig,
+    dict: Option<&GroundTruthDictionary>,
+    ingest: Option<IngestReport>,
+    tel: &Telemetry,
+) -> PipelineResult {
+    if !tel.enabled() {
+        return run_inference_from_stats(stats, siblings, cfg, dict, ingest);
+    }
+    let _pipeline = span!(
+        tel.tracer,
+        "pipeline",
+        communities = stats.community_count()
+    );
+    if let (Some(metrics), Some(report)) = (tel.registry(), &ingest) {
+        report.record_metrics(metrics);
+    }
+    let inference = classify_telemetry(&stats, siblings, cfg, tel);
+    let evaluation = evaluate_telemetry(&inference, dict, tel);
+    PipelineResult {
+        stats,
+        inference,
+        evaluation,
+        ingest,
+        metrics: tel.snapshot(),
     }
 }
 

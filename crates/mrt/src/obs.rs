@@ -14,8 +14,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bgp_types::par::{effective_threads, try_par_map_indexed};
+use bgp_types::span;
 use bgp_types::store::{ObservationSink, ObservationStore};
-use bgp_types::{Asn, Observation, Prefix, RouteAttrs};
+use bgp_types::{Asn, Observation, Prefix, RouteAttrs, Telemetry};
 
 use crate::bgpmsg::BgpMessage;
 use crate::error::MrtError;
@@ -460,7 +461,13 @@ pub fn read_observations_parallel_with(
     tuning: &IngestTuning,
     threads: usize,
 ) -> (Vec<FileIngest>, IngestReport) {
-    let (files, merged) = read_files_parallel_into::<Vec<Observation>>(paths, cfg, tuning, threads);
+    let (files, merged) = read_files_parallel_into::<Vec<Observation>>(
+        paths,
+        cfg,
+        tuning,
+        threads,
+        &Telemetry::disabled(),
+    );
     let files = files
         .into_iter()
         .map(|(path, observations, report)| FileIngest {
@@ -482,6 +489,7 @@ fn read_files_parallel_into<S: ObservationSink + Default + Send>(
     cfg: &RecoverConfig,
     tuning: &IngestTuning,
     threads: usize,
+    tel: &Telemetry,
 ) -> (Vec<(PathBuf, S, IngestReport)>, IngestReport) {
     let threads = effective_threads(threads);
     let slots = try_par_map_indexed(paths.len(), threads, |i| {
@@ -489,6 +497,7 @@ fn read_files_parallel_into<S: ObservationSink + Default + Send>(
         let retries = Arc::new(AtomicU64::new(0));
         match open_supervised(&path, i, tuning, &retries) {
             Ok(reader) => {
+                let mut span = span!(tel.tracer, "ingest/file", file = path.display());
                 let mut sink = S::default();
                 let mut report = read_observations_resilient_hooked(
                     reader,
@@ -497,6 +506,15 @@ fn read_files_parallel_into<S: ObservationSink + Default + Send>(
                     tuning.panic_after_records,
                 );
                 report.retries += retries.load(Ordering::Relaxed);
+                if span.enabled() {
+                    span.set("observations", &sink.observation_count());
+                    span.set("bytes_read", &report.bytes_read);
+                    span.set("bytes_ok", &report.bytes_ok);
+                    span.set("records", &report.records_read);
+                    span.set("retries", &report.retries);
+                    span.set("faults", &report.errors.decode_errors());
+                    span.set("resyncs", &report.resync_events);
+                }
                 (path, sink, report)
             }
             Err(e) => (
@@ -557,7 +575,29 @@ pub fn read_observations_parallel_store_with(
     tuning: &IngestTuning,
     threads: usize,
 ) -> (Vec<FileStoreIngest>, IngestReport) {
-    let (files, merged) = read_files_parallel_into::<ObservationStore>(paths, cfg, tuning, threads);
+    read_observations_parallel_store_telemetry(paths, cfg, tuning, threads, &Telemetry::disabled())
+}
+
+/// [`read_observations_parallel_store_with`] under observation: each file's
+/// decode runs inside an `ingest/file` span (with bytes/records/retries/
+/// fault counts attached from its [`IngestReport`]), the whole fan-out is
+/// wrapped in the `ingest` stage timing, and the merged report lands in the
+/// metrics registry under `ingest/*` (see [`IngestReport::record_metrics`]).
+/// With [`Telemetry::disabled`] this is exactly the plain reader.
+pub fn read_observations_parallel_store_telemetry(
+    paths: &[PathBuf],
+    cfg: &RecoverConfig,
+    tuning: &IngestTuning,
+    threads: usize,
+    tel: &Telemetry,
+) -> (Vec<FileStoreIngest>, IngestReport) {
+    let (files, merged) = tel.stage("ingest", || {
+        read_files_parallel_into::<ObservationStore>(paths, cfg, tuning, threads, tel)
+    });
+    if let Some(metrics) = tel.registry() {
+        merged.record_metrics(metrics);
+        metrics.counter("ingest/files").add(paths.len() as u64);
+    }
     let files = files
         .into_iter()
         .map(|(path, store, report)| FileStoreIngest {
@@ -1092,6 +1132,70 @@ mod tests {
             assert_eq!(merged.records_read, clean_merged.records_read);
             assert_eq!(merged.bytes_ok, clean_merged.bytes_ok);
         }
+    }
+
+    #[test]
+    fn injected_faults_surface_in_metrics_with_exact_counts() {
+        use bgp_types::obs::CaptureSink;
+        use bgp_types::Tracer;
+
+        let paths = archive_trio("flaky_metrics");
+        let cfg = RecoverConfig::default();
+        let tuning = IngestTuning {
+            retry: RetryPolicy {
+                max_attempts: 64,
+                base_delay: std::time::Duration::ZERO,
+                max_delay: std::time::Duration::ZERO,
+                per_file_deadline: None,
+            },
+            flaky: Some(FlakyConfig {
+                seed: 7,
+                interrupt_rate: 0.45,
+                stall_rate: 0.25,
+                short_read_rate: 0.25,
+            }),
+            panic_after_records: None,
+        };
+        let sink = Arc::new(CaptureSink::new());
+        let tel = Telemetry {
+            tracer: Tracer::new(sink.clone()),
+            ..Telemetry::with_metrics()
+        };
+        let (_, merged) =
+            read_observations_parallel_store_telemetry(&paths, &cfg, &tuning, 2, &tel);
+        assert!(merged.retries > 0, "faults were actually injected");
+
+        // Every report counter lands in the snapshot with its exact value —
+        // the accounting that used to be reachable only via `--report`.
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.counters["ingest/retries"], merged.retries);
+        assert_eq!(snap.counters["ingest/records_read"], merged.records_read);
+        assert_eq!(snap.counters["ingest/bytes_ok"], merged.bytes_ok);
+        assert_eq!(snap.counters["ingest/bytes_read"], merged.bytes_read);
+        assert_eq!(snap.counters["ingest/errors/io"], merged.errors.io);
+        assert_eq!(snap.counters["ingest/worker_panics"], 0);
+        assert_eq!(snap.counters["ingest/files"], paths.len() as u64);
+        assert_eq!(snap.gauges["ingest/aborted"], 0);
+
+        // One per-file span each, with its own retry count attached, under
+        // the ingest stage span.
+        let spans = sink.take();
+        let files: Vec<_> = spans.iter().filter(|s| s.name == "ingest/file").collect();
+        assert_eq!(files.len(), paths.len());
+        let per_file_retries: u64 = files
+            .iter()
+            .map(|s| {
+                s.fields
+                    .iter()
+                    .find(|(k, _)| k == "retries")
+                    .expect("retries field")
+                    .1
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(per_file_retries, merged.retries);
+        assert!(spans.iter().any(|s| s.name == "ingest"));
     }
 
     #[test]

@@ -160,6 +160,55 @@ impl IngestReport {
         self.errors.is_clean() && self.aborted.is_none()
     }
 
+    /// Record this report under the `ingest/` metric namespace —
+    /// counters, plus gauges for the two report-level failure markers.
+    /// Every field lands in the snapshot, so degradation previously only
+    /// reachable via `--report` (retries, injected faults, resyncs) shows
+    /// up in `--metrics-out` too.
+    pub fn record_metrics(&self, metrics: &bgp_types::MetricsRegistry) {
+        metrics
+            .counter("ingest/records_read")
+            .add(self.records_read);
+        metrics
+            .counter("ingest/records_skipped")
+            .add(self.records_skipped);
+        metrics
+            .counter("ingest/records_truncated")
+            .add(self.records_truncated);
+        metrics.counter("ingest/bytes_ok").add(self.bytes_ok);
+        metrics
+            .counter("ingest/bytes_skipped")
+            .add(self.bytes_skipped);
+        metrics.counter("ingest/bytes_read").add(self.bytes_read);
+        metrics
+            .counter("ingest/resync_events")
+            .add(self.resync_events);
+        metrics.counter("ingest/retries").add(self.retries);
+        metrics.counter("ingest/worker_panics").add(self.panicked);
+        metrics.counter("ingest/errors/io").add(self.errors.io);
+        metrics
+            .counter("ingest/errors/truncated")
+            .add(self.errors.truncated);
+        metrics
+            .counter("ingest/errors/malformed")
+            .add(self.errors.malformed);
+        metrics
+            .counter("ingest/errors/unsupported")
+            .add(self.errors.unsupported);
+        metrics
+            .counter("ingest/errors/too_long")
+            .add(self.errors.too_long);
+        metrics
+            .counter("ingest/errors/budget_exceeded")
+            .add(self.errors.budget_exceeded);
+        metrics
+            .gauge("ingest/open_failed")
+            .set(i64::from(self.open_failed.is_some()));
+        metrics
+            .gauge("ingest/aborted")
+            .set(i64::from(self.aborted.is_some()));
+    }
+
     /// One-line human summary, for CLI output and logs.
     pub fn summary(&self) -> String {
         let mut out = format!(

@@ -14,10 +14,12 @@
 //! * [`Intent`] — the action/information label that the whole pipeline exists
 //!   to infer.
 //!
-//! Two small shared utilities also live here so every crate agrees on them:
-//! [`fx`] — the FxHash-style hasher used for analysis-side hot maps — and
+//! A few small shared utilities also live here so every crate agrees on
+//! them: [`fx`] — the FxHash-style hasher used for analysis-side hot maps —
 //! [`par`] — thread-count resolution plus the deterministic fork-join
-//! helper behind every parallel stage. The analysis pipeline's columnar
+//! helper behind every parallel stage — and [`obs`] — the zero-dependency
+//! observability layer (metrics registry, structured spans) every pipeline
+//! stage reports into. The analysis pipeline's columnar
 //! [`store::ObservationStore`] (interned paths/community sets, flat ID
 //! columns) lives here too so both `mrt` ingestion and `core` reduction
 //! can speak it without a dependency cycle.
@@ -35,6 +37,7 @@ pub mod community;
 pub mod error;
 pub mod fx;
 pub mod intent;
+pub mod obs;
 pub mod observation;
 pub mod par;
 pub mod prefix;
@@ -47,6 +50,7 @@ pub use community::{Community, ExtendedCommunity, LargeCommunity};
 pub use error::ParseError;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intent::Intent;
+pub use obs::{MetricsRegistry, MetricsSnapshot, Telemetry, TraceSink, Tracer};
 pub use observation::Observation;
 pub use par::{effective_threads, par_map_indexed};
 pub use prefix::Prefix;

@@ -299,6 +299,20 @@ impl ObservationStore {
         self.communities.len()
     }
 
+    /// Paths that fell back to the exact-key interner map because another
+    /// path shared their 64-bit fingerprint. Astronomically rare in
+    /// practice; a nonzero value is worth surfacing in telemetry because
+    /// every fallback entry clones its key.
+    pub fn path_collision_count(&self) -> usize {
+        self.path_dups.len()
+    }
+
+    /// Community sets interned through the exact-key collision fallback —
+    /// the `cset` analogue of [`ObservationStore::path_collision_count`].
+    pub fn cset_collision_count(&self) -> usize {
+        self.cset_dups.len()
+    }
+
     /// The community behind a dense slot ID.
     pub fn community(&self, slot: u32) -> Community {
         self.communities[slot as usize]
