@@ -38,6 +38,12 @@ USAGE:
                      [--strict] [--max-errors N] [--report FILE] [--threads N]
                      [--checkpoint FILE [--resume]] [--metrics-out FILE]
                      [--trace] [--trace-json FILE]
+    bgpcomm shard    --mrt FILE [--mrt FILE ...] --shard-dir DIR [--workers N]
+                     [--shard-retries N] [--shard-deadline-ms N]
+                     [--allow-shard-failures K] [--gap N] [--ratio N]
+                     [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
+                     [--max-errors N] [--report FILE] [--threads N]
+                     [--metrics-out FILE] [--trace] [--trace-json FILE]
     bgpcomm validate --mrt FILE [--mrt FILE ...]
     bgpcomm compare  --old FILE --new FILE
     bgpcomm generate --out DIR [--scale F] [--seed N] [--days N] [--docs N]
@@ -45,6 +51,10 @@ USAGE:
 COMMANDS:
     stats     Summarize MRT archives: records, tuples, paths, communities.
     infer     Classify observed communities as action or information.
+    shard     `infer` across N supervised worker subprocesses: input files
+              are partitioned round-robin, each worker writes a snapshot
+              artifact, failed/stalled workers are retried, and the merged
+              classification is bit-identical to a single-process run.
     validate  Lint MRT archives: per-record-type counts and decode errors.
     compare   Diff two label files from `infer --json` (drift monitoring).
     generate  Write a synthetic collector dataset + ground-truth dictionary.
@@ -96,18 +106,63 @@ OBSERVABILITY (stats, infer):
                     stdout) for jq triage of slow or lossy runs. Takes
                     precedence over --trace.
 
+SHARDED RUNS (shard):
+    --shard-dir DIR Working directory for per-shard artifacts, heartbeat
+                    files, and worker logs. Re-running the same command
+                    reuses the valid artifacts already present, so a
+                    partially failed run resumes instead of restarting.
+    --workers N     Worker subprocesses (0 = one per CPU). The partition
+                    never changes the output: merged statistics are
+                    bit-identical at any worker count.
+    --shard-retries N
+                    Re-runs allowed per shard after its first failure
+                    (default 2), with deterministic exponential backoff.
+    --shard-deadline-ms N
+                    A worker that makes no heartbeat progress for this long
+                    is killed and the attempt counts as a stall
+                    (default 30000).
+    --allow-shard-failures K
+                    Tolerate up to K permanently failed shards: the run
+                    completes from the surviving shards and the exact
+                    coverage shortfall (shards/files/bytes lost) is folded
+                    into the ingest report and metrics snapshot. More than
+                    K failed shards aborts with exit 5.
+
 FAULT INJECTION (testing the supervision layer):
     --inject-panic-after N   Panic a decode worker after N records per file.
     --inject-flaky SEED      Inject seeded transient I/O faults (interrupts,
                              stalls, short reads) into every file read.
     --inject-crash-after N   With --checkpoint: exit (code 9) after N newly
                              committed files, simulating a crash.
+    --inject-kill-shard I    With shard: crash shard I's worker (exit 9) on
+                             its first attempt; retries then succeed.
+    --inject-stall-shard I   With shard: stall shard I's worker past the
+                             heartbeat deadline on its first attempt.
+    --inject-fail-shard I    With shard: crash shard I's worker on *every*
+                             attempt, exhausting its retry budget.
 
 EXIT CODES:
-    0  success        2  decode error in --strict mode    4  checkpoint mismatch
-    1  generic error  3  ingestion aborted                9  injected crash
+    0  success                        4  checkpoint mismatch
+    1  usage or generic error         5  failed shards exceeded allowance
+    2  decode error in --strict mode  9  injected crash
+    3  ingestion aborted
 ";
 
+// The process exit-code contract, consolidated (mirrored in DESIGN.md and
+// the USAGE text above — keep all three in sync):
+//
+// | code | constant          | meaning                                          |
+// |------|-------------------|--------------------------------------------------|
+// | 0    | —                 | success                                          |
+// | 1    | `EXIT_USAGE`      | usage error or generic failure                   |
+// | 2    | `EXIT_DECODE`     | decode error under `--strict`                    |
+// | 3    | `EXIT_ABORTED`    | lenient ingestion aborted (error budget, I/O)    |
+// | 4    | `EXIT_CHECKPOINT` | checkpoint refused (fingerprint/schema/overwrite)|
+// | 5    | `EXIT_SHARD`      | permanently failed shards exceeded the allowance |
+// | 9    | `EXIT_CRASH`      | deliberate `--inject-crash-after` kill hook      |
+
+/// Exit code for a usage error or any otherwise-unclassified failure.
+pub const EXIT_USAGE: u8 = 1;
 /// Exit code for a decode error under `--strict`.
 pub const EXIT_DECODE: u8 = 2;
 /// Exit code for an aborted lenient ingest (error budget, fatal I/O).
@@ -115,6 +170,9 @@ pub const EXIT_ABORTED: u8 = 3;
 /// Exit code for a refused checkpoint: fingerprint or schema mismatch, or a
 /// checkpoint that would be silently overwritten without `--resume`.
 pub const EXIT_CHECKPOINT: u8 = 4;
+/// Exit code for a sharded run whose permanently failed shards exceeded
+/// `--allow-shard-failures`.
+pub const EXIT_SHARD: u8 = 5;
 /// Exit code of the deliberate `--inject-crash-after` kill hook.
 pub const EXIT_CRASH: u8 = 9;
 
@@ -138,7 +196,10 @@ impl Failure {
 
 impl From<String> for Failure {
     fn from(message: String) -> Self {
-        Failure { message, code: 1 }
+        Failure {
+            message,
+            code: EXIT_USAGE,
+        }
     }
 }
 
@@ -464,10 +525,12 @@ fn open_checkpoint(ckpt: &CheckpointOptions) -> Result<Checkpoint, Failure> {
         ));
     }
     Checkpoint::load(&ckpt.path).map_err(|e| {
-        let code = if e.kind() == std::io::ErrorKind::InvalidData {
+        // A corrupt or schema-incompatible checkpoint is the same refusal
+        // as a fingerprint mismatch; a plain I/O failure is generic.
+        let code = if e.is_invalid_data() {
             EXIT_CHECKPOINT
         } else {
-            1
+            EXIT_USAGE
         };
         Failure::new(code, format!("load checkpoint: {e}"))
     })
@@ -625,59 +688,34 @@ fn infer_checkpointed(
     ))
 }
 
-/// `bgpcomm infer`
-pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
-    let args = Args::parse(raw)?;
-    let opts = IngestOptions::from_args(&args)?;
-    let siblings = load_siblings(&args)?;
-    let cfg = InferenceConfig {
+/// The shared inference knobs (`--gap`, `--ratio`) for `infer` and `shard`.
+fn inference_config(args: &Args, threads: usize) -> Result<InferenceConfig, String> {
+    Ok(InferenceConfig {
         min_gap: args.get("gap", 140u16)?,
         ratio_threshold: args.get("ratio", 160.0f64)?,
-        threads: opts.threads,
+        threads,
         ..InferenceConfig::default()
-    };
-    let dict = match args.get_str("dict") {
-        None => None,
+    })
+}
+
+/// Load the `--dict` ground-truth dictionary, when given.
+fn load_dict(args: &Args) -> Result<Option<GroundTruthDictionary>, String> {
+    match args.get_str("dict") {
+        None => Ok(None),
         Some(path) => {
             let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            Some(
+            Ok(Some(
                 GroundTruthDictionary::from_json(BufReader::new(file))
                     .map_err(|e| format!("parse {path}: {e}"))?,
-            )
+            ))
         }
-    };
+    }
+}
 
-    let topts = TelemetryOptions::from_args(&args)?;
-    let tel = &topts.telemetry;
-    let run = || -> Result<PipelineResult, Failure> {
-        match CheckpointOptions::from_args(&args)? {
-            Some(ckpt) => infer_checkpointed(
-                &mrt_files(&args)?,
-                &opts,
-                &siblings,
-                &cfg,
-                dict.as_ref(),
-                &ckpt,
-                tel,
-            ),
-            None => {
-                let (store, report) = load_observations(&mrt_files(&args)?, &opts, tel)?;
-                let mut result =
-                    run_inference_store_telemetry(&store, &siblings, &cfg, dict.as_ref(), tel);
-                result.ingest = report;
-                Ok(result)
-            }
-        }
-    };
-    let result = match run() {
-        Ok(result) => result,
-        Err(failure) => {
-            // Aborted runs still leave their accounting (same contract as
-            // --report); the original failure wins over a write error.
-            let _ = topts.write_metrics();
-            return Err(failure);
-        }
-    };
+/// Print the classification summary, the `--top` label sample, and the
+/// `--json` label file. Shared verbatim by `infer` and `shard`, which is
+/// what makes their stdout and label files byte-comparable.
+fn print_inference(args: &Args, result: &PipelineResult) -> Result<(), Failure> {
     let (action, info) = result.inference.intent_counts();
     println!("observed communities : {}", result.stats.community_count());
     println!(
@@ -746,6 +784,395 @@ pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
             .map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {} labels to {path}", result.inference.labels.len());
     }
+    Ok(())
+}
+
+/// `bgpcomm infer`
+pub fn infer(raw: Vec<String>) -> Result<(), Failure> {
+    let args = Args::parse(raw)?;
+    let opts = IngestOptions::from_args(&args)?;
+    let siblings = load_siblings(&args)?;
+    let cfg = inference_config(&args, opts.threads)?;
+    let dict = load_dict(&args)?;
+
+    let topts = TelemetryOptions::from_args(&args)?;
+    let tel = &topts.telemetry;
+    let run = || -> Result<PipelineResult, Failure> {
+        match CheckpointOptions::from_args(&args)? {
+            Some(ckpt) => infer_checkpointed(
+                &mrt_files(&args)?,
+                &opts,
+                &siblings,
+                &cfg,
+                dict.as_ref(),
+                &ckpt,
+                tel,
+            ),
+            None => {
+                let (store, report) = load_observations(&mrt_files(&args)?, &opts, tel)?;
+                let mut result =
+                    run_inference_store_telemetry(&store, &siblings, &cfg, dict.as_ref(), tel);
+                result.ingest = report;
+                Ok(result)
+            }
+        }
+    };
+    let result = match run() {
+        Ok(result) => result,
+        Err(failure) => {
+            // Aborted runs still leave their accounting (same contract as
+            // --report); the original failure wins over a write error.
+            let _ = topts.write_metrics();
+            return Err(failure);
+        }
+    };
+    print_inference(&args, &result)?;
+    topts.write_metrics()?;
+    Ok(())
+}
+
+/// `bgpcomm shard-worker` — one shard of a supervised `shard` run
+/// (internal: spawned by the supervisor, but callable by hand for
+/// debugging). Ingests its `--mrt` files sequentially, touching the
+/// `--heartbeat` file after every completed file, and finally writes its
+/// accumulated statistics as a checkpoint-format artifact to `--out` with
+/// the atomic temp+rename discipline. A crash at any point leaves either
+/// no artifact or a complete, checksummed one — never a torn file — which
+/// is what lets the supervisor treat "valid artifact exists" as the one
+/// and only success signal.
+pub fn shard_worker(raw: Vec<String>) -> Result<(), Failure> {
+    let args = Args::parse(raw)?;
+    let opts = IngestOptions::from_args(&args)?;
+    if opts.strict {
+        return Err("shard-worker runs lenient ingestion only (drop --strict)".into());
+    }
+    let out = PathBuf::from(args.get_str("out").ok_or("--out FILE is required")?);
+    let heartbeat = args.get_str("heartbeat").map(PathBuf::from);
+    let crash_after: Option<u64> = match args.get_str("inject-crash-after") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e| format!("--inject-crash-after {raw}: {e}"))?,
+        ),
+    };
+    let stall_ms: Option<u64> = match args.get_str("inject-stall-ms") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e| format!("--inject-stall-ms {raw}: {e}"))?,
+        ),
+    };
+    let siblings = load_siblings(&args)?;
+    let paths = mrt_files(&args)?;
+
+    let beat = |n: usize| {
+        if let Some(hb) = &heartbeat {
+            // Heartbeat loss must never fail the shard — the worst case is
+            // the supervisor killing a healthy worker, which retries.
+            let _ = std::fs::write(hb, format!("{n}\n"));
+        }
+    };
+    beat(0);
+
+    let mut manifest = Checkpoint::new();
+    let mut accumulator = StatsAccumulator::new();
+    let tel = Telemetry::disabled();
+    for (i, path) in paths.iter().enumerate() {
+        // Fingerprint before decoding, like the checkpointed path: the
+        // artifact records the bytes that were actually ingested, so the
+        // supervisor (and a later resume) can detect input drift.
+        let fingerprint =
+            fingerprint_file(Path::new(path)).map_err(|e| format!("fingerprint {path}: {e}"))?;
+        let (files, _) = read_observations_parallel_store_telemetry(
+            &[PathBuf::from(path)],
+            &opts.recover,
+            &opts.tuning,
+            opts.threads,
+            &tel,
+        );
+        let file = files
+            .into_iter()
+            .next()
+            .ok_or_else(|| format!("{path}: ingestion produced no result"))?;
+        eprintln!(
+            "{path}: {} observations ({})",
+            file.store.len(),
+            file.report.summary()
+        );
+        manifest.report.merge(&file.report);
+        if let Some(why) = &file.report.aborted {
+            return Err(Failure::new(
+                EXIT_ABORTED,
+                format!("ingestion aborted: {path}: {why}"),
+            ));
+        }
+        accumulator.ingest_store(&file.store, &siblings, opts.threads);
+        manifest.files.push(CompletedFile {
+            path: path.clone(),
+            fingerprint,
+        });
+        beat(i + 1);
+        if crash_after == Some((i + 1) as u64) {
+            return Err(Failure::new(
+                EXIT_CRASH,
+                format!("injected crash after {} ingested file(s)", i + 1),
+            ));
+        }
+        if i == 0 {
+            if let Some(ms) = stall_ms {
+                // Simulated hang: no heartbeat progress and no exit until
+                // (far past) the supervisor's stall deadline.
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+    manifest.snapshot = accumulator.snapshot().clone();
+    manifest
+        .save_atomic(&out)
+        .map_err(|e| format!("write artifact {}: {e}", out.display()))?;
+    eprintln!(
+        "shard artifact: {} ({} file(s), {} records)",
+        out.display(),
+        manifest.files.len(),
+        manifest.report.records_read
+    );
+    Ok(())
+}
+
+/// `bgpcomm shard` — `infer` across N supervised worker subprocesses.
+pub fn shard(raw: Vec<String>) -> Result<(), Failure> {
+    use bgp_intent::{plan_shards, supervise, ShardEvent, ShardSpec, SupervisorConfig};
+    use bgp_mrt::retry::RetryPolicy;
+    use std::process::{Command, Stdio};
+    use std::time::Duration;
+
+    let args = Args::parse(raw)?;
+    let opts = IngestOptions::from_args(&args)?;
+    if opts.strict {
+        return Err("shard runs lenient ingestion only (drop --strict)".into());
+    }
+    let siblings = load_siblings(&args)?;
+    let cfg = inference_config(&args, opts.threads)?;
+    let dict = load_dict(&args)?;
+    let topts = TelemetryOptions::from_args(&args)?;
+    let tel = &topts.telemetry;
+
+    let parse_indices = |name: &str| -> Result<Vec<usize>, String> {
+        args.get_all(name)
+            .iter()
+            .map(|raw| raw.parse().map_err(|e| format!("--{name} {raw}: {e}")))
+            .collect()
+    };
+
+    let run = || -> Result<PipelineResult, Failure> {
+        let paths = mrt_files(&args)?;
+        // Unreadable input is a usage error here, not N worker failures.
+        for path in &paths {
+            File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        }
+        let shard_dir = PathBuf::from(
+            args.get_str("shard-dir")
+                .ok_or("--shard-dir DIR is required")?,
+        );
+        std::fs::create_dir_all(&shard_dir)
+            .map_err(|e| format!("create {}: {e}", shard_dir.display()))?;
+        let workers = effective_threads(args.get("workers", 0usize)?).max(1);
+        let allow: u64 = args.get("allow-shard-failures", 0u64)?;
+        let retries: u32 = args.get("shard-retries", 2u32)?;
+        let deadline_ms: u64 = args.get("shard-deadline-ms", 30_000u64)?;
+        let kill_shards = parse_indices("inject-kill-shard")?;
+        let stall_shards = parse_indices("inject-stall-shard")?;
+        let fail_shards = parse_indices("inject-fail-shard")?;
+
+        let specs = plan_shards(&paths, workers, &shard_dir);
+        let sup_cfg = SupervisorConfig {
+            retry: RetryPolicy {
+                max_attempts: retries + 1,
+                base_delay: Duration::from_millis(50),
+                max_delay: Duration::from_secs(2),
+                per_file_deadline: None,
+            },
+            stall_deadline: Duration::from_millis(deadline_ms.max(1)),
+            poll_interval: Duration::from_millis(25),
+        };
+        eprintln!(
+            "supervising {} shard(s) over {} file(s) ({} attempt(s) per shard, {}ms stall deadline)",
+            specs.len(),
+            paths.len(),
+            sup_cfg.retry.max_attempts,
+            deadline_ms
+        );
+
+        let exe = std::env::current_exe().map_err(|e| format!("locate bgpcomm binary: {e}"))?;
+        // Ingestion policy travels to the workers verbatim; analysis and
+        // output flags stay with the supervisor.
+        let mut forwarded: Vec<String> = Vec::new();
+        for key in [
+            "siblings",
+            "max-errors",
+            "retry-attempts",
+            "inject-flaky",
+            "inject-panic-after",
+            "threads",
+        ] {
+            if let Some(value) = args.get_str(key) {
+                forwarded.push(format!("--{key}"));
+                forwarded.push(value.to_string());
+            }
+        }
+        let command = |spec: &ShardSpec, attempt: u32| {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("shard-worker")
+                .arg("--mrt")
+                .arg(spec.files.join(","))
+                .arg("--out")
+                .arg(&spec.artifact)
+                .arg("--heartbeat")
+                .arg(&spec.heartbeat)
+                .args(&forwarded);
+            if fail_shards.contains(&spec.index)
+                || (attempt == 1 && kill_shards.contains(&spec.index))
+            {
+                cmd.arg("--inject-crash-after").arg("1");
+            }
+            if attempt == 1 && stall_shards.contains(&spec.index) {
+                let ms = deadline_ms.max(1).saturating_mul(20);
+                cmd.arg("--inject-stall-ms").arg(ms.to_string());
+            }
+            // Worker chatter goes to a per-shard log (last attempt wins)
+            // so the supervisor's own progress stream stays readable.
+            let log = shard_dir.join(format!("shard-{:03}.log", spec.index));
+            match File::create(&log) {
+                Ok(file) => cmd.stderr(Stdio::from(file)),
+                Err(_) => cmd.stderr(Stdio::null()),
+            };
+            cmd.stdout(Stdio::null());
+            cmd
+        };
+        let outcomes = supervise(&specs, &sup_cfg, command, |event| match event {
+            ShardEvent::Reused { shard } => {
+                eprintln!(
+                    "shard {}: reusing valid artifact from a previous run",
+                    shard.index
+                );
+            }
+            ShardEvent::Started { shard, attempt } => {
+                eprintln!(
+                    "shard {}: attempt {attempt} ({} file(s))",
+                    shard.index,
+                    shard.files.len()
+                );
+            }
+            ShardEvent::Retrying {
+                shard,
+                attempt,
+                failure,
+                backoff,
+            } => {
+                eprintln!(
+                    "shard {}: attempt {attempt} failed ({failure}); retrying in {backoff:?}",
+                    shard.index
+                );
+            }
+            ShardEvent::Succeeded { shard, attempt } => {
+                eprintln!(
+                    "shard {}: artifact validated (attempt {attempt})",
+                    shard.index
+                );
+            }
+            ShardEvent::GaveUp {
+                shard,
+                attempts,
+                failure,
+            } => {
+                eprintln!(
+                    "shard {}: permanently failed after {attempts} attempt(s): {failure}",
+                    shard.index
+                );
+            }
+        });
+
+        // Merge in shard order. The per-shard snapshots hold content-based
+        // fingerprint sets, so this union is exact and the classification
+        // downstream is bit-identical to a single-process run over the
+        // covered files.
+        let mut merged = IngestReport::default();
+        let mut accumulator = StatsAccumulator::new();
+        let mut failed = 0u64;
+        let mut reused = 0u64;
+        let mut retries_total = 0u64;
+        let mut covered_files = 0u64;
+        for (spec, outcome) in specs.iter().zip(&outcomes) {
+            retries_total += outcome.retries();
+            reused += u64::from(outcome.reused);
+            match &outcome.artifact {
+                Some(artifact) => {
+                    merged.merge(&artifact.report);
+                    accumulator.merge(StatsAccumulator::from_snapshot(&artifact.snapshot));
+                    covered_files += spec.files.len() as u64;
+                }
+                None => {
+                    failed += 1;
+                    merged.shards_failed += 1;
+                    merged.files_lost += spec.files.len() as u64;
+                    for file in &spec.files {
+                        merged.bytes_lost += std::fs::metadata(file).map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+        }
+        if let Some(metrics) = tel.registry() {
+            metrics.counter("shard/shards").add(specs.len() as u64);
+            metrics.counter("shard/retries").add(retries_total);
+            metrics.counter("shard/failed").add(failed);
+            metrics.counter("shard/reused").add(reused);
+            metrics
+                .counter("shard/coverage_bytes")
+                .add(merged.bytes_read);
+            // The single-process path counts input files at read time
+            // (see `read_observations_parallel_store_telemetry`); workers
+            // run with telemetry disabled, so account for the files that
+            // actually made it into the merge here.
+            metrics.counter("ingest/files").add(covered_files);
+        }
+        write_report(&merged, &opts)?;
+        if failed > allow {
+            return Err(Failure::new(
+                EXIT_SHARD,
+                format!(
+                    "{failed} shard(s) failed permanently after {} attempt(s) each \
+                     (allowance {allow}); see {}/shard-*.log; \
+                     re-running the same command retries only the failed shards",
+                    sup_cfg.retry.max_attempts,
+                    shard_dir.display()
+                ),
+            ));
+        }
+        if failed > 0 {
+            eprintln!(
+                "continuing without {failed} failed shard(s): {} file(s) / {} byte(s) not covered",
+                merged.files_lost, merged.bytes_lost
+            );
+        }
+        Ok(run_inference_from_stats_telemetry(
+            accumulator.to_stats(),
+            &siblings,
+            &cfg,
+            dict.as_ref(),
+            Some(merged),
+            tel,
+        ))
+    };
+    let result = match run() {
+        Ok(result) => result,
+        Err(failure) => {
+            // Same contract as `infer`: failed runs still leave their
+            // accounting, and the original failure wins over a write error.
+            let _ = topts.write_metrics();
+            return Err(failure);
+        }
+    };
+    print_inference(&args, &result)?;
     topts.write_metrics()?;
     Ok(())
 }

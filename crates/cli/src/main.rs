@@ -11,6 +11,8 @@
 //! * `infer` — run the IMC'23 method over MRT archives; optionally evaluate
 //!   against a dictionary (JSON, as produced by `generate`) and write the
 //!   inferred labels as JSON.
+//! * `shard` — `infer` across N supervised worker subprocesses with
+//!   crash/stall recovery; merged output is bit-identical to one process.
 //! * `generate` — build a synthetic world and write MRT archives plus the
 //!   ground-truth dictionary, for testing and demos without RouteViews
 //!   access.
@@ -45,6 +47,8 @@ fn main() -> ExitCode {
     let outcome = match command.as_deref() {
         Some("stats") => commands::stats(rest),
         Some("infer") => commands::infer(rest),
+        Some("shard") => commands::shard(rest),
+        Some("shard-worker") => commands::shard_worker(rest),
         Some("validate") => commands::validate(rest),
         Some("compare") => commands::compare(rest),
         Some("generate") => commands::generate(rest),

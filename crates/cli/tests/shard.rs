@@ -1,0 +1,417 @@
+//! End-to-end behavior of `bgpcomm shard`: supervised multi-process runs
+//! must be bit-identical to a single-process `infer` — including under
+//! injected worker crashes and stalls — degrade gracefully with exact
+//! coverage accounting once the retry budget is exhausted, and resume a
+//! partially failed run by reusing the valid artifacts already on disk.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use bgp_mrt::obs::write_update_stream;
+use bgp_types::{Asn, Community, Observation};
+
+const EXIT_SHARD: i32 = 5;
+
+fn bgpcomm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bgpcomm"))
+        .args(args)
+        .output()
+        .expect("spawn bgpcomm")
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bgpcomm-shard-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn observations(offset: u32, n: u32) -> Vec<Observation> {
+    (0..n)
+        .map(|i| {
+            let i = offset + i;
+            Observation {
+                vp: Asn::new(64500 + (i % 4)),
+                prefix: format!("10.{}.{}.0/24", i / 250, i % 250).parse().unwrap(),
+                path: format!("{} 1299 {}", 64500 + (i % 4), 64496 + (i % 8))
+                    .parse()
+                    .unwrap(),
+                communities: vec![Community::new(1299, 2000 + (i % 7) as u16)],
+                large_communities: Vec::new(),
+                time: 1_000_000 + i,
+            }
+        })
+        .collect()
+}
+
+/// Write `count` archives with overlapping paths/communities (offsets
+/// stride by less than the per-file count, so cross-shard dedup matters:
+/// a partition-dependent merge would change the unique-path counts).
+fn archives(dir: &Path, count: u32, per_file: u32) -> Vec<PathBuf> {
+    (0..count)
+        .map(|f| {
+            let path = dir.join(format!("updates.{f:02}.mrt"));
+            let mut buf = Vec::new();
+            write_update_stream(
+                &mut buf,
+                Asn::new(6447),
+                &observations(f * per_file / 2, per_file),
+            )
+            .unwrap();
+            fs::write(&path, buf).unwrap();
+            path
+        })
+        .collect()
+}
+
+fn mrt_args(paths: &[PathBuf]) -> Vec<&str> {
+    paths
+        .iter()
+        .flat_map(|p| ["--mrt", p.to_str().unwrap()])
+        .collect()
+}
+
+/// Run `infer` or `shard` with labels + report + metrics outputs under
+/// `dir/<tag>.*`; returns the Output.
+fn run_traced(command: &str, paths: &[PathBuf], dir: &Path, tag: &str, extra: &[&str]) -> Output {
+    let json = dir.join(format!("{tag}.json"));
+    let report = dir.join(format!("{tag}-report.json"));
+    let metrics = dir.join(format!("{tag}-metrics.json"));
+    let mut args = vec![
+        command,
+        "--top",
+        "3",
+        "--json",
+        json.to_str().unwrap(),
+        "--report",
+        report.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ];
+    args.extend(mrt_args(paths));
+    args.extend(extra);
+    bgpcomm(&args)
+}
+
+fn read(dir: &Path, name: &str) -> Vec<u8> {
+    fs::read(dir.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"))
+}
+
+fn counters(dir: &Path, tag: &str) -> serde_json::Map {
+    let snapshot: serde_json::Value =
+        serde_json::from_slice(&read(dir, &format!("{tag}-metrics.json"))).unwrap();
+    snapshot["counters"].as_object().unwrap().clone()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn sharded_run_is_bit_identical_to_single_process_at_any_worker_count() {
+    let dir = workdir("golden");
+    let paths = archives(&dir, 8, 50);
+    let single = run_traced("infer", &paths, &dir, "single", &[]);
+    assert_eq!(single.status.code(), Some(0), "{}", stderr_of(&single));
+
+    for workers in ["1", "2", "4"] {
+        let tag = format!("shards-{workers}");
+        let shard_dir = dir.join(format!("dir-{workers}"));
+        let out = run_traced(
+            "shard",
+            &paths,
+            &dir,
+            &tag,
+            &[
+                "--shard-dir",
+                shard_dir.to_str().unwrap(),
+                "--workers",
+                workers,
+            ],
+        );
+        assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+
+        // Labels, stdout summary, and the ingest report are byte-identical.
+        assert_eq!(
+            read(&dir, &format!("{tag}.json")),
+            read(&dir, "single.json"),
+            "labels must be bit-identical at {workers} worker(s)"
+        );
+        assert_eq!(
+            out.stdout, single.stdout,
+            "stdout summary must match at {workers} worker(s)"
+        );
+        assert_eq!(
+            read(&dir, &format!("{tag}-report.json")),
+            read(&dir, "single-report.json"),
+            "ingest report must match at {workers} worker(s)"
+        );
+
+        // Metrics: every deterministic counter agrees once the supervisor's
+        // own shard/* namespace is set aside.
+        let mut sharded = counters(&dir, &tag);
+        let supervisor: Vec<String> = sharded
+            .keys()
+            .filter(|k| k.starts_with("shard/"))
+            .cloned()
+            .collect();
+        assert!(!supervisor.is_empty(), "shard/* counters recorded");
+        for key in supervisor {
+            sharded.remove(&key);
+        }
+        assert_eq!(
+            sharded,
+            counters(&dir, "single"),
+            "deterministic counters must match at {workers} worker(s)"
+        );
+    }
+}
+
+#[test]
+fn kills_and_stall_do_not_change_the_merged_output() {
+    let dir = workdir("faults");
+    let paths = archives(&dir, 6, 40);
+    let single = run_traced("infer", &paths, &dir, "single", &[]);
+    assert_eq!(single.status.code(), Some(0), "{}", stderr_of(&single));
+
+    // Two kill points and one stall, at two thread counts: the acceptance
+    // bar for the supervisor. Every first attempt of shards 0 and 1 is
+    // killed (exit 9), shard 2's first attempt hangs past the heartbeat
+    // deadline and is killed by the supervisor; all three succeed on retry.
+    for threads in ["1", "2"] {
+        let tag = format!("faulty-t{threads}");
+        let shard_dir = dir.join(format!("dir-t{threads}"));
+        let out = run_traced(
+            "shard",
+            &paths,
+            &dir,
+            &tag,
+            &[
+                "--shard-dir",
+                shard_dir.to_str().unwrap(),
+                "--workers",
+                "3",
+                "--threads",
+                threads,
+                "--shard-deadline-ms",
+                "1500",
+                "--inject-kill-shard",
+                "0",
+                "--inject-kill-shard",
+                "1",
+                "--inject-stall-shard",
+                "2",
+            ],
+        );
+        let stderr = stderr_of(&out);
+        assert_eq!(out.status.code(), Some(0), "{stderr}");
+        assert_eq!(
+            read(&dir, &format!("{tag}.json")),
+            read(&dir, "single.json"),
+            "labels must survive 2 kills + 1 stall bit-identically (threads {threads})"
+        );
+        assert_eq!(
+            read(&dir, &format!("{tag}-report.json")),
+            read(&dir, "single-report.json"),
+            "report must be unaffected by retried failures (threads {threads})"
+        );
+        assert!(
+            stderr.contains("stalled"),
+            "the stall must be classified as such: {stderr}"
+        );
+
+        let shard_counters = counters(&dir, &tag);
+        let retries = shard_counters["shard/retries"].as_u64().unwrap();
+        assert!(
+            retries >= 3,
+            "2 kills + 1 stall = at least 3 retries, got {retries}"
+        );
+        assert_eq!(shard_counters["shard/failed"].as_u64(), Some(0));
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_fails_closed_without_an_allowance() {
+    let dir = workdir("budget");
+    let paths = archives(&dir, 4, 30);
+    let shard_dir = dir.join("shards");
+    let out = run_traced(
+        "shard",
+        &paths,
+        &dir,
+        "hard",
+        &[
+            "--shard-dir",
+            shard_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--shard-retries",
+            "1",
+            "--inject-fail-shard",
+            "1",
+        ],
+    );
+    let stderr = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(EXIT_SHARD), "{stderr}");
+    assert!(stderr.contains("permanently"), "{stderr}");
+    // The accounting still lands even though the run failed.
+    let report: serde_json::Value =
+        serde_json::from_slice(&read(&dir, "hard-report.json")).unwrap();
+    assert_eq!(report["shards_failed"].as_u64(), Some(1));
+    let shard_counters = counters(&dir, "hard");
+    assert_eq!(shard_counters["shard/failed"].as_u64(), Some(1));
+}
+
+#[test]
+fn allowed_shard_failure_degrades_with_exact_coverage_accounting() {
+    let dir = workdir("degraded");
+    let paths = archives(&dir, 4, 30);
+    let shard_dir = dir.join("shards");
+    let out = run_traced(
+        "shard",
+        &paths,
+        &dir,
+        "degraded",
+        &[
+            "--shard-dir",
+            shard_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--shard-retries",
+            "1",
+            "--inject-fail-shard",
+            "1",
+            "--allow-shard-failures",
+            "1",
+        ],
+    );
+    let stderr = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+
+    // Shard 1 owned files 1 and 3 (round-robin); its loss is reported to
+    // the byte in both the ingest report and the metrics snapshot.
+    let lost_bytes: u64 = [1, 3]
+        .iter()
+        .map(|&i| fs::metadata(&paths[i]).unwrap().len())
+        .sum();
+    let report: serde_json::Value =
+        serde_json::from_slice(&read(&dir, "degraded-report.json")).unwrap();
+    assert_eq!(report["shards_failed"].as_u64(), Some(1));
+    assert_eq!(report["files_lost"].as_u64(), Some(2));
+    assert_eq!(report["bytes_lost"].as_u64(), Some(lost_bytes));
+
+    let shard_counters = counters(&dir, "degraded");
+    assert_eq!(shard_counters["shard/failed"].as_u64(), Some(1));
+    assert_eq!(
+        shard_counters["ingest/shards_failed"].as_u64(),
+        Some(1),
+        "coverage shortfall must reach the metrics snapshot"
+    );
+    assert_eq!(shard_counters["ingest/files_lost"].as_u64(), Some(2));
+    assert_eq!(
+        shard_counters["ingest/bytes_lost"].as_u64(),
+        Some(lost_bytes)
+    );
+
+    // The degradation is visible in the human summary too.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("ingest degradation") && stdout.contains("1 shard(s) failed"),
+        "{stdout}"
+    );
+
+    // And the covered remainder classifies exactly like a single-process
+    // run over the surviving files only.
+    let survivors = [paths[0].clone(), paths[2].clone()];
+    let single = run_traced("infer", &survivors, &dir, "survivors", &[]);
+    assert_eq!(single.status.code(), Some(0), "{}", stderr_of(&single));
+    assert_eq!(
+        read(&dir, "degraded.json"),
+        read(&dir, "survivors.json"),
+        "degraded output must equal a run over the covered files"
+    );
+}
+
+#[test]
+fn rerun_resumes_from_valid_artifacts_of_a_failed_run() {
+    let dir = workdir("resume");
+    let paths = archives(&dir, 4, 30);
+    let shard_dir = dir.join("shards");
+    let single = run_traced("infer", &paths, &dir, "single", &[]);
+    assert_eq!(single.status.code(), Some(0), "{}", stderr_of(&single));
+
+    // First run: shard 1 exhausts its budget, the run fails (exit 5) but
+    // shard 0's validated artifact stays behind in --shard-dir.
+    let out = run_traced(
+        "shard",
+        &paths,
+        &dir,
+        "first",
+        &[
+            "--shard-dir",
+            shard_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--shard-retries",
+            "1",
+            "--inject-fail-shard",
+            "1",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(EXIT_SHARD), "{}", stderr_of(&out));
+
+    // Second run, same command minus the injection: shard 0 is adopted
+    // without a respawn, shard 1 is re-run, and the merged result is
+    // bit-identical to the uninterrupted single-process run.
+    let out = run_traced(
+        "shard",
+        &paths,
+        &dir,
+        "second",
+        &[
+            "--shard-dir",
+            shard_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--shard-retries",
+            "1",
+        ],
+    );
+    let stderr = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(
+        stderr.contains("shard 0: reusing valid artifact"),
+        "{stderr}"
+    );
+    assert_eq!(read(&dir, "second.json"), read(&dir, "single.json"));
+    assert_eq!(
+        read(&dir, "second-report.json"),
+        read(&dir, "single-report.json")
+    );
+    let shard_counters = counters(&dir, "second");
+    assert_eq!(shard_counters["shard/reused"].as_u64(), Some(1));
+}
+
+#[test]
+fn shard_rejects_strict_mode_and_requires_a_shard_dir() {
+    let dir = workdir("usage");
+    let paths = archives(&dir, 2, 10);
+    let mut args = vec!["shard", "--strict", "--shard-dir"];
+    let shard_dir = dir.join("shards");
+    args.push(shard_dir.to_str().unwrap());
+    args.extend(mrt_args(&paths));
+    let out = bgpcomm(&args);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("lenient"), "{}", stderr_of(&out));
+
+    let mut args = vec!["shard"];
+    args.extend(mrt_args(&paths));
+    let out = bgpcomm(&args);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("--shard-dir"),
+        "{}",
+        stderr_of(&out)
+    );
+}

@@ -31,9 +31,10 @@
 //! collision being (silently, astronomically rarely) able to collapse two
 //! distinct paths.
 
+use std::fmt;
 use std::fs::File;
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bgp_mrt::IngestReport;
 use bgp_relationships::SiblingMap;
@@ -47,7 +48,8 @@ use crate::stats::{OnPathIndex, PathCounts, PathStats};
 
 /// Version stamp inside every checkpoint file; bump on layout changes so a
 /// resume against an incompatible manifest refuses instead of misreading.
-pub const CHECKPOINT_SCHEMA: u32 = 1;
+/// Schema 2 added the mandatory payload `checksum`.
+pub const CHECKPOINT_SCHEMA: u32 = 2;
 
 /// Content fingerprint of one AS path.
 pub fn path_fingerprint(path: &AsPath) -> u64 {
@@ -529,11 +531,22 @@ pub struct FileFingerprint {
     pub hash: u64,
 }
 
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into a running FNV-1a 64 `hash`.
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Fingerprint a file by streaming its contents (FNV-1a 64).
 pub fn fingerprint_file(path: &Path) -> io::Result<FileFingerprint> {
     let mut file = File::open(path)?;
     let mut buf = [0u8; 64 * 1024];
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash: u64 = FNV_OFFSET;
     let mut bytes: u64 = 0;
     loop {
         let n = match file.read(&mut buf) {
@@ -543,9 +556,7 @@ pub fn fingerprint_file(path: &Path) -> io::Result<FileFingerprint> {
             Err(e) => return Err(e),
         };
         bytes += n as u64;
-        for &b in &buf[..n] {
-            hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        hash = fnv1a(hash, &buf[..n]);
     }
     Ok(FileFingerprint { bytes, hash })
 }
@@ -559,12 +570,109 @@ pub struct CompletedFile {
     pub fingerprint: FileFingerprint,
 }
 
+/// Why loading a checkpoint (or shard artifact) was refused. Corruption is
+/// always a clean typed error — never a panic, never silently-partial
+/// state folded into a run.
+#[derive(Debug)]
+pub enum CheckpointLoadError {
+    /// The file could not be read at all (missing, permissions, I/O).
+    Io {
+        /// The manifest path.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The bytes on disk are not a well-formed manifest: truncated file,
+    /// invalid JSON, or a payload checksum mismatch (bit rot, torn write).
+    Corrupt {
+        /// The manifest path.
+        path: PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// A well-formed manifest written by an incompatible layout version.
+    SchemaMismatch {
+        /// The manifest path.
+        path: PathBuf,
+        /// The schema recorded in the file.
+        found: u32,
+        /// The schema this build reads and writes.
+        expected: u32,
+    },
+}
+
+impl CheckpointLoadError {
+    /// Whether the file existed but its *contents* were rejected
+    /// (corruption or schema) — the cases a caller should surface as a
+    /// refused checkpoint rather than a generic I/O failure.
+    pub fn is_invalid_data(&self) -> bool {
+        !matches!(self, CheckpointLoadError::Io { .. })
+    }
+
+    /// Whether the underlying failure is that the file does not exist.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, CheckpointLoadError::Io { source, .. }
+                 if source.kind() == io::ErrorKind::NotFound)
+    }
+}
+
+impl fmt::Display for CheckpointLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointLoadError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            CheckpointLoadError::Corrupt { path, detail } => {
+                write!(
+                    f,
+                    "{}: corrupt or truncated checkpoint ({detail})",
+                    path.display()
+                )
+            }
+            CheckpointLoadError::SchemaMismatch {
+                path,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "{}: checkpoint schema {found} (this build writes {expected})",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointLoadError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointLoadError> for io::Error {
+    fn from(e: CheckpointLoadError) -> io::Error {
+        match e {
+            CheckpointLoadError::Io { source, .. } => source,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
 /// The crash-safe run manifest: which files are done, the accounting so
 /// far, and the statistics snapshot to resume from.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Layout version ([`CHECKPOINT_SCHEMA`]).
     pub schema: u32,
+    /// FNV-1a 64 over the manifest serialized with this field zeroed —
+    /// recomputed on load so a truncated or bit-flipped manifest is
+    /// rejected instead of resuming from silently-wrong state.
+    #[serde(default)]
+    pub checksum: u64,
     /// Files fully ingested, in completion (= input) order. Files that
     /// failed (open error, abort, worker panic) are *not* recorded, so a
     /// resumed run retries them.
@@ -579,6 +687,7 @@ impl Default for Checkpoint {
     fn default() -> Self {
         Checkpoint {
             schema: CHECKPOINT_SCHEMA,
+            checksum: 0,
             files: Vec::new(),
             report: IngestReport::default(),
             snapshot: StatsSnapshot::default(),
@@ -600,12 +709,25 @@ impl Checkpoint {
             .map(|f| &f.fingerprint)
     }
 
-    /// Write the manifest atomically: serialize to `<path>.tmp` in the same
-    /// directory, fsync, then rename over `path`. A crash at any point
-    /// leaves either the previous checkpoint or the new one — never a torn
-    /// file.
+    /// FNV-1a 64 over this manifest serialized with `checksum` zeroed —
+    /// the integrity seal [`save_atomic`](Self::save_atomic) embeds and
+    /// [`load`](Self::load) verifies. Canonical (compact) serialization of
+    /// the in-memory value, so whitespace never participates.
+    pub fn payload_checksum(&self) -> u64 {
+        let mut plain = self.clone();
+        plain.checksum = 0;
+        let json = serde_json::to_string(&plain).expect("in-memory checkpoint always serializes");
+        fnv1a(FNV_OFFSET, json.as_bytes())
+    }
+
+    /// Write the manifest atomically: seal the payload checksum, serialize
+    /// to `<path>.tmp` in the same directory, fsync, then rename over
+    /// `path`. A crash at any point leaves either the previous checkpoint
+    /// or the new one — never a torn file.
     pub fn save_atomic(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string_pretty(self)
+        let mut sealed = self.clone();
+        sealed.checksum = sealed.payload_checksum();
+        let json = serde_json::to_string_pretty(&sealed)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let tmp = path.with_file_name(format!(
             "{}.tmp",
@@ -622,26 +744,36 @@ impl Checkpoint {
         std::fs::rename(&tmp, path)
     }
 
-    /// Load and validate a manifest. A schema mismatch is an
-    /// [`io::ErrorKind::InvalidData`] error, never a misread.
-    pub fn load(path: &Path) -> io::Result<Checkpoint> {
-        let raw = std::fs::read_to_string(path)?;
-        let cp: Checkpoint = serde_json::from_str(&raw).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{}: {e}", path.display()),
-            )
+    /// Load and validate a manifest: parse, check the schema, then verify
+    /// the embedded payload checksum. Truncation (invalid JSON) and bit
+    /// flips that alter any recorded state are rejected with a typed
+    /// [`CheckpointLoadError`] — never a panic, never partial state.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointLoadError> {
+        let raw = std::fs::read_to_string(path).map_err(|source| CheckpointLoadError::Io {
+            path: path.to_path_buf(),
+            source,
         })?;
+        let cp: Checkpoint =
+            serde_json::from_str(&raw).map_err(|e| CheckpointLoadError::Corrupt {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            })?;
         if cp.schema != CHECKPOINT_SCHEMA {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "{}: checkpoint schema {} (this build writes {})",
-                    path.display(),
-                    cp.schema,
-                    CHECKPOINT_SCHEMA
+            return Err(CheckpointLoadError::SchemaMismatch {
+                path: path.to_path_buf(),
+                found: cp.schema,
+                expected: CHECKPOINT_SCHEMA,
+            });
+        }
+        let expected = cp.payload_checksum();
+        if cp.checksum != expected {
+            return Err(CheckpointLoadError::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!(
+                    "payload checksum {:#018x} recorded, {expected:#018x} computed",
+                    cp.checksum
                 ),
-            ));
+            });
         }
         Ok(cp)
     }
@@ -838,7 +970,12 @@ mod tests {
         // No temp file left behind.
         assert!(!path.with_file_name("run.ckpt.tmp").exists());
         let back = Checkpoint::load(&path).unwrap();
-        assert_eq!(back, cp);
+        // The written manifest carries the sealed checksum; everything
+        // else round-trips exactly.
+        assert_eq!(back.checksum, cp.payload_checksum());
+        assert_eq!(back.files, cp.files);
+        assert_eq!(back.report, cp.report);
+        assert_eq!(back.snapshot, cp.snapshot);
         assert_eq!(
             back.completed("a.mrt"),
             Some(&FileFingerprint {
@@ -851,7 +988,7 @@ mod tests {
         // Overwriting is just as safe.
         cp.files.clear();
         cp.save_atomic(&path).unwrap();
-        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        assert_eq!(Checkpoint::load(&path).unwrap().files, cp.files);
     }
 
     #[test]
@@ -864,8 +1001,109 @@ mod tests {
         cp.schema = CHECKPOINT_SCHEMA + 1;
         cp.save_atomic(&path).unwrap();
         let err = Checkpoint::load(&path).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            matches!(
+                err,
+                CheckpointLoadError::SchemaMismatch { found, expected, .. }
+                    if found == CHECKPOINT_SCHEMA + 1 && expected == CHECKPOINT_SCHEMA
+            ),
+            "{err}"
+        );
+        assert!(err.is_invalid_data());
         assert!(err.to_string().contains("schema"));
+    }
+
+    /// A realistic sealed manifest on disk, for corruption tests.
+    fn saved_checkpoint(dir_name: &str) -> (std::path::PathBuf, Checkpoint) {
+        let dir = std::env::temp_dir().join(dir_name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let mut acc = StatsAccumulator::new();
+        acc.ingest(&workload(), &SiblingMap::default(), 1);
+        let mut cp = Checkpoint::new();
+        cp.files.push(CompletedFile {
+            path: "updates.00.mrt".into(),
+            fingerprint: FileFingerprint {
+                bytes: 4096,
+                hash: 0xdead_beef,
+            },
+        });
+        cp.report.records_read = 120;
+        cp.report.bytes_ok = 4096;
+        cp.report.bytes_read = 4096;
+        cp.snapshot = acc.snapshot().clone();
+        cp.save_atomic(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        (path, loaded)
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_not_panicked() {
+        let (path, _) = saved_checkpoint("bgp-intent-ckpt-truncate");
+        let full = std::fs::read(&path).unwrap();
+        // Every truncation point — empty file, one byte, mid-JSON, the
+        // closing brace gone — must yield a clean typed error. (The file
+        // ends "}\n", so the last cut that actually damages it is len-2.)
+        for cut in [0, 1, full.len() / 4, full.len() / 2, full.len() - 2] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = Checkpoint::load(&path).unwrap_err();
+            assert!(
+                matches!(err, CheckpointLoadError::Corrupt { .. }),
+                "cut at {cut}: {err}"
+            );
+            assert!(err.is_invalid_data(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_never_yields_wrong_state() {
+        let (path, original) = saved_checkpoint("bgp-intent-ckpt-bitflip");
+        let full = std::fs::read(&path).unwrap();
+        let mut caught = 0usize;
+        // Flip one bit at a spread of positions. Each damaged file must
+        // either be rejected (parse error, schema, or checksum mismatch)
+        // or — when the flip only touched insignificant whitespace —
+        // reload to exactly the original state. Silent partial state is
+        // the one forbidden outcome.
+        for pos in (0..full.len()).step_by(7) {
+            let mut damaged = full.clone();
+            damaged[pos] ^= 0x10;
+            std::fs::write(&path, &damaged).unwrap();
+            match Checkpoint::load(&path) {
+                Err(e) => {
+                    assert!(e.is_invalid_data(), "flip at {pos}: {e}");
+                    caught += 1;
+                }
+                Ok(cp) => assert_eq!(cp, original, "flip at {pos} must not alter loaded state"),
+            }
+        }
+        assert!(caught > 0, "at least some flips must corrupt the payload");
+    }
+
+    #[test]
+    fn checksum_seal_survives_reload_and_detects_field_tampering() {
+        let (path, loaded) = saved_checkpoint("bgp-intent-ckpt-tamper");
+        assert_eq!(loaded.checksum, loaded.payload_checksum());
+        // Rewrite one recorded value without resealing: JSON still parses,
+        // schema still matches — only the checksum catches it.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let tampered = raw.replace("\"records_read\": 120", "\"records_read\": 121");
+        assert_ne!(tampered, raw, "tamper target must exist in the manifest");
+        std::fs::write(&path, tampered).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(err, CheckpointLoadError::Corrupt { ref detail, .. } if detail.contains("checksum")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn missing_checkpoint_is_an_io_not_found_error() {
+        let path = std::env::temp_dir().join("bgp-intent-ckpt-missing/none.ckpt");
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.is_not_found(), "{err}");
+        assert!(!err.is_invalid_data());
     }
 
     #[test]

@@ -72,10 +72,12 @@ pub mod features;
 pub mod large;
 pub mod pipeline;
 pub mod stats;
+pub mod supervisor;
 
 pub use categories::{infer_categories, CategoryConfig, FineCategory};
 pub use checkpoint::{
-    fingerprint_file, Checkpoint, CompletedFile, FileFingerprint, StatsAccumulator, StatsSnapshot,
+    fingerprint_file, Checkpoint, CheckpointLoadError, CompletedFile, FileFingerprint,
+    StatsAccumulator, StatsSnapshot,
 };
 pub use classify::{Exclusion, Inference, InferenceConfig};
 pub use cluster::gap_clusters;
@@ -87,3 +89,7 @@ pub use pipeline::{
     RATIO_BUCKETS,
 };
 pub use stats::{PathCounts, PathStats};
+pub use supervisor::{
+    plan_shards, supervise, validate_artifact, ShardEvent, ShardFailureKind, ShardOutcome,
+    ShardSpec, SupervisorConfig,
+};

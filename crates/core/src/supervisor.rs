@@ -1,0 +1,805 @@
+//! Shard-per-process execution: partition archives across worker
+//! subprocesses and supervise them to a merged, bit-identical result.
+//!
+//! At paper scale (≈174M path/community tuples over multi-day archive
+//! sets) worker failure is the common case, not the exception: a worker
+//! OOMs, a filesystem stalls, a decode bug panics, a node reboots. The
+//! supervisor here treats every one of those as a *retryable shard*, not a
+//! lost run:
+//!
+//! * [`plan_shards`] deals the input files round-robin into N shards. The
+//!   partition never affects the merged result — per-shard
+//!   [`StatsSnapshot`](crate::checkpoint::StatsSnapshot) artifacts hold
+//!   content-based fingerprint *sets* whose union is exact and commutative
+//!   (see [`crate::checkpoint`]), so merging shards in shard order yields
+//!   the same [`PathStats`](crate::stats::PathStats) as one process
+//!   reading every file.
+//! * [`supervise`] runs one subprocess per shard, watches a per-shard
+//!   heartbeat file for progress, and classifies every failure
+//!   ([`ShardFailureKind`]): nonzero exit, death by signal, a stall (no
+//!   heartbeat progress within the deadline — the worker is killed), a
+//!   missing/truncated/corrupt artifact, or a stale artifact that does not
+//!   cover the shard's files. Failed attempts are re-run with the bounded
+//!   deterministic backoff of [`bgp_mrt::retry::RetryPolicy`] until the
+//!   attempt budget runs out.
+//! * [`validate_artifact`] is the supervisor's trust boundary: an artifact
+//!   only counts if it loads (checksum verified — see
+//!   [`Checkpoint::load`]), lists exactly the shard's files in order, and
+//!   every listed fingerprint still matches the bytes on disk. Anything
+//!   else is a failed attempt, never silently-partial coverage.
+//!
+//! A shard whose budget is exhausted is reported as permanently failed;
+//! the caller decides whether that sinks the run (`--allow-shard-failures`
+//! in the CLI) and folds the exact coverage shortfall into the merged
+//! [`IngestReport`](bgp_mrt::IngestReport).
+//!
+//! Pre-existing valid artifacts are *reused* without spawning a worker,
+//! which is what makes a partially failed run resumable: re-running the
+//! same command redoes only the shards that never produced a valid
+//! artifact.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use bgp_mrt::retry::RetryPolicy;
+
+use crate::checkpoint::{fingerprint_file, Checkpoint, CheckpointLoadError};
+
+/// One shard of the input: which files it covers and where its worker
+/// writes the snapshot artifact and heartbeat.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// Shard number, `0..shard_count` (dense — empty shards are dropped).
+    pub index: usize,
+    /// The input files this shard ingests, in global input order.
+    pub files: Vec<String>,
+    /// Where the worker must write its [`Checkpoint`] artifact.
+    pub artifact: PathBuf,
+    /// The heartbeat file the worker touches after every ingested file.
+    pub heartbeat: PathBuf,
+}
+
+/// Deal `files` round-robin into at most `workers` shards (shard `i` gets
+/// files `i`, `i+workers`, …), dropping empty shards. Round-robin keeps
+/// shard byte-sizes balanced when archives are similar sizes, and the
+/// partition is irrelevant to the merged result (set-union merging), so no
+/// cleverer balancing is needed for correctness.
+pub fn plan_shards(files: &[String], workers: usize, dir: &Path) -> Vec<ShardSpec> {
+    let workers = workers.max(1);
+    (0..workers.min(files.len()))
+        .map(|i| ShardSpec {
+            index: i,
+            files: files.iter().skip(i).step_by(workers).cloned().collect(),
+            artifact: dir.join(format!("shard-{i:03}.ckpt")),
+            heartbeat: dir.join(format!("shard-{i:03}.hb")),
+        })
+        .collect()
+}
+
+/// Why one attempt at a shard failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardFailureKind {
+    /// The worker process could not be spawned at all.
+    Spawn(String),
+    /// The worker exited with a nonzero code (its own exit-code contract:
+    /// 3 = ingestion aborted, 9 = injected crash, …).
+    Exit(i32),
+    /// The worker was killed by a signal (OOM killer, external SIGKILL).
+    Signal(i32),
+    /// The worker made no heartbeat progress within the stall deadline and
+    /// was killed by the supervisor.
+    Stall,
+    /// The worker exited successfully but left no artifact behind.
+    MissingArtifact,
+    /// The artifact exists but is truncated, bit-flipped, or otherwise
+    /// unreadable ([`Checkpoint::load`] rejected it).
+    CorruptArtifact(String),
+    /// The artifact is well-formed but does not cover this shard's files
+    /// (wrong file list, or a recorded fingerprint no longer matches the
+    /// bytes on disk).
+    StaleArtifact(String),
+}
+
+impl fmt::Display for ShardFailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardFailureKind::Spawn(e) => write!(f, "failed to spawn worker: {e}"),
+            ShardFailureKind::Exit(code) => write!(f, "worker exited with code {code}"),
+            ShardFailureKind::Signal(sig) => write!(f, "worker killed by signal {sig}"),
+            ShardFailureKind::Stall => write!(f, "worker stalled (no heartbeat progress)"),
+            ShardFailureKind::MissingArtifact => {
+                write!(f, "worker exited cleanly but wrote no artifact")
+            }
+            ShardFailureKind::CorruptArtifact(e) => write!(f, "corrupt artifact: {e}"),
+            ShardFailureKind::StaleArtifact(e) => write!(f, "stale artifact: {e}"),
+        }
+    }
+}
+
+/// The final outcome of one shard after all attempts.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// Which shard.
+    pub index: usize,
+    /// Worker attempts actually launched (0 when a pre-existing artifact
+    /// was reused).
+    pub attempts: u32,
+    /// One entry per failed attempt, in order.
+    pub failures: Vec<ShardFailureKind>,
+    /// The validated artifact — `Some` exactly when the shard succeeded.
+    pub artifact: Option<Checkpoint>,
+    /// Whether the artifact predated this run (no worker was spawned).
+    pub reused: bool,
+}
+
+impl ShardOutcome {
+    /// Whether this shard ended with a validated artifact.
+    pub fn succeeded(&self) -> bool {
+        self.artifact.is_some()
+    }
+
+    /// Retries consumed: failed attempts that were followed by another.
+    pub fn retries(&self) -> u64 {
+        u64::from(self.attempts.saturating_sub(1))
+    }
+}
+
+/// Supervision policy: how hard to retry a shard and when a silent worker
+/// counts as stalled.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Attempt budget and deterministic inter-attempt backoff. Only
+    /// `max_attempts` and the backoff schedule are used; the per-file
+    /// deadline does not apply to shards (stalls are caught by
+    /// `stall_deadline` instead).
+    pub retry: RetryPolicy,
+    /// A running worker whose heartbeat has not changed for this long is
+    /// killed and the attempt classified [`ShardFailureKind::Stall`].
+    pub stall_deadline: Duration,
+    /// How often to poll children and heartbeats.
+    pub poll_interval: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_millis(50),
+                max_delay: Duration::from_secs(2),
+                per_file_deadline: None,
+            },
+            stall_deadline: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Progress notifications from [`supervise`], for logging and tests.
+#[derive(Debug)]
+pub enum ShardEvent<'a> {
+    /// A pre-existing valid artifact was adopted; no worker spawned.
+    Reused {
+        /// The shard whose artifact was adopted.
+        shard: &'a ShardSpec,
+    },
+    /// A worker attempt launched.
+    Started {
+        /// The shard being attempted.
+        shard: &'a ShardSpec,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// An attempt failed; another follows after `backoff`.
+    Retrying {
+        /// The shard being retried.
+        shard: &'a ShardSpec,
+        /// The attempt that just failed.
+        attempt: u32,
+        /// Why it failed.
+        failure: &'a ShardFailureKind,
+        /// Deterministic delay before the next attempt.
+        backoff: Duration,
+    },
+    /// The shard produced a validated artifact.
+    Succeeded {
+        /// The shard that completed.
+        shard: &'a ShardSpec,
+        /// The attempt that succeeded.
+        attempt: u32,
+    },
+    /// The attempt budget is exhausted; the shard is permanently failed.
+    GaveUp {
+        /// The shard that failed permanently.
+        shard: &'a ShardSpec,
+        /// Attempts consumed.
+        attempts: u32,
+        /// The final attempt's failure.
+        failure: &'a ShardFailureKind,
+    },
+}
+
+/// Validate a shard artifact against its spec: it must load cleanly
+/// (payload checksum verified), list exactly the shard's files in order,
+/// and every recorded fingerprint must still match the input bytes on
+/// disk. Returns the loaded [`Checkpoint`] or the failure classification.
+pub fn validate_artifact(spec: &ShardSpec) -> Result<Checkpoint, ShardFailureKind> {
+    let cp = Checkpoint::load(&spec.artifact).map_err(|e| match e {
+        ref io @ CheckpointLoadError::Io { .. } if io.is_not_found() => {
+            ShardFailureKind::MissingArtifact
+        }
+        other => ShardFailureKind::CorruptArtifact(other.to_string()),
+    })?;
+    let recorded: Vec<&str> = cp.files.iter().map(|f| f.path.as_str()).collect();
+    let expected: Vec<&str> = spec.files.iter().map(String::as_str).collect();
+    if recorded != expected {
+        return Err(ShardFailureKind::StaleArtifact(format!(
+            "covers {} file(s) {:?}, expected {} file(s) {:?}",
+            recorded.len(),
+            recorded,
+            expected.len(),
+            expected
+        )));
+    }
+    for done in &cp.files {
+        let now = fingerprint_file(Path::new(&done.path)).map_err(|e| {
+            ShardFailureKind::StaleArtifact(format!("fingerprint {}: {e}", done.path))
+        })?;
+        if now != done.fingerprint {
+            return Err(ShardFailureKind::StaleArtifact(format!(
+                "{} changed since the artifact was written \
+                 ({} bytes/hash {:#x} now vs {} bytes/hash {:#x} recorded)",
+                done.path, now.bytes, now.hash, done.fingerprint.bytes, done.fingerprint.hash
+            )));
+        }
+    }
+    Ok(cp)
+}
+
+/// Per-shard supervision state machine.
+enum State {
+    /// Waiting to (re)spawn at `at`.
+    Pending { attempt: u32, at: Instant },
+    /// A worker is running.
+    Running {
+        attempt: u32,
+        child: Child,
+        heartbeat: Option<Vec<u8>>,
+        progressed_at: Instant,
+    },
+    /// Terminal.
+    Done,
+}
+
+/// Classify a finished worker's exit status.
+fn classify_exit(status: std::process::ExitStatus) -> Result<(), ShardFailureKind> {
+    if status.success() {
+        return Ok(());
+    }
+    if let Some(code) = status.code() {
+        return Err(ShardFailureKind::Exit(code));
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return Err(ShardFailureKind::Signal(sig));
+        }
+    }
+    Err(ShardFailureKind::Exit(-1))
+}
+
+/// Run every shard to success or budget exhaustion.
+///
+/// `command` builds the worker invocation for `(spec, attempt)` — the
+/// attempt number is passed so callers can make fault injection
+/// first-attempt-only. Workers run concurrently (one process per shard);
+/// the supervisor polls children and heartbeat files every
+/// `poll_interval`, kills stalled workers, validates artifacts on clean
+/// exit, and re-runs failed shards after the deterministic backoff
+/// `cfg.retry.backoff(attempt)`. Outcomes are returned in shard order.
+pub fn supervise(
+    specs: &[ShardSpec],
+    cfg: &SupervisorConfig,
+    mut command: impl FnMut(&ShardSpec, u32) -> Command,
+    mut on_event: impl FnMut(ShardEvent<'_>),
+) -> Vec<ShardOutcome> {
+    let mut outcomes: Vec<ShardOutcome> = specs
+        .iter()
+        .map(|s| ShardOutcome {
+            index: s.index,
+            attempts: 0,
+            failures: Vec::new(),
+            artifact: None,
+            reused: false,
+        })
+        .collect();
+    let mut states: Vec<State> = Vec::with_capacity(specs.len());
+
+    // Adopt valid pre-existing artifacts (the resume path) before spawning
+    // anything; stale or corrupt leftovers are simply overwritten by the
+    // first attempt's atomic artifact write.
+    for (spec, outcome) in specs.iter().zip(&mut outcomes) {
+        match validate_artifact(spec) {
+            Ok(cp) => {
+                outcome.artifact = Some(cp);
+                outcome.reused = true;
+                on_event(ShardEvent::Reused { shard: spec });
+                states.push(State::Done);
+            }
+            Err(_) => states.push(State::Pending {
+                attempt: 1,
+                at: Instant::now(),
+            }),
+        }
+    }
+
+    loop {
+        let mut all_done = true;
+        for ((spec, state), outcome) in specs.iter().zip(&mut states).zip(&mut outcomes) {
+            let now = Instant::now();
+            // Each arm either installs the next state or leaves `Done`.
+            let next: Option<State> = match state {
+                State::Done => None,
+                State::Pending { attempt, at } => {
+                    if now < *at {
+                        Some(State::Pending {
+                            attempt: *attempt,
+                            at: *at,
+                        })
+                    } else {
+                        let attempt = *attempt;
+                        outcome.attempts = attempt;
+                        // A fresh attempt must never inherit the previous
+                        // attempt's heartbeat mtime/content as "progress".
+                        let _ = std::fs::remove_file(&spec.heartbeat);
+                        on_event(ShardEvent::Started {
+                            shard: spec,
+                            attempt,
+                        });
+                        let mut cmd = command(spec, attempt);
+                        cmd.stdin(Stdio::null());
+                        match cmd.spawn() {
+                            Ok(child) => Some(State::Running {
+                                attempt,
+                                child,
+                                heartbeat: None,
+                                progressed_at: now,
+                            }),
+                            Err(e) => Some(fail_attempt(
+                                spec,
+                                outcome,
+                                attempt,
+                                ShardFailureKind::Spawn(e.to_string()),
+                                cfg,
+                                &mut on_event,
+                            )),
+                        }
+                    }
+                }
+                State::Running {
+                    attempt,
+                    child,
+                    heartbeat,
+                    progressed_at,
+                } => {
+                    let attempt = *attempt;
+                    match child.try_wait() {
+                        Err(e) => Some(fail_attempt(
+                            spec,
+                            outcome,
+                            attempt,
+                            ShardFailureKind::Spawn(format!("wait: {e}")),
+                            cfg,
+                            &mut on_event,
+                        )),
+                        Ok(Some(status)) => {
+                            let result =
+                                classify_exit(status).and_then(|()| validate_artifact(spec));
+                            match result {
+                                Ok(cp) => {
+                                    outcome.artifact = Some(cp);
+                                    on_event(ShardEvent::Succeeded {
+                                        shard: spec,
+                                        attempt,
+                                    });
+                                    Some(State::Done)
+                                }
+                                Err(kind) => Some(fail_attempt(
+                                    spec,
+                                    outcome,
+                                    attempt,
+                                    kind,
+                                    cfg,
+                                    &mut on_event,
+                                )),
+                            }
+                        }
+                        Ok(None) => {
+                            // Still running: has the heartbeat moved?
+                            let current = std::fs::read(&spec.heartbeat).ok();
+                            if current.is_some() && current != *heartbeat {
+                                *heartbeat = current;
+                                *progressed_at = now;
+                                None // keep running, state mutated in place
+                            } else if now.duration_since(*progressed_at) > cfg.stall_deadline {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                Some(fail_attempt(
+                                    spec,
+                                    outcome,
+                                    attempt,
+                                    ShardFailureKind::Stall,
+                                    cfg,
+                                    &mut on_event,
+                                ))
+                            } else {
+                                None
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some(next) = next {
+                *state = next;
+            }
+            if !matches!(state, State::Done) {
+                all_done = false;
+            }
+        }
+        if all_done {
+            return outcomes;
+        }
+        std::thread::sleep(cfg.poll_interval);
+    }
+}
+
+/// Record a failed attempt and decide the follow-up state: another attempt
+/// after the deterministic backoff, or permanent failure once the budget
+/// is spent.
+fn fail_attempt(
+    spec: &ShardSpec,
+    outcome: &mut ShardOutcome,
+    attempt: u32,
+    failure: ShardFailureKind,
+    cfg: &SupervisorConfig,
+    on_event: &mut impl FnMut(ShardEvent<'_>),
+) -> State {
+    outcome.failures.push(failure);
+    let failure = outcome.failures.last().expect("just pushed");
+    if attempt < cfg.retry.max_attempts {
+        let backoff = cfg.retry.backoff(attempt);
+        on_event(ShardEvent::Retrying {
+            shard: spec,
+            attempt,
+            failure,
+            backoff,
+        });
+        State::Pending {
+            attempt: attempt + 1,
+            at: Instant::now() + backoff,
+        }
+    } else {
+        on_event(ShardEvent::GaveUp {
+            shard: spec,
+            attempts: attempt,
+            failure,
+        });
+        State::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{CompletedFile, StatsAccumulator};
+    use bgp_relationships::SiblingMap;
+    use bgp_types::{Asn, Community, Observation};
+    use std::fs;
+
+    fn workdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bgp-supervisor-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn quick_cfg(max_attempts: u32) -> SupervisorConfig {
+        SupervisorConfig {
+            retry: RetryPolicy {
+                max_attempts,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(4),
+                per_file_deadline: None,
+            },
+            stall_deadline: Duration::from_millis(250),
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+
+    /// A spec over real input files, plus a sealed artifact that validates
+    /// against it (written by `write_valid_artifact`).
+    fn spec_with_inputs(dir: &Path, index: usize, n_files: usize) -> ShardSpec {
+        let files: Vec<String> = (0..n_files)
+            .map(|i| {
+                let p = dir.join(format!("in-{index}-{i}.mrt"));
+                fs::write(&p, format!("payload {index} {i}")).unwrap();
+                p.to_string_lossy().into_owned()
+            })
+            .collect();
+        ShardSpec {
+            index,
+            files,
+            artifact: dir.join(format!("shard-{index:03}.ckpt")),
+            heartbeat: dir.join(format!("shard-{index:03}.hb")),
+        }
+    }
+
+    fn write_valid_artifact(spec: &ShardSpec) {
+        let mut cp = Checkpoint::new();
+        for f in &spec.files {
+            cp.files.push(CompletedFile {
+                path: f.clone(),
+                fingerprint: fingerprint_file(Path::new(f)).unwrap(),
+            });
+        }
+        let mut acc = StatsAccumulator::new();
+        acc.ingest(
+            &[Observation {
+                vp: Asn::new(64500),
+                prefix: "10.0.0.0/24".parse().unwrap(),
+                path: "64500 1299".parse().unwrap(),
+                communities: vec![Community::new(1299, 7)],
+                large_communities: Vec::new(),
+                time: 0,
+            }],
+            &SiblingMap::default(),
+            1,
+        );
+        cp.snapshot = acc.snapshot().clone();
+        cp.save_atomic(&spec.artifact).unwrap();
+    }
+
+    fn sh(script: String) -> Command {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg(script);
+        cmd
+    }
+
+    #[test]
+    fn round_robin_plan_covers_every_file_once() {
+        let files: Vec<String> = (0..7).map(|i| format!("f{i}.mrt")).collect();
+        let dir = PathBuf::from("/tmp/shards");
+        let plan = plan_shards(&files, 3, &dir);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0].files, ["f0.mrt", "f3.mrt", "f6.mrt"]);
+        assert_eq!(plan[1].files, ["f1.mrt", "f4.mrt"]);
+        assert_eq!(plan[2].files, ["f2.mrt", "f5.mrt"]);
+        // More workers than files: no empty shards.
+        let plan = plan_shards(&files[..2], 8, &dir);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].files, ["f0.mrt"]);
+        assert_eq!(plan[1].files, ["f1.mrt"]);
+        // Degenerate worker counts are clamped, not panicked.
+        assert_eq!(plan_shards(&files, 0, &dir).len(), 1);
+        assert!(plan_shards(&[], 4, &dir).is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_missing_corrupt_and_stale_artifacts() {
+        let dir = workdir("validate");
+        let spec = spec_with_inputs(&dir, 0, 2);
+        assert!(matches!(
+            validate_artifact(&spec),
+            Err(ShardFailureKind::MissingArtifact)
+        ));
+
+        fs::write(&spec.artifact, b"{ not json").unwrap();
+        assert!(matches!(
+            validate_artifact(&spec),
+            Err(ShardFailureKind::CorruptArtifact(_))
+        ));
+
+        // Valid artifact, then truncate it: corrupt again.
+        write_valid_artifact(&spec);
+        assert!(validate_artifact(&spec).is_ok());
+        let bytes = fs::read(&spec.artifact).unwrap();
+        fs::write(&spec.artifact, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            validate_artifact(&spec),
+            Err(ShardFailureKind::CorruptArtifact(_))
+        ));
+
+        // Valid artifact for the wrong file set: stale.
+        write_valid_artifact(&spec);
+        let mut wrong = spec.clone();
+        wrong.files.pop();
+        assert!(matches!(
+            validate_artifact(&wrong),
+            Err(ShardFailureKind::StaleArtifact(_))
+        ));
+
+        // Input rewritten after the artifact: fingerprint catches it.
+        fs::write(&spec.files[0], b"different bytes").unwrap();
+        assert!(matches!(
+            validate_artifact(&spec),
+            Err(ShardFailureKind::StaleArtifact(_))
+        ));
+    }
+
+    #[test]
+    fn reuses_pre_existing_valid_artifact_without_spawning() {
+        let dir = workdir("reuse");
+        let spec = spec_with_inputs(&dir, 0, 1);
+        write_valid_artifact(&spec);
+        let mut spawned = 0;
+        let outcomes = supervise(
+            std::slice::from_ref(&spec),
+            &quick_cfg(2),
+            |_, _| {
+                spawned += 1;
+                sh("exit 0".into())
+            },
+            |_| {},
+        );
+        assert_eq!(spawned, 0, "valid artifact must be adopted, not re-run");
+        assert!(outcomes[0].succeeded());
+        assert!(outcomes[0].reused);
+        assert_eq!(outcomes[0].attempts, 0);
+    }
+
+    #[test]
+    fn nonzero_exit_is_classified_and_retried_to_success() {
+        let dir = workdir("retry-exit");
+        let spec = spec_with_inputs(&dir, 0, 1);
+        let marker = dir.join("attempt2");
+        let outcomes = supervise(
+            std::slice::from_ref(&spec),
+            &quick_cfg(3),
+            |spec, attempt| {
+                if attempt < 3 {
+                    sh("exit 7".into())
+                } else {
+                    // Final attempt "works": produce the artifact.
+                    write_valid_artifact(spec);
+                    fs::write(&marker, b"x").unwrap();
+                    sh("exit 0".into())
+                }
+            },
+            |_| {},
+        );
+        let o = &outcomes[0];
+        assert!(o.succeeded());
+        assert_eq!(o.attempts, 3);
+        assert_eq!(o.retries(), 2);
+        assert_eq!(
+            o.failures,
+            vec![ShardFailureKind::Exit(7), ShardFailureKind::Exit(7)]
+        );
+        assert!(!o.reused);
+    }
+
+    #[test]
+    fn clean_exit_without_artifact_is_a_failure() {
+        let dir = workdir("no-artifact");
+        let spec = spec_with_inputs(&dir, 0, 1);
+        let outcomes = supervise(
+            std::slice::from_ref(&spec),
+            &quick_cfg(2),
+            |_, _| sh("exit 0".into()),
+            |_| {},
+        );
+        let o = &outcomes[0];
+        assert!(!o.succeeded());
+        assert_eq!(o.attempts, 2);
+        assert!(o
+            .failures
+            .iter()
+            .all(|f| *f == ShardFailureKind::MissingArtifact));
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_failure_and_budget_exhaustion_gives_up() {
+        let dir = workdir("corrupt-budget");
+        let spec = spec_with_inputs(&dir, 0, 1);
+        let mut gave_up = false;
+        let outcomes = supervise(
+            std::slice::from_ref(&spec),
+            &quick_cfg(2),
+            |spec, _| sh(format!("echo garbage > {}", spec.artifact.display())),
+            |e| {
+                if matches!(e, ShardEvent::GaveUp { .. }) {
+                    gave_up = true;
+                }
+            },
+        );
+        let o = &outcomes[0];
+        assert!(!o.succeeded());
+        assert_eq!(o.failures.len(), 2);
+        assert!(matches!(
+            o.failures[0],
+            ShardFailureKind::CorruptArtifact(_)
+        ));
+        assert!(gave_up);
+    }
+
+    #[test]
+    fn stalled_worker_is_killed_and_retried() {
+        let dir = workdir("stall");
+        let spec = spec_with_inputs(&dir, 0, 1);
+        let outcomes = supervise(
+            std::slice::from_ref(&spec),
+            &quick_cfg(2),
+            |spec, attempt| {
+                if attempt == 1 {
+                    // Touch the heartbeat once, then hang far past the
+                    // stall deadline without further progress.
+                    sh(format!("echo 1 > {}; sleep 30", spec.heartbeat.display()))
+                } else {
+                    write_valid_artifact(spec);
+                    sh("exit 0".into())
+                }
+            },
+            |_| {},
+        );
+        let o = &outcomes[0];
+        assert!(o.succeeded(), "{:?}", o.failures);
+        assert_eq!(o.failures, vec![ShardFailureKind::Stall]);
+        assert_eq!(o.attempts, 2);
+    }
+
+    #[test]
+    fn heartbeat_progress_defers_the_stall_deadline() {
+        let dir = workdir("heartbeat");
+        let spec = spec_with_inputs(&dir, 0, 1);
+        // Worker needs ~4 × stall_deadline of wall clock but heartbeats
+        // throughout, then succeeds — it must NOT be killed.
+        let outcomes = supervise(
+            std::slice::from_ref(&spec),
+            &quick_cfg(1),
+            |spec, _| {
+                write_valid_artifact(spec);
+                sh(format!(
+                    "for i in 1 2 3 4 5 6 7 8 9 10; do echo $i > {}; sleep 0.1; done; exit 0",
+                    spec.heartbeat.display()
+                ))
+            },
+            |_| {},
+        );
+        assert!(outcomes[0].succeeded(), "{:?}", outcomes[0].failures);
+        assert!(outcomes[0].failures.is_empty());
+    }
+
+    #[test]
+    fn shards_are_supervised_concurrently_and_reported_in_order() {
+        let dir = workdir("concurrent");
+        let specs: Vec<ShardSpec> = (0..3).map(|i| spec_with_inputs(&dir, i, 1)).collect();
+        let started = Instant::now();
+        // Workers sleep 300ms without heartbeating; keep the stall
+        // deadline comfortably above that so only concurrency is tested.
+        let mut cfg = quick_cfg(1);
+        cfg.stall_deadline = Duration::from_secs(5);
+        let outcomes = supervise(
+            &specs,
+            &cfg,
+            |spec, _| {
+                write_valid_artifact(spec);
+                sh("sleep 0.3; exit 0".into())
+            },
+            |_| {},
+        );
+        // Three 300ms workers in parallel finish far sooner than 900ms.
+        assert!(
+            started.elapsed() < Duration::from_millis(800),
+            "workers must run concurrently ({:?})",
+            started.elapsed()
+        );
+        assert!(outcomes.iter().all(|o| o.succeeded()));
+        assert_eq!(
+            outcomes.iter().map(|o| o.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+}

@@ -132,6 +132,19 @@ pub struct IngestReport {
     pub open_failed: Option<String>,
     /// Set when ingestion stopped before end-of-stream, with the reason.
     pub aborted: Option<String>,
+    /// Shards that exhausted their retry budget in a supervised sharded
+    /// run and were dropped under `--allow-shard-failures`. Zero for
+    /// single-process runs.
+    #[serde(default)]
+    pub shards_failed: u64,
+    /// Input files whose observations are missing from the merged result
+    /// because their shard permanently failed.
+    #[serde(default)]
+    pub files_lost: u64,
+    /// On-disk bytes of the lost input files — the exact coverage
+    /// shortfall of a degraded sharded run.
+    #[serde(default)]
+    pub bytes_lost: u64,
 }
 
 impl IngestReport {
@@ -153,11 +166,14 @@ impl IngestReport {
         if self.aborted.is_none() {
             self.aborted = other.aborted.clone();
         }
+        self.shards_failed += other.shards_failed;
+        self.files_lost += other.files_lost;
+        self.bytes_lost += other.bytes_lost;
     }
 
     /// Whether the stream decoded without a single problem.
     pub fn is_clean(&self) -> bool {
-        self.errors.is_clean() && self.aborted.is_none()
+        self.errors.is_clean() && self.aborted.is_none() && self.shards_failed == 0
     }
 
     /// Record this report under the `ingest/` metric namespace —
@@ -202,6 +218,11 @@ impl IngestReport {
             .counter("ingest/errors/budget_exceeded")
             .add(self.errors.budget_exceeded);
         metrics
+            .counter("ingest/shards_failed")
+            .add(self.shards_failed);
+        metrics.counter("ingest/files_lost").add(self.files_lost);
+        metrics.counter("ingest/bytes_lost").add(self.bytes_lost);
+        metrics
             .gauge("ingest/open_failed")
             .set(i64::from(self.open_failed.is_some()));
         metrics
@@ -231,6 +252,12 @@ impl IngestReport {
         }
         if let Some(why) = &self.aborted {
             out.push_str(&format!("; aborted: {why}"));
+        }
+        if self.shards_failed > 0 {
+            out.push_str(&format!(
+                "; {} shard(s) failed permanently ({} file(s), {} byte(s) not covered)",
+                self.shards_failed, self.files_lost, self.bytes_lost
+            ));
         }
         out
     }

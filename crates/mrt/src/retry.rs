@@ -279,6 +279,110 @@ mod tests {
     }
 
     #[test]
+    fn zero_attempt_budget_never_retries() {
+        // A budget of zero attempts is degenerate but must not loop or
+        // panic: the operation still runs once (`run` is attempt-driven,
+        // not permission-driven) and its first transient error surfaces
+        // with nothing counted as a retry.
+        let policy = quick_policy(0);
+        assert!(!policy.may_retry(0, Instant::now()));
+        assert!(!policy.may_retry(1, Instant::now()));
+        let retries = AtomicU64::new(0);
+        let mut calls = 0u32;
+        let err = policy
+            .run(&retries, || -> io::Result<()> {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(calls, 1, "the operation runs exactly once");
+        assert_eq!(retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn deadline_expired_before_the_first_attempt() {
+        // The deadline gates *retries*, not the first attempt: with the
+        // deadline already in the past the operation still runs once, a
+        // success is returned as-is, and a transient failure surfaces
+        // immediately with zero retries.
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            per_file_deadline: Some(Duration::from_millis(5)),
+        };
+        let long_ago = Instant::now() - Duration::from_secs(60);
+        assert!(!policy.may_retry(1, long_ago), "no retry budget remains");
+
+        let retries = AtomicU64::new(0);
+        let got = policy
+            .run(&retries, || -> io::Result<u32> { Ok(11) })
+            .unwrap();
+        assert_eq!(got, 11, "an immediate success ignores the deadline");
+
+        let policy = RetryPolicy {
+            per_file_deadline: Some(Duration::ZERO),
+            ..policy
+        };
+        let mut calls = 0u32;
+        let err = policy
+            .run(&retries, || -> io::Result<()> {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::TimedOut, "stall"))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(calls, 1);
+        assert_eq!(retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn final_attempt_success_counts_every_preceding_retry() {
+        // Success on the very last allowed attempt: the result is Ok and
+        // the counter records exactly max_attempts - 1 retries — the
+        // accounting must not over-count the successful attempt itself.
+        let retries = AtomicU64::new(0);
+        let mut left = 2u32;
+        let got = quick_policy(3)
+            .run(&retries, || {
+                if left > 0 {
+                    left -= 1;
+                    Err(io::Error::new(io::ErrorKind::TimedOut, "flap"))
+                } else {
+                    Ok("done")
+                }
+            })
+            .unwrap();
+        assert_eq!(got, "done");
+        assert_eq!(retries.load(Ordering::Relaxed), 2, "3 attempts, 2 retries");
+
+        // Same schedule against a deadline that has expired by the time
+        // the success lands: an attempt already under way is never
+        // abandoned, so the result is still Ok with the same accounting.
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+            per_file_deadline: Some(Duration::from_secs(3600)),
+        };
+        let retries = AtomicU64::new(0);
+        let mut left = 2u32;
+        let got = policy
+            .run(&retries, || {
+                if left > 0 {
+                    left -= 1;
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+                } else {
+                    Ok(99)
+                }
+            })
+            .unwrap();
+        assert_eq!(got, 99);
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
     fn run_retries_open_like_operations() {
         let retries = AtomicU64::new(0);
         let mut left = 2;

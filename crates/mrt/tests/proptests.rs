@@ -284,6 +284,7 @@ fn arb_ingest_report() -> impl Strategy<Value = IngestReport> {
         prop::option::of("[a-z]{1,8}"),
         (any::<u8>(), any::<u8>(), any::<u8>()),
         (any::<u8>(), any::<u8>(), 0u64..2),
+        (0u64..3, 0u64..8, any::<u32>()),
     )
         .prop_map(
             |(
@@ -295,6 +296,7 @@ fn arb_ingest_report() -> impl Strategy<Value = IngestReport> {
                 aborted,
                 (io, truncated, malformed),
                 (unsupported, too_long, budget_exceeded),
+                (shards_failed, files_lost, bytes_lost),
             )| IngestReport {
                 records_read: records_read as u64,
                 records_skipped: records_skipped as u64,
@@ -315,6 +317,9 @@ fn arb_ingest_report() -> impl Strategy<Value = IngestReport> {
                 panicked,
                 open_failed,
                 aborted,
+                shards_failed,
+                files_lost,
+                bytes_lost: bytes_lost as u64,
             },
         )
 }
@@ -347,6 +352,9 @@ proptest! {
         prop_assert_eq!(merged.resync_events, sum(|p| p.resync_events));
         prop_assert_eq!(merged.retries, sum(|p| p.retries));
         prop_assert_eq!(merged.panicked, sum(|p| p.panicked));
+        prop_assert_eq!(merged.shards_failed, sum(|p| p.shards_failed));
+        prop_assert_eq!(merged.files_lost, sum(|p| p.files_lost));
+        prop_assert_eq!(merged.bytes_lost, sum(|p| p.bytes_lost));
         prop_assert_eq!(merged.errors.decode_errors(), parts.iter().map(|p| p.errors.decode_errors()).sum::<u64>());
         prop_assert_eq!(
             merged.open_failed.as_ref(),
