@@ -33,7 +33,11 @@ use std::process::ExitCode;
 use serde_json::Value;
 
 /// Benchmarks whose regression fails the build. Everything else warns.
-const GATED: &[&str] = &["pipeline/end_to_end", "pipeline/path_stats"];
+const GATED: &[&str] = &[
+    "pipeline/end_to_end",
+    "pipeline/end_to_end_large",
+    "pipeline/path_stats",
+];
 
 /// An `--overhead bench:base:budget` ratio gate on the current run.
 struct OverheadGate {

@@ -47,6 +47,7 @@ USAGE:
     bgpcomm validate --mrt FILE [--mrt FILE ...]
     bgpcomm compare  --old FILE --new FILE
     bgpcomm generate --out DIR [--scale F] [--seed N] [--days N] [--docs N]
+                     [--stream]
 
 COMMANDS:
     stats     Summarize MRT archives: records, tuples, paths, communities.
@@ -1315,20 +1316,37 @@ pub fn generate(raw: Vec<String>) -> Result<(), Failure> {
     let scenario = Scenario::build(&scenario_cfg);
     let sim = scenario.simulator();
 
-    let rib_path = dir.join("rib.mrt");
-    let rib = sim.collect_rib(&scenario.vps);
-    let file = File::create(&rib_path).map_err(|e| format!("create rib.mrt: {e}"))?;
-    write_rib_dump(BufWriter::new(file), scenario.sim_cfg.base_timestamp, &rib)
-        .map_err(|e| format!("write rib.mrt: {e}"))?;
-    println!("{}: {} routes", rib_path.display(), rib.len());
+    if args.flag("stream") {
+        // Large-archive mode: everything goes into one file, one day at a
+        // time, so peak memory stays bounded by the biggest single day no
+        // matter how many gigabytes the archive grows to.
+        let path = dir.join("archive.mrt");
+        let file = File::create(&path).map_err(|e| format!("create archive.mrt: {e}"))?;
+        let summary = scenario
+            .stream_collect(&sim, days, BufWriter::new(file))
+            .map_err(|e| format!("write archive.mrt: {e}"))?;
+        println!(
+            "{}: {} observations in {} MRT records (streamed)",
+            path.display(),
+            summary.observations,
+            summary.records
+        );
+    } else {
+        let rib_path = dir.join("rib.mrt");
+        let rib = sim.collect_rib(&scenario.vps);
+        let file = File::create(&rib_path).map_err(|e| format!("create rib.mrt: {e}"))?;
+        write_rib_dump(BufWriter::new(file), scenario.sim_cfg.base_timestamp, &rib)
+            .map_err(|e| format!("write rib.mrt: {e}"))?;
+        println!("{}: {} routes", rib_path.display(), rib.len());
 
-    for day in 1..days {
-        let path = dir.join(format!("updates.day{day}.mrt"));
-        let updates = sim.collect_churn_day(&scenario.vps, day);
-        let file = File::create(&path).map_err(|e| format!("create updates: {e}"))?;
-        write_update_stream(BufWriter::new(file), Asn::new(6447), &updates)
-            .map_err(|e| format!("write updates: {e}"))?;
-        println!("{}: {} updates", path.display(), updates.len());
+        for day in 1..days {
+            let path = dir.join(format!("updates.day{day}.mrt"));
+            let updates = sim.collect_churn_day(&scenario.vps, day);
+            let file = File::create(&path).map_err(|e| format!("create updates: {e}"))?;
+            write_update_stream(BufWriter::new(file), Asn::new(6447), &updates)
+                .map_err(|e| format!("write updates: {e}"))?;
+            println!("{}: {} updates", path.display(), updates.len());
+        }
     }
 
     let dict_path = dir.join("dictionary.json");

@@ -303,9 +303,9 @@ impl StatsAccumulator {
     ) {
         if self.paths.insert(pfp) {
             self.paths_delta.push(pfp);
-            for hop in store.path(path_id).iter() {
-                if self.seen_asns.insert(hop) {
-                    self.asns_delta.push(hop.value());
+            for &hop in store.path_hops(path_id) {
+                if self.seen_asns.insert(Asn::new(hop)) {
+                    self.asns_delta.push(hop);
                 }
             }
         }

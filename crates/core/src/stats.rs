@@ -64,111 +64,66 @@ pub struct PathStats {
     pub unique_paths: usize,
 }
 
-/// Per-path sibling data in dense org-ID space, computed once per unique
-/// path (not per observation, and never per (tuple × community)).
-///
-/// The on-path test for community owner `α` becomes:
-///
-/// * `α` belongs to a known organization `o` → binary-search `o` in the
-///   path's sorted org list. Exact because org membership is a partition:
-///   some member of the path has org `o` **iff** `α` or one of its
-///   siblings is on the path.
-/// * `α` unknown to the sibling map → `expand(α) = [α]`, so binary-search
-///   `α` itself in the path's sorted unique-member slice.
-struct OrgTable {
-    /// `offsets[id]..offsets[id+1]` indexes `orgs`; empty when the sibling
-    /// map is empty (the common no-as2org case skips the whole table).
-    offsets: Vec<u32>,
-    /// Sorted, deduped org-IDs present on each path.
-    orgs: Vec<u32>,
-}
-
-impl OrgTable {
-    fn build(store: &ObservationStore, siblings: &SiblingMap) -> Self {
-        if siblings.org_count() == 0 {
-            return OrgTable {
-                offsets: Vec::new(),
-                orgs: Vec::new(),
-            };
-        }
-        let path_count = store.path_count();
-        let mut offsets = Vec::with_capacity(path_count + 1);
-        offsets.push(0u32);
-        let mut orgs = Vec::new();
-        let mut scratch: Vec<u32> = Vec::new();
-        for id in 0..path_count as u32 {
-            scratch.clear();
-            for &asn in store.path_members(id) {
-                if let Some(org) = siblings.org_id(Asn::new(asn)) {
-                    scratch.push(org);
-                }
-            }
-            scratch.sort_unstable();
-            scratch.dedup();
-            orgs.extend_from_slice(&scratch);
-            offsets.push(orgs.len() as u32);
-        }
-        OrgTable { offsets, orgs }
-    }
-
-    fn path_orgs(&self, id: u32) -> &[u32] {
-        let lo = self.offsets[id as usize] as usize;
-        let hi = self.offsets[id as usize + 1] as usize;
-        &self.orgs[lo..hi]
-    }
-}
-
-/// The owner of one community slot, resolved once before the reduction:
-/// either a dense org-ID (binary-searched in the path's org list) or the
-/// bare ASN value (binary-searched in the path's member slice — exactly
-/// `expand(α) = [α]` for owners the sibling map doesn't know).
+/// The owner of one community slot, resolved once before the reduction to
+/// its full sibling family: either the bare ASN value (owners the sibling
+/// map doesn't know, or sole members of their org — `expand(α) = [α]`) or
+/// a `family_pool` range holding every sibling's ASN value. The on-path
+/// test is then a binary search of each family member in the path's sorted
+/// unique-member slice — the reference reduction's
+/// `expand(α).iter().any(|a| members.contains(a))` verbatim, minus the
+/// hashing. Resolution happens per community *slot* (hundreds), never per
+/// path or per tuple.
 #[derive(Clone, Copy)]
 enum SlotOwner {
-    Org(u32),
     Plain(u32),
+    Family { lo: u32, hi: u32 },
 }
 
-fn resolve_slots(store: &ObservationStore, siblings: &SiblingMap) -> Vec<SlotOwner> {
-    (0..store.community_count() as u32)
-        .map(|slot| {
-            let owner = Asn::new(store.community(slot).asn as u32);
-            match if siblings.org_count() == 0 {
-                None
-            } else {
-                siblings.org_id(owner)
-            } {
-                Some(org) => SlotOwner::Org(org),
-                None => SlotOwner::Plain(owner.value()),
-            }
-        })
-        .collect()
-}
-
-/// Precomputed on-path test over one store: the per-path org table plus
-/// per-community-slot owner resolution. Built once, then every
-/// `(community slot, path ID)` test is a binary search over a handful of
-/// dense IDs — no hashing, no sibling-family walk. Shared with the
-/// checkpoint accumulator's store-ingestion path, where the same test runs
-/// per (tuple × community).
+/// Precomputed on-path test over one store: per-community-slot owner
+/// family resolution. Built once, then every `(community slot, path ID)`
+/// test is a handful of binary searches over dense values — no hashing,
+/// no sibling-family walk. Shared with the checkpoint accumulator's
+/// store-ingestion path, where the same test runs per (tuple × community).
 pub(crate) struct OnPathIndex {
-    orgs: OrgTable,
     resolved: Vec<SlotOwner>,
+    /// ASN values of multi-member owner families, ranged by `SlotOwner::Family`.
+    family_pool: Vec<u32>,
 }
 
 impl OnPathIndex {
     pub(crate) fn build(store: &ObservationStore, siblings: &SiblingMap) -> Self {
+        let mut family_pool = Vec::new();
+        let resolved = (0..store.community_count() as u32)
+            .map(|slot| {
+                let owner = Asn::new(store.community(slot).asn as u32);
+                let family = siblings.expand_ref(&owner);
+                if family.len() <= 1 {
+                    SlotOwner::Plain(owner.value())
+                } else {
+                    let lo = family_pool.len() as u32;
+                    family_pool.extend(family.iter().map(|a| a.value()));
+                    SlotOwner::Family {
+                        lo,
+                        hi: family_pool.len() as u32,
+                    }
+                }
+            })
+            .collect();
         OnPathIndex {
-            orgs: OrgTable::build(store, siblings),
-            resolved: resolve_slots(store, siblings),
+            resolved,
+            family_pool,
         }
     }
 
     /// Whether the owner of community slot `slot` (or one of its siblings)
     /// appears on path `path_id`.
     pub(crate) fn on_path(&self, store: &ObservationStore, path_id: u32, slot: u32) -> bool {
+        let members = store.path_members(path_id);
         match self.resolved[slot as usize] {
-            SlotOwner::Org(org) => self.orgs.path_orgs(path_id).binary_search(&org).is_ok(),
-            SlotOwner::Plain(asn) => store.path_members(path_id).binary_search(&asn).is_ok(),
+            SlotOwner::Plain(asn) => members.binary_search(&asn).is_ok(),
+            SlotOwner::Family { lo, hi } => self.family_pool[lo as usize..hi as usize]
+                .iter()
+                .any(|asn| members.binary_search(asn).is_ok()),
         }
     }
 }
@@ -293,12 +248,13 @@ impl PathStats {
         }
         // Every interned path has at least one observation, so the union
         // of interned member slices is exactly the old per-observation
-        // scan — computed once, not per shard.
-        for id in 0..store.path_count() as u32 {
-            stats
-                .seen_asns
-                .extend(store.path_members(id).iter().map(|&a| Asn::new(a)));
-        }
+        // scan. Sort-dedup the flat member pool first: hashing only the
+        // distinct survivors is far cheaper than hashing every entry.
+        let mut vals: Vec<u32> = store.member_values().to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        stats.seen_asns.reserve(vals.len());
+        stats.seen_asns.extend(vals.iter().map(|&a| Asn::new(a)));
         stats
     }
 

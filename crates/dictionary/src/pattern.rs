@@ -150,15 +150,28 @@ impl BetaPattern {
         self.positions.is_empty()
     }
 
-    /// Whether `beta`'s decimal rendering matches.
+    /// Whether `beta`'s decimal rendering matches. Digits are peeled off
+    /// arithmetically, least significant first — no allocation; this runs
+    /// once per (community × candidate entry) during evaluation.
     pub fn matches(&self, beta: u16) -> bool {
-        let s = beta.to_string();
-        if s.len() != self.positions.len() {
+        let decimal_len = match beta {
+            0..=9 => 1,
+            10..=99 => 2,
+            100..=999 => 3,
+            1000..=9999 => 4,
+            _ => 5,
+        };
+        if decimal_len != self.positions.len() {
             return false;
         }
-        s.bytes()
-            .zip(&self.positions)
-            .all(|(b, set)| set.contains(b - b'0'))
+        let mut rest = beta;
+        for set in self.positions.iter().rev() {
+            if !set.contains((rest % 10) as u8) {
+                return false;
+            }
+            rest /= 10;
+        }
+        true
     }
 
     /// Every β value this pattern matches, ascending. Candidates with a

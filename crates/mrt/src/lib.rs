@@ -62,17 +62,21 @@ pub mod error;
 pub mod faults;
 pub mod nlri;
 pub mod obs;
+pub mod readahead;
 pub mod reader;
 pub mod records;
 pub mod recover;
 pub mod retry;
+pub mod view;
 pub mod writer;
 
 pub use error::{MrtError, MrtErrorKind};
 pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultLog, FlakyConfig, FlakyReader};
 pub use obs::{FileIngest, FileStoreIngest, IngestTuning};
+pub use readahead::Readahead;
 pub use reader::MrtReader;
 pub use records::{MrtRecord, TimestampedRecord};
 pub use recover::{ErrorCounters, IngestReport, RecoverConfig, RecoveringReader};
 pub use retry::{RetryPolicy, RetryingReader};
+pub use view::RecordScratch;
 pub use writer::MrtWriter;

@@ -21,12 +21,14 @@ use bgp_types::{Asn, Observation, Prefix, RouteAttrs, Telemetry};
 use crate::bgpmsg::BgpMessage;
 use crate::error::MrtError;
 use crate::faults::{FlakyConfig, FlakyReader};
+use crate::readahead::Readahead;
 use crate::reader::MrtReader;
 use crate::records::{
     MrtRecord, PeerEntry, PeerIndexTable, RibEntry, RibSnapshot, TimestampedRecord,
 };
 use crate::recover::{IngestReport, RecoverConfig, RecoveringReader};
 use crate::retry::{RetryPolicy, RetryingReader};
+use crate::view::{EntryPolicy, RecordScratch};
 use crate::writer::MrtWriter;
 
 /// Synthesize a stable address for vantage point number `idx`.
@@ -151,17 +153,6 @@ pub fn write_update_stream<W: Write>(
     }
     writer.flush()?;
     Ok(writer.records_written())
-}
-
-/// What to do with a semantically invalid entry (e.g. a RIB entry whose
-/// peer index points outside the peer table) inside an otherwise decodable
-/// record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EntryPolicy {
-    /// Abort the whole read (historic strict behavior).
-    Abort,
-    /// Drop the entry, keep the rest of the record and stream.
-    Skip,
 }
 
 /// Fold one decoded record into an [`ObservationSink`] — a plain
@@ -347,6 +338,12 @@ pub fn read_observations_resilient_into<R: Read, S: ObservationSink>(
 
 /// [`read_observations_resilient`] with the
 /// [`IngestTuning::panic_after_records`] fault hook applied.
+///
+/// This is the zero-copy hot path: record bodies are parsed in place into a
+/// reusable [`RecordScratch`] arena and handed to the sink as borrowed
+/// views — no owned record tree, no per-record heap allocation. The
+/// [`read_observations_resilient_reference`] function keeps the owned fold
+/// alive as the differential-testing oracle.
 fn read_observations_resilient_hooked<R: Read, S: ObservationSink>(
     input: R,
     cfg: &RecoverConfig,
@@ -355,13 +352,47 @@ fn read_observations_resilient_hooked<R: Read, S: ObservationSink>(
 ) -> IngestReport {
     let mut reader = RecoveringReader::with_config(input, cfg.clone());
     let mut peers: Vec<PeerEntry> = Vec::new();
+    let mut scratch = RecordScratch::new();
     let mut dropped_entries = 0u64;
     let mut decoded = 0u64;
     // Err items need no handling here: they are already counted inside the
     // reader's report.
-    for rec in reader.by_ref().flatten() {
+    while let Some(item) = reader
+        .process_next(|ts, mrt_type, subtype, body| scratch.parse(ts, mrt_type, subtype, body))
+    {
+        if item.is_err() {
+            continue;
+        }
         decoded += 1;
         injected_panic_check(decoded, panic_after);
+        dropped_entries += scratch
+            .emit(&mut peers, sink, EntryPolicy::Skip)
+            .expect("Skip policy never errors");
+    }
+    let mut report = reader.into_report();
+    report.errors.malformed += dropped_entries;
+    report.arena_bytes = scratch.arena_bytes();
+    report
+}
+
+/// The owned-decode reference implementation of
+/// [`read_observations_resilient`]: identical semantics, but every record is
+/// materialized through [`crate::records::decode_body`] and folded from the
+/// owned tree.
+///
+/// This exists as the oracle for the differential tests that pin the
+/// zero-copy view decoder bit-identical to the owned path (same
+/// observations, same [`IngestReport`] up to the view-only `arena_bytes`
+/// field); production callers should use [`read_observations_resilient`].
+pub fn read_observations_resilient_reference<R: Read, S: ObservationSink>(
+    input: R,
+    cfg: &RecoverConfig,
+    sink: &mut S,
+) -> IngestReport {
+    let mut reader = RecoveringReader::with_config(input, cfg.clone());
+    let mut peers: Vec<PeerEntry> = Vec::new();
+    let mut dropped_entries = 0u64;
+    for rec in reader.by_ref().flatten() {
         dropped_entries +=
             accumulate(rec, &mut peers, sink, EntryPolicy::Skip).expect("Skip policy never errors");
     }
@@ -404,13 +435,19 @@ pub struct IngestTuning {
 }
 
 /// Open `path` under the retry policy and stack the supervised read chain:
-/// `File → BufReader → [FlakyReader] → RetryingReader`.
+/// `File → BufReader → [FlakyReader] → RetryingReader → Readahead`.
+///
+/// The retrying reader runs on the readahead producer thread, so transient
+/// faults are absorbed (and counted into the shared `retries` counter)
+/// while the decode thread keeps draining already-fetched blocks; `blocks`
+/// counts delivered readahead blocks for the ingest report.
 fn open_supervised(
     path: &Path,
     index: usize,
     tuning: &IngestTuning,
     retries: &Arc<AtomicU64>,
-) -> std::io::Result<RetryingReader<Box<dyn Read + Send>>> {
+    blocks: &Arc<AtomicU64>,
+) -> std::io::Result<Readahead> {
     let file = tuning.retry.run(retries, || File::open(path))?;
     let base: Box<dyn Read + Send> = match &tuning.flaky {
         Some(cfg) => Box::new(FlakyReader::new(
@@ -419,11 +456,8 @@ fn open_supervised(
         )),
         None => Box::new(BufReader::new(file)),
     };
-    Ok(RetryingReader::new(
-        base,
-        tuning.retry.clone(),
-        retries.clone(),
-    ))
+    let retrying = RetryingReader::new(base, tuning.retry.clone(), retries.clone());
+    Ok(Readahead::new(retrying, blocks.clone()))
 }
 
 /// The [`IngestReport`] for a file that produced nothing, with the failure
@@ -495,7 +529,8 @@ fn read_files_parallel_into<S: ObservationSink + Default + Send>(
     let slots = try_par_map_indexed(paths.len(), threads, |i| {
         let path = paths[i].clone();
         let retries = Arc::new(AtomicU64::new(0));
-        match open_supervised(&path, i, tuning, &retries) {
+        let blocks = Arc::new(AtomicU64::new(0));
+        match open_supervised(&path, i, tuning, &retries, &blocks) {
             Ok(reader) => {
                 let mut span = span!(tel.tracer, "ingest/file", file = path.display());
                 let mut sink = S::default();
@@ -506,6 +541,7 @@ fn read_files_parallel_into<S: ObservationSink + Default + Send>(
                     tuning.panic_after_records,
                 );
                 report.retries += retries.load(Ordering::Relaxed);
+                report.readahead_blocks += blocks.load(Ordering::Relaxed);
                 if span.enabled() {
                     span.set("observations", &sink.observation_count());
                     span.set("bytes_read", &report.bytes_read);
@@ -514,6 +550,8 @@ fn read_files_parallel_into<S: ObservationSink + Default + Send>(
                     span.set("retries", &report.retries);
                     span.set("faults", &report.errors.decode_errors());
                     span.set("resyncs", &report.resync_events);
+                    span.set("readahead_blocks", &report.readahead_blocks);
+                    span.set("arena_bytes", &report.arena_bytes);
                 }
                 (path, sink, report)
             }
@@ -657,7 +695,8 @@ pub fn read_observations_parallel_strict_with(
     let threads = effective_threads(threads);
     let slots = try_par_map_indexed(paths.len(), threads, |i| {
         let retries = Arc::new(AtomicU64::new(0));
-        open_supervised(&paths[i], i, tuning, &retries)
+        let blocks = Arc::new(AtomicU64::new(0));
+        open_supervised(&paths[i], i, tuning, &retries, &blocks)
             .map_err(MrtError::from)
             .and_then(|r| {
                 let mut observations = Vec::new();

@@ -1,0 +1,317 @@
+//! Double-buffered readahead I/O.
+//!
+//! MRT decode alternates between pulling bytes off the supervised reader
+//! chain and crunching them; on a spinning disk or a network filesystem the
+//! pull stalls the crunch. [`Readahead`] moves the pull onto a producer
+//! thread: it owns the underlying reader, fills fixed-size blocks, and
+//! hands them to the consumer over a bounded channel (depth 2 — classic
+//! double buffering: the producer fills block *n+1* while decode drains
+//! block *n*). Consumed blocks are recycled back to the producer, so the
+//! steady state allocates nothing.
+//!
+//! The consumer side implements [`Read`], so the whole thing slots
+//! transparently *below* [`crate::recover::RecoveringReader`] (which still
+//! does framing, resync, and byte accounting on exactly the bytes this
+//! reader yields) and *above* [`crate::retry::RetryingReader`] (whose
+//! retries run on the producer thread, against the shared retry counter).
+//!
+//! Blocks are filled **completely** (short reads from the inner reader are
+//! looped) so the block count for a given input is `ceil(len / block)`
+//! regardless of how the inner reader chunks its reads — that makes
+//! `ingest/readahead_blocks` a deterministic metric. I/O errors are
+//! delivered in-order, once, at the position where the producer hit them;
+//! `Interrupted` is retried in place like every other reader in this crate.
+
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Default block size: big enough to amortize syscalls and channel hops,
+/// small enough that two blocks in flight stay cache- and memory-friendly.
+pub const DEFAULT_BLOCK_SIZE: usize = 256 * 1024;
+
+/// Queue depth: one block being drained, one being filled.
+const QUEUE_DEPTH: usize = 2;
+
+/// A [`Read`] adapter that prefetches the underlying stream on a producer
+/// thread. See the module docs for the contract.
+#[derive(Debug)]
+pub struct Readahead {
+    rx: Option<Receiver<io::Result<Vec<u8>>>>,
+    recycle: SyncSender<Vec<u8>>,
+    current: Vec<u8>,
+    pos: usize,
+    done: bool,
+    blocks: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Readahead {
+    /// Spawn the producer thread over `inner` with the default block size.
+    ///
+    /// `blocks` is incremented once per block the consumer takes delivery
+    /// of; pass a fresh counter (or one shared with an ingest report).
+    pub fn new<R: Read + Send + 'static>(inner: R, blocks: Arc<AtomicU64>) -> Self {
+        Self::with_block_size(inner, blocks, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// [`Readahead::new`] with an explicit block size (tests use tiny
+    /// blocks to force records to straddle block boundaries).
+    pub fn with_block_size<R: Read + Send + 'static>(
+        mut inner: R,
+        blocks: Arc<AtomicU64>,
+        block_size: usize,
+    ) -> Self {
+        assert!(block_size > 0, "readahead block size must be positive");
+        let (tx, rx) = sync_channel::<io::Result<Vec<u8>>>(QUEUE_DEPTH);
+        let (recycle, recycle_rx) = sync_channel::<Vec<u8>>(QUEUE_DEPTH + 1);
+        let handle = std::thread::spawn(move || {
+            producer(&mut inner, &tx, &recycle_rx, block_size);
+        });
+        Readahead {
+            rx: Some(rx),
+            recycle,
+            current: Vec::new(),
+            pos: 0,
+            done: false,
+            blocks,
+            handle: Some(handle),
+        }
+    }
+
+    /// Pull the next block into `current`. Returns `Ok(false)` at end of
+    /// stream, `Err` (once) if the producer hit an I/O error.
+    fn advance(&mut self) -> io::Result<bool> {
+        // Recycle the drained block; if the producer already exited the
+        // send just fails and the buffer drops.
+        let spent = std::mem::take(&mut self.current);
+        if spent.capacity() > 0 {
+            let _ = self.recycle.try_send(spent);
+        }
+        self.pos = 0;
+        let Some(rx) = &self.rx else {
+            return Ok(false);
+        };
+        match rx.recv() {
+            Ok(Ok(block)) => {
+                self.blocks.fetch_add(1, Ordering::Relaxed);
+                self.current = block;
+                Ok(true)
+            }
+            Ok(Err(e)) => {
+                self.done = true;
+                Err(e)
+            }
+            Err(_) => {
+                // Channel closed: clean end of stream.
+                self.done = true;
+                Ok(false)
+            }
+        }
+    }
+}
+
+impl Read for Readahead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.pos >= self.current.len() {
+            if self.done || !self.advance()? {
+                return Ok(0);
+            }
+        }
+        let n = buf.len().min(self.current.len() - self.pos);
+        buf[..n].copy_from_slice(&self.current[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Drop for Readahead {
+    fn drop(&mut self) {
+        // Close the delivery channel first so a producer blocked on send
+        // wakes up and exits, then join it.
+        self.rx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn producer<R: Read>(
+    inner: &mut R,
+    tx: &SyncSender<io::Result<Vec<u8>>>,
+    recycle: &Receiver<Vec<u8>>,
+    block_size: usize,
+) {
+    loop {
+        let mut block = recycle.try_recv().unwrap_or_default();
+        block.clear();
+        block.resize(block_size, 0);
+        let mut filled = 0;
+        let mut fatal = None;
+        loop {
+            match inner.read(&mut block[filled..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    filled += n;
+                    if filled == block_size {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+        // Bytes read before an error are still delivered (as a short
+        // block), matching how a direct reader keeps them; the error
+        // follows in order.
+        block.truncate(filled);
+        if filled > 0 && tx.send(Ok(block)).is_err() {
+            return; // consumer gone
+        }
+        match fatal {
+            Some(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+            None if filled == 0 => return, // EOF: dropping tx closes the channel
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(mut r: impl Read) -> Vec<u8> {
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrips_bytes_exactly() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        for block in [1, 7, 4096, DEFAULT_BLOCK_SIZE] {
+            let blocks = Arc::new(AtomicU64::new(0));
+            let r = Readahead::with_block_size(
+                std::io::Cursor::new(data.clone()),
+                blocks.clone(),
+                block,
+            );
+            assert_eq!(read_all(r), data, "block size {block}");
+            assert_eq!(
+                blocks.load(Ordering::Relaxed),
+                data.len().div_ceil(block) as u64,
+                "block count is deterministic at block size {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_eof_and_zero_blocks() {
+        let blocks = Arc::new(AtomicU64::new(0));
+        let r = Readahead::new(std::io::Cursor::new(Vec::new()), blocks.clone());
+        assert_eq!(read_all(r), Vec::<u8>::new());
+        assert_eq!(blocks.load(Ordering::Relaxed), 0);
+    }
+
+    /// A reader that yields deliberately ragged short reads, then an error.
+    struct Ragged {
+        data: Vec<u8>,
+        pos: usize,
+        fail_at: Option<usize>,
+    }
+
+    impl Read for Ragged {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if let Some(f) = self.fail_at {
+                if self.pos >= f {
+                    return Err(io::Error::other("injected"));
+                }
+            }
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            // Short reads of varying size, never aligned with blocks.
+            let n = buf.len().min(13).min(self.data.len() - self.pos);
+            let n = n
+                .min(self.fail_at.map_or(usize::MAX, |f| f - self.pos))
+                .max(1);
+            let n = n.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn short_reads_do_not_change_block_count() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 239) as u8).collect();
+        let blocks = Arc::new(AtomicU64::new(0));
+        let r = Readahead::with_block_size(
+            Ragged {
+                data: data.clone(),
+                pos: 0,
+                fail_at: None,
+            },
+            blocks.clone(),
+            1024,
+        );
+        assert_eq!(read_all(r), data);
+        assert_eq!(
+            blocks.load(Ordering::Relaxed),
+            data.len().div_ceil(1024) as u64
+        );
+    }
+
+    #[test]
+    fn io_error_is_delivered_in_order_once() {
+        let data: Vec<u8> = vec![0xAB; 5000];
+        let blocks = Arc::new(AtomicU64::new(0));
+        let mut r = Readahead::with_block_size(
+            Ragged {
+                data: data.clone(),
+                pos: 0,
+                fail_at: Some(2500),
+            },
+            blocks.clone(),
+            1024,
+        );
+        let mut got = Vec::new();
+        let err = loop {
+            let mut chunk = [0u8; 512];
+            match r.read(&mut chunk) {
+                Ok(0) => panic!("expected an error before EOF"),
+                Ok(n) => got.extend_from_slice(&chunk[..n]),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.to_string(), "injected");
+        // Every byte before the failure point arrived, in order, including
+        // the partially filled block the error interrupted.
+        assert_eq!(got, data[..2500].to_vec());
+        // After the error, the stream reads as ended rather than repeating
+        // the error forever.
+        let mut chunk = [0u8; 16];
+        assert_eq!(r.read(&mut chunk).unwrap(), 0);
+    }
+
+    #[test]
+    fn drop_mid_stream_joins_the_producer() {
+        let data: Vec<u8> = vec![7; DEFAULT_BLOCK_SIZE * 8];
+        let blocks = Arc::new(AtomicU64::new(0));
+        let mut r = Readahead::new(std::io::Cursor::new(data), blocks);
+        let mut chunk = [0u8; 64];
+        assert_eq!(r.read(&mut chunk).unwrap(), chunk.len());
+        drop(r); // must not hang or leak the thread
+    }
+}

@@ -17,6 +17,9 @@ use crate::records::{self, TimestampedRecord};
 #[derive(Debug)]
 pub struct MrtReader<R> {
     inner: R,
+    /// Reusable body buffer: resized per record, never reallocated once it
+    /// has grown to the largest record seen.
+    body: Vec<u8>,
     records_read: u64,
     records_skipped: u64,
     records_truncated: u64,
@@ -28,6 +31,7 @@ impl<R: Read> MrtReader<R> {
     pub fn new(inner: R) -> Self {
         MrtReader {
             inner,
+            body: Vec::new(),
             records_read: 0,
             records_skipped: 0,
             records_truncated: 0,
@@ -85,25 +89,23 @@ impl<R: Read> MrtReader<R> {
         let mrt_type = u16::from_be_bytes([header[4], header[5]]);
         let subtype = u16::from_be_bytes([header[6], header[7]]);
         let length = u32::from_be_bytes([header[8], header[9], header[10], header[11]]) as usize;
-        let mut body = vec![0u8; length];
-        // Read manually rather than via `read_exact` so a short body can
-        // report exactly how many bytes were missing (`read_exact` leaves
-        // the fill count unspecified on failure).
-        let mut filled = 0;
-        while filled < length {
-            match self.inner.read(&mut body[filled..]) {
-                Ok(0) => {
-                    return Err(MrtError::Truncated {
-                        context: "MRT record body",
-                        needed: length - filled,
-                    });
-                }
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e.into()),
-            }
+        self.body.clear();
+        // Read through `Take::read_to_end` rather than into a pre-sized
+        // buffer: the reused buffer grows only as far as the stream actually
+        // delivers, so a corrupted length field cannot force a multi-GB
+        // zeroed allocation, and a short body still reports exactly how many
+        // bytes were missing.
+        self.inner
+            .by_ref()
+            .take(length as u64)
+            .read_to_end(&mut self.body)?;
+        if self.body.len() < length {
+            return Err(MrtError::Truncated {
+                context: "MRT record body",
+                needed: length - self.body.len(),
+            });
         }
-        match records::decode_body(mrt_type, subtype, &body) {
+        match records::decode_body(mrt_type, subtype, &self.body) {
             Ok(record) => {
                 self.records_read += 1;
                 Ok(Some(TimestampedRecord { timestamp, record }))

@@ -145,6 +145,17 @@ pub struct IngestReport {
     /// shortfall of a degraded sharded run.
     #[serde(default)]
     pub bytes_lost: u64,
+    /// Readahead blocks consumed from the prefetch thread. Deterministic
+    /// for a given input (blocks are filled completely regardless of how
+    /// the underlying reader chunks its reads); zero when the read path
+    /// had no readahead stage.
+    #[serde(default)]
+    pub readahead_blocks: u64,
+    /// High-water footprint in bytes of the view decoder's scratch arena —
+    /// the *entire* per-stream heap of the zero-copy decode path. Zero for
+    /// owned-decode reads.
+    #[serde(default)]
+    pub arena_bytes: u64,
 }
 
 impl IngestReport {
@@ -169,6 +180,8 @@ impl IngestReport {
         self.shards_failed += other.shards_failed;
         self.files_lost += other.files_lost;
         self.bytes_lost += other.bytes_lost;
+        self.readahead_blocks += other.readahead_blocks;
+        self.arena_bytes += other.arena_bytes;
     }
 
     /// Whether the stream decoded without a single problem.
@@ -222,6 +235,10 @@ impl IngestReport {
             .add(self.shards_failed);
         metrics.counter("ingest/files_lost").add(self.files_lost);
         metrics.counter("ingest/bytes_lost").add(self.bytes_lost);
+        metrics
+            .counter("ingest/readahead_blocks")
+            .add(self.readahead_blocks);
+        metrics.counter("ingest/arena_bytes").add(self.arena_bytes);
         metrics
             .gauge("ingest/open_failed")
             .set(i64::from(self.open_failed.is_some()));
@@ -443,14 +460,38 @@ impl<R: Read> RecoveringReader<R> {
         plausible_header(&self.buf[q..q + 12], self.cfg.max_record_len)
     }
 
-    fn io_fatal(&mut self, e: MrtError) -> Option<Result<TimestampedRecord, MrtError>> {
+    fn io_fatal(&mut self, e: MrtError) -> MrtError {
         self.drain_rest();
         self.report.aborted = Some(format!("I/O error: {e}"));
         self.fused = true;
-        Some(Err(self.emit(e)))
+        self.emit(e)
     }
 
     fn next_item(&mut self) -> Option<Result<TimestampedRecord, MrtError>> {
+        self.process_next(|timestamp, mrt_type, subtype, body| {
+            records::decode_body(mrt_type, subtype, body)
+                .map(|record| TimestampedRecord { timestamp, record })
+        })
+    }
+
+    /// Advance to the next record and hand its framed body to `decode`.
+    ///
+    /// This is the framing loop shared by the owned and borrowed-view
+    /// decode paths: header parsing, truncation handling, resync, the
+    /// error budget, and the byte ledger are identical no matter what
+    /// `decode` does with the body — so the zero-copy path inherits fault
+    /// recovery by construction rather than by reimplementation. The
+    /// closure sees `(timestamp, mrt_type, subtype, body)`; an `Err` from
+    /// it receives exactly the skip-or-resync treatment a failed
+    /// [`records::decode_body`] would.
+    ///
+    /// Note the body slice is assembled in this reader's own buffer, so a
+    /// record that straddles readahead (or any upstream) block boundaries
+    /// always reaches `decode` contiguous and complete.
+    pub fn process_next<T>(
+        &mut self,
+        decode: impl FnOnce(u32, u16, u16, &[u8]) -> Result<T, MrtError>,
+    ) -> Option<Result<T, MrtError>> {
         if self.fused {
             return None;
         }
@@ -466,7 +507,7 @@ impl<R: Read> RecoveringReader<R> {
         }
 
         if let Err(e) = self.fill(12) {
-            return self.io_fatal(e);
+            return Some(Err(self.io_fatal(e)));
         }
         let avail = self.available();
         if avail == 0 {
@@ -505,7 +546,7 @@ impl<R: Read> RecoveringReader<R> {
 
         let total = 12 + length;
         if let Err(e) = self.fill(total) {
-            return self.io_fatal(e);
+            return Some(Err(self.io_fatal(e)));
         }
         if self.available() < total {
             // The length field points past EOF: either a genuinely
@@ -521,12 +562,12 @@ impl<R: Read> RecoveringReader<R> {
         }
 
         let body = &self.buf[self.pos + 12..self.pos + total];
-        match records::decode_body(mrt_type, subtype, body) {
-            Ok(record) => {
+        match decode(timestamp, mrt_type, subtype, body) {
+            Ok(value) => {
                 self.report.records_read += 1;
                 self.report.bytes_ok += total as u64;
                 self.pos += total;
-                Some(Ok(TimestampedRecord { timestamp, record }))
+                Some(Ok(value))
             }
             Err(e) => {
                 // A failed body is only skippable if its claimed frame is

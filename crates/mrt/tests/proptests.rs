@@ -320,6 +320,8 @@ fn arb_ingest_report() -> impl Strategy<Value = IngestReport> {
                 shards_failed,
                 files_lost,
                 bytes_lost: bytes_lost as u64,
+                readahead_blocks: records_skipped as u64,
+                arena_bytes: bytes_skipped as u64,
             },
         )
 }
@@ -355,6 +357,8 @@ proptest! {
         prop_assert_eq!(merged.shards_failed, sum(|p| p.shards_failed));
         prop_assert_eq!(merged.files_lost, sum(|p| p.files_lost));
         prop_assert_eq!(merged.bytes_lost, sum(|p| p.bytes_lost));
+        prop_assert_eq!(merged.readahead_blocks, sum(|p| p.readahead_blocks));
+        prop_assert_eq!(merged.arena_bytes, sum(|p| p.arena_bytes));
         prop_assert_eq!(merged.errors.decode_errors(), parts.iter().map(|p| p.errors.decode_errors()).sum::<u64>());
         prop_assert_eq!(
             merged.open_failed.as_ref(),

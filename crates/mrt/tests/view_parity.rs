@@ -1,0 +1,271 @@
+//! Differential proptests pinning the zero-copy view decoder
+//! ([`read_observations_resilient_into`]) bit-identical to the owned-decode
+//! oracle ([`read_observations_resilient_reference`]): same columnar store
+//! (same intern IDs, same reconstructed observations), same [`IngestReport`]
+//! up to the view-only `arena_bytes` field — across a fault matrix of
+//! seeded stream corruption, truncated tails, records straddling tiny
+//! readahead blocks, AS_SET paths, and legacy 2-octet encodings.
+
+use std::io::Cursor;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use bgp_mrt::faults::corrupt_stream;
+use bgp_mrt::obs::{
+    read_observations_resilient_into, read_observations_resilient_reference, write_rib_dump,
+    write_update_stream,
+};
+use bgp_mrt::readahead::Readahead;
+use bgp_mrt::records::{MrtRecord, TableDumpEntry};
+use bgp_mrt::{IngestReport, MrtWriter, RecoverConfig};
+use bgp_types::store::ObservationStore;
+use bgp_types::{
+    AsPath, Asn, Community, LargeCommunity, Observation, PathSegment, Prefix, RouteAttrs,
+};
+
+/// The view path's report with the field the oracle cannot produce zeroed.
+fn normalized(mut report: IngestReport) -> IngestReport {
+    report.arena_bytes = 0;
+    report
+}
+
+/// Deep store equality: identical length, identical intern ID columns, and
+/// identical reconstructed observations.
+fn assert_stores_equal(
+    view: &ObservationStore,
+    owned: &ObservationStore,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(view.len(), owned.len());
+    prop_assert_eq!(view.path_count(), owned.path_count());
+    prop_assert_eq!(view.cset_count(), owned.cset_count());
+    for i in 0..view.len() {
+        prop_assert_eq!(
+            view.obs_path_id(i),
+            owned.obs_path_id(i),
+            "path id of obs {}",
+            i
+        );
+        prop_assert_eq!(
+            view.obs_cset_id(i),
+            owned.obs_cset_id(i),
+            "cset id of obs {}",
+            i
+        );
+        prop_assert_eq!(view.get(i), owned.get(i), "observation {}", i);
+    }
+    Ok(())
+}
+
+/// Run `wire` through both decoders and require identical results.
+fn assert_parity(wire: &[u8], cfg: &RecoverConfig) -> Result<(), TestCaseError> {
+    let mut view = ObservationStore::new();
+    let view_report = read_observations_resilient_into(wire, cfg, &mut view);
+    let mut owned = ObservationStore::new();
+    let owned_report = read_observations_resilient_reference(wire, cfg, &mut owned);
+    prop_assert_eq!(normalized(view_report), normalized(owned_report));
+    assert_stores_equal(&view, &owned)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
+            Prefix::new(Ipv4Addr::from(addr).into(), len).expect("valid v4 length")
+        }),
+        (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| {
+            Prefix::new(Ipv6Addr::from(addr).into(), len).expect("valid v6 length")
+        }),
+    ]
+}
+
+/// Paths mixing SEQUENCE and SET segments; `wide` picks 4-byte vs
+/// 2-octet-encodable ASNs.
+fn arb_path(wide: bool) -> impl Strategy<Value = AsPath> {
+    let asn = if wide {
+        any::<u32>().prop_map(Asn::new).boxed()
+    } else {
+        any::<u16>().prop_map(|v| Asn::new(v as u32)).boxed()
+    };
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(asn.clone(), 1..6).prop_map(PathSegment::Sequence),
+            prop::collection::vec(asn.clone(), 1..4).prop_map(PathSegment::Set),
+        ],
+        0..4,
+    )
+    .prop_map(AsPath::from_segments)
+}
+
+/// Observations whose paths may contain AS_SETs (the writer serializes the
+/// path verbatim, so both decoders must agree on set flattening).
+fn arb_observation() -> impl Strategy<Value = Observation> {
+    (
+        1u32..100_000,
+        arb_prefix(),
+        arb_path(true),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..8),
+        any::<u32>(),
+    )
+        .prop_map(|(vp, prefix, path, comms, time)| {
+            let mut communities: Vec<Community> = comms
+                .into_iter()
+                .map(|(a, b)| Community::new(a, b))
+                .collect();
+            communities.sort_unstable();
+            communities.dedup();
+            let large_communities: Vec<LargeCommunity> = communities
+                .iter()
+                .take(2)
+                .map(|c| LargeCommunity::new(c.asn as u32, c.value as u32, 9))
+                .collect();
+            Observation {
+                vp: Asn::new(vp),
+                prefix,
+                path,
+                communities,
+                large_communities,
+                time,
+            }
+        })
+}
+
+/// A legacy `TABLE_DUMP` record: 2-octet peer ASN, 2-octet AS_PATH ASNs.
+fn arb_table_dump() -> impl Strategy<Value = TableDumpEntry> {
+    (
+        any::<u16>(),
+        any::<u16>(),
+        (any::<u32>(), 0u8..=32),
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+        1u16..u16::MAX,
+        arb_path(false),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..6),
+    )
+        .prop_map(
+            |(view, sequence, (addr, len), status, time, peer_addr, peer_asn, path, comms)| {
+                let mut route = RouteAttrs::originated(path, IpAddr::V4(Ipv4Addr::from(peer_addr)));
+                for (a, b) in comms {
+                    route.add_community(Community::new(a, b));
+                }
+                TableDumpEntry {
+                    view,
+                    sequence,
+                    prefix: Prefix::new(Ipv4Addr::from(addr).into(), len).expect("valid v4"),
+                    status,
+                    originated_time: time,
+                    peer_addr: IpAddr::V4(Ipv4Addr::from(peer_addr)),
+                    peer_asn: Asn::new(peer_asn as u32),
+                    route,
+                }
+            },
+        )
+}
+
+/// Serialize observations as the RIB dump + update stream the scenario
+/// pipeline writes.
+fn archive(observations: &[Observation]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_rib_dump(&mut wire, 0, observations).unwrap();
+    write_update_stream(&mut wire, Asn::new(6447), observations).unwrap();
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clean archives — RIB dumps and update streams with AS_SET paths,
+    /// IPv6, and both community kinds — decode identically.
+    #[test]
+    fn clean_archives_decode_identically(
+        observations in prop::collection::vec(arb_observation(), 0..16),
+    ) {
+        assert_parity(&archive(&observations), &RecoverConfig::default())?;
+    }
+
+    /// Seeded byte corruption: whatever the view decoder salvages and
+    /// skips, the owned oracle salvages and skips identically.
+    #[test]
+    fn corrupted_archives_decode_identically(
+        observations in prop::collection::vec(arb_observation(), 1..12),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+    ) {
+        let (damaged, _log) = corrupt_stream(&archive(&observations), seed, rate);
+        assert_parity(&damaged, &RecoverConfig::default())?;
+    }
+
+    /// Truncation at every possible byte boundary produces identical
+    /// salvage and identical truncation accounting.
+    #[test]
+    fn truncated_archives_decode_identically(
+        observations in prop::collection::vec(arb_observation(), 1..8),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let wire = archive(&observations);
+        let cut = (wire.len() as f64 * cut_fraction) as usize;
+        assert_parity(&wire[..cut.min(wire.len())], &RecoverConfig::default())?;
+    }
+
+    /// Arbitrary junk bytes: both decoders resynchronize to the same
+    /// records (usually none) with the same report.
+    #[test]
+    fn junk_bytes_decode_identically(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        assert_parity(&bytes, &RecoverConfig::default())?;
+    }
+
+    /// Legacy 2-octet encodings (`TABLE_DUMP`, AS2 attribute context):
+    /// 16-bit AS_PATHs and peer ASNs decode identically through both paths.
+    #[test]
+    fn two_octet_table_dumps_decode_identically(
+        entries in prop::collection::vec(arb_table_dump(), 1..10),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.3,
+    ) {
+        let mut wire = Vec::new();
+        let mut writer = MrtWriter::new(&mut wire);
+        for entry in &entries {
+            writer.write_record(entry.originated_time, &MrtRecord::TableDump(entry.clone()))
+                .unwrap();
+        }
+        assert_parity(&wire, &RecoverConfig::default())?;
+        let (damaged, _log) = corrupt_stream(&wire, seed, rate);
+        assert_parity(&damaged, &RecoverConfig::default())?;
+    }
+
+    /// Records straddling readahead block boundaries: feeding the view
+    /// decoder through a tiny-block [`Readahead`] changes nothing but the
+    /// block count — the store and every other report field match a direct
+    /// in-memory view decode, at any block size.
+    #[test]
+    fn readahead_boundaries_change_nothing(
+        observations in prop::collection::vec(arb_observation(), 1..10),
+        block_size in 1usize..96,
+        seed in any::<u64>(),
+        rate in 0.0f64..0.3,
+    ) {
+        let (wire, _log) = corrupt_stream(&archive(&observations), seed, rate);
+        let cfg = RecoverConfig::default();
+
+        let mut direct = ObservationStore::new();
+        let direct_report = read_observations_resilient_into(&wire[..], &cfg, &mut direct);
+
+        let blocks = Arc::new(AtomicU64::new(0));
+        let readahead =
+            Readahead::with_block_size(Cursor::new(wire.clone()), blocks.clone(), block_size);
+        let mut prefetched = ObservationStore::new();
+        let mut prefetched_report =
+            read_observations_resilient_into(readahead, &cfg, &mut prefetched);
+
+        prop_assert_eq!(
+            blocks.load(Ordering::Relaxed),
+            (wire.len() as u64).div_ceil(block_size as u64)
+        );
+        prefetched_report.readahead_blocks = direct_report.readahead_blocks;
+        prop_assert_eq!(prefetched_report, direct_report);
+        assert_stores_equal(&prefetched, &direct)?;
+    }
+}

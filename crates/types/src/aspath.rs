@@ -7,12 +7,18 @@
 //! customer:peer feature, and prepend-aware de-duplication.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
 
 use crate::asn::Asn;
 use crate::error::ParseError;
+
+/// Canonical segment tag for `AS_SET`, matching the RFC 4271 wire value.
+pub const SEG_SET: u8 = 1;
+/// Canonical segment tag for `AS_SEQUENCE`, matching the RFC 4271 wire value.
+pub const SEG_SEQUENCE: u8 = 2;
 
 /// One segment of an AS path (RFC 4271 §4.3 / §5.1.2).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -24,6 +30,15 @@ pub enum PathSegment {
 }
 
 impl PathSegment {
+    /// The canonical wire tag of this segment kind ([`SEG_SET`] /
+    /// [`SEG_SEQUENCE`]).
+    pub fn tag(&self) -> u8 {
+        match self {
+            PathSegment::Sequence(_) => SEG_SEQUENCE,
+            PathSegment::Set(_) => SEG_SET,
+        }
+    }
+
     /// The ASNs in this segment, in stored order.
     pub fn asns(&self) -> &[Asn] {
         match self {
@@ -43,9 +58,113 @@ impl PathSegment {
 
 /// A full AS path: the neighbor that announced the route is leftmost, the
 /// origin AS rightmost.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct AsPath {
     segments: Vec<PathSegment>,
+}
+
+/// The canonical path hash walks the flat wire shape — segment count, then
+/// per segment its tag ([`SEG_SET`]/[`SEG_SEQUENCE`]), ASN count, and raw
+/// ASN values — so a borrowed [`AsPathView`] over flat arrays fingerprints
+/// identically to the owned path without materializing it.
+impl Hash for AsPath {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.segments.len());
+        for seg in &self.segments {
+            state.write_u8(seg.tag());
+            let asns = seg.asns();
+            state.write_usize(asns.len());
+            for asn in asns {
+                state.write_u32(asn.value());
+            }
+        }
+    }
+}
+
+/// A borrowed AS path over flat arrays: segment descriptors plus the
+/// concatenated ASN values, typically slices into an [`ObservationStore`]
+/// pool or a decoder's scratch arena. Semantically identical to the
+/// [`AsPath`] it would materialize, including hashing.
+///
+/// [`ObservationStore`]: crate::store::ObservationStore
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsPathView<'a> {
+    /// Per-segment `(tag, ASN count)` pairs; tags are [`SEG_SET`] /
+    /// [`SEG_SEQUENCE`]. Counts sum to `asns.len()`.
+    pub segs: &'a [(u8, u32)],
+    /// Every ASN value in path order (leftmost first), sets inline.
+    pub asns: &'a [u32],
+}
+
+impl<'a> AsPathView<'a> {
+    /// View of an owned path's flat form, given caller-provided scratch.
+    pub fn of(path: &AsPath, segs: &'a mut Vec<(u8, u32)>, asns: &'a mut Vec<u32>) -> Self {
+        segs.clear();
+        asns.clear();
+        for seg in path.segments() {
+            segs.push((seg.tag(), seg.asns().len() as u32));
+            asns.extend(seg.asns().iter().map(|a| a.value()));
+        }
+        AsPathView { segs, asns }
+    }
+
+    /// The canonical fingerprint — equals `fx_hash_one(&self.to_path())`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fx::FxHasher::default();
+        h.write_usize(self.segs.len());
+        let mut rest = self.asns;
+        for &(tag, len) in self.segs {
+            h.write_u8(tag);
+            h.write_usize(len as usize);
+            let (seg, tail) = rest.split_at(len as usize);
+            for &asn in seg {
+                h.write_u32(asn);
+            }
+            rest = tail;
+        }
+        h.finish()
+    }
+
+    /// Whether this view denotes the same path as `path`.
+    pub fn matches(&self, path: &AsPath) -> bool {
+        let segments = path.segments();
+        if segments.len() != self.segs.len() {
+            return false;
+        }
+        let mut rest = self.asns;
+        for (seg, &(tag, len)) in segments.iter().zip(self.segs) {
+            let asns = seg.asns();
+            if seg.tag() != tag || asns.len() != len as usize {
+                return false;
+            }
+            let (head, tail) = rest.split_at(len as usize);
+            if !asns.iter().zip(head).all(|(a, &v)| a.value() == v) {
+                return false;
+            }
+            rest = tail;
+        }
+        true
+    }
+
+    /// Materialize the owned path.
+    pub fn to_path(&self) -> AsPath {
+        let mut rest = self.asns;
+        let segments = self
+            .segs
+            .iter()
+            .map(|&(tag, len)| {
+                let (seg, tail) = rest.split_at(len as usize);
+                rest = tail;
+                let asns: Vec<Asn> = seg.iter().map(|&v| Asn::new(v)).collect();
+                if tag == SEG_SET {
+                    PathSegment::Set(asns)
+                } else {
+                    PathSegment::Sequence(asns)
+                }
+            })
+            .collect();
+        AsPath::from_segments(segments)
+    }
 }
 
 impl AsPath {
@@ -374,5 +493,65 @@ mod tests {
         let p: AsPath = "".parse().unwrap();
         assert!(p.is_empty());
         assert_eq!(p.path_length(), 0);
+    }
+
+    #[test]
+    fn view_fingerprint_matches_owned_hash() {
+        use crate::fx::fx_hash_one;
+        let paths: Vec<AsPath> = [
+            "65269 7018 1299 64496",
+            "65269 7018 {64496,64497}",
+            "{1,2} 3 {4}",
+            "7 7 7",
+            "",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let mut segs = Vec::new();
+        let mut asns = Vec::new();
+        for p in &paths {
+            let view = AsPathView::of(p, &mut segs, &mut asns);
+            assert_eq!(view.fingerprint(), fx_hash_one(p), "{p}");
+            assert!(view.matches(p), "{p}");
+            assert_eq!(view.to_path(), *p, "{p}");
+        }
+    }
+
+    #[test]
+    fn view_matches_rejects_near_misses() {
+        let p: AsPath = "65269 7018 {64496,64497}".parse().unwrap();
+        let mut segs = Vec::new();
+        let mut asns = Vec::new();
+        let _ = AsPathView::of(&p, &mut segs, &mut asns);
+        // Same flat ASNs, different segmentation / tags must not match.
+        let seq_only = AsPathView {
+            segs: &[(SEG_SEQUENCE, 4)],
+            asns: &[65269, 7018, 64496, 64497],
+        };
+        assert!(!seq_only.matches(&p));
+        let set_as_seq = AsPathView {
+            segs: &[(SEG_SEQUENCE, 2), (SEG_SEQUENCE, 2)],
+            asns: &[65269, 7018, 64496, 64497],
+        };
+        assert!(!set_as_seq.matches(&p));
+        let view = AsPathView {
+            segs: &segs,
+            asns: &asns,
+        };
+        assert_ne!(view.fingerprint(), seq_only.fingerprint());
+        assert_ne!(view.fingerprint(), set_as_seq.fingerprint());
+    }
+
+    #[test]
+    fn segment_boundaries_change_the_hash() {
+        use crate::fx::fx_hash_one;
+        let a: AsPath = "1 2 3".parse().unwrap();
+        let b = AsPath::from_segments(vec![
+            PathSegment::Sequence(vec![Asn::new(1)]),
+            PathSegment::Sequence(vec![Asn::new(2), Asn::new(3)]),
+        ]);
+        assert_ne!(a, b);
+        assert_ne!(fx_hash_one(&a), fx_hash_one(&b));
     }
 }

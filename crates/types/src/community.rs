@@ -21,14 +21,21 @@ use crate::error::ParseError;
 ///
 /// The first 16 bits (`asn`, the paper's `α`) contain the AS number that
 /// defines the meaning of the remaining 16 bits (`value`, the paper's `β`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
 pub struct Community {
     /// The AS number that assigns meaning (`α`).
     pub asn: u16,
     /// The operator-defined value (`β`).
     pub value: u16,
+}
+
+/// Hash as the single packed 32-bit wire word (one hasher fold instead of
+/// two), so community-set fingerprints are cheap on the intern hot path and
+/// computable straight from a decoded wire value.
+impl std::hash::Hash for Community {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u32(self.to_u32());
+    }
 }
 
 impl Community {

@@ -45,7 +45,7 @@ pub mod route;
 pub mod store;
 
 pub use asn::Asn;
-pub use aspath::{AsPath, PathSegment};
+pub use aspath::{AsPath, AsPathView, PathSegment};
 pub use community::{Community, ExtendedCommunity, LargeCommunity};
 pub use error::ParseError;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
@@ -55,4 +55,4 @@ pub use observation::Observation;
 pub use par::{effective_threads, par_map_indexed};
 pub use prefix::Prefix;
 pub use route::{Announcement, Origin, RouteAttrs};
-pub use store::{ObservationSink, ObservationStore};
+pub use store::{ObservationSink, ObservationStore, ObservationView};

@@ -13,11 +13,16 @@
 //! derived data (sorted unique ASN members, the content fingerprint used
 //! by checkpointing) is computed once per unique path; and the
 //! observations themselves become parallel flat columns of IDs and scalars.
-//! The stats kernel then runs entirely over dense integers: tuple dedup is
-//! a sort over packed `u64` keys, the on-path test is a binary search in a
-//! sorted member slice, and sharding by path ID partitions unique paths
-//! exactly (every occurrence of a path carries the same ID), so parallel
-//! partial counts merge by summation with no rehashing.
+//! Interned paths are themselves flat: per-path segment descriptors and ASN
+//! values live in shared pools, borrowed back out as [`AsPathView`]s, so
+//! interning from a decoder's borrowed [`ObservationView`] never touches
+//! the heap on the duplicate (hot) path — see
+//! [`ObservationSink::push_observation_view`]. The stats kernel then runs
+//! entirely over dense integers: tuple dedup is a sort over packed `u64`
+//! keys, the on-path test is a binary search in a sorted member slice, and
+//! sharding by path ID partitions unique paths exactly (every occurrence
+//! of a path carries the same ID), so parallel partial counts merge by
+//! summation with no rehashing.
 //!
 //! Two invariants matter for correctness elsewhere:
 //!
@@ -32,7 +37,43 @@
 
 use crate::fx::{fx_hash_one, FxHashMap};
 use crate::observation::Observation;
-use crate::{AsPath, Asn, Community, LargeCommunity, Prefix};
+use crate::{AsPath, AsPathView, Asn, Community, LargeCommunity, Prefix};
+
+/// One decoded route sighting borrowed from a decoder's buffers: the
+/// zero-copy counterpart of [`Observation`]. The path and attribute
+/// slices typically point into a per-file scratch arena (wire values need
+/// byte-order conversion, so they cannot alias the raw read buffer) and
+/// are valid only until the decoder reuses it — sinks must intern or copy
+/// before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservationView<'a> {
+    /// The vantage point (collector peer) that exported the route.
+    pub vp: Asn,
+    /// The observed prefix.
+    pub prefix: Prefix,
+    /// The AS path as recorded, borrowed as flat slices.
+    pub path: AsPathView<'a>,
+    /// Regular communities on the route.
+    pub communities: &'a [Community],
+    /// Large communities (RFC 8092) on the route.
+    pub large_communities: &'a [LargeCommunity],
+    /// Unix seconds when the route was (last) observed.
+    pub time: u32,
+}
+
+impl ObservationView<'_> {
+    /// Materialize an owned [`Observation`] (the default-sink escape path).
+    pub fn to_observation(&self) -> Observation {
+        Observation {
+            vp: self.vp,
+            prefix: self.prefix,
+            path: self.path.to_path(),
+            communities: self.communities.to_vec(),
+            large_communities: self.large_communities.to_vec(),
+            time: self.time,
+        }
+    }
+}
 
 /// Anything observations can be folded into as they are decoded.
 ///
@@ -46,6 +87,14 @@ pub trait ObservationSink {
     fn push_observation(&mut self, obs: Observation);
     /// Number of observations folded so far.
     fn observation_count(&self) -> usize;
+    /// Fold one *borrowed* observation into the sink — the zero-copy entry
+    /// point used by the view decoder. The default materializes an owned
+    /// [`Observation`] and delegates, so every sink accepts views;
+    /// [`ObservationStore`] overrides it to intern straight from the
+    /// borrowed slices with no per-record allocation.
+    fn push_observation_view(&mut self, view: &ObservationView<'_>) {
+        self.push_observation(view.to_observation());
+    }
 }
 
 impl ObservationSink for Vec<Observation> {
@@ -64,6 +113,79 @@ impl ObservationSink for ObservationStore {
     fn observation_count(&self) -> usize {
         self.len()
     }
+    fn push_observation_view(&mut self, view: &ObservationView<'_>) {
+        self.push_view(view);
+    }
+}
+
+/// Sentinel marking an empty [`FpMap`] slot. Dense IDs can never reach it:
+/// that many unique elements would exhaust memory long before.
+const FP_EMPTY: u32 = u32::MAX;
+
+/// A minimal open-addressing map from precomputed 64-bit fingerprints to
+/// dense IDs — the store's hottest structure, probed twice per
+/// observation. The fingerprint is already a mixed hash, so a slot index
+/// is just its low bits and a probe is one or two cache lines of linear
+/// scan; no re-hashing, no metadata bytes. Keys are unique by
+/// construction (fingerprint collisions between distinct values go to the
+/// exact-keyed `*_dups` overflow maps and never insert here twice).
+#[derive(Debug, Clone, Default)]
+struct FpMap {
+    /// `(fingerprint, id)` pairs; capacity is a power of two, `FP_EMPTY`
+    /// ids mark free slots. Load factor stays ≤ 3/4.
+    slots: Vec<(u64, u32)>,
+    len: usize,
+}
+
+impl FpMap {
+    #[inline]
+    fn get(&self, fp: u64) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = fp as usize & mask;
+        loop {
+            let (slot_fp, id) = self.slots[i];
+            if id == FP_EMPTY {
+                return None;
+            }
+            if slot_fp == fp {
+                return Some(id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert a fingerprint known to be absent.
+    #[inline]
+    fn insert(&mut self, fp: u64, id: u32) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = fp as usize & mask;
+        while self.slots[i].1 != FP_EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (fp, id);
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(64);
+        let old = std::mem::replace(&mut self.slots, vec![(0, FP_EMPTY); cap]);
+        let mask = cap - 1;
+        for (fp, id) in old {
+            if id != FP_EMPTY {
+                let mut i = fp as usize & mask;
+                while self.slots[i].1 != FP_EMPTY {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = (fp, id);
+            }
+        }
+    }
 }
 
 /// Columnar observation storage with interned paths and community sets.
@@ -76,14 +198,23 @@ impl ObservationSink for ObservationStore {
 #[derive(Debug, Clone, Default)]
 pub struct ObservationStore {
     // ---- interned AS paths (ID space: 0..path_count) ----
-    /// Fingerprint → path ID. Keying the hot map by the precomputed `u64`
-    /// (instead of the full `AsPath`) makes the per-observation probe a
-    /// single-word hash; `path_dups` catches the astronomically rare
-    /// fingerprint collision exactly.
-    path_ids: FxHashMap<u64, u32>,
+    /// Fingerprint → path ID. Keying the hot probe by the precomputed
+    /// `u64` (instead of the full `AsPath`) makes the per-observation
+    /// probe a single-word scan; `path_dups` catches the astronomically
+    /// rare fingerprint collision exactly.
+    path_ids: FpMap,
     path_dups: FxHashMap<AsPath, u32>,
-    paths: Vec<AsPath>,
     path_fingerprints: Vec<u64>,
+    /// `path_seg_offsets[id]..path_seg_offsets[id+1]` indexes `path_segs`.
+    path_seg_offsets: Vec<u32>,
+    /// Per-segment `(tag, ASN count)` pairs of each interned path
+    /// (`SEG_SET`/`SEG_SEQUENCE` tags — the flat wire shape).
+    path_segs: Vec<(u8, u32)>,
+    /// `path_asn_offsets[id]..path_asn_offsets[id+1]` indexes `path_asns`.
+    path_asn_offsets: Vec<u32>,
+    /// Every ASN of each interned path in path order (prepends and set
+    /// members inline) — the [`AsPathView`] backing pool.
+    path_asns: Vec<u32>,
     /// `member_offsets[id]..member_offsets[id+1]` indexes `members`.
     member_offsets: Vec<u32>,
     /// Sorted, deduped ASN values of each path (prepends collapse here).
@@ -92,7 +223,7 @@ pub struct ObservationStore {
     // ---- interned community sets (ID space: 0..cset_count) ----
     /// Fingerprint → community-set ID, with the same exact collision
     /// fallback as `path_ids`/`path_dups`.
-    cset_ids: FxHashMap<u64, u32>,
+    cset_ids: FpMap,
     cset_dups: FxHashMap<Vec<Community>, u32>,
     /// `cset_offsets[id]..cset_offsets[id+1]` indexes `cset_pool`.
     cset_offsets: Vec<u32>,
@@ -134,17 +265,37 @@ impl ObservationStore {
 
     /// Fold every observation of `observations` into the store.
     pub fn extend_from_slice(&mut self, observations: &[Observation]) {
-        self.obs_path.reserve(observations.len());
-        self.obs_cset.reserve(observations.len());
+        let n = observations.len();
+        self.obs_path.reserve(n);
+        self.obs_cset.reserve(n);
+        self.vps.reserve(n);
+        self.prefixes.reserve(n);
+        self.times.reserve(n);
+        self.large_offsets.reserve(n);
+        // Flatten each owned path into reused scratch once, then hash and
+        // verify against the flat slices: one pointer-chasing walk of the
+        // nested `AsPath` per observation instead of two (hash + compare).
+        let (mut segs, mut asns) = (Vec::new(), Vec::new());
         for obs in observations {
-            self.push(obs);
+            self.push_with_scratch(obs, &mut segs, &mut asns);
         }
     }
 
     /// Fold one observation in, interning its path and community set.
-    /// Clones the path / community list only on first sight.
+    /// Copies the path / community list into the pools only on first sight.
     pub fn push(&mut self, obs: &Observation) {
-        let path_id = self.intern_path(&obs.path);
+        let (mut segs, mut asns) = (Vec::new(), Vec::new());
+        self.push_with_scratch(obs, &mut segs, &mut asns);
+    }
+
+    fn push_with_scratch(
+        &mut self,
+        obs: &Observation,
+        segs: &mut Vec<(u8, u32)>,
+        asns: &mut Vec<u32>,
+    ) {
+        let path = AsPathView::of(&obs.path, segs, asns);
+        let path_id = self.intern_path_view(&path, path.fingerprint());
         let cset_id = self.intern_cset(&obs.communities);
         self.push_row(
             path_id,
@@ -161,6 +312,24 @@ impl ObservationStore {
     /// either way), so this simply delegates.
     pub fn push_owned(&mut self, obs: Observation) {
         self.push(&obs);
+    }
+
+    /// Fold one borrowed observation in — the zero-copy ingestion path.
+    /// Steady state (path and community set already interned) touches no
+    /// heap at all: two fingerprint probes, two slice compares, six column
+    /// pushes. First sight of a path/set copies the slices into the flat
+    /// pools.
+    pub fn push_view(&mut self, view: &ObservationView<'_>) {
+        let path_id = self.intern_path_view(&view.path, view.path.fingerprint());
+        let cset_id = self.intern_cset(view.communities);
+        self.push_row(
+            path_id,
+            cset_id,
+            view.vp,
+            view.prefix,
+            view.time,
+            view.large_communities,
+        );
     }
 
     fn push_row(
@@ -181,44 +350,68 @@ impl ObservationStore {
         self.large_offsets.push(self.large_pool.len() as u32);
     }
 
-    fn intern_path(&mut self, path: &AsPath) -> u32 {
-        let fp = fx_hash_one(path);
-        if let Some(&id) = self.path_ids.get(&fp) {
-            if self.paths[id as usize] == *path {
+    /// Intern a borrowed path with its precomputed fingerprint. The hot
+    /// (already-interned) outcome is a probe plus two slice compares.
+    /// Fingerprint collisions between distinct paths fall back to the
+    /// exact-keyed `path_dups` overflow map (materializing the path once).
+    fn intern_path_view(&mut self, view: &AsPathView<'_>, fp: u64) -> u32 {
+        if let Some(id) = self.path_ids.get(fp) {
+            if self.path_view(id) == *view {
                 return id;
             }
-            // Fingerprint collision between distinct paths: fall back to
-            // the exact-keyed overflow map.
-            if let Some(&id) = self.path_dups.get(path) {
+            let owned = view.to_path();
+            if let Some(&id) = self.path_dups.get(&owned) {
                 return id;
             }
-            let id = self.push_unique_path(path, fp);
-            self.path_dups.insert(path.clone(), id);
+            let id = self.push_unique_path_view(view, fp);
+            self.path_dups.insert(owned, id);
             return id;
         }
-        let id = self.push_unique_path(path, fp);
+        let id = self.push_unique_path_view(view, fp);
         self.path_ids.insert(fp, id);
         id
     }
 
-    fn push_unique_path(&mut self, path: &AsPath, fp: u64) -> u32 {
-        let id = self.paths.len() as u32;
+    fn push_unique_path_view(&mut self, view: &AsPathView<'_>, fp: u64) -> u32 {
+        let asn_start = self.path_asns.len();
+        self.path_segs.extend_from_slice(view.segs);
+        self.path_asns.extend_from_slice(view.asns);
+        self.finish_unique_path(fp, asn_start)
+    }
+
+    /// Common tail of both unique-path paths: derive the sorted member
+    /// slice in place (no scratch allocation) and close the offset rows.
+    fn finish_unique_path(&mut self, fp: u64, asn_start: usize) -> u32 {
         if self.member_offsets.is_empty() {
             self.member_offsets.push(0);
+            self.path_seg_offsets.push(0);
+            self.path_asn_offsets.push(0);
         }
-        let mut sorted: Vec<u32> = path.iter().map(Asn::value).collect();
-        sorted.sort_unstable();
-        sorted.dedup();
-        self.members.extend_from_slice(&sorted);
+        let id = self.path_fingerprints.len() as u32;
+        let member_start = self.members.len();
+        self.members.extend_from_slice(&self.path_asns[asn_start..]);
+        let tail = &mut self.members[member_start..];
+        tail.sort_unstable();
+        if !tail.is_empty() {
+            let mut w = 0;
+            for r in 1..tail.len() {
+                if tail[r] != tail[w] {
+                    w += 1;
+                    tail[w] = tail[r];
+                }
+            }
+            self.members.truncate(member_start + w + 1);
+        }
         self.member_offsets.push(self.members.len() as u32);
+        self.path_seg_offsets.push(self.path_segs.len() as u32);
+        self.path_asn_offsets.push(self.path_asns.len() as u32);
         self.path_fingerprints.push(fp);
-        self.paths.push(path.clone());
         id
     }
 
     fn intern_cset(&mut self, communities: &[Community]) -> u32 {
         let fp = fx_hash_one(communities);
-        if let Some(&id) = self.cset_ids.get(&fp) {
+        if let Some(id) = self.cset_ids.get(fp) {
             if self.cset(id) == communities {
                 return id;
             }
@@ -253,12 +446,15 @@ impl ObservationStore {
     }
 
     /// Fold another store into this one, re-interning its unique paths and
-    /// community sets (one map lookup per *unique* element, then a dense
-    /// ID remap per observation). Observation order is `self` then
+    /// community sets (one probe per *unique* element — reusing the
+    /// already-computed fingerprints, no path materialization — then a
+    /// dense ID remap per observation). Observation order is `self` then
     /// `other`, so folding per-file stores in input order reproduces the
     /// sequential single-sink order exactly.
     pub fn merge(&mut self, other: &ObservationStore) {
-        let path_map: Vec<u32> = other.paths.iter().map(|p| self.intern_path(p)).collect();
+        let path_map: Vec<u32> = (0..other.path_count() as u32)
+            .map(|id| self.intern_path_view(&other.path_view(id), other.path_fingerprint(id)))
+            .collect();
         let cset_map: Vec<u32> = (0..other.cset_count())
             .map(|id| self.intern_cset(other.cset(id as u32)))
             .collect();
@@ -286,7 +482,7 @@ impl ObservationStore {
 
     /// Number of distinct AS paths interned.
     pub fn path_count(&self) -> usize {
-        self.paths.len()
+        self.path_fingerprints.len()
     }
 
     /// Number of distinct community sets interned.
@@ -326,9 +522,32 @@ impl ObservationStore {
         &self.cset_slot_pool[lo..hi]
     }
 
-    /// The interned path for a path ID.
-    pub fn path(&self, id: u32) -> &AsPath {
-        &self.paths[id as usize]
+    /// The interned path for a path ID, borrowed from the flat pools.
+    pub fn path_view(&self, id: u32) -> AsPathView<'_> {
+        let i = id as usize;
+        let seg_lo = self.path_seg_offsets[i] as usize;
+        let seg_hi = self.path_seg_offsets[i + 1] as usize;
+        let asn_lo = self.path_asn_offsets[i] as usize;
+        let asn_hi = self.path_asn_offsets[i + 1] as usize;
+        AsPathView {
+            segs: &self.path_segs[seg_lo..seg_hi],
+            asns: &self.path_asns[asn_lo..asn_hi],
+        }
+    }
+
+    /// Every ASN of the interned path in path order, duplicates (prepends)
+    /// and set members inline — the flat form of `path.iter()`.
+    pub fn path_hops(&self, id: u32) -> &[u32] {
+        let lo = self.path_asn_offsets[id as usize] as usize;
+        let hi = self.path_asn_offsets[id as usize + 1] as usize;
+        &self.path_asns[lo..hi]
+    }
+
+    /// Materialize the interned path for a path ID. Reconstructs from the
+    /// flat pools — use [`path_view`](Self::path_view) /
+    /// [`path_hops`](Self::path_hops) on hot paths.
+    pub fn path(&self, id: u32) -> AsPath {
+        self.path_view(id).to_path()
     }
 
     /// `fx_hash_one` of the interned path — the checkpoint fingerprint,
@@ -343,6 +562,13 @@ impl ObservationStore {
         let lo = self.member_offsets[id as usize] as usize;
         let hi = self.member_offsets[id as usize + 1] as usize;
         &self.members[lo..hi]
+    }
+
+    /// The whole member pool: the concatenation of every interned path's
+    /// sorted unique ASNs. One pass over this slice visits every ASN that
+    /// appears on any path (with cross-path duplicates).
+    pub fn member_values(&self) -> &[u32] {
+        &self.members
     }
 
     /// The exact ordered community list for a community-set ID.
@@ -402,7 +628,7 @@ impl ObservationStore {
         Observation {
             vp: self.vps[i],
             prefix: self.prefixes[i],
-            path: self.paths[self.obs_path[i] as usize].clone(),
+            path: self.path(self.obs_path[i]),
             communities: self.cset(self.obs_cset[i]).to_vec(),
             large_communities: self.large(i).to_vec(),
             time: self.times[i],
@@ -458,6 +684,26 @@ mod tests {
         assert_eq!(store.path_count(), 3);
         assert_eq!(store.path_members(0), &[1, 1299, 64496]);
         assert_eq!(store.path_members(2), &[1, 1299, 64496, 64497]);
+    }
+
+    #[test]
+    fn path_views_roundtrip_and_expose_flat_hops() {
+        let observations = vec![
+            obs(1, "1 1299 1299 {64496,64497} 7", &[]),
+            obs(1, "2 3", &[]),
+        ];
+        let store = ObservationStore::from_observations(&observations);
+        assert_eq!(store.len(), observations.len());
+        for (i, expected) in observations.iter().enumerate() {
+            let id = store.obs_path_id(i);
+            let view = store.path_view(id);
+            assert!(view.matches(&expected.path));
+            assert_eq!(view.to_path(), expected.path);
+            assert_eq!(view.fingerprint(), store.path_fingerprint(id));
+            assert_eq!(store.path(id), expected.path);
+        }
+        assert_eq!(store.path_hops(0), &[1, 1299, 1299, 64496, 64497, 7]);
+        assert_eq!(store.path_hops(1), &[2, 3]);
     }
 
     #[test]
@@ -545,5 +791,87 @@ mod tests {
         for (i, o) in vec_sink.iter().enumerate() {
             assert_eq!(store_sink.get(i), *o);
         }
+    }
+
+    #[test]
+    fn view_push_matches_owned_push() {
+        use crate::aspath::AsPathView;
+        let mut original = obs(9, "9 3356 {64496,64500} 1299", &[(3356, 55), (1299, 7)]);
+        original.large_communities = vec![LargeCommunity::new(3356, 1, 2)];
+        let observations = vec![
+            obs(1, "1 1299 64496", &[(1299, 1)]),
+            original,
+            obs(1, "1 1299 64496", &[(1299, 1)]), // duplicate: hot view path
+            obs(2, "", &[]),                      // empty path and cset
+        ];
+        let mut owned_store = ObservationStore::new();
+        let mut view_store = ObservationStore::new();
+        let (mut segs, mut asns) = (Vec::new(), Vec::new());
+        for o in &observations {
+            owned_store.push(o);
+            let view = ObservationView {
+                vp: o.vp,
+                prefix: o.prefix,
+                path: AsPathView::of(&o.path, &mut segs, &mut asns),
+                communities: &o.communities,
+                large_communities: &o.large_communities,
+                time: o.time,
+            };
+            ObservationSink::push_observation_view(&mut view_store, &view);
+        }
+        assert_eq!(owned_store.len(), view_store.len());
+        assert_eq!(owned_store.path_count(), view_store.path_count());
+        assert_eq!(owned_store.cset_count(), view_store.cset_count());
+        for i in 0..owned_store.len() {
+            assert_eq!(owned_store.get(i), view_store.get(i));
+            assert_eq!(owned_store.obs_path_id(i), view_store.obs_path_id(i));
+            assert_eq!(owned_store.obs_cset_id(i), view_store.obs_cset_id(i));
+        }
+        for id in 0..owned_store.path_count() as u32 {
+            assert_eq!(
+                owned_store.path_fingerprint(id),
+                view_store.path_fingerprint(id)
+            );
+            assert_eq!(owned_store.path_members(id), view_store.path_members(id));
+        }
+    }
+
+    #[test]
+    fn default_view_push_on_vec_sink_materializes() {
+        use crate::aspath::AsPathView;
+        let o = obs(1, "1 1299 {2,3}", &[(1299, 1)]);
+        let (mut segs, mut asns) = (Vec::new(), Vec::new());
+        let view = ObservationView {
+            vp: o.vp,
+            prefix: o.prefix,
+            path: AsPathView::of(&o.path, &mut segs, &mut asns),
+            communities: &o.communities,
+            large_communities: &o.large_communities,
+            time: o.time,
+        };
+        let mut sink: Vec<Observation> = Vec::new();
+        sink.push_observation_view(&view);
+        assert_eq!(sink, vec![o]);
+    }
+
+    #[test]
+    fn fp_map_survives_growth_and_zero_fingerprints() {
+        // fx_hash_one of an empty path is 0 — the map must not confuse a
+        // legitimate zero fingerprint with an empty slot.
+        let mut map = FpMap::default();
+        assert_eq!(map.get(0), None);
+        map.insert(0, 42);
+        assert_eq!(map.get(0), Some(42));
+        for i in 1..2000u64 {
+            map.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i as u32);
+        }
+        assert_eq!(map.get(0), Some(42));
+        for i in 1..2000u64 {
+            assert_eq!(
+                map.get(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                Some(i as u32)
+            );
+        }
+        assert_eq!(map.get(7), None);
     }
 }

@@ -83,6 +83,12 @@ fn deterministic_metrics_are_byte_identical_across_thread_counts() {
 
     let golden = run(1);
     assert!(golden.contains("ingest/records_read"), "{golden}");
+    // The readahead/view-decode counters are pure functions of the input
+    // too: blocks are completely filled (count = ceil(bytes / block size)
+    // per file) and the scratch high-water mark is determined by the
+    // largest record, so both must hold byte-identical across threads.
+    assert!(golden.contains("ingest/readahead_blocks"), "{golden}");
+    assert!(golden.contains("ingest/arena_bytes"), "{golden}");
     assert!(golden.contains("classify/cluster_ratio"), "{golden}");
     for threads in [2, 8] {
         assert_eq!(
