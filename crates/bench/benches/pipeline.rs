@@ -5,6 +5,8 @@
 //! through the supervised readahead chain (`end_to_end_large`).
 
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -16,13 +18,13 @@ use bgp_intent::eval::evaluate;
 use bgp_intent::stats::PathStats;
 use bgp_intent::{
     run_inference, run_inference_from_stats, run_inference_store, run_inference_store_telemetry,
-    StatsAccumulator,
+    run_watch, StatsAccumulator, WatchOptions, WindowConfig,
 };
 use bgp_mrt::obs::{
     read_observations_parallel_store, read_observations_resilient_into,
     read_observations_resilient_reference, write_update_stream,
 };
-use bgp_mrt::RecoverConfig;
+use bgp_mrt::{MemoryFeed, RecoverConfig, StreamTuning};
 use bgp_types::obs::Telemetry;
 use bgp_types::store::ObservationStore;
 use bgp_types::Asn;
@@ -238,6 +240,44 @@ fn bench_pipeline(c: &mut Criterion) {
         })
     });
     group.bench_function("end_to_end_checkpointed", |b| b.iter(checkpointed_run));
+
+    // The streaming daemon at steady state: the same generator's update
+    // stream served from an in-memory feed through the bounded ingest
+    // queue, folded into rolling windows with incremental
+    // reclassification, run to the quiescent point. Warn-only in
+    // bench_compare: wall time includes queue handoff and quiesce
+    // polling, which are noisier than the pure-compute entries above.
+    let sim = scenario.simulator();
+    let mut stream_wire = Vec::new();
+    let summary = scenario
+        .stream_collect(&sim, 2, &mut stream_wire)
+        .expect("in-memory MRT stream write");
+    let stream_wire = Arc::new(stream_wire);
+    let watch_opts = WatchOptions {
+        window: WindowConfig {
+            window_secs: 3600,
+            windows: 6,
+        },
+        tuning: StreamTuning {
+            quiesce_after: Some(1),
+            ..StreamTuning::default()
+        },
+        ..WatchOptions::default()
+    };
+    group.throughput(Throughput::Elements(summary.observations));
+    group.bench_function("watch_steady_state", |b| {
+        b.iter(|| {
+            let outcome = run_watch(
+                MemoryFeed::new(Arc::clone(&stream_wire)),
+                &scenario.siblings,
+                &watch_opts,
+                Arc::new(AtomicBool::new(false)),
+            )
+            .expect("in-memory watch run");
+            assert!(outcome.advances > 0, "stream too short to advance a window");
+            outcome
+        })
+    });
 
     // The on-disk variant: the same archive written out several times and
     // read back through the supervised file chain production ingestion

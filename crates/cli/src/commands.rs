@@ -44,6 +44,15 @@ USAGE:
                      [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
                      [--max-errors N] [--report FILE] [--threads N]
                      [--metrics-out FILE] [--trace] [--trace-json FILE]
+    bgpcomm watch    (--connect HOST:PORT | --unix PATH | --tail FILE)
+                     [--window-secs N] [--windows N] [--checkpoint FILE]
+                     [--checkpoint-every N] [--queue-kb N] [--chunk-kb N]
+                     [--stall-ms N] [--retry-attempts N] [--quiesce-after N]
+                     [--gap N] [--ratio N] [--siblings FILE] [--json FILE]
+                     [--max-errors N] [--report FILE] [--metrics-out FILE]
+    bgpcomm feed     --listen HOST:PORT (--mrt FILE [--mrt FILE ...] |
+                     [--scale F] [--seed N] [--days N])
+                     [--throttle BYTES:MS]
     bgpcomm validate --mrt FILE [--mrt FILE ...]
     bgpcomm compare  --old FILE --new FILE
     bgpcomm generate --out DIR [--scale F] [--seed N] [--days N] [--docs N]
@@ -56,6 +65,13 @@ COMMANDS:
               are partitioned round-robin, each worker writes a snapshot
               artifact, failed/stalled workers are retried, and the merged
               classification is bit-identical to a single-process run.
+    watch     Long-running streaming daemon: consume a continuous update
+              stream, fold into rolling time windows, reclassify only what
+              each window advance touched, and checkpoint so a crash (even
+              kill -9) resumes without double-counting.
+    feed      Serve an MRT byte stream over TCP with the watch resume
+              protocol (tests, demos, CI; real deployments put a collector
+              behind the same protocol).
     validate  Lint MRT archives: per-record-type counts and decode errors.
     compare   Diff two label files from `infer --json` (drift monitoring).
     generate  Write a synthetic collector dataset + ground-truth dictionary.
@@ -129,6 +145,49 @@ SHARDED RUNS (shard):
                     into the ingest report and metrics snapshot. More than
                     K failed shards aborts with exit 5.
 
+STREAMING (watch, feed):
+    --connect HOST:PORT / --unix PATH / --tail FILE
+                    Where the update stream comes from: a framed TCP or
+                    unix-domain socket feed (resume protocol, see `feed`),
+                    or a growing file on disk.
+    --window-secs N --windows N
+                    Sliding-window geometry: N windows of N seconds of
+                    *stream time* (default 24 x 3600). Classification runs
+                    over the union of the retained windows; observations
+                    older than the retention floor are dropped and counted.
+    --checkpoint FILE
+                    Crash-safe streaming: atomically checkpoint the stream
+                    cursor, window contents, and labels. A restarted watch
+                    with the same checkpoint resumes at the cursor with
+                    no double-counting — bit-identical at the quiescent
+                    point to an uninterrupted run. Unlike `infer`, an
+                    existing checkpoint resumes automatically (a daemon
+                    restart IS the resume path).
+    --checkpoint-every N
+                    Checkpoint every N window advances (default 1).
+    --queue-kb N / --chunk-kb N
+                    Bounded ingest queue: at most N KiB buffered between
+                    the delivery thread and the fold loop (default 4096),
+                    read in chunk-kb pieces (default 64). A full queue
+                    blocks the producer and counts a backpressure stall —
+                    memory stays bounded no matter how fast the feed is.
+    --stall-ms N    A connection delivering nothing for this long is torn
+                    down and reconnected at the cursor (default 2000).
+    --quiesce-after N
+                    Exit cleanly after N consecutive reconnects that
+                    deliver zero new bytes (the quiescent point, for
+                    batch-parity checks and CI). Default: run until
+                    SIGTERM/SIGINT.
+    --json FILE     Write the cumulative labels on exit, byte-identical to
+                    `infer --json` over the same delivered prefix.
+    --listen HOST:PORT
+                    (feed) Bind address; the actually bound address is
+                    printed to stdout (use port 0 for tests).
+    --throttle BYTES:MS
+                    (feed) Pace delivery: BYTES per write, MS sleep between.
+    Without --mrt, `feed` serves a generated scenario stream (--scale,
+    --seed, --days as in `generate`).
+
 FAULT INJECTION (testing the supervision layer):
     --inject-panic-after N   Panic a decode worker after N records per file.
     --inject-flaky SEED      Inject seeded transient I/O faults (interrupts,
@@ -141,12 +200,22 @@ FAULT INJECTION (testing the supervision layer):
                              heartbeat deadline on its first attempt.
     --inject-fail-shard I    With shard: crash shard I's worker on *every*
                              attempt, exhausting its retry budget.
+    --inject-stream-faults SEED[:RATE]
+                             With watch: wrap the source in seeded stream
+                             fault injection (disconnects mid-frame, stalls,
+                             partial frames, duplicate delivery, corrupt
+                             bursts).
+    --slow-fold-ms N         With watch: sleep N ms per record, making the
+                             consumer slow enough to exercise backpressure.
+    --inject-crash-after-windows N
+                             With watch: simulate SIGKILL (exit 9, no
+                             checkpoint flush) after N window advances.
 
 EXIT CODES:
     0  success                        4  checkpoint mismatch
     1  usage or generic error         5  failed shards exceeded allowance
-    2  decode error in --strict mode  9  injected crash
-    3  ingestion aborted
+    2  decode error in --strict mode  6  stream aborted (budget exhausted)
+    3  ingestion aborted              9  injected crash
 ";
 
 // The process exit-code contract, consolidated (mirrored in DESIGN.md and
@@ -160,6 +229,7 @@ EXIT CODES:
 // | 3    | `EXIT_ABORTED`    | lenient ingestion aborted (error budget, I/O)    |
 // | 4    | `EXIT_CHECKPOINT` | checkpoint refused (fingerprint/schema/overwrite)|
 // | 5    | `EXIT_SHARD`      | permanently failed shards exceeded the allowance |
+// | 6    | `EXIT_STREAM`     | watch stream aborted (reconnect/decode budget)   |
 // | 9    | `EXIT_CRASH`      | deliberate `--inject-crash-after` kill hook      |
 
 /// Exit code for a usage error or any otherwise-unclassified failure.
@@ -174,8 +244,41 @@ pub const EXIT_CHECKPOINT: u8 = 4;
 /// Exit code for a sharded run whose permanently failed shards exceeded
 /// `--allow-shard-failures`.
 pub const EXIT_SHARD: u8 = 5;
+/// Exit code for a watch stream that aborted: the reconnect budget or the
+/// decode error budget ran out before shutdown or the quiescent point.
+pub const EXIT_STREAM: u8 = 6;
 /// Exit code of the deliberate `--inject-crash-after` kill hook.
 pub const EXIT_CRASH: u8 = 9;
+
+/// Run-level shutdown flag, set by the SIGTERM/SIGINT handler installed by
+/// [`install_shutdown_handlers`]. `watch` drains and flushes a final
+/// checkpoint; `shard` forwards the TERM to its workers and waits for their
+/// artifact flush.
+pub static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Install SIGTERM/SIGINT handlers that set [`SHUTDOWN`] (and nothing
+/// else — flag stores are async-signal-safe). Only the long-running
+/// commands (`watch`, `feed`, `shard`) install this; everything else keeps
+/// the default die-on-signal disposition.
+#[cfg(unix)]
+pub fn install_shutdown_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn request_shutdown(_signum: i32) {
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = request_shutdown as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install_shutdown_handlers() {}
 
 /// A command failure: user-facing message plus the process exit code.
 #[derive(Debug)]
@@ -764,27 +867,34 @@ fn print_inference(args: &Args, result: &PipelineResult) -> Result<(), Failure> 
     }
 
     if let Some(path) = args.get_str("json") {
-        // Sort on the typed key, not on a string fished back out of the
-        // JSON value: no lossy fallback, and community order is the
-        // natural (asn, value) order rather than lexicographic.
-        let mut keyed: Vec<_> = result
-            .inference
-            .labels
-            .iter()
-            .map(|(c, i)| {
-                (
-                    *c,
-                    serde_json::json!({ "community": c.to_string(), "intent": i }),
-                )
-            })
-            .collect();
-        keyed.sort_by_key(|(c, _)| *c);
-        let labels: Vec<serde_json::Value> = keyed.into_iter().map(|(_, v)| v).collect();
-        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-        serde_json::to_writer_pretty(BufWriter::new(file), &labels)
-            .map_err(|e| format!("write {path}: {e}"))?;
-        eprintln!("wrote {} labels to {path}", result.inference.labels.len());
+        write_labels_json(path, &result.inference)?;
     }
+    Ok(())
+}
+
+/// Write an inference's labels as the canonical JSON label file. Shared by
+/// `infer`, `shard`, and `watch` — which is what makes a watch run's label
+/// file byte-comparable (`cmp`) to a batch run over the same prefix.
+fn write_labels_json(path: &str, inference: &bgp_intent::Inference) -> Result<(), Failure> {
+    // Sort on the typed key, not on a string fished back out of the
+    // JSON value: no lossy fallback, and community order is the
+    // natural (asn, value) order rather than lexicographic.
+    let mut keyed: Vec<_> = inference
+        .labels
+        .iter()
+        .map(|(c, i)| {
+            (
+                *c,
+                serde_json::json!({ "community": c.to_string(), "intent": i }),
+            )
+        })
+        .collect();
+    keyed.sort_by_key(|(c, _)| *c);
+    let labels: Vec<serde_json::Value> = keyed.into_iter().map(|(_, v)| v).collect();
+    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    serde_json::to_writer_pretty(BufWriter::new(file), &labels)
+        .map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!("wrote {} labels to {path}", inference.labels.len());
     Ok(())
 }
 
@@ -942,7 +1052,9 @@ pub fn shard_worker(raw: Vec<String>) -> Result<(), Failure> {
 
 /// `bgpcomm shard` — `infer` across N supervised worker subprocesses.
 pub fn shard(raw: Vec<String>) -> Result<(), Failure> {
-    use bgp_intent::{plan_shards, supervise, ShardEvent, ShardSpec, SupervisorConfig};
+    use bgp_intent::{
+        plan_shards, supervise_with_shutdown, ShardEvent, ShardSpec, SupervisorConfig,
+    };
     use bgp_mrt::retry::RetryPolicy;
     use std::process::{Command, Stdio};
     use std::time::Duration;
@@ -995,6 +1107,7 @@ pub fn shard(raw: Vec<String>) -> Result<(), Failure> {
             },
             stall_deadline: Duration::from_millis(deadline_ms.max(1)),
             poll_interval: Duration::from_millis(25),
+            term_grace: Duration::from_secs(5),
         };
         eprintln!(
             "supervising {} shard(s) over {} file(s) ({} attempt(s) per shard, {}ms stall deadline)",
@@ -1050,48 +1163,60 @@ pub fn shard(raw: Vec<String>) -> Result<(), Failure> {
             cmd.stdout(Stdio::null());
             cmd
         };
-        let outcomes = supervise(&specs, &sup_cfg, command, |event| match event {
-            ShardEvent::Reused { shard } => {
-                eprintln!(
-                    "shard {}: reusing valid artifact from a previous run",
-                    shard.index
-                );
-            }
-            ShardEvent::Started { shard, attempt } => {
-                eprintln!(
-                    "shard {}: attempt {attempt} ({} file(s))",
-                    shard.index,
-                    shard.files.len()
-                );
-            }
-            ShardEvent::Retrying {
-                shard,
-                attempt,
-                failure,
-                backoff,
-            } => {
-                eprintln!(
-                    "shard {}: attempt {attempt} failed ({failure}); retrying in {backoff:?}",
-                    shard.index
-                );
-            }
-            ShardEvent::Succeeded { shard, attempt } => {
-                eprintln!(
-                    "shard {}: artifact validated (attempt {attempt})",
-                    shard.index
-                );
-            }
-            ShardEvent::GaveUp {
-                shard,
-                attempts,
-                failure,
-            } => {
-                eprintln!(
-                    "shard {}: permanently failed after {attempts} attempt(s): {failure}",
-                    shard.index
-                );
-            }
-        });
+        let outcomes = supervise_with_shutdown(
+            &specs,
+            &sup_cfg,
+            command,
+            |event| match event {
+                ShardEvent::Reused { shard } => {
+                    eprintln!(
+                        "shard {}: reusing valid artifact from a previous run",
+                        shard.index
+                    );
+                }
+                ShardEvent::Started { shard, attempt } => {
+                    eprintln!(
+                        "shard {}: attempt {attempt} ({} file(s))",
+                        shard.index,
+                        shard.files.len()
+                    );
+                }
+                ShardEvent::Retrying {
+                    shard,
+                    attempt,
+                    failure,
+                    backoff,
+                } => {
+                    eprintln!(
+                        "shard {}: attempt {attempt} failed ({failure}); retrying in {backoff:?}",
+                        shard.index
+                    );
+                }
+                ShardEvent::Succeeded { shard, attempt } => {
+                    eprintln!(
+                        "shard {}: artifact validated (attempt {attempt})",
+                        shard.index
+                    );
+                }
+                ShardEvent::GaveUp {
+                    shard,
+                    attempts,
+                    failure,
+                } => {
+                    eprintln!(
+                        "shard {}: permanently failed after {attempts} attempt(s): {failure}",
+                        shard.index
+                    );
+                }
+                ShardEvent::Interrupted { shard } => {
+                    eprintln!(
+                        "shard {}: interrupted by shutdown before completing (resumable)",
+                        shard.index
+                    );
+                }
+            },
+            &SHUTDOWN,
+        );
 
         // Merge in shard order. The per-shard snapshots hold content-based
         // fingerprint sets, so this union is exact and the classification
@@ -1137,6 +1262,16 @@ pub fn shard(raw: Vec<String>) -> Result<(), Failure> {
             metrics.counter("ingest/files").add(covered_files);
         }
         write_report(&merged, &opts)?;
+        if SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(Failure::new(
+                EXIT_ABORTED,
+                format!(
+                    "shutdown requested; {failed} shard(s) left incomplete \
+                     (artifacts are valid or absent, heartbeats removed); \
+                     re-running the same command resumes only those shards"
+                ),
+            ));
+        }
         if failed > allow {
             return Err(Failure::new(
                 EXIT_SHARD,
@@ -1175,6 +1310,272 @@ pub fn shard(raw: Vec<String>) -> Result<(), Failure> {
     };
     print_inference(&args, &result)?;
     topts.write_metrics()?;
+    Ok(())
+}
+
+/// A boxed stream source, so `watch` can pick TCP / unix socket / file
+/// tail (optionally wrapped in fault injection) at runtime and still call
+/// the generic [`bgp_intent::run_watch`].
+struct DynSource(Box<dyn bgp_mrt::StreamSource>);
+
+impl bgp_mrt::StreamSource for DynSource {
+    fn connect(&mut self, offset: u64) -> std::io::Result<Box<dyn std::io::Read + Send>> {
+        self.0.connect(offset)
+    }
+
+    fn describe(&self) -> String {
+        self.0.describe()
+    }
+}
+
+/// `bgpcomm watch` — the streaming inference daemon.
+pub fn watch(raw: Vec<String>) -> Result<(), Failure> {
+    use bgp_intent::{run_watch, WatchOptions, WindowConfig};
+    use bgp_mrt::{
+        FaultyFeed, FeedAddr, FileTailFeed, SocketFeed, StreamFaultConfig, StreamTuning,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    let args = Args::parse(raw)?;
+    let iopts = IngestOptions::from_args(&args)?;
+    if iopts.strict {
+        return Err("watch runs lenient ingestion only (drop --strict)".into());
+    }
+    let siblings = load_siblings(&args)?;
+    let cfg = inference_config(&args, iopts.threads)?;
+    let topts = TelemetryOptions::from_args(&args)?;
+
+    let stall_ms: u64 = args.get("stall-ms", 2000u64)?;
+    let stall = Duration::from_millis(stall_ms.max(1));
+    let connect = args.get_str("connect");
+    let unix_path = args.get_str("unix");
+    let tail = args.get_str("tail");
+    if [connect, unix_path, tail].iter().flatten().count() != 1 {
+        return Err("exactly one of --connect, --unix, --tail is required".into());
+    }
+    let source: Box<dyn bgp_mrt::StreamSource> = if let Some(addr) = connect {
+        Box::new(SocketFeed::new(FeedAddr::Tcp(addr.to_string()), stall))
+    } else if let Some(path) = unix_path {
+        #[cfg(unix)]
+        {
+            Box::new(SocketFeed::new(FeedAddr::Unix(PathBuf::from(path)), stall))
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err("--unix is only available on unix platforms".into());
+        }
+    } else {
+        Box::new(FileTailFeed::new(PathBuf::from(tail.expect("one source"))))
+    };
+    let source: Box<dyn bgp_mrt::StreamSource> = match args.get_str("inject-stream-faults") {
+        None => source,
+        Some(raw) => {
+            let (seed_raw, rate_raw) = match raw.split_once(':') {
+                Some((s, r)) => (s, Some(r)),
+                None => (raw, None),
+            };
+            let mut fault_cfg = StreamFaultConfig {
+                seed: seed_raw
+                    .parse()
+                    .map_err(|e| format!("--inject-stream-faults {raw}: {e}"))?,
+                ..StreamFaultConfig::default()
+            };
+            if let Some(rate) = rate_raw {
+                fault_cfg.rate = rate
+                    .parse()
+                    .map_err(|e| format!("--inject-stream-faults {raw}: {e}"))?;
+            }
+            Box::new(FaultyFeed::new(DynSource(source), fault_cfg))
+        }
+    };
+    let source = DynSource(source);
+
+    let mut tuning = StreamTuning {
+        queue_bytes: args.get("queue-kb", 4096usize)?.max(1) << 10,
+        chunk_bytes: args.get("chunk-kb", 64usize)?.max(1) << 10,
+        stall_timeout: stall,
+        ..StreamTuning::default()
+    };
+    tuning.retry.max_attempts = iopts.tuning.retry.max_attempts;
+    tuning.quiesce_after = match args.get_str("quiesce-after") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e| format!("--quiesce-after {raw}: {e}"))?,
+        ),
+    };
+
+    let parse_ms = |name: &str| -> Result<Option<Duration>, String> {
+        match args.get_str(name) {
+            None => Ok(None),
+            Some(raw) => Ok(Some(Duration::from_millis(
+                raw.parse().map_err(|e| format!("--{name} {raw}: {e}"))?,
+            ))),
+        }
+    };
+    let crash_after_windows = match args.get_str("inject-crash-after-windows") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e| format!("--inject-crash-after-windows {raw}: {e}"))?,
+        ),
+    };
+    let opts = WatchOptions {
+        window: WindowConfig {
+            window_secs: args.get("window-secs", 3600u32)?.max(1),
+            windows: args.get("windows", 24usize)?.max(1),
+        },
+        infer: cfg,
+        tuning,
+        recover: iopts.recover.clone(),
+        checkpoint: args.get_str("checkpoint").map(PathBuf::from),
+        checkpoint_every: args.get("checkpoint-every", 1u64)?,
+        metrics: topts.telemetry.metrics.clone(),
+        slow_fold: parse_ms("slow-fold-ms")?,
+        crash_after_windows,
+    };
+
+    // Bridge the process-global signal flag into the Arc the stream layer
+    // shares with its delivery thread.
+    let shutdown = Arc::new(AtomicBool::new(false));
+    {
+        let flag = Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                flag.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+
+    eprintln!(
+        "watch: {} (window {}s x {}, queue {} KiB, checkpoint {})",
+        bgp_mrt::StreamSource::describe(&source),
+        opts.window.window_secs,
+        opts.window.windows,
+        opts.tuning.queue_bytes >> 10,
+        opts.checkpoint
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "disabled".into()),
+    );
+    let outcome = match run_watch(source, &siblings, &opts, shutdown) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            let _ = topts.write_metrics();
+            let code = match e.kind() {
+                std::io::ErrorKind::ConnectionAborted => EXIT_STREAM,
+                std::io::ErrorKind::InvalidData | std::io::ErrorKind::InvalidInput => {
+                    EXIT_CHECKPOINT
+                }
+                _ => EXIT_USAGE,
+            };
+            return Err(Failure::new(code, format!("watch: {e}")));
+        }
+    };
+
+    if outcome.resumed {
+        eprintln!(
+            "watch: resumed from checkpoint (cursor caught up to {})",
+            outcome.cursor
+        );
+    }
+    let c = &outcome.counters;
+    let load = |v: &std::sync::atomic::AtomicU64| v.load(Ordering::SeqCst);
+    println!("records              : {}", outcome.records);
+    println!("observations         : {}", outcome.observations);
+    println!("window advances      : {}", outcome.advances);
+    println!("label flaps          : {}", outcome.flaps);
+    println!("late drops           : {}", outcome.late_drops);
+    println!("reclassified owners  : {}", outcome.reclassified_owners);
+    println!("stream cursor        : {} bytes", outcome.cursor);
+    println!(
+        "stream               : {} connection(s), {} reconnect(s), {} stall(s), {} disconnect(s)",
+        load(&c.connections),
+        load(&c.reconnects),
+        load(&c.stalls),
+        load(&c.disconnects),
+    );
+    println!("backpressure stalls  : {}", load(&c.backpressure_stalls));
+    println!("queue peak           : {} bytes", load(&c.queue_peak_bytes));
+    println!("windowed labels      : {}", outcome.windowed_labels.len());
+    println!("cumulative labels    : {}", outcome.inference.labels.len());
+    if !outcome.report.is_clean() {
+        println!("ingest degradation   : {}", outcome.report.summary());
+    }
+    write_report(&outcome.report, &iopts)?;
+    if let Some(path) = args.get_str("json") {
+        write_labels_json(path, &outcome.inference)?;
+    }
+    topts.write_metrics()?;
+    Ok(())
+}
+
+/// `bgpcomm feed` — serve an MRT byte stream over TCP with the watch
+/// resume protocol.
+pub fn feed(raw: Vec<String>) -> Result<(), Failure> {
+    use bgp_mrt::{FeedServer, FeedServerOptions};
+    use std::time::Duration;
+
+    let args = Args::parse(raw)?;
+    let listen = args.get_str("listen").unwrap_or("127.0.0.1:0");
+    let bytes: Vec<u8> = if args.get_all("mrt").is_empty() {
+        let days: u32 = args.get("days", 4)?;
+        let scenario_cfg = ScenarioConfig::from_args(&args)?;
+        eprintln!(
+            "feed: generating scenario stream (seed {}, scale {}, {} days)...",
+            scenario_cfg.seed, scenario_cfg.scale, days
+        );
+        let scenario = Scenario::build(&scenario_cfg);
+        let sim = scenario.simulator();
+        let mut buf = Vec::new();
+        scenario
+            .stream_collect(&sim, days, &mut buf)
+            .map_err(|e| format!("generate stream: {e}"))?;
+        buf
+    } else {
+        let mut buf = Vec::new();
+        for path in mrt_files(&args)? {
+            let mut file = File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+            std::io::Read::read_to_end(&mut file, &mut buf)
+                .map_err(|e| format!("read {path}: {e}"))?;
+        }
+        buf
+    };
+    let throttle = match args.get_str("throttle") {
+        None => None,
+        Some(raw) => {
+            let (chunk, ms) = raw
+                .split_once(':')
+                .ok_or_else(|| format!("--throttle {raw}: expected BYTES:MS"))?;
+            Some((
+                chunk
+                    .parse::<usize>()
+                    .map_err(|e| format!("--throttle {raw}: {e}"))?
+                    .max(1),
+                Duration::from_millis(ms.parse().map_err(|e| format!("--throttle {raw}: {e}"))?),
+            ))
+        }
+    };
+
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    // Scripts (and the e2e tests) read the bound address from this line —
+    // flush it before blocking in the accept loop.
+    println!("listening on {addr} ({} bytes)", bytes.len());
+    let _ = std::io::stdout().flush();
+
+    let server = FeedServer::new(Arc::new(bytes), FeedServerOptions { throttle });
+    let served = server
+        .serve_tcp(listener, &SHUTDOWN)
+        .map_err(|e| format!("serve: {e}"))?;
+    eprintln!("feed: served {served} connection(s)");
     Ok(())
 }
 

@@ -13,6 +13,11 @@
 //!   inferred labels as JSON.
 //! * `shard` — `infer` across N supervised worker subprocesses with
 //!   crash/stall recovery; merged output is bit-identical to one process.
+//! * `watch` — long-running streaming daemon over a continuous update
+//!   feed: rolling windows, incremental reclassification, bounded ingest
+//!   queue, reconnects, and crash-recovering checkpoints.
+//! * `feed` — serve an MRT byte stream over TCP with the watch resume
+//!   protocol (tests, demos, CI).
 //! * `generate` — build a synthetic world and write MRT archives plus the
 //!   ground-truth dictionary, for testing and demos without RouteViews
 //!   access.
@@ -47,8 +52,23 @@ fn main() -> ExitCode {
     let outcome = match command.as_deref() {
         Some("stats") => commands::stats(rest),
         Some("infer") => commands::infer(rest),
-        Some("shard") => commands::shard(rest),
+        // The long-running commands trade the default die-on-signal
+        // disposition for a graceful drain: SIGTERM/SIGINT set a flag,
+        // `watch` flushes a final checkpoint, `shard` forwards the TERM to
+        // its workers and waits for their artifact flush.
+        Some("shard") => {
+            commands::install_shutdown_handlers();
+            commands::shard(rest)
+        }
         Some("shard-worker") => commands::shard_worker(rest),
+        Some("watch") => {
+            commands::install_shutdown_handlers();
+            commands::watch(rest)
+        }
+        Some("feed") => {
+            commands::install_shutdown_handlers();
+            commands::feed(rest)
+        }
         Some("validate") => commands::validate(rest),
         Some("compare") => commands::compare(rest),
         Some("generate") => commands::generate(rest),

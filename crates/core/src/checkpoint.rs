@@ -206,6 +206,28 @@ impl StatsAccumulator {
         }
     }
 
+    /// Fold observations one record at a time, in delivered order — the
+    /// streaming path. Unlike [`ingest`](Self::ingest) there is no
+    /// sharding pass and no per-call allocation: each record folds
+    /// straight into the accumulated sets as it arrives, so a daemon can
+    /// call this per decoded record (or per small batch) without setting
+    /// up [`INGEST_SHARDS`] vectors each time.
+    ///
+    /// The accumulated *sets* are identical to a batch [`ingest`] over the
+    /// same observations (set union is order-independent); the snapshot
+    /// *delta order* is the delivered order rather than shard-major order.
+    /// That is self-consistent across checkpoint/resume — a resumed daemon
+    /// re-folding from its cursor appends first-seen elements in the same
+    /// delivered order — but means streaming snapshot bytes are not
+    /// byte-comparable to batch snapshot bytes. Batch-parity checks
+    /// compare derived stats and labels, which depend only on the sets.
+    pub fn ingest_ordered(&mut self, observations: &[Observation], siblings: &SiblingMap) {
+        for obs in observations {
+            let pfp = path_fingerprint(&obs.path);
+            self.fold(pfp, obs, siblings);
+        }
+    }
+
     /// [`ingest`](Self::ingest) out of a columnar [`ObservationStore`] —
     /// the path used when MRT decoding folded straight into a store. Path
     /// fingerprints come from the store's interner (computed once per
@@ -532,10 +554,10 @@ pub struct FileFingerprint {
 }
 
 /// FNV-1a 64 offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Fold `bytes` into a running FNV-1a 64 `hash`.
-fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
     }

@@ -167,7 +167,9 @@ pub fn label_cluster(
 
 /// Steps (i)–(iii) for one owner AS: exclusion check, clustering, cluster
 /// labeling. Appends into `out` so chunked workers reuse one accumulator.
-fn classify_owner(
+/// `pub(crate)` so the streaming window (`watch`) can reclassify only the
+/// owners a window advance touched.
+pub(crate) fn classify_owner(
     stats: &PathStats,
     siblings: &SiblingMap,
     cfg: &InferenceConfig,

@@ -17,7 +17,9 @@
 //!
 //! [`baseline`] builds the ground-truth-regex clusters of §5.1 (Fig 6), and
 //! [`features`] computes the customer:peer feature the paper shows is *not*
-//! sufficient (Fig 7). [`pipeline`] wires everything together.
+//! sufficient (Fig 7). [`pipeline`] wires everything together, and
+//! [`watch`] runs the same method as a crash-tolerant streaming daemon
+//! over rolling time windows.
 //!
 //! # Example
 //!
@@ -73,6 +75,7 @@ pub mod large;
 pub mod pipeline;
 pub mod stats;
 pub mod supervisor;
+pub mod watch;
 
 pub use categories::{infer_categories, CategoryConfig, FineCategory};
 pub use checkpoint::{
@@ -90,6 +93,9 @@ pub use pipeline::{
 };
 pub use stats::{PathCounts, PathStats};
 pub use supervisor::{
-    plan_shards, supervise, validate_artifact, ShardEvent, ShardFailureKind, ShardOutcome,
-    ShardSpec, SupervisorConfig,
+    plan_shards, supervise, supervise_with_shutdown, validate_artifact, ShardEvent,
+    ShardFailureKind, ShardOutcome, ShardSpec, SupervisorConfig,
+};
+pub use watch::{
+    run_watch, WatchCheckpoint, WatchOptions, WatchOutcome, WindowConfig, WindowedClassifier,
 };

@@ -41,6 +41,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use bgp_mrt::retry::RetryPolicy;
@@ -100,6 +101,11 @@ pub enum ShardFailureKind {
     /// (wrong file list, or a recorded fingerprint no longer matches the
     /// bytes on disk).
     StaleArtifact(String),
+    /// The run was shut down before this shard produced a valid artifact:
+    /// the worker was asked to stop (SIGTERM, then SIGKILL after the
+    /// grace period) or was never spawned. Not retried — the shard simply
+    /// remains incomplete, resumable by the next run.
+    Interrupted,
 }
 
 impl fmt::Display for ShardFailureKind {
@@ -114,6 +120,9 @@ impl fmt::Display for ShardFailureKind {
             }
             ShardFailureKind::CorruptArtifact(e) => write!(f, "corrupt artifact: {e}"),
             ShardFailureKind::StaleArtifact(e) => write!(f, "stale artifact: {e}"),
+            ShardFailureKind::Interrupted => {
+                write!(f, "run shut down before the shard completed")
+            }
         }
     }
 }
@@ -156,10 +165,14 @@ pub struct SupervisorConfig {
     /// `stall_deadline` instead).
     pub retry: RetryPolicy,
     /// A running worker whose heartbeat has not changed for this long is
-    /// killed and the attempt classified [`ShardFailureKind::Stall`].
+    /// asked to stop and the attempt classified [`ShardFailureKind::Stall`].
     pub stall_deadline: Duration,
     /// How often to poll children and heartbeats.
     pub poll_interval: Duration,
+    /// How long a worker gets between SIGTERM and SIGKILL when the
+    /// supervisor stops it (stall, or a run-level shutdown). Long enough
+    /// for a worker to finish its current file and flush an artifact.
+    pub term_grace: Duration,
 }
 
 impl Default for SupervisorConfig {
@@ -173,6 +186,7 @@ impl Default for SupervisorConfig {
             },
             stall_deadline: Duration::from_secs(30),
             poll_interval: Duration::from_millis(25),
+            term_grace: Duration::from_secs(5),
         }
     }
 }
@@ -218,6 +232,11 @@ pub enum ShardEvent<'a> {
         attempts: u32,
         /// The final attempt's failure.
         failure: &'a ShardFailureKind,
+    },
+    /// A run-level shutdown stopped this shard before it completed.
+    Interrupted {
+        /// The shard that was interrupted.
+        shard: &'a ShardSpec,
     },
 }
 
@@ -273,6 +292,47 @@ enum State {
     Done,
 }
 
+/// Stop a worker gracefully: SIGTERM, a bounded grace wait so it can
+/// finish the current file and flush its artifact, then SIGKILL. Returns
+/// the exit status if the child was reaped.
+///
+/// The TERM is delivered via `kill(1)` — this crate forbids `unsafe`, so
+/// no direct `libc::kill` — and falls through to the hard
+/// [`Child::kill`] on non-unix platforms or if the grace period expires.
+fn terminate_gracefully(
+    child: &mut Child,
+    grace: Duration,
+    poll: Duration,
+) -> Option<std::process::ExitStatus> {
+    #[cfg(unix)]
+    {
+        let termed = Command::new("kill")
+            .arg("-TERM")
+            .arg(child.id().to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        if termed {
+            let deadline = Instant::now() + grace;
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => return Some(status),
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(poll.min(Duration::from_millis(25)))
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = (grace, poll);
+    let _ = child.kill();
+    child.wait().ok()
+}
+
 /// Classify a finished worker's exit status.
 fn classify_exit(status: std::process::ExitStatus) -> Result<(), ShardFailureKind> {
     if status.success() {
@@ -303,8 +363,27 @@ fn classify_exit(status: std::process::ExitStatus) -> Result<(), ShardFailureKin
 pub fn supervise(
     specs: &[ShardSpec],
     cfg: &SupervisorConfig,
+    command: impl FnMut(&ShardSpec, u32) -> Command,
+    on_event: impl FnMut(ShardEvent<'_>),
+) -> Vec<ShardOutcome> {
+    supervise_with_shutdown(specs, cfg, command, on_event, &AtomicBool::new(false))
+}
+
+/// [`supervise`] with a run-level shutdown flag (set by a SIGTERM/SIGINT
+/// handler). When the flag goes high the supervisor stops spawning,
+/// forwards SIGTERM to every running worker, waits up to
+/// [`SupervisorConfig::term_grace`] for each to flush its artifact, and
+/// SIGKILLs stragglers. A worker that exits cleanly with a valid artifact
+/// inside the grace window still counts as succeeded; everything else is
+/// classified [`ShardFailureKind::Interrupted`] and left resumable.
+/// Heartbeat files are removed as shards settle either way — a stopped run
+/// leaves artifacts (valid or absent), never stale heartbeats.
+pub fn supervise_with_shutdown(
+    specs: &[ShardSpec],
+    cfg: &SupervisorConfig,
     mut command: impl FnMut(&ShardSpec, u32) -> Command,
     mut on_event: impl FnMut(ShardEvent<'_>),
+    shutdown: &AtomicBool,
 ) -> Vec<ShardOutcome> {
     let mut outcomes: Vec<ShardOutcome> = specs
         .iter()
@@ -326,6 +405,7 @@ pub fn supervise(
             Ok(cp) => {
                 outcome.artifact = Some(cp);
                 outcome.reused = true;
+                let _ = std::fs::remove_file(&spec.heartbeat);
                 on_event(ShardEvent::Reused { shard: spec });
                 states.push(State::Done);
             }
@@ -337,6 +417,49 @@ pub fn supervise(
     }
 
     loop {
+        if shutdown.load(Ordering::SeqCst) {
+            // Run-level shutdown: no new attempts. Stop every running
+            // worker gracefully, adopt any artifact flushed during the
+            // grace window, and clean heartbeats so nothing stale remains.
+            for ((spec, state), outcome) in specs.iter().zip(&mut states).zip(&mut outcomes) {
+                match std::mem::replace(state, State::Done) {
+                    State::Done => {}
+                    State::Pending { .. } => {
+                        outcome.failures.push(ShardFailureKind::Interrupted);
+                        on_event(ShardEvent::Interrupted { shard: spec });
+                    }
+                    State::Running {
+                        attempt, mut child, ..
+                    } => {
+                        let result = match terminate_gracefully(
+                            &mut child,
+                            cfg.term_grace,
+                            cfg.poll_interval,
+                        ) {
+                            Some(status) => {
+                                classify_exit(status).and_then(|()| validate_artifact(spec))
+                            }
+                            None => Err(ShardFailureKind::Interrupted),
+                        };
+                        match result {
+                            Ok(cp) => {
+                                outcome.artifact = Some(cp);
+                                on_event(ShardEvent::Succeeded {
+                                    shard: spec,
+                                    attempt,
+                                });
+                            }
+                            Err(_) => {
+                                outcome.failures.push(ShardFailureKind::Interrupted);
+                                on_event(ShardEvent::Interrupted { shard: spec });
+                            }
+                        }
+                    }
+                }
+                let _ = std::fs::remove_file(&spec.heartbeat);
+            }
+            return outcomes;
+        }
         let mut all_done = true;
         for ((spec, state), outcome) in specs.iter().zip(&mut states).zip(&mut outcomes) {
             let now = Instant::now();
@@ -401,6 +524,7 @@ pub fn supervise(
                             match result {
                                 Ok(cp) => {
                                     outcome.artifact = Some(cp);
+                                    let _ = std::fs::remove_file(&spec.heartbeat);
                                     on_event(ShardEvent::Succeeded {
                                         shard: spec,
                                         attempt,
@@ -425,8 +549,8 @@ pub fn supervise(
                                 *progressed_at = now;
                                 None // keep running, state mutated in place
                             } else if now.duration_since(*progressed_at) > cfg.stall_deadline {
-                                let _ = child.kill();
-                                let _ = child.wait();
+                                let _ =
+                                    terminate_gracefully(child, cfg.term_grace, cfg.poll_interval);
                                 Some(fail_attempt(
                                     spec,
                                     outcome,
@@ -482,6 +606,7 @@ fn fail_attempt(
             at: Instant::now() + backoff,
         }
     } else {
+        let _ = std::fs::remove_file(&spec.heartbeat);
         on_event(ShardEvent::GaveUp {
             shard: spec,
             attempts: attempt,
@@ -516,6 +641,7 @@ mod tests {
             },
             stall_deadline: Duration::from_millis(250),
             poll_interval: Duration::from_millis(5),
+            term_grace: Duration::from_millis(600),
         }
     }
 
@@ -770,6 +896,99 @@ mod tests {
         );
         assert!(outcomes[0].succeeded(), "{:?}", outcomes[0].failures);
         assert!(outcomes[0].failures.is_empty());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shutdown_waits_for_a_trapping_worker_to_flush_its_artifact() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let dir = workdir("shutdown-flush");
+        let spec = spec_with_inputs(&dir, 0, 1);
+        // Stage a valid artifact next to the real path; the worker only
+        // moves it into place from its TERM trap — so the shard can only
+        // succeed if the supervisor forwards TERM and waits for the flush.
+        write_valid_artifact(&spec);
+        let staged = dir.join("staged.ckpt");
+        fs::rename(&spec.artifact, &staged).unwrap();
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let trigger = Arc::clone(&shutdown);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            trigger.store(true, Ordering::SeqCst);
+        });
+        let mut interrupted = false;
+        let outcomes = supervise_with_shutdown(
+            std::slice::from_ref(&spec),
+            &quick_cfg(1),
+            |spec, _| {
+                sh(format!(
+                    "trap 'sleep 0.1; mv {staged} {artifact}; exit 0' TERM; \
+                     echo hb > {heartbeat}; sleep 30 & wait $!",
+                    staged = staged.display(),
+                    artifact = spec.artifact.display(),
+                    heartbeat = spec.heartbeat.display(),
+                ))
+            },
+            |e| {
+                if matches!(e, ShardEvent::Interrupted { .. }) {
+                    interrupted = true;
+                }
+            },
+            &shutdown,
+        );
+        t.join().unwrap();
+        let o = &outcomes[0];
+        assert!(o.succeeded(), "{:?}", o.failures);
+        assert!(!interrupted, "flushed shard must count as succeeded");
+        assert!(
+            !spec.heartbeat.exists(),
+            "shutdown must not leave stale heartbeats"
+        );
+        assert!(validate_artifact(&spec).is_ok());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shutdown_interrupts_a_non_trapping_worker_and_cleans_heartbeats() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let dir = workdir("shutdown-interrupt");
+        let spec = spec_with_inputs(&dir, 0, 1);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let trigger = Arc::clone(&shutdown);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            trigger.store(true, Ordering::SeqCst);
+        });
+        let mut interrupted = false;
+        let outcomes = supervise_with_shutdown(
+            std::slice::from_ref(&spec),
+            &quick_cfg(3),
+            |spec, _| sh(format!("echo hb > {}; sleep 30", spec.heartbeat.display())),
+            |e| {
+                if matches!(e, ShardEvent::Interrupted { .. }) {
+                    interrupted = true;
+                }
+            },
+            &shutdown,
+        );
+        t.join().unwrap();
+        let o = &outcomes[0];
+        assert!(!o.succeeded());
+        assert!(interrupted);
+        assert_eq!(o.failures, vec![ShardFailureKind::Interrupted]);
+        assert!(
+            !spec.artifact.exists(),
+            "interrupted shard must leave the artifact absent, not partial"
+        );
+        assert!(
+            !spec.heartbeat.exists(),
+            "shutdown must not leave stale heartbeats"
+        );
     }
 
     #[test]

@@ -253,7 +253,7 @@ mod tests {
         // RIB records group one entry per peer under a shared prefix record,
         // so the record count sits below the observation count but above 0.
         assert!(summary.records > 0);
-        assert!(summary.records as u64 <= summary.observations);
+        assert!(summary.records <= summary.observations);
     }
 
     #[test]

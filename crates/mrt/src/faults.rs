@@ -436,6 +436,336 @@ impl<R: std::io::Read> std::io::Read for FlakyReader<R> {
     }
 }
 
+/// One way a *live stream* can misbehave, beyond what archived files show.
+///
+/// The five kinds split into two classes, mirrored by the two consumers
+/// below:
+///
+/// * **payload faults** ([`StreamFaultKind::DuplicateDelivery`],
+///   [`StreamFaultKind::CorruptBurst`]) change the delivered *bytes* and are
+///   applied ahead of time by [`StreamFaultInjector::corrupt_delivery`], so a
+///   batch reference run over the same damaged bytes sees exactly what the
+///   daemon saw;
+/// * **delivery faults** ([`StreamFaultKind::DisconnectMidFrame`],
+///   [`StreamFaultKind::IndefiniteStall`],
+///   [`StreamFaultKind::PartialFrame`]) interrupt *transport* without
+///   touching a byte and are injected live by [`FaultyStream`] — after
+///   reconnect-and-resume the delivered byte sequence is bit-identical to
+///   the unfaulted one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamFaultKind {
+    /// The connection drops with `ECONNRESET` partway through a record
+    /// frame.
+    DisconnectMidFrame,
+    /// The connection stops making progress forever: every further read
+    /// times out. Only the consumer's stall deadline gets the stream moving
+    /// again (by abandoning the connection).
+    IndefiniteStall,
+    /// The peer delivers part of a frame and then closes cleanly (EOF
+    /// mid-frame) — the classic half-written tail of a dying sender.
+    PartialFrame,
+    /// A span of already-delivered frames is delivered again, verbatim
+    /// (replay after an ack was lost). Content-addressed folding must
+    /// absorb the duplicates without double-counting.
+    DuplicateDelivery,
+    /// A burst of bytes inside the stream is overwritten with garbage,
+    /// spanning record boundaries — the quarantine-and-resync path.
+    CorruptBurst,
+}
+
+/// Every stream fault kind.
+pub const ALL_STREAM_FAULT_KINDS: &[StreamFaultKind] = &[
+    StreamFaultKind::DisconnectMidFrame,
+    StreamFaultKind::IndefiniteStall,
+    StreamFaultKind::PartialFrame,
+    StreamFaultKind::DuplicateDelivery,
+    StreamFaultKind::CorruptBurst,
+];
+
+/// The transport-interrupting subset, handled by [`FaultyStream`].
+pub const DELIVERY_STREAM_FAULT_KINDS: &[StreamFaultKind] = &[
+    StreamFaultKind::DisconnectMidFrame,
+    StreamFaultKind::IndefiniteStall,
+    StreamFaultKind::PartialFrame,
+];
+
+/// The byte-changing subset, handled by
+/// [`StreamFaultInjector::corrupt_delivery`].
+pub const PAYLOAD_STREAM_FAULT_KINDS: &[StreamFaultKind] = &[
+    StreamFaultKind::DuplicateDelivery,
+    StreamFaultKind::CorruptBurst,
+];
+
+/// Stream fault parameters. As with [`FaultConfig`], identical configs over
+/// identical input produce identical faults.
+#[derive(Debug, Clone)]
+pub struct StreamFaultConfig {
+    /// Seed for the deterministic schedule.
+    pub seed: u64,
+    /// For payload faults: fraction of frames hit. For delivery faults:
+    /// probability that one fault fires on a given connection.
+    pub rate: f64,
+    /// Kinds to draw from. Consumers ignore kinds outside their class.
+    pub kinds: Vec<StreamFaultKind>,
+    /// Mean number of bytes a connection delivers before a delivery fault
+    /// fires (the actual position is drawn uniformly in `1..=2*mean`).
+    pub mean_fault_position: usize,
+}
+
+impl Default for StreamFaultConfig {
+    fn default() -> Self {
+        StreamFaultConfig {
+            seed: 0x57E4_FA17,
+            rate: 0.02,
+            kinds: ALL_STREAM_FAULT_KINDS.to_vec(),
+            mean_fault_position: 64 * 1024,
+        }
+    }
+}
+
+impl StreamFaultConfig {
+    /// The same schedule under a different seed (per-connection
+    /// decorrelation: reseed with `seed ^ connection_index`).
+    pub fn reseeded(&self, seed: u64) -> Self {
+        StreamFaultConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+}
+
+/// One stream-level corruption that was applied to the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedStreamFault {
+    /// Index of the first affected record in the clean stream's framing.
+    pub record_index: usize,
+    /// Byte offset of that record's header in the *clean* stream.
+    pub clean_offset: usize,
+    /// What was done.
+    pub kind: StreamFaultKind,
+}
+
+/// Everything a payload-fault injection run did.
+#[derive(Debug, Clone, Default)]
+pub struct StreamFaultLog {
+    /// Applied faults in record order.
+    pub applied: Vec<AppliedStreamFault>,
+}
+
+impl StreamFaultLog {
+    /// Total number of corruptions applied.
+    pub fn count(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// How many corruptions of one kind were applied.
+    pub fn count_of(&self, kind: StreamFaultKind) -> usize {
+        self.applied.iter().filter(|f| f.kind == kind).count()
+    }
+}
+
+/// Applies the *payload* stream faults (duplicate delivery, corrupt bursts)
+/// to a clean byte stream ahead of time, so the damaged bytes can both be
+/// served to the daemon and written to disk for a batch reference run.
+#[derive(Debug, Clone)]
+pub struct StreamFaultInjector {
+    cfg: StreamFaultConfig,
+}
+
+impl StreamFaultInjector {
+    /// Build an injector from its config.
+    pub fn new(cfg: StreamFaultConfig) -> Self {
+        StreamFaultInjector { cfg }
+    }
+
+    /// Damage `clean` with the payload fault kinds in the config
+    /// (delivery-only kinds are skipped — they cannot be expressed as
+    /// bytes). Duplicated spans are always whole frames, so a resilient
+    /// decoder sees well-formed duplicate records; corrupt bursts overwrite
+    /// bytes in place (stream length unchanged) so framing recovers at the
+    /// next surviving record.
+    pub fn corrupt_delivery(&self, clean: &[u8]) -> (Vec<u8>, StreamFaultLog) {
+        let mut log = StreamFaultLog::default();
+        let kinds: Vec<StreamFaultKind> = self
+            .cfg
+            .kinds
+            .iter()
+            .copied()
+            .filter(|k| PAYLOAD_STREAM_FAULT_KINDS.contains(k))
+            .collect();
+        if kinds.is_empty() || self.cfg.rate <= 0.0 {
+            return (clean.to_vec(), log);
+        }
+        let frames = frame(clean);
+        if frames.is_empty() {
+            return (clean.to_vec(), log);
+        }
+
+        let mut rng = SplitMix64::new(self.cfg.seed);
+        let target = ((frames.len() as f64 * self.cfg.rate.min(1.0)).round() as usize)
+            .clamp(1, frames.len());
+        let mut indices: Vec<usize> = (0..frames.len()).collect();
+        for i in 0..target {
+            let j = i + rng.below(indices.len() - i);
+            indices.swap(i, j);
+        }
+        let mut victims = indices[..target].to_vec();
+        victims.sort_unstable();
+
+        let mut out = Vec::with_capacity(clean.len() + 64 * target);
+        let mut victim_iter = victims.into_iter().peekable();
+        for (idx, &(start, total)) in frames.iter().enumerate() {
+            let record = &clean[start..start + total];
+            if victim_iter.peek() != Some(&idx) {
+                out.extend_from_slice(record);
+                continue;
+            }
+            victim_iter.next();
+            let kind = kinds[rng.below(kinds.len())];
+            match kind {
+                StreamFaultKind::DuplicateDelivery => {
+                    // Replay this frame plus up to two of its predecessors,
+                    // verbatim and frame-aligned.
+                    let back = rng.below(3).min(idx);
+                    let (rstart, _) = frames[idx - back];
+                    out.extend_from_slice(record);
+                    out.extend_from_slice(&clean[rstart..start + total]);
+                }
+                StreamFaultKind::CorruptBurst => {
+                    // Overwrite a span starting inside this frame; the span
+                    // may run past the frame's end into its successors.
+                    let mut copy = record.to_vec();
+                    let at = rng.below(total);
+                    let span = 8 + rng.below(89);
+                    for off in 0..span.min(total - at) {
+                        copy[at + off] = (rng.next_u64() & 0xFF) as u8;
+                    }
+                    out.extend_from_slice(&copy);
+                }
+                _ => unreachable!("delivery kinds filtered out above"),
+            }
+            log.applied.push(AppliedStreamFault {
+                record_index: idx,
+                clean_offset: start,
+                kind,
+            });
+        }
+        let framed_end = frames.last().map_or(0, |&(s, t)| s + t);
+        out.extend_from_slice(&clean[framed_end..]);
+        (out, log)
+    }
+}
+
+/// What a [`FaultyStream`] is scheduled to do to its connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlannedDeliveryFault {
+    /// Deliver faithfully to EOF.
+    None,
+    /// At `at` delivered bytes, fail with `ECONNRESET`.
+    Disconnect { at: u64 },
+    /// At `at` delivered bytes, time out on every further read.
+    Stall { at: u64 },
+    /// At `at` delivered bytes, report clean EOF (mid-frame half-delivery).
+    PartialEof { at: u64 },
+}
+
+/// A `Read` adapter injecting seeded *delivery* stream faults — disconnects,
+/// indefinite stalls, partial-frame EOFs — on a single connection. Bytes
+/// that are delivered are always faithful; a resuming consumer that
+/// reconnects from its cursor reconstructs the exact clean sequence.
+///
+/// Payload faults in the config are ignored here (see
+/// [`StreamFaultInjector`]); wrap each new connection with a
+/// [`StreamFaultConfig::reseeded`] config to decorrelate schedules while
+/// keeping the whole run deterministic.
+#[derive(Debug)]
+pub struct FaultyStream<R> {
+    inner: R,
+    plan: PlannedDeliveryFault,
+    delivered: u64,
+    /// Whether the planned fault has fired.
+    pub fired: Option<StreamFaultKind>,
+}
+
+impl<R: std::io::Read> FaultyStream<R> {
+    /// Wrap one connection's stream with the given schedule.
+    pub fn new(inner: R, cfg: &StreamFaultConfig) -> Self {
+        let mut rng = SplitMix64::new(cfg.seed);
+        let kinds: Vec<StreamFaultKind> = cfg
+            .kinds
+            .iter()
+            .copied()
+            .filter(|k| DELIVERY_STREAM_FAULT_KINDS.contains(k))
+            .collect();
+        let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let plan = if kinds.is_empty() || draw >= cfg.rate {
+            PlannedDeliveryFault::None
+        } else {
+            let at = 1 + rng.below(2 * cfg.mean_fault_position.max(1)) as u64;
+            match kinds[rng.below(kinds.len())] {
+                StreamFaultKind::DisconnectMidFrame => PlannedDeliveryFault::Disconnect { at },
+                StreamFaultKind::IndefiniteStall => PlannedDeliveryFault::Stall { at },
+                StreamFaultKind::PartialFrame => PlannedDeliveryFault::PartialEof { at },
+                _ => unreachable!("payload kinds filtered out above"),
+            }
+        };
+        FaultyStream {
+            inner,
+            plan,
+            delivered: 0,
+            fired: None,
+        }
+    }
+
+    /// Bytes faithfully delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn fault_at(&self) -> Option<(u64, StreamFaultKind)> {
+        match self.plan {
+            PlannedDeliveryFault::None => None,
+            PlannedDeliveryFault::Disconnect { at } => {
+                Some((at, StreamFaultKind::DisconnectMidFrame))
+            }
+            PlannedDeliveryFault::Stall { at } => Some((at, StreamFaultKind::IndefiniteStall)),
+            PlannedDeliveryFault::PartialEof { at } => Some((at, StreamFaultKind::PartialFrame)),
+        }
+    }
+}
+
+impl<R: std::io::Read> std::io::Read for FaultyStream<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let Some((at, kind)) = self.fault_at() else {
+            let n = self.inner.read(buf)?;
+            self.delivered += n as u64;
+            return Ok(n);
+        };
+        if self.delivered >= at {
+            self.fired = Some(kind);
+            return match kind {
+                StreamFaultKind::DisconnectMidFrame => Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "injected disconnect mid-frame",
+                )),
+                // An indefinite stall: *every* read from here on times out.
+                StreamFaultKind::IndefiniteStall => Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "injected indefinite stall",
+                )),
+                // The peer half-delivered a frame and closed cleanly.
+                _ => Ok(0),
+            };
+        }
+        // Never deliver past the scheduled fault position, so the fault
+        // lands at a deterministic byte offset regardless of read sizes.
+        let room = (at - self.delivered).min(buf.len() as u64) as usize;
+        let n = self.inner.read(&mut buf[..room])?;
+        self.delivered += n as u64;
+        Ok(n)
+    }
+}
+
 /// Convenience: corrupt `rate` of the records in `clean` with every fault
 /// kind enabled, under `seed`.
 pub fn corrupt_stream(clean: &[u8], seed: u64, rate: f64) -> (Vec<u8>, FaultLog) {
@@ -579,6 +909,189 @@ mod tests {
         let err = r.read(&mut [0u8; 64]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
         assert_eq!(r.faults_injected, 1);
+    }
+
+    #[test]
+    fn stream_payload_faults_are_deterministic() {
+        let clean = clean_stream(60);
+        let cfg = StreamFaultConfig {
+            seed: 21,
+            rate: 0.1,
+            ..StreamFaultConfig::default()
+        };
+        let (a, la) = StreamFaultInjector::new(cfg.clone()).corrupt_delivery(&clean);
+        let (b, lb) = StreamFaultInjector::new(cfg.clone()).corrupt_delivery(&clean);
+        assert_eq!(a, b);
+        assert_eq!(la.applied, lb.applied);
+        assert_eq!(la.count(), 6);
+        let (c, _) = StreamFaultInjector::new(cfg.reseeded(22)).corrupt_delivery(&clean);
+        assert_ne!(a, c, "different seeds must damage differently");
+    }
+
+    #[test]
+    fn duplicate_delivery_replays_whole_frames() {
+        let clean = clean_stream(30);
+        let inj = StreamFaultInjector::new(StreamFaultConfig {
+            seed: 5,
+            rate: 0.2,
+            kinds: vec![StreamFaultKind::DuplicateDelivery],
+            ..StreamFaultConfig::default()
+        });
+        let (out, log) = inj.corrupt_delivery(&clean);
+        assert!(log.count() > 0);
+        assert!(log
+            .applied
+            .iter()
+            .all(|f| f.kind == StreamFaultKind::DuplicateDelivery));
+        assert!(out.len() > clean.len(), "duplicates must add bytes");
+        // Every frame in the damaged stream still frames cleanly, and the
+        // damaged stream is a supersequence of duplicated clean records.
+        let frames = frame(&out);
+        let frame_len = frame(&clean)[0].1;
+        assert!(frames.len() > 30);
+        assert!(frames.iter().all(|&(_, t)| t == frame_len));
+    }
+
+    #[test]
+    fn corrupt_burst_keeps_length_and_is_confined() {
+        let clean = clean_stream(30);
+        let inj = StreamFaultInjector::new(StreamFaultConfig {
+            seed: 5,
+            rate: 0.2,
+            kinds: vec![StreamFaultKind::CorruptBurst],
+            ..StreamFaultConfig::default()
+        });
+        let (out, log) = inj.corrupt_delivery(&clean);
+        assert!(log.count() > 0);
+        assert_eq!(out.len(), clean.len(), "bursts overwrite in place");
+        assert_ne!(out, clean);
+    }
+
+    #[test]
+    fn delivery_only_config_passes_payload_through() {
+        let clean = clean_stream(10);
+        let inj = StreamFaultInjector::new(StreamFaultConfig {
+            seed: 5,
+            rate: 1.0,
+            kinds: DELIVERY_STREAM_FAULT_KINDS.to_vec(),
+            ..StreamFaultConfig::default()
+        });
+        let (out, log) = inj.corrupt_delivery(&clean);
+        assert_eq!(out, clean);
+        assert_eq!(log.count(), 0);
+    }
+
+    #[test]
+    fn faulty_stream_disconnects_at_deterministic_position() {
+        use std::io::Read;
+        let payload = vec![7u8; 100_000];
+        let cfg = StreamFaultConfig {
+            seed: 31,
+            rate: 1.0,
+            kinds: vec![StreamFaultKind::DisconnectMidFrame],
+            mean_fault_position: 10_000,
+        };
+        let drain = |cfg: &StreamFaultConfig| {
+            let mut s = FaultyStream::new(&payload[..], cfg);
+            let mut out = Vec::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => out.extend_from_slice(&buf[..n]),
+                    Err(e) => {
+                        assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset);
+                        break;
+                    }
+                }
+            }
+            (out, s.fired)
+        };
+        let (a, fired_a) = drain(&cfg);
+        let (b, fired_b) = drain(&cfg);
+        assert_eq!(fired_a, Some(StreamFaultKind::DisconnectMidFrame));
+        assert_eq!(fired_a, fired_b);
+        assert_eq!(a, b, "same seed cuts at the same byte");
+        assert!(!a.is_empty() && a.len() < payload.len());
+        assert_eq!(a, payload[..a.len()], "delivered bytes stay faithful");
+    }
+
+    #[test]
+    fn faulty_stream_stall_times_out_forever() {
+        use std::io::Read;
+        let payload = [1u8; 64];
+        let mut s = FaultyStream::new(
+            &payload[..],
+            &StreamFaultConfig {
+                seed: 2,
+                rate: 1.0,
+                kinds: vec![StreamFaultKind::IndefiniteStall],
+                mean_fault_position: 8,
+            },
+        );
+        let mut buf = [0u8; 64];
+        let mut got = 0;
+        loop {
+            match s.read(&mut buf) {
+                Ok(n) => got += n,
+                Err(e) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::TimedOut);
+                    break;
+                }
+            }
+        }
+        assert!(got < payload.len());
+        // Indefinite: the stall persists on every subsequent read.
+        for _ in 0..3 {
+            assert_eq!(
+                s.read(&mut buf).unwrap_err().kind(),
+                std::io::ErrorKind::TimedOut
+            );
+        }
+        assert_eq!(s.fired, Some(StreamFaultKind::IndefiniteStall));
+    }
+
+    #[test]
+    fn faulty_stream_partial_frame_ends_with_clean_eof() {
+        use std::io::Read;
+        let payload = vec![9u8; 4096];
+        let mut s = FaultyStream::new(
+            &payload[..],
+            &StreamFaultConfig {
+                seed: 3,
+                rate: 1.0,
+                kinds: vec![StreamFaultKind::PartialFrame],
+                mean_fault_position: 100,
+            },
+        );
+        let mut out = Vec::new();
+        let mut buf = [0u8; 512];
+        loop {
+            match s.read(&mut buf).expect("partial frame never errors") {
+                0 => break,
+                n => out.extend_from_slice(&buf[..n]),
+            }
+        }
+        assert!(!out.is_empty() && out.len() < payload.len());
+        assert_eq!(s.fired, Some(StreamFaultKind::PartialFrame));
+        assert_eq!(s.delivered(), out.len() as u64);
+    }
+
+    #[test]
+    fn faulty_stream_zero_rate_is_transparent() {
+        use std::io::Read;
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut s = FaultyStream::new(
+            &payload[..],
+            &StreamFaultConfig {
+                rate: 0.0,
+                ..StreamFaultConfig::default()
+            },
+        );
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(s.fired, None);
     }
 
     #[test]

@@ -24,8 +24,11 @@
 //!   transient I/O (stalls, interrupts), counted into the ingest report.
 //! * [`faults`] — deterministic, seeded fault injection for MRT byte
 //!   streams *and* their delivery (transient-I/O faults via
-//!   [`FlakyReader`]), so robustness is a tested invariant rather than a
-//!   hope.
+//!   [`FlakyReader`], stream-level faults via [`FaultyStream`]), so
+//!   robustness is a tested invariant rather than a hope.
+//! * [`stream`] — continuous-feed sources behind the [`StreamSource`]
+//!   trait, the bounded-queue [`ResumingStream`] delivery layer with
+//!   reconnects and backpressure, and the [`FeedServer`] resume protocol.
 //!
 //! # Example
 //!
@@ -67,16 +70,24 @@ pub mod reader;
 pub mod records;
 pub mod recover;
 pub mod retry;
+pub mod stream;
 pub mod view;
 pub mod writer;
 
 pub use error::{MrtError, MrtErrorKind};
-pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultLog, FlakyConfig, FlakyReader};
-pub use obs::{FileIngest, FileStoreIngest, IngestTuning};
+pub use faults::{
+    FaultConfig, FaultInjector, FaultKind, FaultLog, FaultyStream, FlakyConfig, FlakyReader,
+    StreamFaultConfig, StreamFaultInjector, StreamFaultKind, StreamFaultLog,
+};
+pub use obs::{FileIngest, FileStoreIngest, IngestTuning, StreamDecoder, StreamStep};
 pub use readahead::Readahead;
 pub use reader::MrtReader;
 pub use records::{MrtRecord, TimestampedRecord};
 pub use recover::{ErrorCounters, IngestReport, RecoverConfig, RecoveringReader};
 pub use retry::{RetryPolicy, RetryingReader};
+pub use stream::{
+    FaultyFeed, FeedAddr, FeedServer, FeedServerOptions, FileTailFeed, MemoryFeed, ResumingStream,
+    SocketFeed, StreamCounters, StreamSource, StreamTuning,
+};
 pub use view::RecordScratch;
 pub use writer::MrtWriter;

@@ -401,6 +401,98 @@ pub fn read_observations_resilient_reference<R: Read, S: ObservationSink>(
     report
 }
 
+/// What [`StreamDecoder::next_record`] consumed from the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStep {
+    /// A record decoded; its observations (possibly zero — peer-index
+    /// tables and state changes carry none) were pushed into the sink.
+    Record,
+    /// A malformed or unframeable span was quarantined and skipped; the
+    /// reader resynced past it. Accounted in the report's error counters.
+    Skipped,
+}
+
+/// Incremental record-at-a-time decoding for stream consumers.
+///
+/// The batch entry points above drain their input to EOF before returning;
+/// a daemon instead needs to fold observations *as records arrive* and to
+/// know, at any record boundary, the exact byte position everything before
+/// which has been folded — that position is what a crash-safe checkpoint
+/// stores as its resume cursor. `StreamDecoder` wraps the same
+/// [`RecoveringReader`] quarantine-and-resync loop and the same zero-copy
+/// [`RecordScratch`] fold as [`read_observations_resilient`], exposed one
+/// record at a time.
+#[derive(Debug)]
+pub struct StreamDecoder<R: Read> {
+    reader: RecoveringReader<R>,
+    peers: Vec<PeerEntry>,
+    scratch: RecordScratch,
+    dropped_entries: u64,
+    records_decoded: u64,
+}
+
+impl<R: Read> StreamDecoder<R> {
+    /// Wrap a byte stream with the given decode policy.
+    pub fn new(input: R, cfg: RecoverConfig) -> Self {
+        StreamDecoder {
+            reader: RecoveringReader::with_config(input, cfg),
+            peers: Vec::new(),
+            scratch: RecordScratch::new(),
+            dropped_entries: 0,
+            records_decoded: 0,
+        }
+    }
+
+    /// Decode the next record (or quarantine the next damaged span) into
+    /// `sink`. Returns `None` at end of stream — clean EOF, a fatal I/O
+    /// error, or an exhausted error budget (distinguished by the report).
+    pub fn next_record<S: ObservationSink>(&mut self, sink: &mut S) -> Option<StreamStep> {
+        let scratch = &mut self.scratch;
+        let item = self.reader.process_next(|ts, mrt_type, subtype, body| {
+            scratch.parse(ts, mrt_type, subtype, body)
+        })?;
+        if item.is_err() {
+            return Some(StreamStep::Skipped);
+        }
+        self.records_decoded += 1;
+        self.dropped_entries += self
+            .scratch
+            .emit(&mut self.peers, sink, EntryPolicy::Skip)
+            .expect("Skip policy never errors");
+        Some(StreamStep::Record)
+    }
+
+    /// Records decoded so far.
+    pub fn records_decoded(&self) -> u64 {
+        self.records_decoded
+    }
+
+    /// The frame-aligned resume position: every byte before it has been
+    /// decoded (or skipped by resync) and delivered to the sink; every byte
+    /// after it is still lookahead. Checkpoints store this as the stream
+    /// cursor.
+    pub fn consumed_bytes(&self) -> u64 {
+        self.reader.report().bytes_read - self.reader.buffered() as u64
+    }
+
+    /// The accounting so far, with entry-level drops folded in the same way
+    /// the batch paths do.
+    pub fn report(&self) -> IngestReport {
+        let mut report = self.reader.report().clone();
+        report.errors.malformed += self.dropped_entries;
+        report.arena_bytes = self.scratch.arena_bytes();
+        report
+    }
+
+    /// Consume the decoder, returning the final report.
+    pub fn into_report(self) -> IngestReport {
+        let mut report = self.reader.into_report();
+        report.errors.malformed += self.dropped_entries;
+        report.arena_bytes = self.scratch.arena_bytes();
+        report
+    }
+}
+
 /// Per-file outcome of [`read_observations_parallel`].
 #[derive(Debug, Clone)]
 pub struct FileIngest {

@@ -352,6 +352,15 @@ impl<R: Read> RecoveringReader<R> {
         self.report
     }
 
+    /// Bytes read from the input but not yet consumed by decoding — the
+    /// lookahead tail sitting in the internal buffer. Streaming consumers
+    /// subtract this from `report().bytes_read` to get a frame-aligned
+    /// resume position: everything before it has been decoded (or skipped
+    /// by resync) and folded, everything after it has not.
+    pub fn buffered(&self) -> usize {
+        self.available()
+    }
+
     fn available(&self) -> usize {
         self.buf.len() - self.pos
     }
