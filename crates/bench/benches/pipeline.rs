@@ -11,8 +11,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
+use bgp_artifact::LabelArtifact;
 use bgp_experiments::{Scenario, ScenarioConfig};
-use bgp_intent::classify::{classify, InferenceConfig};
+use bgp_intent::classify::{classify, classify_parallelism, InferenceConfig};
 use bgp_intent::cluster::gap_clusters;
 use bgp_intent::eval::evaluate;
 use bgp_intent::stats::PathStats;
@@ -72,6 +73,16 @@ fn bench_pipeline(c: &mut Criterion) {
         ..InferenceConfig::default()
     };
     let inference = classify(&stats, &scenario.siblings, &seq);
+    // The bench scenario sits below the parallel-classify thresholds
+    // (hundreds of owners, but few communities per owner), so `classify`
+    // and `classify_par` must measure the *same* sequential code path —
+    // the parallel fan-out used to run ~1.2× slower here, and the gate in
+    // `classify_parallelism` exists precisely to keep small inputs off it.
+    assert_eq!(
+        classify_parallelism(stats.by_owner().len(), stats.community_count(), 0),
+        1,
+        "bench scenario unexpectedly clears the parallel-classify thresholds",
+    );
 
     // The checkpointed-run path: intern each "file" (8 slices standing in
     // for 8 MRT archives) into a columnar store and accumulate statistics
@@ -325,6 +336,72 @@ fn bench_pipeline(c: &mut Criterion) {
     rss.finish();
 }
 
+/// The serving layer: single-key and batch lookups against a label
+/// artifact built from the bench scenario's own inference, loaded through
+/// the mmap path exactly as `bgpcomm query` serves it. The workload is a
+/// deterministic hit/miss mix (~1/16 misses) drawn from the artifact's key
+/// space with a fixed xorshift64 walk, so runs are comparable across
+/// machines. Throughput is reported in lookups/sec — `query/point_lookup`
+/// is gated in bench_compare and must stay above 2 Mlookups/s.
+fn bench_query(c: &mut Criterion) {
+    let scenario = scenario();
+    let observations = scenario.collect(1);
+    let result = run_inference(
+        &observations,
+        &scenario.siblings,
+        &InferenceConfig::default(),
+        None,
+    );
+
+    let dir = std::env::temp_dir().join("bgp-bench-query");
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let path = dir.join("labels.bga");
+    let written = bgp_intent::write_inference_artifact(
+        &path,
+        &result.inference,
+        InferenceConfig::default().ratio_threshold,
+    )
+    .expect("write bench artifact");
+    assert!(written > 0, "bench scenario produced no labels");
+    let artifact = LabelArtifact::load(&path).expect("load bench artifact");
+
+    // Fixed-seed xorshift64: same workload every run, ~1/16 keys perturbed
+    // into misses so the full-depth miss path stays represented.
+    const LOOKUPS: usize = 4096;
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut step = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let keys: Vec<bgp_types::Community> = (0..LOOKUPS)
+        .map(|_| {
+            let r = step();
+            let c = artifact.row((r % artifact.len() as u64) as usize).community;
+            if r % 16 == 0 {
+                bgp_types::Community::new(c.asn, c.value.wrapping_add(1))
+            } else {
+                c
+            }
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("query");
+    group.throughput(Throughput::Elements(LOOKUPS as u64));
+    group.bench_function("point_lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &k in &keys {
+                hits += artifact.get(k).is_some() as usize;
+            }
+            hits
+        })
+    });
+    group.bench_function("batch_lookup", |b| b.iter(|| artifact.get_batch(&keys, 0)));
+    group.finish();
+}
+
 fn bench_clustering(c: &mut Criterion) {
     // Synthetic β populations of operator-like shape.
     let mut betas: Vec<u16> = Vec::new();
@@ -345,5 +422,5 @@ fn bench_clustering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_clustering);
+criterion_group!(benches, bench_pipeline, bench_query, bench_clustering);
 criterion_main!(benches);

@@ -10,8 +10,10 @@
 //! candidate. Exit code is non-zero when a **gated** benchmark regresses
 //! by more than the threshold (default 0.25 = +25% time per iteration).
 //!
-//! Only the end-to-end benches are gated: `pipeline/end_to_end` and
-//! `pipeline/path_stats`. Everything else — micro-benches under ~1 ms and
+//! Only the end-to-end benches and the serving-layer lookups are gated:
+//! `pipeline/end_to_end`, `pipeline/end_to_end_large`,
+//! `pipeline/path_stats`, `query/point_lookup`, and `query/batch_lookup`.
+//! Everything else — micro-benches under ~1 ms and
 //! the paired-difference `checkpoint_overhead` — is reported warn-only,
 //! because at those durations shared-CI timer noise routinely exceeds any
 //! honest tolerance. The 25% default is deliberately loose for the same
@@ -33,10 +35,17 @@ use std::process::ExitCode;
 use serde_json::Value;
 
 /// Benchmarks whose regression fails the build. Everything else warns.
+/// The `query/*` entries gate the serving layer: a point lookup is a
+/// binary search over the mmapped key column and must stay in the
+/// hundreds-of-nanoseconds range (≥2 Mlookups/s), so a lost fast path
+/// shows up as an order-of-magnitude jump the 25% threshold catches
+/// easily.
 const GATED: &[&str] = &[
     "pipeline/end_to_end",
     "pipeline/end_to_end_large",
     "pipeline/path_stats",
+    "query/point_lookup",
+    "query/batch_lookup",
 ];
 
 /// An `--overhead bench:base:budget` ratio gate on the current run.

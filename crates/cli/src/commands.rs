@@ -8,11 +8,13 @@ use std::path::{Path, PathBuf};
 use std::io::Write;
 use std::sync::Arc;
 
+use bgp_artifact::{LabelArtifact, LabelRow};
 use bgp_dictionary::GroundTruthDictionary;
 use bgp_experiments::{Args, Scenario, ScenarioConfig};
 use bgp_intent::{
-    fingerprint_file, run_inference_from_stats_telemetry, run_inference_store_telemetry,
-    Checkpoint, CompletedFile, Exclusion, InferenceConfig, PipelineResult, StatsAccumulator,
+    check_store, fingerprint_file, label_rows, run_inference_from_stats_telemetry,
+    run_inference_store_telemetry, write_inference_artifact, Checkpoint, CompletedFile, Exclusion,
+    InferenceConfig, PipelineResult, StatsAccumulator,
 };
 use bgp_mrt::obs::{
     read_observations_parallel_store_telemetry, read_observations_parallel_strict_with,
@@ -23,7 +25,7 @@ use bgp_relationships::SiblingMap;
 use bgp_types::obs::{JsonLinesSink, StderrSink};
 use bgp_types::par::effective_threads;
 use bgp_types::store::ObservationStore;
-use bgp_types::{Asn, Intent, MetricsRegistry, Telemetry, Tracer};
+use bgp_types::{Asn, Community, Intent, MetricsRegistry, Telemetry, Tracer};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -35,21 +37,29 @@ USAGE:
                      [--trace] [--trace-json FILE]
     bgpcomm infer    --mrt FILE [--mrt FILE ...] [--gap N] [--ratio N]
                      [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
-                     [--strict] [--max-errors N] [--report FILE] [--threads N]
+                     [--artifact-out FILE] [--strict] [--max-errors N]
+                     [--report FILE] [--threads N]
                      [--checkpoint FILE [--resume]] [--metrics-out FILE]
                      [--trace] [--trace-json FILE]
     bgpcomm shard    --mrt FILE [--mrt FILE ...] --shard-dir DIR [--workers N]
                      [--shard-retries N] [--shard-deadline-ms N]
                      [--allow-shard-failures K] [--gap N] [--ratio N]
                      [--dict FILE] [--siblings FILE] [--json FILE] [--top N]
-                     [--max-errors N] [--report FILE] [--threads N]
-                     [--metrics-out FILE] [--trace] [--trace-json FILE]
+                     [--artifact-out FILE] [--max-errors N] [--report FILE]
+                     [--threads N] [--metrics-out FILE] [--trace]
+                     [--trace-json FILE]
     bgpcomm watch    (--connect HOST:PORT | --unix PATH | --tail FILE)
                      [--window-secs N] [--windows N] [--checkpoint FILE]
                      [--checkpoint-every N] [--queue-kb N] [--chunk-kb N]
                      [--stall-ms N] [--retry-attempts N] [--quiesce-after N]
                      [--gap N] [--ratio N] [--siblings FILE] [--json FILE]
+                     [--artifact-out FILE] [--max-errors N] [--report FILE]
+                     [--metrics-out FILE]
+    bgpcomm query    --artifact FILE [--key A:B[,A:B ...]] [--batch FILE]
+                     [--owner A] [--bench N] [--threads N] [--no-mmap]
+                     [--check MRT[,MRT ...]] [--siblings FILE]
                      [--max-errors N] [--report FILE] [--metrics-out FILE]
+                     [--trace] [--trace-json FILE]
     bgpcomm feed     --listen HOST:PORT (--mrt FILE [--mrt FILE ...] |
                      [--scale F] [--seed N] [--days N])
                      [--throttle BYTES:MS]
@@ -72,6 +82,11 @@ COMMANDS:
     feed      Serve an MRT byte stream over TCP with the watch resume
               protocol (tests, demos, CI; real deployments put a collector
               behind the same protocol).
+    query     Serve label lookups from an artifact written by
+              `infer/shard/watch --artifact-out`: point keys, batch files,
+              owner scans, a self-driving benchmark, and `--check` — stream
+              an archive and flag routes whose observed communities
+              contradict their inferred intent (exit 7 on any anomaly).
     validate  Lint MRT archives: per-record-type counts and decode errors.
     compare   Diff two label files from `infer --json` (drift monitoring).
     generate  Write a synthetic collector dataset + ground-truth dictionary.
@@ -188,6 +203,33 @@ STREAMING (watch, feed):
     Without --mrt, `feed` serves a generated scenario stream (--scale,
     --seed, --days as in `generate`).
 
+SERVING (infer, shard, watch, query):
+    --artifact-out FILE
+                    Also write the labels as a versioned, checksummed,
+                    memory-mappable artifact (sorted columns keyed by the
+                    packed α:β word), written atomically. Field-for-field
+                    equivalent to the --json label file.
+    --artifact FILE (query) The artifact to serve from. A corrupt,
+                    truncated, or incompatible artifact is refused with
+                    exit 4, like a bad checkpoint.
+    --key A:B       (query) Point lookup(s); repeatable and/or
+                    comma-separated. Misses print `unknown` (still exit 0).
+    --batch FILE    (query) One community per line (# comments and blank
+                    lines skipped), looked up via the batch API across
+                    --threads workers.
+    --owner A       (query) Print every label owned by AS A via the
+                    owner-partitioned index (contiguous α-prefix scan).
+    --bench N       (query) Self-driving benchmark: N deterministic
+                    single-key lookups (~1/16 misses) plus the same keys
+                    through the batch API; prints Mlookups/s for both.
+    --no-mmap       (query) Load the artifact onto the heap instead of
+                    memory-mapping it (the mmap path is the default).
+    --check MRT     (query) Stream archive(s) and flag routes whose
+                    communities contradict their inferred intent class:
+                    a never-off-path information community seen off-path,
+                    or a never-on-path action community seen on-path.
+                    Any anomaly exits 7 (after printing the exact set).
+
 FAULT INJECTION (testing the supervision layer):
     --inject-panic-after N   Panic a decode worker after N records per file.
     --inject-flaky SEED      Inject seeded transient I/O faults (interrupts,
@@ -212,10 +254,11 @@ FAULT INJECTION (testing the supervision layer):
                              checkpoint flush) after N window advances.
 
 EXIT CODES:
-    0  success                        4  checkpoint mismatch
-    1  usage or generic error         5  failed shards exceeded allowance
-    2  decode error in --strict mode  6  stream aborted (budget exhausted)
+    0  success                        5  failed shards exceeded allowance
+    1  usage or generic error         6  stream aborted (budget exhausted)
+    2  decode error in --strict mode  7  anomalies found (query --check)
     3  ingestion aborted              9  injected crash
+    4  checkpoint/artifact refused
 ";
 
 // The process exit-code contract, consolidated (mirrored in DESIGN.md and
@@ -227,9 +270,10 @@ EXIT CODES:
 // | 1    | `EXIT_USAGE`      | usage error or generic failure                   |
 // | 2    | `EXIT_DECODE`     | decode error under `--strict`                    |
 // | 3    | `EXIT_ABORTED`    | lenient ingestion aborted (error budget, I/O)    |
-// | 4    | `EXIT_CHECKPOINT` | checkpoint refused (fingerprint/schema/overwrite)|
+// | 4    | `EXIT_CHECKPOINT` | checkpoint or label artifact refused (corrupt)   |
 // | 5    | `EXIT_SHARD`      | permanently failed shards exceeded the allowance |
 // | 6    | `EXIT_STREAM`     | watch stream aborted (reconnect/decode budget)   |
+// | 7    | `EXIT_ANOMALY`    | `query --check` found intent contradictions      |
 // | 9    | `EXIT_CRASH`      | deliberate `--inject-crash-after` kill hook      |
 
 /// Exit code for a usage error or any otherwise-unclassified failure.
@@ -238,8 +282,10 @@ pub const EXIT_USAGE: u8 = 1;
 pub const EXIT_DECODE: u8 = 2;
 /// Exit code for an aborted lenient ingest (error budget, fatal I/O).
 pub const EXIT_ABORTED: u8 = 3;
-/// Exit code for a refused checkpoint: fingerprint or schema mismatch, or a
-/// checkpoint that would be silently overwritten without `--resume`.
+/// Exit code for a refused checkpoint (fingerprint or schema mismatch, or a
+/// checkpoint that would be silently overwritten without `--resume`) — and,
+/// same failure class, a label artifact whose contents were refused at load
+/// (corrupt, truncated, wrong version, empty).
 pub const EXIT_CHECKPOINT: u8 = 4;
 /// Exit code for a sharded run whose permanently failed shards exceeded
 /// `--allow-shard-failures`.
@@ -247,6 +293,9 @@ pub const EXIT_SHARD: u8 = 5;
 /// Exit code for a watch stream that aborted: the reconnect budget or the
 /// decode error budget ran out before shutdown or the quiescent point.
 pub const EXIT_STREAM: u8 = 6;
+/// Exit code when `query --check` found at least one route whose observed
+/// communities contradict their inferred intent class.
+pub const EXIT_ANOMALY: u8 = 7;
 /// Exit code of the deliberate `--inject-crash-after` kill hook.
 pub const EXIT_CRASH: u8 = 9;
 
@@ -866,35 +915,60 @@ fn print_inference(args: &Args, result: &PipelineResult) -> Result<(), Failure> 
         }
     }
 
+    let ratio_threshold: f64 = args.get("ratio", 160.0f64)?;
     if let Some(path) = args.get_str("json") {
-        write_labels_json(path, &result.inference)?;
+        write_labels_json(path, &result.inference, ratio_threshold)?;
+    }
+    if let Some(path) = args.get_str("artifact-out") {
+        write_artifact_out(path, &result.inference, ratio_threshold)?;
     }
     Ok(())
 }
 
 /// Write an inference's labels as the canonical JSON label file. Shared by
 /// `infer`, `shard`, and `watch` — which is what makes a watch run's label
-/// file byte-comparable (`cmp`) to a batch run over the same prefix.
-fn write_labels_json(path: &str, inference: &bgp_intent::Inference) -> Result<(), Failure> {
-    // Sort on the typed key, not on a string fished back out of the
-    // JSON value: no lossy fallback, and community order is the
-    // natural (asn, value) order rather than lexicographic.
-    let mut keyed: Vec<_> = inference
-        .labels
+/// file byte-comparable (`cmp`) to a batch run over the same prefix. Built
+/// from the same sorted [`LabelRow`]s the artifact writer serializes, so the
+/// JSON file and the artifact agree field-for-field by construction.
+fn write_labels_json(
+    path: &str,
+    inference: &bgp_intent::Inference,
+    ratio_threshold: f64,
+) -> Result<(), Failure> {
+    // label_rows sorts on the packed key, which orders exactly like the
+    // typed (asn, value) key: no lossy fallback, and community order is
+    // the natural order rather than lexicographic.
+    let rows = label_rows(inference, ratio_threshold);
+    let labels: Vec<serde_json::Value> = rows
         .iter()
-        .map(|(c, i)| {
-            (
-                *c,
-                serde_json::json!({ "community": c.to_string(), "intent": i }),
-            )
+        .map(|r| {
+            serde_json::json!({
+                "community": r.community.to_string(),
+                "intent": r.label,
+                "confidence": r.confidence,
+                "ratio": r.ratio,
+                "on_paths": r.on_paths,
+                "off_paths": r.off_paths,
+            })
         })
         .collect();
-    keyed.sort_by_key(|(c, _)| *c);
-    let labels: Vec<serde_json::Value> = keyed.into_iter().map(|(_, v)| v).collect();
     let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
     serde_json::to_writer_pretty(BufWriter::new(file), &labels)
         .map_err(|e| format!("write {path}: {e}"))?;
-    eprintln!("wrote {} labels to {path}", inference.labels.len());
+    eprintln!("wrote {} labels to {path}", rows.len());
+    Ok(())
+}
+
+/// Write an inference's labels as the servable binary artifact
+/// (`--artifact-out`), atomically. Shared by `infer`, `shard`, and `watch`.
+fn write_artifact_out(
+    path: &str,
+    inference: &bgp_intent::Inference,
+    ratio_threshold: f64,
+) -> Result<(), Failure> {
+    let n = write_inference_artifact(Path::new(path), inference, ratio_threshold)
+        .map_err(|e| format!("write artifact {path}: {e}"))?;
+    eprintln!("wrote {n} labels to {path} (artifact)");
     Ok(())
 }
 
@@ -1508,10 +1582,339 @@ pub fn watch(raw: Vec<String>) -> Result<(), Failure> {
     }
     write_report(&outcome.report, &iopts)?;
     if let Some(path) = args.get_str("json") {
-        write_labels_json(path, &outcome.inference)?;
+        write_labels_json(path, &outcome.inference, opts.infer.ratio_threshold)?;
+    }
+    if let Some(path) = args.get_str("artifact-out") {
+        write_artifact_out(path, &outcome.inference, opts.infer.ratio_threshold)?;
     }
     topts.write_metrics()?;
     Ok(())
+}
+
+/// Histogram bounds (nanoseconds) for per-lookup latency. Single lookups
+/// against a warm mmap resolve in the hundreds of nanoseconds; the tail
+/// buckets catch cold pages and scheduler noise.
+const LOOKUP_LATENCY_BOUNDS: &[u64] = &[100, 250, 500, 1_000, 2_500, 5_000, 10_000, 100_000];
+
+/// `bgpcomm query` — serve lookups from a label artifact.
+///
+/// Operations (any combination; at least one is required): `--key` point
+/// lookups, `--batch` file lookups through the parallel batch API,
+/// `--owner` α-prefix scans, `--bench` self-driving throughput measurement,
+/// and `--check` — stream MRT archive(s) and flag routes whose observed
+/// communities contradict their inferred intent class (exit 7 if any).
+pub fn query(raw: Vec<String>) -> Result<(), Failure> {
+    use std::time::Instant;
+
+    let args = Args::parse(raw)?;
+    let topts = TelemetryOptions::from_args(&args)?;
+    let tel = &topts.telemetry;
+    let threads: usize = args.get("threads", 0usize)?;
+
+    let path = args
+        .get_str("artifact")
+        .ok_or("--artifact FILE is required")?;
+    let load = || {
+        if args.flag("no-mmap") {
+            LabelArtifact::load_heap(Path::new(path))
+        } else {
+            LabelArtifact::load(Path::new(path))
+        }
+    };
+    let artifact = match tel.stage("query_load", load) {
+        Ok(a) => a,
+        Err(e) => {
+            // A refused artifact is the same failure class as a refused
+            // checkpoint (exit 4); an unreadable path is a usage error.
+            let code = if e.is_invalid_data() {
+                EXIT_CHECKPOINT
+            } else {
+                EXIT_USAGE
+            };
+            let _ = topts.write_metrics();
+            return Err(Failure::new(code, format!("query: {e}")));
+        }
+    };
+    eprintln!(
+        "artifact: {} labels across {} owners from {path} ({})",
+        artifact.len(),
+        artifact.owner_count(),
+        if artifact.is_mmapped() {
+            "mmap"
+        } else {
+            "heap"
+        },
+    );
+
+    // The `query/*` metrics surface: lookup volume, hit ratio, and a
+    // per-lookup latency histogram for the point-lookup paths.
+    let lookups = tel.registry().map(|r| r.counter("query/lookups"));
+    let hits = tel.registry().map(|r| r.counter("query/hits"));
+    let misses = tel.registry().map(|r| r.counter("query/misses"));
+    let latency = tel
+        .registry()
+        .map(|r| r.histogram("query/latency_ns", LOOKUP_LATENCY_BOUNDS));
+    let account = |row: &Option<LabelRow>, elapsed_ns: u64| {
+        if let Some(c) = &lookups {
+            c.inc();
+        }
+        if let Some(c) = if row.is_some() { &hits } else { &misses } {
+            c.inc();
+        }
+        if elapsed_ns > 0 {
+            if let Some(h) = &latency {
+                h.observe(elapsed_ns);
+            }
+        }
+    };
+    let print_row = |c: Community, row: Option<LabelRow>| match row {
+        Some(r) => println!(
+            "{c} {} confidence={} ratio={} on={} off={}",
+            r.label, r.confidence, r.ratio, r.on_paths, r.off_paths
+        ),
+        None => println!("{c} unknown"),
+    };
+
+    let mut ran_operation = false;
+
+    // --key A:B[,A:B ...] (repeatable): point lookups through `get`.
+    let key_specs: Vec<&str> = args
+        .get_all("key")
+        .iter()
+        .flat_map(|v| v.split(','))
+        .collect();
+    if !key_specs.is_empty() {
+        ran_operation = true;
+        for spec in key_specs {
+            let c: Community = spec.parse().map_err(|e| format!("--key {spec}: {e}"))?;
+            let start = Instant::now();
+            let row = artifact.get(c);
+            account(&row, start.elapsed().as_nanos() as u64);
+            print_row(c, row);
+        }
+    }
+
+    // --batch FILE: one community per line, through the batch API.
+    if let Some(batch_path) = args.get_str("batch") {
+        ran_operation = true;
+        let text =
+            std::fs::read_to_string(batch_path).map_err(|e| format!("read {batch_path}: {e}"))?;
+        let mut keys = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let c: Community = line
+                .parse()
+                .map_err(|e| format!("{batch_path}:{}: {e}", lineno + 1))?;
+            keys.push(c);
+        }
+        let start = Instant::now();
+        let rows = artifact.get_batch(&keys, threads);
+        let elapsed = start.elapsed();
+        let found = rows.iter().flatten().count();
+        for (c, row) in keys.iter().zip(rows) {
+            account(&row, 0);
+            print_row(*c, row);
+        }
+        if let Some(r) = tel.registry() {
+            r.record_duration("query/batch_ns", elapsed);
+        }
+        let secs = elapsed.as_secs_f64();
+        eprintln!(
+            "batch: {} lookups in {elapsed:?} ({found} found{})",
+            keys.len(),
+            if secs > 0.0 {
+                format!(", {:.2} Mlookups/s", keys.len() as f64 / secs / 1e6)
+            } else {
+                String::new()
+            },
+        );
+    }
+
+    // --owner A: contiguous α-prefix scan via the owner index.
+    if let Some(owner_spec) = args.get_str("owner") {
+        ran_operation = true;
+        let asn: u16 = owner_spec
+            .parse()
+            .map_err(|e| format!("--owner {owner_spec}: {e}"))?;
+        let rows = artifact.owner_rows(asn);
+        for r in &rows {
+            print_row(r.community, Some(*r));
+        }
+        eprintln!("owner {asn}: {} labels", rows.len());
+    }
+
+    // --bench N: self-driving benchmark over the artifact's own key space,
+    // ~1/16 keys perturbed into misses, deterministic xorshift64 walk.
+    let bench_n: usize = args.get("bench", 0usize)?;
+    if bench_n > 0 {
+        ran_operation = true;
+        if let Some(report) = bench_lookups(&artifact, bench_n, threads) {
+            if let (Some(c), Some(h), Some(m)) = (&lookups, &hits, &misses) {
+                c.add(report.total as u64);
+                h.add(report.hits as u64);
+                m.add(report.misses as u64);
+            }
+            if let Some(r) = tel.registry() {
+                r.record_duration("query/bench_single_ns", report.single);
+                r.record_duration("query/bench_batch_ns", report.batch);
+            }
+            eprintln!(
+                "bench: {} single-key lookups in {:?} ({:.2} Mlookups/s)",
+                bench_n,
+                report.single,
+                bench_n as f64 / report.single.as_secs_f64() / 1e6,
+            );
+            eprintln!(
+                "bench: {} batch lookups in {:?} ({:.2} Mlookups/s, {} threads)",
+                bench_n,
+                report.batch,
+                bench_n as f64 / report.batch.as_secs_f64() / 1e6,
+                effective_threads(threads),
+            );
+        }
+    }
+
+    // --check MRT[,MRT ...]: stream the archive(s) and flag contradictions.
+    if !args.get_all("mrt").is_empty() {
+        return Err(Failure::from(
+            "query: use --check FILE (not --mrt) for anomaly checking",
+        ));
+    }
+    let check_files: Vec<String> = args
+        .get_all("check")
+        .iter()
+        .flat_map(|v| v.split(','))
+        .map(str::to_string)
+        .collect();
+    if !check_files.is_empty() {
+        ran_operation = true;
+        let iopts = IngestOptions::from_args(&args)?;
+        let siblings = load_siblings(&args)?;
+        let (store, _report) = match load_observations(&check_files, &iopts, tel) {
+            Ok(loaded) => loaded,
+            Err(failure) => {
+                let _ = topts.write_metrics();
+                return Err(failure);
+            }
+        };
+        let report = tel.stage("query_check", || check_store(&artifact, &store, &siblings));
+        if let Some(r) = tel.registry() {
+            r.counter("query/check_observations")
+                .add(report.observations as u64);
+            r.counter("query/check_checked").add(report.checked as u64);
+            r.counter("query/check_unknown").add(report.unknown as u64);
+            r.counter("query/check_anomalies")
+                .add(report.anomalies.len() as u64);
+        }
+        for a in &report.anomalies {
+            println!(
+                "anomaly {} {} vp={} prefix={} obs={}",
+                a.kind, a.community, a.vp, a.prefix, a.index
+            );
+        }
+        println!(
+            "check: {} observations, {} checked, {} unknown, {} anomalies",
+            report.observations,
+            report.checked,
+            report.unknown,
+            report.anomalies.len(),
+        );
+        if !report.anomalies.is_empty() {
+            topts.write_metrics()?;
+            return Err(Failure::new(
+                EXIT_ANOMALY,
+                format!(
+                    "query: {} route(s) contradict their inferred intent",
+                    report.anomalies.len()
+                ),
+            ));
+        }
+    }
+
+    if !ran_operation {
+        return Err(Failure::from(
+            "query: nothing to do — give --key, --batch, --owner, --bench, or --check",
+        ));
+    }
+    topts.write_metrics()?;
+    Ok(())
+}
+
+/// What [`bench_lookups`] measured.
+struct BenchReport {
+    total: usize,
+    hits: usize,
+    misses: usize,
+    single: std::time::Duration,
+    batch: std::time::Duration,
+}
+
+/// Drive `--bench N`: build a deterministic workload from the artifact's
+/// own key space (~1/16 perturbed into misses), then time the same keys
+/// through the single-key path and the batch path. Returns `None` for an
+/// empty artifact (the loader already refuses those, so this is defensive).
+fn bench_lookups(artifact: &LabelArtifact, n: usize, threads: usize) -> Option<BenchReport> {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    if artifact.is_empty() {
+        return None;
+    }
+    // xorshift64 with a fixed seed: the workload is reproducible across
+    // runs and machines, so throughput numbers are comparable.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut step = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let keys: Vec<Community> = (0..n)
+        .map(|_| {
+            let r = step();
+            let row = artifact.row((r % artifact.len() as u64) as usize);
+            let c = row.community;
+            if r % 16 == 0 {
+                // Perturb ~1/16 into (likely) misses so the miss path —
+                // a full-depth binary search — stays represented.
+                Community::new(c.asn, c.value.wrapping_add(1))
+            } else {
+                c
+            }
+        })
+        .collect();
+
+    // Warm up: touch every page once so mmap faults don't count.
+    let mut warm = 0usize;
+    for &k in &keys {
+        warm += artifact.get(k).is_some() as usize;
+    }
+    black_box(warm);
+
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for &k in &keys {
+        hits += artifact.get(k).is_some() as usize;
+    }
+    let single = start.elapsed();
+    black_box(hits);
+
+    let start = Instant::now();
+    let rows = artifact.get_batch(&keys, threads);
+    let batch = start.elapsed();
+    let batch_hits = rows.iter().flatten().count();
+    assert_eq!(hits, batch_hits, "single and batch paths must agree");
+
+    Some(BenchReport {
+        total: n,
+        hits,
+        misses: n - hits,
+        single,
+        batch,
+    })
 }
 
 /// `bgpcomm feed` — serve an MRT byte stream over TCP with the watch

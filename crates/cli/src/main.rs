@@ -16,6 +16,9 @@
 //! * `watch` — long-running streaming daemon over a continuous update
 //!   feed: rolling windows, incremental reclassification, bounded ingest
 //!   queue, reconnects, and crash-recovering checkpoints.
+//! * `query` — serve point/batch label lookups from an artifact written by
+//!   `infer/shard/watch --artifact-out`, and `--check` archives for routes
+//!   whose observed communities contradict their inferred intent.
 //! * `feed` — serve an MRT byte stream over TCP with the watch resume
 //!   protocol (tests, demos, CI).
 //! * `generate` — build a synthetic world and write MRT archives plus the
@@ -69,6 +72,7 @@ fn main() -> ExitCode {
             commands::install_shutdown_handlers();
             commands::feed(rest)
         }
+        Some("query") => commands::query(rest),
         Some("validate") => commands::validate(rest),
         Some("compare") => commands::compare(rest),
         Some("generate") => commands::generate(rest),

@@ -211,6 +211,30 @@ pub(crate) fn classify_owner(
     }
 }
 
+/// Owner count below which classification never fans out.
+const CLASSIFY_PAR_MIN_OWNERS: usize = 256;
+
+/// Community count below which classification never fans out. The owner
+/// gate alone proved insufficient: the committed bench scenario has
+/// hundreds of owners but so few communities per owner that
+/// `pipeline/classify_par` ran ~1.2× *slower* than sequential
+/// `pipeline/classify` — fork-join setup outweighed the per-owner work.
+/// Communities measure the actual work (clustering + per-member count
+/// lookups), so both gates must pass.
+const CLASSIFY_PAR_MIN_COMMUNITIES: usize = 4096;
+
+/// Resolve the worker count classification will actually use: the
+/// requested `threads` knob (`0` = one per CPU) clamped to the owner
+/// count, with a sequential fallback below the size thresholds where
+/// fork-join setup costs more than it saves. Public so the bench suite
+/// can assert which regime a scenario lands in.
+pub fn classify_parallelism(owner_count: usize, community_count: usize, requested: usize) -> usize {
+    if owner_count < CLASSIFY_PAR_MIN_OWNERS || community_count < CLASSIFY_PAR_MIN_COMMUNITIES {
+        return 1;
+    }
+    effective_threads(requested).min(owner_count.max(1))
+}
+
 /// Run steps (i)–(iii) over precomputed path statistics.
 ///
 /// `siblings` must be the same map used to build `stats` (it decides both
@@ -219,18 +243,12 @@ pub(crate) fn classify_owner(
 /// Owner ASes are independent, so with `cfg.threads != 1` they fan out
 /// across workers in ASN-ordered chunks and the partial inferences are
 /// merged back in ASN order — the output (including `clusters` order) is
-/// identical at any thread count.
+/// identical at any thread count. Small jobs fall through to the
+/// sequential loop (see [`classify_parallelism`]) — the same owner order,
+/// so bit-identical output.
 pub fn classify(stats: &PathStats, siblings: &SiblingMap, cfg: &InferenceConfig) -> Inference {
     let owners = stats.by_owner();
-    let mut threads = effective_threads(cfg.threads).min(owners.len().max(1));
-    // Below this many owners the fork-join setup costs more than the
-    // classification itself (benches showed `classify_par` ~1.6× slower
-    // than sequential `classify` at small inputs), so fall through to the
-    // sequential loop — the same owner order, so bit-identical output.
-    const CLASSIFY_PAR_MIN_OWNERS: usize = 256;
-    if owners.len() < CLASSIFY_PAR_MIN_OWNERS {
-        threads = 1;
-    }
+    let threads = classify_parallelism(owners.len(), stats.community_count(), cfg.threads);
     if threads <= 1 {
         let mut inference = Inference::default();
         for (asn, betas) in &owners {
@@ -472,17 +490,34 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_gates_on_both_owner_and_community_counts() {
+        // Too few owners: sequential no matter how many communities.
+        assert_eq!(classify_parallelism(255, 1_000_000, 8), 1);
+        // Too few communities: sequential no matter how many owners
+        // (the committed bench scenario's regime).
+        assert_eq!(classify_parallelism(10_000, 4095, 8), 1);
+        // Both gates cleared: the requested knob, clamped to owners.
+        assert_eq!(classify_parallelism(10_000, 100_000, 8), 8);
+        assert_eq!(classify_parallelism(300, 100_000, 8), 8);
+        assert_eq!(classify_parallelism(10_000, 100_000, 1), 1);
+        // `0` resolves to one worker per CPU.
+        assert_eq!(
+            classify_parallelism(10_000, 100_000, 0),
+            effective_threads(0)
+        );
+    }
+
+    #[test]
     fn classify_is_deterministic_across_thread_counts() {
-        // Enough owners to clear the sequential-fallback threshold and
-        // split into several chunks: 300 owner ASes, mixed on/off
-        // evidence, one private and one never-on-path owner.
+        // Enough owners AND communities to clear both sequential-fallback
+        // thresholds and split into several chunks: 300 owner ASes × 16
+        // betas, mixed on/off evidence, one private and one never-on-path
+        // owner.
         let mut observations = Vec::new();
         for i in 0..300u16 {
             let owner = 1000 + i * 7;
-            observations.push(obs(
-                &format!("10 {owner} 64496"),
-                &[(owner, 10), (owner, 200)],
-            ));
+            let betas: Vec<(u16, u16)> = (0..16).map(|b| (owner, 10 + b * 200)).collect();
+            observations.push(obs(&format!("10 {owner} 64496"), &betas));
             if i % 3 == 0 {
                 observations.push(obs("11 64496", &[(owner, 10)]));
             }
@@ -491,6 +526,10 @@ mod tests {
         observations.push(obs("10 3356 64496", &[(60001, 1)]));
         let siblings = SiblingMap::default();
         let stats = PathStats::from_observations(&observations, &siblings);
+        assert!(
+            classify_parallelism(stats.by_owner().len(), stats.community_count(), 8) > 1,
+            "test scenario must be large enough to actually fan out"
+        );
         let baseline = classify(
             &stats,
             &siblings,

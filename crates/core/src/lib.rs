@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod baseline;
 pub mod categories;
 pub mod checkpoint;
@@ -77,12 +78,16 @@ pub mod stats;
 pub mod supervisor;
 pub mod watch;
 
+pub use artifact::{
+    check_store, confidence, label_rows, write_inference_artifact, Anomaly, AnomalyKind,
+    CheckReport,
+};
 pub use categories::{infer_categories, CategoryConfig, FineCategory};
 pub use checkpoint::{
     fingerprint_file, Checkpoint, CheckpointLoadError, CompletedFile, FileFingerprint,
     StatsAccumulator, StatsSnapshot,
 };
-pub use classify::{Exclusion, Inference, InferenceConfig};
+pub use classify::{classify_parallelism, Exclusion, Inference, InferenceConfig};
 pub use cluster::gap_clusters;
 pub use eval::Evaluation;
 pub use large::{classify_large, LargeInference};

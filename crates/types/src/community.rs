@@ -80,6 +80,14 @@ impl Community {
         ((self.asn as u32) << 16) | self.value as u32
     }
 
+    /// The packed 64-bit key the label artifact sorts and binary-searches
+    /// on: the RFC 1997 wire word (`α` in bits 16–31, `β` in bits 0–15)
+    /// zero-extended, so the upper 32 bits are reserved for future key
+    /// spaces (large/extended communities) without a format break.
+    pub const fn packed_key(self) -> u64 {
+        self.to_u32() as u64
+    }
+
     /// Unpack from the 32-bit wire representation.
     pub const fn from_u32(raw: u32) -> Self {
         Community {
@@ -275,6 +283,19 @@ mod tests {
         let c = Community::new(1299, 2569);
         assert_eq!(Community::from_u32(c.to_u32()), c);
         assert_eq!(c.to_u32(), (1299u32 << 16) | 2569);
+    }
+
+    #[test]
+    fn packed_key_is_the_zero_extended_wire_word() {
+        let c = Community::new(1299, 2569);
+        assert_eq!(c.packed_key(), u64::from(c.to_u32()));
+        assert_eq!(c.packed_key() >> 32, 0);
+        // Key order must equal (α, β) lexicographic order — the artifact's
+        // sort invariant and the owner index both rely on it.
+        let a = Community::new(174, 65535);
+        let b = Community::new(175, 0);
+        assert!(a.packed_key() < b.packed_key());
+        assert!(a < b);
     }
 
     #[test]

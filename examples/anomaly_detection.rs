@@ -2,31 +2,30 @@
 //! paper's introduction: "whether a route is anomalous (e.g., sudden
 //! absence of information communities)".
 //!
-//! A transit AS that suddenly strips communities (misconfiguration, a new
-//! scrubbing policy, or a path manipulation) is invisible to path-based
-//! monitoring: the AS path does not change. But routes through it lose the
-//! *information* communities the AS used to attach — and intent labels let
-//! a monitor distinguish that loss from the routine churn of action
-//! communities, which come and go with customers' traffic engineering.
+//! This is now a thin wrapper over the serving layer the CLI exposes as
+//! `bgpcomm infer --artifact-out` + `bgpcomm query --check`:
 //!
-//! This example:
-//! 1. learns intent labels on day 0,
-//! 2. lets one large transit silently start scrubbing on day 1,
-//! 3. flags routes whose previously-stable *information* communities
-//!    vanished while the AS path stayed identical,
-//! 4. shows the flags concentrate on routes through the scrubber.
+//! 1. learn intent labels from a day of observations,
+//! 2. freeze them into the versioned, checksummed, mmap-servable label
+//!    artifact ([`artifact::LabelArtifact`]),
+//! 3. run the contradiction checker ([`intent::check_store`]) over the
+//!    training data itself — self-consistent by construction, so zero
+//!    anomalies — and then over a tampered feed where a route carries a
+//!    never-off-path *information* community off-path and a never-on-path
+//!    *action* community on-path,
+//! 4. print exactly the injected contradictions.
 //!
 //! ```text
 //! cargo run --release --example anomaly_detection
 //! ```
 
-use std::collections::{HashMap, HashSet};
-
+use bgp_community_intent::artifact::LabelArtifact;
 use bgp_community_intent::experiments::{Scenario, ScenarioConfig};
-use bgp_community_intent::intent::{run_inference, InferenceConfig};
-use bgp_community_intent::sim::Simulator;
-use bgp_community_intent::topology::Tier;
-use bgp_community_intent::types::{Asn, Community, Intent, Prefix};
+use bgp_community_intent::intent::{
+    check_store, run_inference, write_inference_artifact, InferenceConfig,
+};
+use bgp_community_intent::types::store::ObservationStore;
+use bgp_community_intent::types::{Intent, Observation};
 
 fn main() {
     let scenario = Scenario::build(&ScenarioConfig {
@@ -35,94 +34,95 @@ fn main() {
         ..ScenarioConfig::default()
     });
 
-    // --- Day 0: learn what normal looks like. ---
+    // --- Learn what normal looks like, then freeze it into an artifact. ---
     let day0 = scenario.collect(1);
-    let result = run_inference(&day0, &scenario.siblings, &InferenceConfig::default(), None);
-    let is_info = |c: &Community| result.inference.label(*c) == Some(Intent::Information);
+    let cfg = InferenceConfig::default();
+    let result = run_inference(&day0, &scenario.siblings, &cfg, None);
 
-    let mut baseline: HashMap<(Asn, Prefix), (String, HashSet<Community>)> = HashMap::new();
-    for obs in &day0 {
-        let infos: HashSet<Community> = obs
-            .communities
-            .iter()
-            .copied()
-            .filter(|c| is_info(c))
-            .collect();
-        baseline.insert((obs.vp, obs.prefix), (obs.path.to_string(), infos));
-    }
-
-    // --- Day 1: a large transit silently starts scrubbing. ---
-    let mut scrubbed_topo = scenario.topo.clone();
-    let culprit = scrubbed_topo.asns_of_tier(Tier::LargeTransit)[2];
-    scrubbed_topo
-        .ases
-        .get_mut(&culprit)
-        .unwrap()
-        .scrubs_communities = true;
-    println!("day 1: AS{culprit} silently begins stripping all communities\n");
-    let sim = Simulator::new(&scrubbed_topo, &scenario.policies, &scenario.sim_cfg);
-    let day1 = sim.collect_rib(&scenario.vps);
-
-    // --- The monitor: same path, information communities gone. ---
-    let mut flagged = 0usize;
-    let mut flagged_through_culprit = 0usize;
-    let mut same_path_routes = 0usize;
-    for obs in &day1 {
-        let Some((old_path, old_infos)) = baseline.get(&(obs.vp, obs.prefix)) else {
-            continue;
-        };
-        if *old_path != obs.path.to_string() || old_infos.is_empty() {
-            continue; // path changed (ordinary churn) or nothing to lose
-        }
-        same_path_routes += 1;
-        let now: HashSet<Community> = obs
-            .communities
-            .iter()
-            .copied()
-            .filter(|c| is_info(c))
-            .collect();
-        let lost = old_infos.difference(&now).count();
-        // "Sudden absence": every previously seen info community vanished.
-        if lost == old_infos.len() {
-            flagged += 1;
-            if obs.path.contains(culprit) {
-                flagged_through_culprit += 1;
-            }
-        }
-    }
-
-    let through_culprit_total = day1.iter().filter(|o| o.path.contains(culprit)).count();
-    println!("routes with unchanged paths and info-community history: {same_path_routes}");
-    println!("flagged (all information communities vanished):         {flagged}");
+    let dir = std::env::temp_dir().join("bgp-anomaly-example");
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    let path = dir.join("labels.bga");
+    let written = write_inference_artifact(&path, &result.inference, cfg.ratio_threshold)
+        .expect("write label artifact");
+    let artifact = LabelArtifact::load(&path).expect("load label artifact");
     println!(
-        "flags pointing through AS{culprit}:                         {flagged_through_culprit} ({:.1}%)",
-        100.0 * flagged_through_culprit as f64 / flagged.max(1) as f64
-    );
-    println!(
-        "(AS{culprit} carries {through_culprit_total} of {} day-1 routes)",
-        day1.len()
+        "froze {written} labels across {} owners into {} ({})",
+        artifact.owner_count(),
+        path.display(),
+        if artifact.is_mmapped() {
+            "mmap"
+        } else {
+            "heap"
+        },
     );
 
-    // Contrast: a naive monitor that alarms on ANY community change fires
-    // constantly, because action communities legitimately come and go.
-    let mut naive = 0usize;
-    for obs in &day1 {
-        if let Some((old_path, _)) = baseline.get(&(obs.vp, obs.prefix)) {
-            if *old_path == obs.path.to_string() {
-                let old_all: HashSet<Community> = day0
-                    .iter()
-                    .find(|o| o.vp == obs.vp && o.prefix == obs.prefix)
-                    .map(|o| o.communities.iter().copied().collect())
-                    .unwrap_or_default();
-                let now: HashSet<Community> = obs.communities.iter().copied().collect();
-                if old_all != now {
-                    naive += 1;
-                }
-            }
-        }
-    }
+    // --- The training data itself must check clean. ---
+    let store = ObservationStore::from_observations(&day0);
+    let clean = check_store(&artifact, &store, &scenario.siblings);
     println!(
-        "\nnaive any-community-change monitor would have raised {naive} alarms; \
-         intent-aware monitoring raised {flagged}"
+        "training feed : {} observations, {} pairs checked, {} anomalies",
+        clean.observations,
+        clean.checked,
+        clean.anomalies.len(),
+    );
+    assert!(
+        clean.anomalies.is_empty(),
+        "training data contradicted its own labels"
+    );
+
+    // --- Tamper with the feed: move unanimous communities to the wrong
+    // side of their owner's path. A never-off-path information community
+    // appearing off-path is the "sudden absence" signal inverted — the
+    // community outlived the relationship that justified it — and a
+    // never-on-path action community appearing on-path means someone is
+    // replaying traffic-engineering signals into the wrong adjacency. ---
+    let info = artifact
+        .rows()
+        .find(|r| r.label == Intent::Information && r.off_paths == 0)
+        .expect("scenario yields a unanimous information community");
+    let forged = |path: String, community| Observation {
+        vp: path.split_whitespace().next().unwrap().parse().unwrap(),
+        prefix: "203.0.113.0/24".parse().unwrap(),
+        path: path.parse().unwrap(),
+        communities: vec![community],
+        large_communities: Vec::new(),
+        time: 2_000_000,
+    };
+    // The owner is absent from the path, so the information community has
+    // no business being attached.
+    let mut tampered = vec![forged("65000 64499".into(), info.community)];
+    // The richer scenario may not produce a *unanimous* action community
+    // (most are occasionally seen on-path, and the checker deliberately
+    // only enforces unanimous evidence); inject the on-path replay only
+    // when one exists.
+    if let Some(action) = artifact
+        .rows()
+        .find(|r| r.label == Intent::Action && r.on_paths == 0)
+    {
+        // The owner is *on* the path, where its action community was
+        // never once observed during training.
+        tampered.push(forged(
+            format!("65000 {} 64499", action.community.asn),
+            action.community,
+        ));
+    }
+    let tampered_store = ObservationStore::from_observations(&tampered);
+    let report = check_store(&artifact, &tampered_store, &scenario.siblings);
+    println!(
+        "tampered feed : {} observations, {} pairs checked, {} anomalies",
+        report.observations,
+        report.checked,
+        report.anomalies.len(),
+    );
+    for a in &report.anomalies {
+        println!(
+            "  anomaly {} {} vp={} prefix={} obs={}",
+            a.kind, a.community, a.vp, a.prefix, a.index
+        );
+    }
+    assert_eq!(
+        report.anomalies.len(),
+        tampered.len(),
+        "exactly the injected contradictions must be flagged"
     );
 }

@@ -20,11 +20,13 @@
 //! * [`relationships`] — AS relationship inference and as2org siblings.
 //! * [`dictionary`] — ground-truth dictionaries and the pattern engine.
 //! * [`intent`] — **the paper's method**: clustering + on/off-path inference.
+//! * [`artifact`] — the servable label artifact + binary-search lookup kernel.
 //! * [`loccomm`] — location-community baseline and its improvement (Table 1).
 //! * [`experiments`] — scenario builder and per-figure harnesses.
 
 #![forbid(unsafe_code)]
 
+pub use bgp_artifact as artifact;
 pub use bgp_dictionary as dictionary;
 pub use bgp_experiments as experiments;
 pub use bgp_intent as intent;
